@@ -1,0 +1,332 @@
+// Package repro's root benchmark harness: one benchmark per table and
+// figure of the paper's evaluation, each regenerating its artifact over
+// the simulated substrate at benchmark-sized budgets, plus ablation
+// benchmarks for the design choices DESIGN.md calls out.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-budget artifacts are produced by `go run ./cmd/experiments
+// -all`; the benchmarks here use experiments.QuickBudget so the suite
+// stays minutes-scale while exercising identical code paths.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/buginject"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/coverage"
+	"repro/internal/experiments"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+	"repro/internal/profile"
+)
+
+// benchOut prints an artifact once (first iteration) so `go test -bench`
+// output doubles as a miniature EXPERIMENTS report.
+func benchOut(b *testing.B, i int) io.Writer {
+	if i == 0 && testing.Verbose() {
+		return &prefixWriter{b: b}
+	}
+	return io.Discard
+}
+
+type prefixWriter struct{ b *testing.B }
+
+func (w *prefixWriter) Write(p []byte) (int, error) {
+	w.b.Log("\n" + strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
+
+func quick() experiments.Budget { return experiments.QuickBudget() }
+
+// --- Table benchmarks ---
+
+func BenchmarkTable2Campaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(benchOut(b, i))
+	}
+}
+
+func BenchmarkTable3Versions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(benchOut(b, i))
+	}
+}
+
+func BenchmarkTable4Components(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table4(benchOut(b, i))
+	}
+}
+
+func BenchmarkTable5Mutators(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table5(benchOut(b, i), quick())
+	}
+}
+
+func BenchmarkTable6Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table6(benchOut(b, i), quick())
+	}
+}
+
+// --- Figure benchmarks ---
+
+func BenchmarkFigure1Curve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure1(benchOut(b, i), quick())
+	}
+}
+
+func BenchmarkFigure2Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure2(benchOut(b, i), quick())
+	}
+}
+
+func BenchmarkFigure3Distances(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure3(benchOut(b, i), quick())
+	}
+}
+
+func BenchmarkFigure4Variants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure4(benchOut(b, i), quick())
+	}
+}
+
+func BenchmarkFigure5aTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure5a(benchOut(b, i), quick())
+	}
+}
+
+func BenchmarkFigure5bOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure5b(benchOut(b, i), quick())
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func benchSeed() *lang.Program {
+	return lang.MustParse(corpus.MotivatingSeed)
+}
+
+// BenchmarkSubstrateInterpreter measures the pure interpreter on the
+// motivating seed (the reference-semantics engine).
+func BenchmarkSubstrateInterpreter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := jvm.Run(lang.CloneProgram(benchSeed()), jvm.Reference(), jvm.Options{PureInterpreter: true})
+		if err != nil || r.Crashed() {
+			b.Fatal(err, r.Result.Crash)
+		}
+	}
+}
+
+// BenchmarkSubstrateJIT measures the same program with eager C2
+// compilation (bug-free) — the compile+optimized-execute path.
+func BenchmarkSubstrateJIT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := jvm.Run(lang.CloneProgram(benchSeed()), jvm.Reference(), jvm.Options{
+			ForceCompile: true, Bugs: []*buginject.Bug{},
+		})
+		if err != nil || r.Crashed() {
+			b.Fatal(err, r.Result.Crash)
+		}
+	}
+}
+
+// BenchmarkMutationRound measures one guided mutate+check round (no
+// execution): the fuzzer-side cost of Algorithm 1's inner loop.
+func BenchmarkMutationRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	muts := core.AllMutators()
+	seed := benchSeed()
+	if err := lang.Check(seed); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := lang.CloneProgram(seed)
+		locs := lang.Statements(p)
+		loc := locs[rng.Intn(len(locs))]
+		m := muts[rng.Intn(len(muts))]
+		if !m.Applicable(loc) {
+			continue
+		}
+		if _, err := m.Apply(p, loc, rng); err != nil {
+			continue
+		}
+		if err := lang.Check(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOBVExtraction measures profile-log grepping (the guidance
+// hot path).
+func BenchmarkOBVExtraction(b *testing.B) {
+	r, err := jvm.Run(lang.CloneProgram(benchSeed()), jvm.Reference(), jvm.Options{
+		Flags: profile.DefaultFlags(), ForceCompile: true, Bugs: []*buginject.Bug{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = profile.ExtractOBV(r.Log)
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §4) ---
+
+// BenchmarkAblationDeltaVsSum contrasts the paper's Euclidean increment
+// (Formula 2) against the rejected plain-sum scheme on an imbalanced
+// OBV pair (§3.4's rationale: the sum is dominated by frequent
+// behaviors like inlining).
+func BenchmarkAblationDeltaVsSum(b *testing.B) {
+	var parent, child profile.OBV
+	parent[profile.BInline] = 100
+	child[profile.BInline] = 200
+	child[profile.BUnswitch] = 2 // rare behavior: 1 -> 2
+	parent[profile.BUnswitch] = 1
+	var delta, sum float64
+	for i := 0; i < b.N; i++ {
+		delta = profile.Delta(parent, child)
+		sum = profile.SumIncrement(parent, child)
+	}
+	b.ReportMetric(delta, "delta")
+	b.ReportMetric(sum, "sum")
+	if i := 0; i == 0 && testing.Verbose() {
+		b.Logf("Δ=%.2f (normalized emphasis) vs sum=%.0f (inlining-dominated)", delta, sum)
+	}
+}
+
+// BenchmarkAblationGuidedVsUnguided runs the same seeds guided and
+// unguided and reports the Δ medians (Figure 4's MopFuzzer vs _g at
+// benchmark scale).
+func BenchmarkAblationGuidedVsUnguided(b *testing.B) {
+	seeds := corpus.DefaultPool(4, 2)
+	target := jvm.Spec{Impl: buginject.HotSpot, Version: 17}
+	for i := 0; i < b.N; i++ {
+		for variant, mk := range map[string]func(jvm.Spec, *coverage.Tracker) *baselines.MopFuzzerTool{
+			"guided": baselines.NewMopFuzzer, "unguided": baselines.NewMopFuzzerG,
+		} {
+			tool := mk(target, nil)
+			tool.Cfg.DisableBugs = true
+			tool.Cfg.DiffSpecs = nil
+			tool.Cfg.MaxIterations = 15
+			var deltas []float64
+			for si, seed := range seeds {
+				fr, err := tool.FuzzSeed(seed.Name, seed.Parse(), int64(si+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				deltas = append(deltas, fr.FinalDelta)
+			}
+			med := median(deltas)
+			if i == 0 && testing.Verbose() {
+				b.Logf("%s median Δ = %.1f", variant, med)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFixedVsRandomMP contrasts fixed-MP nesting against
+// random statement selection (Figure 4's MopFuzzer vs _r).
+func BenchmarkAblationFixedVsRandomMP(b *testing.B) {
+	seeds := corpus.DefaultPool(4, 3)
+	target := jvm.Spec{Impl: buginject.HotSpot, Version: 17}
+	for i := 0; i < b.N; i++ {
+		for variant, mk := range map[string]func(jvm.Spec, *coverage.Tracker) *baselines.MopFuzzerTool{
+			"fixed-mp": baselines.NewMopFuzzer, "random-mp": baselines.NewMopFuzzerR,
+		} {
+			tool := mk(target, nil)
+			tool.Cfg.DisableBugs = true
+			tool.Cfg.DiffSpecs = nil
+			tool.Cfg.MaxIterations = 15
+			var deltas []float64
+			for si, seed := range seeds {
+				fr, err := tool.FuzzSeed(seed.Name, seed.Parse(), int64(si+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				deltas = append(deltas, fr.FinalDelta)
+			}
+			if i == 0 && testing.Verbose() {
+				b.Logf("%s median Δ = %.1f", variant, median(deltas))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMutatorSets contrasts the 13 canonical mutators
+// against the extended set with alternative implementations (the
+// paper's §3.2 future-work extension).
+func BenchmarkAblationMutatorSets(b *testing.B) {
+	seeds := corpus.DefaultPool(3, 4)
+	target := jvm.Spec{Impl: buginject.HotSpot, Version: 17}
+	for i := 0; i < b.N; i++ {
+		for _, extended := range []bool{false, true} {
+			cfg := core.DefaultConfig(target)
+			cfg.ExtendedMutators = extended
+			cfg.DisableBugs = true
+			cfg.DiffSpecs = nil
+			cfg.MaxIterations = 12
+			var deltas []float64
+			for si, seed := range seeds {
+				cfg.Seed = int64(si + 1)
+				fr, err := core.NewFuzzer(cfg).FuzzSeed(seed.Name, seed.Parse())
+				if err != nil {
+					b.Fatal(err)
+				}
+				deltas = append(deltas, fr.FinalDelta)
+			}
+			if i == 0 && testing.Verbose() {
+				b.Logf("extended=%v median Δ = %.1f", extended, median(deltas))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationEagerVsTieredCompile contrasts -Xcomp-style eager
+// compilation against threshold-based tiering on the substrate.
+func BenchmarkAblationEagerVsTieredCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, eager := range []bool{true, false} {
+			r, err := jvm.Run(lang.CloneProgram(benchSeed()), jvm.Reference(), jvm.Options{
+				ForceCompile: eager, Bugs: []*buginject.Bug{},
+			})
+			if err != nil || r.Crashed() {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+var _ = fmt.Sprintf // keep fmt for debug edits

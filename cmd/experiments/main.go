@@ -1,0 +1,114 @@
+// Command experiments regenerates the paper's tables and figures over
+// the simulated substrate.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -table 6 -budget 2000 -seeds 40
+//	experiments -figure 5a
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	tableFlag := flag.String("table", "", "regenerate one table: 2, 3, 4, 5, or 6")
+	figureFlag := flag.String("figure", "", "regenerate one figure: 1, 2, 3, 4, 5a, or 5b")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	recall := flag.Bool("recall", false, "run the ground-truth recall campaign (extra artifact)")
+	budgetFlag := flag.Int("budget", 0, "execution budget per tool (default per experiment)")
+	seedsFlag := flag.Int("seeds", 0, "seed pool size (default per experiment)")
+	seedFlag := flag.Int64("seed", 1, "campaign random seed")
+	flag.Parse()
+
+	budget := experiments.DefaultBudget()
+	if *budgetFlag > 0 {
+		budget.Executions = *budgetFlag
+	}
+	if *seedsFlag > 0 {
+		budget.Seeds = *seedsFlag
+	}
+	budget.Seed = *seedFlag
+
+	w := os.Stdout
+	sep := func() {
+		fmt.Fprint(w, "\n================================================================\n\n")
+	}
+
+	ran := false
+	runTable := func(id string) {
+		ran = true
+		switch id {
+		case "2":
+			experiments.Table2(w)
+		case "3":
+			experiments.Table3(w)
+		case "4":
+			experiments.Table4(w)
+		case "5":
+			experiments.Table5(w, budget)
+		case "6":
+			experiments.Table6(w, budget)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown table %q\n", id)
+			os.Exit(2)
+		}
+	}
+	runFigure := func(id string) {
+		ran = true
+		switch id {
+		case "1":
+			experiments.Figure1(w, budget)
+		case "2":
+			experiments.Figure2(w, budget)
+		case "3":
+			experiments.Figure3(w, budget)
+		case "4":
+			experiments.Figure4(w, budget)
+		case "5a":
+			experiments.Figure5a(w, budget)
+		case "5b":
+			experiments.Figure5b(w, budget)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", id)
+			os.Exit(2)
+		}
+	}
+
+	if *all {
+		for _, t := range []string{"2", "3", "4", "5", "6"} {
+			runTable(t)
+			sep()
+		}
+		for _, f := range []string{"1", "2", "3", "4", "5a", "5b"} {
+			runFigure(f)
+			sep()
+		}
+		return
+	}
+	if *tableFlag != "" {
+		runTable(*tableFlag)
+	}
+	if *figureFlag != "" {
+		if ran {
+			sep()
+		}
+		runFigure(*figureFlag)
+	}
+	if *recall {
+		if ran {
+			sep()
+		}
+		ran = true
+		experiments.Recall(w, budget)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

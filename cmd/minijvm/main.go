@@ -1,0 +1,171 @@
+// Command minijvm runs a mini-Java source file on one of the simulated
+// JVMs, mirroring a `java` invocation with diagnostic flags.
+//
+// Usage:
+//
+//	minijvm -jvm openjdk-17 -flags PrintInlining,TraceLoopOpts prog.mj
+//	minijvm -jvm openj9-11 -xcomp -disasm prog.mj
+//	minijvm -interp prog.mj        # pure interpreter (reference output)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/buginject"
+	"repro/internal/bytecode"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+	"repro/internal/profile"
+)
+
+func main() {
+	jvmFlag := flag.String("jvm", "openjdk-mainline", "target JVM: openjdk-{8,11,17,21,mainline} or openj9-{...}")
+	flagsFlag := flag.String("flags", "", "comma-separated diagnostic flags (or 'all')")
+	xcomp := flag.Bool("xcomp", true, "force JIT compilation of every invoked method")
+	interp := flag.Bool("interp", false, "pure interpreter (no JIT, no seeded bugs)")
+	noBugs := flag.Bool("nobugs", false, "disable the version's seeded bug set")
+	disasm := flag.Bool("disasm", false, "print the compiled bytecode before running")
+	showLog := flag.Bool("log", true, "print the profile log after the run")
+	showOBV := flag.Bool("obv", false, "print the extracted optimization behavior vector")
+	diff := flag.Bool("diff", false, "differential mode: run on every simulated build and compare outputs")
+	compileOnly := flag.String("compileonly", "", "JIT-compile only this method (Class.method)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minijvm [flags] <file.mj>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if err := lang.Check(prog); err != nil {
+		fatal(err)
+	}
+
+	spec, err := parseSpec(*jvmFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *disasm {
+		img, err := bytecode.Compile(prog)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bytecode.DisassembleImage(img))
+		fmt.Println()
+	}
+
+	opt := jvm.Options{
+		ForceCompile:    *xcomp,
+		PureInterpreter: *interp,
+		CompileOnly:     *compileOnly,
+	}
+	if *noBugs {
+		opt.Bugs = []*buginject.Bug{}
+	}
+	switch {
+	case *flagsFlag == "all":
+		opt.Flags = profile.DefaultFlags()
+	case *flagsFlag != "":
+		opt.Flags = profile.FlagSet{}
+		for _, f := range strings.Split(*flagsFlag, ",") {
+			opt.Flags[profile.Flag(strings.TrimSpace(f))] = true
+		}
+	}
+
+	if *diff {
+		runDiff(prog, opt)
+		return
+	}
+
+	res, err := jvm.Run(prog, spec, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("== %s ==\n", spec.Name())
+	fmt.Print(res.Result.OutputString())
+	fmt.Println()
+	if res.Crashed() {
+		fmt.Println(res.HsErr())
+	}
+	if *showLog && res.Log != "" {
+		fmt.Println("-- profile log --")
+		fmt.Println(res.Log)
+	}
+	if *showOBV {
+		fmt.Println("-- OBV --")
+		fmt.Println(res.OBV)
+	}
+	if res.Crashed() {
+		os.Exit(1)
+	}
+}
+
+// runDiff executes the program on every simulated build and reports the
+// distinct output groups (the paper's miscompilation oracle).
+func runDiff(prog *lang.Program, opt jvm.Options) {
+	d, err := jvm.RunDifferential(prog, jvm.AllSpecs(), opt)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range d.Results {
+		status := r.Result.OutputString()
+		if r.Crashed() {
+			status = "CRASH " + r.Result.Crash.BugID
+		}
+		fmt.Printf("  %-18s %s\n", r.Spec.Name(), strings.ReplaceAll(status, "\n", " | "))
+	}
+	if d.Inconsistent() {
+		fmt.Printf("INCONSISTENT: %d output groups\n", len(d.Groups))
+		for _, b := range d.TriggeredBugs() {
+			fmt.Printf("  triggered: %s (%s, %s)\n", b.ID, b.Impl, b.Component)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("all builds agree")
+}
+
+func parseSpec(s string) (jvm.Spec, error) {
+	impl := buginject.HotSpot
+	rest := s
+	switch {
+	case strings.HasPrefix(s, "openjdk-"):
+		rest = strings.TrimPrefix(s, "openjdk-")
+	case strings.HasPrefix(s, "openj9-"):
+		impl = buginject.OpenJ9
+		rest = strings.TrimPrefix(s, "openj9-")
+	default:
+		return jvm.Spec{}, fmt.Errorf("unknown JVM %q", s)
+	}
+	v := 0
+	switch rest {
+	case "8":
+		v = 8
+	case "11":
+		v = 11
+	case "17":
+		v = 17
+	case "21":
+		v = 21
+	case "mainline", "23":
+		v = 23
+	default:
+		return jvm.Spec{}, fmt.Errorf("unknown version %q", rest)
+	}
+	return jvm.Spec{Impl: impl, Version: v}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minijvm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,187 @@
+// Command mopfuzzer runs the fuzzer, mirroring the paper artifact's CLI:
+//
+//	# fuzz a generated corpus against a target, reporting findings
+//	mopfuzzer -jdk openjdk-17 -seeds 20 -budget 2000
+//
+//	# fuzz one seed file with guidance and print the final mutant
+//	mopfuzzer -jdk openjdk-mainline -case seed.mj -enable_profile_guide=true
+//
+//	# reduce a bug-triggering case before reporting
+//	mopfuzzer -jdk openjdk-17 -case seed.mj -reduce
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/buginject"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+	"repro/internal/reduce"
+)
+
+func main() {
+	jdk := flag.String("jdk", "openjdk-17", "target JVM (openjdk-{8,11,17,21,mainline}, openj9-...)")
+	caseFile := flag.String("case", "", "fuzz a single seed file instead of the generated corpus")
+	seeds := flag.Int("seeds", 20, "generated corpus size")
+	budget := flag.Int("budget", 1000, "total execution budget for corpus campaigns")
+	iters := flag.Int("iterations", 50, "mutations per seed (MAX Iterations)")
+	guide := flag.Bool("enable_profile_guide", true, "profile-data-based mutator weighting")
+	fixedMP := flag.Bool("fixed_mp", true, "iterate on a fixed mutation point (false = MopFuzzer_r)")
+	seed := flag.Int64("seed", 1, "random seed")
+	doReduce := flag.Bool("reduce", false, "reduce bug-triggering mutants before reporting")
+	extended := flag.Bool("extended", false, "include the alternative evoking-mutator implementations")
+	dumpMutant := flag.Bool("dump", false, "print the final mutant source")
+	flag.Parse()
+
+	spec, err := parseSpec(*jdk)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig(spec)
+	cfg.MaxIterations = *iters
+	cfg.Guided = *guide
+	cfg.FixedMP = *fixedMP
+	cfg.Seed = *seed
+	cfg.ExtendedMutators = *extended
+
+	if *caseFile != "" {
+		fuzzOne(*caseFile, cfg, *doReduce, *dumpMutant)
+		return
+	}
+
+	pool := corpus.DefaultPool(*seeds, *seed)
+	res := core.RunCampaign(core.CampaignConfig{
+		Seeds:   pool,
+		Budget:  *budget,
+		Targets: []jvm.Spec{spec},
+		Fuzz:    cfg,
+		Seed:    *seed,
+	})
+	fmt.Printf("campaign: %d executions, %d seeds fuzzed, %d unique bugs\n",
+		res.Executions, res.SeedsFuzzed, len(res.Findings))
+	for _, f := range res.Findings {
+		fmt.Printf("  [%6d exec] %-14s %-26s %s (%s, via %s oracle)\n",
+			f.AtExecution, f.Bug.ID, f.Bug.Component, f.Bug.Kind, f.Target.Name(), f.Oracle)
+		if *doReduce && f.Program != nil {
+			reduced := reduceFinding(f.Program, f.Bug, f.Target)
+			fmt.Printf("           reduced %d -> %d statements\n", reduced.StmtsBefore, reduced.StmtsAfter)
+			if *dumpMutant {
+				fmt.Println(indent(lang.Format(reduced.Program)))
+			}
+		}
+	}
+}
+
+func fuzzOne(path string, cfg core.Config, doReduce, dump bool) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	f := core.NewFuzzer(cfg)
+	res, err := f.FuzzSeed(path, prog)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fuzzed %s: %d executions, MP=stmt#%d, final Δ(seed)=%.1f\n",
+		path, res.Executions, res.MPID, res.FinalDelta)
+	for _, r := range res.Records {
+		status := ""
+		if r.Skipped {
+			status = " (skipped)"
+		}
+		if r.CrashBugID != "" {
+			status = " CRASH " + r.CrashBugID
+		}
+		fmt.Printf("  iter %2d %-30s Δ=%6.1f w=%5.2f%s\n", r.Iter, r.Mutator, r.Delta, r.Weight, status)
+	}
+	for _, fd := range res.Findings {
+		fmt.Printf("finding: %s in %s via %s oracle\n", fd.Bug.ID, fd.Bug.Component, fd.Oracle)
+		if doReduce {
+			reduced := reduceFinding(res.Final, fd.Bug, cfg.Target)
+			fmt.Printf("reduced %d -> %d statements in %d rounds\n",
+				reduced.StmtsBefore, reduced.StmtsAfter, reduced.Rounds)
+			if dump {
+				fmt.Println(indent(lang.Format(reduced.Program)))
+			}
+			return
+		}
+	}
+	if dump {
+		fmt.Println("-- final mutant --")
+		fmt.Println(indent(lang.Format(res.Final)))
+	}
+}
+
+// reduceFinding shrinks a mutant while the specific bug keeps firing on
+// any of the differential targets.
+func reduceFinding(p *lang.Program, bug *buginject.Bug, target jvm.Spec) *reduce.Result {
+	keep := func(cand *lang.Program) bool {
+		specs := []jvm.Spec{target}
+		if !bug.In(target.Version) || bug.Impl != implOf(target) {
+			specs = jvm.AllSpecs()
+		}
+		for _, spec := range specs {
+			r, err := jvm.Run(lang.CloneProgram(cand), spec, jvm.Options{ForceCompile: true, MaxSteps: 2_000_000})
+			if err != nil {
+				continue
+			}
+			if r.Result.Crash != nil && r.Result.Crash.BugID == bug.ID {
+				return true
+			}
+			for _, t := range r.Triggered {
+				if t.ID == bug.ID {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return reduce.Reduce(p, keep, reduce.Options{})
+}
+
+func implOf(s jvm.Spec) buginject.Impl { return s.Impl }
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ")
+}
+
+func parseSpec(s string) (jvm.Spec, error) {
+	impl := buginject.HotSpot
+	rest := s
+	switch {
+	case strings.HasPrefix(s, "openjdk-"):
+		rest = strings.TrimPrefix(s, "openjdk-")
+	case strings.HasPrefix(s, "openj9-"):
+		impl = buginject.OpenJ9
+		rest = strings.TrimPrefix(s, "openj9-")
+	default:
+		return jvm.Spec{}, fmt.Errorf("unknown JVM %q", s)
+	}
+	switch rest {
+	case "8":
+		return jvm.Spec{Impl: impl, Version: 8}, nil
+	case "11":
+		return jvm.Spec{Impl: impl, Version: 11}, nil
+	case "17":
+		return jvm.Spec{Impl: impl, Version: 17}, nil
+	case "21":
+		return jvm.Spec{Impl: impl, Version: 21}, nil
+	case "mainline", "23":
+		return jvm.Spec{Impl: impl, Version: 23}, nil
+	}
+	return jvm.Spec{}, fmt.Errorf("unknown version %q", rest)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mopfuzzer:", err)
+	os.Exit(1)
+}

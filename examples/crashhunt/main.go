@@ -1,0 +1,93 @@
+// Crashhunt walks the JDK-8312744 interaction by hand: it builds the
+// paper's Listing 3 shape — nested and adjacent locks around a loop —
+// runs it on the simulated JDKs, and shows the crash appearing exactly
+// on the versions that carry the defect, then reduces the test case.
+//
+// Run with: go run ./examples/crashhunt
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/buginject"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+	"repro/internal/reduce"
+)
+
+// mutant is the hand-distilled JDK-8312744 trigger: a synchronized
+// region inside a small counted loop. The JIT fully unrolls the loop,
+// leaving adjacent lock regions that lock coarsening merges — and the
+// coarsening-after-unrolling retry path is exactly where the seeded
+// defect lives (as in the paper's Listing 3).
+const mutant = `
+class T {
+  int f;
+  static void main() {
+    T t = new T();
+    long total = 0;
+    for (int i = 0; i < 3000; i += 1) {
+      total = total + t.foo(i);
+    }
+    print(total);
+  }
+  int foo(int i) {
+    int acc = 0;
+    for (int k = 0; k < 4; k += 1) {
+      synchronized (this) {
+        acc = acc + k + i;
+      }
+    }
+    synchronized (this) {
+      acc = acc + this.f;
+    }
+    return acc;
+  }
+}
+`
+
+func main() {
+	prog := lang.MustParse(mutant)
+
+	fmt.Println("running the Listing-3-shaped mutant on every simulated JDK:")
+	for _, spec := range jvm.HotSpotLTSAndMainline() {
+		res, err := jvm.Run(lang.CloneProgram(prog), spec, jvm.Options{ForceCompile: true})
+		if err != nil {
+			panic(err)
+		}
+		status := "ok: " + res.Result.OutputString()
+		if res.Crashed() {
+			status = "CRASH " + res.Result.Crash.BugID + " in " + res.Result.Crash.Component
+		}
+		fmt.Printf("  %-18s %s\n", spec.Name(), status)
+	}
+
+	// Show the hs_err-style report from the crashing mainline run.
+	ref, err := jvm.Run(lang.CloneProgram(prog), jvm.Reference(), jvm.Options{ForceCompile: true})
+	if err != nil {
+		panic(err)
+	}
+	if ref.Crashed() {
+		fmt.Println("\nhs_err report:")
+		fmt.Println(ref.HsErr())
+	}
+
+	// The defect needs BOTH the unrolled synchronized loop AND a lock
+	// region for coarsening to chew on; removing either ingredient makes
+	// the crash vanish — the paper's observation that single mutations
+	// do not reproduce interaction bugs.
+	fmt.Println("\nreducing while the crash persists:")
+	bug := buginject.ByID("JDK-8312744")
+	keep := func(cand *lang.Program) bool {
+		r, err := jvm.Run(lang.CloneProgram(cand), jvm.Reference(), jvm.Options{ForceCompile: true, MaxSteps: 2_000_000})
+		if err != nil {
+			return false
+		}
+		return r.Crashed() && r.Result.Crash.BugID == bug.ID
+	}
+	red := reduce.Reduce(prog, keep, reduce.Options{})
+	fmt.Printf("  %d -> %d statements in %d rounds (%d candidates tested)\n",
+		red.StmtsBefore, red.StmtsAfter, red.Rounds, red.TestedCands)
+	fmt.Println("\nreduced test case:")
+	fmt.Println(lang.Format(red.Program))
+}

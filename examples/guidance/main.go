@@ -1,0 +1,121 @@
+// Guidance opens up the profile-data channel: it runs one program with
+// diagnostic flags on, shows the raw log lines the VM emits, the regex
+// rules that count them, the resulting Optimization Behavior Vector,
+// and the Δ/weight arithmetic of the paper's Formulas 2 and 3.
+//
+// Run with: go run ./examples/guidance
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/jvm"
+	"repro/internal/lang"
+	"repro/internal/profile"
+)
+
+const parentSrc = `
+class T {
+  int f;
+  static void main() {
+    T t = new T();
+    long total = 0;
+    for (int i = 0; i < 3000; i += 1) {
+      total = total + t.foo(i);
+    }
+    print(total);
+  }
+  int foo(int i) {
+    int acc = i + this.f;
+    return acc;
+  }
+}
+`
+
+// childSrc is parentSrc after two MopFuzzer iterations: a synchronized
+// wrap plus an unrollable loop around it.
+const childSrc = `
+class T {
+  int f;
+  static void main() {
+    T t = new T();
+    long total = 0;
+    for (int i = 0; i < 3000; i += 1) {
+      total = total + t.foo(i);
+    }
+    print(total);
+  }
+  int foo(int i) {
+    int acc = 0;
+    for (int u = 0; u < 4; u += 1) {
+      synchronized (this) {
+        acc = i + this.f;
+      }
+    }
+    synchronized (this) {
+      acc = i + this.f;
+    }
+    return acc;
+  }
+}
+`
+
+func main() {
+	run := func(src string) *jvm.ExecResult {
+		r, err := jvm.Run(lang.MustParse(src), jvm.Reference(), jvm.Options{
+			Flags:        profile.DefaultFlags(),
+			ForceCompile: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return r
+	}
+
+	parent := run(parentSrc)
+	child := run(childSrc)
+
+	fmt.Println("the 15 diagnostic flags passed to the VM:")
+	for _, f := range profile.AllFlags() {
+		fmt.Println("  -XX:+" + string(f))
+	}
+
+	fmt.Println("\nchild mutant's profile log (what the fuzzer actually sees):")
+	for _, line := range splitLines(child.Log) {
+		fmt.Println("  " + line)
+	}
+
+	fmt.Println("\nregex rules -> OBV dimensions:")
+	for _, r := range profile.Rules {
+		if child.OBV[r.Behavior] > 0 || parent.OBV[r.Behavior] > 0 {
+			fmt.Printf("  %-16s /%s/  parent=%d child=%d\n",
+				r.Behavior, r.Pattern, parent.OBV[r.Behavior], child.OBV[r.Behavior])
+		}
+	}
+
+	delta := profile.Delta(parent.OBV, child.OBV)
+	fmt.Printf("\nΔ (Formula 2, Euclidean over positive increments) = %.2f\n", delta)
+	fmt.Printf("||OBV_c|| = %.2f\n", child.OBV.Norm())
+	w := 1.0
+	w2 := profile.UpdateWeight(w, parent.OBV, child.OBV)
+	fmt.Printf("weight update (Formula 3): w = %.2f -> %.2f\n", w, w2)
+	fmt.Printf("\nthe alternative 'plain sum' scheme the paper rejects would give %.0f\n",
+		profile.SumIncrement(parent.OBV, child.OBV))
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Quickstart: fuzz one seed program with MopFuzzer and inspect what the
+// guided loop does — the smallest end-to-end use of the public pieces:
+// corpus -> fuzzer -> findings.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/buginject"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+)
+
+func main() {
+	// 1. A seed shaped like an OpenJDK regression test (paper Listing 2).
+	seed := lang.MustParse(corpus.MotivatingSeed)
+	fmt.Println("seed program:")
+	fmt.Println(lang.Format(seed))
+
+	// 2. Configure MopFuzzer against the simulated OpenJDK 17 with the
+	//    paper's defaults: 50 iterations at a fixed mutation point,
+	//    profile-data-guided mutator selection.
+	cfg := core.DefaultConfig(jvm.Spec{Impl: buginject.HotSpot, Version: 17})
+	cfg.Seed = 3 // deterministic run
+	fuzzer := core.NewFuzzer(cfg)
+
+	// 3. Run Algorithm 1.
+	res, err := fuzzer.FuzzSeed("quickstart", seed)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("mutation point: statement #%d\n", res.MPID)
+	fmt.Printf("executions:     %d\n", res.Executions)
+	fmt.Printf("final Δ(seed):  %.1f\n", res.FinalDelta)
+	fmt.Println("\niteration log (mutator, Δ vs parent, weight after update):")
+	for _, r := range res.Records {
+		note := ""
+		if r.Skipped {
+			note = "  [skipped]"
+		}
+		if r.CrashBugID != "" {
+			note = "  [JVM CRASHED: " + r.CrashBugID + "]"
+		}
+		fmt.Printf("  %2d  %-30s Δ=%6.1f  w=%5.2f%s\n", r.Iter, r.Mutator, r.Delta, r.Weight, note)
+	}
+
+	if len(res.Findings) == 0 {
+		fmt.Println("\nno bug this run — try another -seed; the campaign runner cycles many")
+		return
+	}
+	for _, f := range res.Findings {
+		fmt.Printf("\nFOUND %s (%s, %s) via the %s oracle\n",
+			f.Bug.ID, f.Bug.Component, f.Bug.Kind, f.Oracle)
+		fmt.Printf("  %s\n", f.Bug.Summary)
+	}
+}

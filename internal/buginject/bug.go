@@ -1,0 +1,222 @@
+// Package buginject seeds the simulated JVMs with the paper's 59
+// ground-truth defects. Each bug is a predicate over the JIT's
+// compilation events — the optimization-interaction state — plus an
+// effect: a compiler crash or a specific miscompilation. Per-version and
+// per-implementation activation reproduces Tables 2–4 of the paper.
+//
+// Ground truth is the point: against real JVMs the paper can only count
+// what each tool found; against seeded bugs every detection experiment
+// (Tables 5–6, Figure 5) measures recall exactly.
+package buginject
+
+import (
+	"fmt"
+
+	"repro/internal/jit"
+	"repro/internal/vm"
+)
+
+// Impl names a JVM implementation.
+type Impl string
+
+// Implementations.
+const (
+	HotSpot Impl = "HotSpot"
+	OpenJ9  Impl = "OpenJ9"
+)
+
+// Kind is the bug's observable failure mode.
+type Kind int
+
+// Bug kinds.
+const (
+	Crash Kind = iota
+	Miscompile
+)
+
+func (k Kind) String() string {
+	if k == Crash {
+		return "Crash"
+	}
+	return "Miscompilation"
+}
+
+// Status mirrors the paper's Table 2 report categories.
+type Status string
+
+// Statuses.
+const (
+	InProgress      Status = "In Progress"
+	Fixed           Status = "Fixed"
+	Duplicate       Status = "Duplicate"
+	NotBackportable Status = "Not Backportable"
+)
+
+// Effect selects what happens when the trigger fires.
+type Effect int
+
+// Effects.
+const (
+	EffectCrash             Effect = iota
+	EffectDropSyncCleanup          // inlined sync region loses exception cleanup
+	EffectSkipCoarsenUnlock        // coarsened region loses exception unlock
+	EffectDropLiveStore            // RSE removes a live store
+	EffectCorruptFold              // algebraic fold off by one
+)
+
+// Trigger is a predicate over the compilation state at one event.
+type Trigger func(ctx *jit.Context, ev jit.Event) bool
+
+// Bug is one seeded defect.
+type Bug struct {
+	ID        string
+	Impl      Impl
+	Component string // per the paper's Table 4 component names
+	Kind      Kind
+	Effect    Effect
+	Priority  string // P2/P3/P4 (HotSpot only)
+	Status    Status
+	// Versions lists the release trains the defect is present in
+	// (8, 11, 17, 21; 23 = mainline).
+	Versions []int
+	Summary  string
+	Trigger  Trigger
+}
+
+// In reports whether the bug is live in the given version.
+func (b *Bug) In(version int) bool {
+	for _, v := range b.Versions {
+		if v == version {
+			return true
+		}
+	}
+	return false
+}
+
+// Injector is the jit.Hook that arms a version's bug set. It records
+// which bugs fired during an execution.
+type Injector struct {
+	bugs      []*Bug
+	Triggered []*Bug
+	seen      map[string]bool
+}
+
+// NewInjector arms every catalog bug live in (impl, version).
+func NewInjector(impl Impl, version int) *Injector {
+	inj := &Injector{seen: map[string]bool{}}
+	for _, b := range Catalog {
+		if b.Impl == impl && b.In(version) {
+			inj.bugs = append(inj.bugs, b)
+		}
+	}
+	return inj
+}
+
+// NewInjectorFor arms an explicit bug list (for tests and ablations).
+func NewInjectorFor(bugs []*Bug) *Injector {
+	return &Injector{bugs: bugs, seen: map[string]bool{}}
+}
+
+// Armed returns the active bug set.
+func (inj *Injector) Armed() []*Bug { return inj.bugs }
+
+// Observe implements jit.Hook.
+func (inj *Injector) Observe(ctx *jit.Context, ev jit.Event) error {
+	for _, b := range inj.bugs {
+		if inj.seen[b.ID] && b.Effect != EffectCrash {
+			// Miscompile effects are one-shot per execution; crashes
+			// re-fire (re-running the compile crashes again).
+			continue
+		}
+		if !b.Trigger(ctx, ev) {
+			continue
+		}
+		if !inj.seen[b.ID] {
+			inj.seen[b.ID] = true
+			inj.Triggered = append(inj.Triggered, b)
+		}
+		switch b.Effect {
+		case EffectCrash:
+			return &vm.Crash{
+				BugID:     b.ID,
+				Component: b.Component,
+				Message:   b.Summary,
+				FnKey:     ctx.Fn.Key(),
+			}
+		case EffectDropSyncCleanup:
+			ctx.DropSyncCleanup = true
+		case EffectSkipCoarsenUnlock:
+			ctx.SkipCoarsenUnlock = true
+		case EffectDropLiveStore:
+			ctx.DropNextStore = true
+		case EffectCorruptFold:
+			ctx.CorruptFold = true
+		}
+	}
+	return nil
+}
+
+var _ jit.Hook = (*Injector)(nil)
+
+// ByID returns the catalog bug with the given ID, or nil.
+func ByID(id string) *Bug {
+	for _, b := range Catalog {
+		if b.ID == id {
+			return b
+		}
+	}
+	return nil
+}
+
+// Validate sanity-checks the catalog against the paper's reported
+// counts; it is called from tests.
+func Validate() error {
+	counts := map[Impl]int{}
+	kinds := map[Impl]map[Kind]int{HotSpot: {}, OpenJ9: {}}
+	status := map[Impl]map[Status]int{HotSpot: {}, OpenJ9: {}}
+	ids := map[string]bool{}
+	for _, b := range Catalog {
+		if ids[b.ID] {
+			return fmt.Errorf("duplicate bug id %s", b.ID)
+		}
+		ids[b.ID] = true
+		if b.Trigger == nil {
+			return fmt.Errorf("bug %s has no trigger", b.ID)
+		}
+		if len(b.Versions) == 0 {
+			return fmt.Errorf("bug %s affects no versions", b.ID)
+		}
+		counts[b.Impl]++
+		kinds[b.Impl][b.Kind]++
+		status[b.Impl][b.Status]++
+	}
+	check := func(name string, got, want int) error {
+		if got != want {
+			return fmt.Errorf("%s: got %d, want %d", name, got, want)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name      string
+		got, want int
+	}{
+		{"HotSpot bugs", counts[HotSpot], 45},
+		{"OpenJ9 bugs", counts[OpenJ9], 14},
+		{"HotSpot crashes", kinds[HotSpot][Crash], 39},
+		{"HotSpot miscompiles", kinds[HotSpot][Miscompile], 6},
+		{"OpenJ9 crashes", kinds[OpenJ9][Crash], 2},
+		{"OpenJ9 miscompiles", kinds[OpenJ9][Miscompile], 12},
+		{"HotSpot in-progress", status[HotSpot][InProgress], 19},
+		{"HotSpot fixed", status[HotSpot][Fixed], 7},
+		{"HotSpot duplicates", status[HotSpot][Duplicate], 5},
+		{"HotSpot not-backportable", status[HotSpot][NotBackportable], 14},
+		{"OpenJ9 in-progress", status[OpenJ9][InProgress], 9},
+		{"OpenJ9 fixed", status[OpenJ9][Fixed], 4},
+		{"OpenJ9 duplicates", status[OpenJ9][Duplicate], 1},
+	} {
+		if err := check(c.name, c.got, c.want); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package buginject
+
+import (
+	"testing"
+
+	"repro/internal/jit"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+func TestCatalogMatchesPaperCounts(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionDistributionMatchesTable3(t *testing.T) {
+	// Table 3: #bugs per OpenJDK version; one bug may affect several.
+	want := map[int]int{8: 26, 11: 9, 17: 13, 21: 9, 23: 12}
+	got := map[int]int{}
+	nb := map[int]int{}
+	for _, b := range Catalog {
+		if b.Impl != HotSpot {
+			continue
+		}
+		for _, v := range b.Versions {
+			got[v]++
+			if b.Status == NotBackportable {
+				nb[v]++
+			}
+		}
+	}
+	for v, w := range want {
+		if got[v] != w {
+			t.Errorf("version %d: %d bugs, want %d", v, got[v], w)
+		}
+	}
+	if nb[8] != 12 || nb[11] != 2 {
+		t.Errorf("not-backportable per version = %v, want 12@8 and 2@11", nb)
+	}
+}
+
+func TestComponentDistributionMatchesTable4(t *testing.T) {
+	wantHS := map[string]int{
+		"Global Value Number., C2":  10,
+		"Ideal Loop Optimizat., C2": 7,
+		"Code Generation, C2":       7,
+		"Ideal Graph Building, C2":  5,
+		"Macro Expansion, C2":       4,
+		"Cond. Const. Prop., C2":    1,
+		"Runtime":                   4,
+		"Other JIT Compone.":        7,
+	}
+	wantJ9 := map[string]int{
+		"Redundancy Elimination": 4,
+		"Loop Optimization":      3,
+		"Pattern Recognition":    2,
+		"Dead Code Elimination":  1,
+		"Escape Analysis":        1,
+		"SIMD Support":           1,
+		"Value propagation":      1,
+		"Runtime":                1,
+	}
+	gotHS, gotJ9 := map[string]int{}, map[string]int{}
+	for _, b := range Catalog {
+		if b.Impl == HotSpot {
+			gotHS[b.Component]++
+		} else {
+			gotJ9[b.Component]++
+		}
+	}
+	for c, w := range wantHS {
+		if gotHS[c] != w {
+			t.Errorf("HotSpot %q: %d, want %d", c, gotHS[c], w)
+		}
+	}
+	for c, w := range wantJ9 {
+		if gotJ9[c] != w {
+			t.Errorf("OpenJ9 %q: %d, want %d", c, gotJ9[c], w)
+		}
+	}
+}
+
+func TestPriorityDistribution(t *testing.T) {
+	got := map[string]int{}
+	for _, b := range Catalog {
+		if b.Impl == HotSpot {
+			got[b.Priority]++
+		}
+	}
+	if got["P2"] != 2 || got["P3"] != 13 || got["P4"] != 30 {
+		t.Errorf("priorities = %v, want P2:2 P3:13 P4:30", got)
+	}
+}
+
+func TestInjectorArmsPerVersion(t *testing.T) {
+	inj8 := NewInjector(HotSpot, 8)
+	inj23 := NewInjector(HotSpot, 23)
+	if len(inj8.Armed()) != 26 {
+		t.Errorf("jdk8 armed %d, want 26", len(inj8.Armed()))
+	}
+	if len(inj23.Armed()) != 12 {
+		t.Errorf("mainline armed %d, want 12", len(inj23.Armed()))
+	}
+	b := ByID("JDK-8312744")
+	if b == nil {
+		t.Fatal("JDK-8312744 missing")
+	}
+	if b.In(8) || !b.In(17) {
+		t.Error("JDK-8312744 version set wrong")
+	}
+}
+
+func TestInjectorCrashOnTrigger(t *testing.T) {
+	inj := NewInjectorFor([]*Bug{ByID("JDK-8312744")})
+	ctx := &jit.Context{Fn: &jit.Func{Class: "T", Name: "m"}, Hook: inj}
+	// An unrelated event does not fire.
+	if err := ctx.Record(jit.Event{Pass: "loop", Behavior: profile.BUnroll}); err != nil {
+		t.Fatalf("unexpected: %v", err)
+	}
+	// Coarsening with unroll provenance fires.
+	err := ctx.Record(jit.Event{Pass: "locks", Behavior: profile.BLockCoarsen, Prov: jit.FromUnroll | jit.FromCoarsen})
+	crash, ok := err.(*vm.Crash)
+	if !ok {
+		t.Fatalf("want crash, got %v", err)
+	}
+	if crash.BugID != "JDK-8312744" || crash.Component != "Macro Expansion, C2" {
+		t.Errorf("crash = %+v", crash)
+	}
+	if len(inj.Triggered) != 1 {
+		t.Errorf("Triggered = %d", len(inj.Triggered))
+	}
+}
+
+func TestMiscompileEffectSetsFlagOnce(t *testing.T) {
+	inj := NewInjectorFor([]*Bug{ByID("Issue-18919")})
+	ctx := &jit.Context{Fn: &jit.Func{Class: "T", Name: "m"}, Hook: inj}
+	if err := ctx.Record(jit.Event{Pass: "rse", Behavior: profile.BRedundantStore, Prov: jit.FromUnroll}); err != nil {
+		t.Fatalf("miscompile effect must not error: %v", err)
+	}
+	if !ctx.DropNextStore {
+		t.Fatal("effect flag not set")
+	}
+	ctx.DropNextStore = false
+	// One-shot per execution: a second matching event does not re-arm.
+	if err := ctx.Record(jit.Event{Pass: "rse", Behavior: profile.BRedundantStore, Prov: jit.FromUnroll}); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.DropNextStore {
+		t.Error("miscompile effect re-armed")
+	}
+}
+
+func TestTriggersAreInteractionShaped(t *testing.T) {
+	// No catalog bug may fire on a bare single behavior with no context:
+	// an event with zero counts, zero depth, zero provenance.
+	for _, b := range Catalog {
+		ctx := &jit.Context{Fn: &jit.Func{Class: "T", Name: "m"}}
+		for beh := 0; beh < profile.NumBehaviors; beh++ {
+			ev := jit.Event{Pass: "x", Behavior: profile.Behavior(beh)}
+			// Simulate a first-ever event: counts all zero except this one.
+			ctx.Counts = [profile.NumBehaviors]int64{}
+			ctx.Counts[beh] = 1
+			if b.Trigger(ctx, ev) {
+				t.Errorf("bug %s fires on bare %v event (too shallow)", b.ID, profile.Behavior(beh))
+			}
+		}
+	}
+}

@@ -1,0 +1,400 @@
+package buginject
+
+import (
+	"repro/internal/jit"
+	"repro/internal/profile"
+)
+
+// Trigger combinators. Each returns a predicate over (compilation
+// context, event). The catalog composes them so that every bug requires
+// a genuine optimization interaction: a behavior occurring in code
+// produced by another optimization, at lock/loop nesting, or in
+// combination with other behaviors in the same compilation.
+
+// on fires on every event of the given behavior.
+func on(b profile.Behavior) Trigger {
+	return func(_ *jit.Context, ev jit.Event) bool { return ev.Behavior == b }
+}
+
+// withProv fires when the behavior's event carries all provenance bits —
+// the optimization acted on code another optimization produced.
+func withProv(b profile.Behavior, prov jit.Prov) Trigger {
+	return func(_ *jit.Context, ev jit.Event) bool {
+		return ev.Behavior == b && ev.Prov&prov == prov
+	}
+}
+
+// withPair fires when the behavior occurs in a compilation that already
+// performed the other behavior.
+func withPair(b, other profile.Behavior) Trigger {
+	return func(ctx *jit.Context, ev jit.Event) bool {
+		return ev.Behavior == b && ctx.Count(other) > 0
+	}
+}
+
+// atSyncDepth fires when the behavior occurs at lock nesting >= d.
+func atSyncDepth(b profile.Behavior, d int) Trigger {
+	return func(_ *jit.Context, ev jit.Event) bool {
+		return ev.Behavior == b && ev.SyncDepth >= d
+	}
+}
+
+// atLoopDepth fires when the behavior occurs at loop nesting >= d.
+func atLoopDepth(b profile.Behavior, d int) Trigger {
+	return func(_ *jit.Context, ev jit.Event) bool {
+		return ev.Behavior == b && ev.LoopDepth >= d
+	}
+}
+
+// countAtLeast fires on the nth occurrence of the behavior in one
+// compilation.
+func countAtLeast(b profile.Behavior, n int64) Trigger {
+	return func(ctx *jit.Context, ev jit.Event) bool {
+		return ev.Behavior == b && ctx.Count(b) >= n
+	}
+}
+
+// onFinish fires at the end-of-compilation checkpoint.
+func onFinish(pred func(ctx *jit.Context) bool) Trigger {
+	return func(ctx *jit.Context, ev jit.Event) bool {
+		return ev.Pass == "finish" && pred(ctx)
+	}
+}
+
+// counts builds a finish predicate requiring minimum per-behavior counts.
+func counts(reqs map[profile.Behavior]int64) func(ctx *jit.Context) bool {
+	return func(ctx *jit.Context) bool {
+		for b, n := range reqs {
+			if ctx.Count(b) < n {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// onDereflect fires on de-reflection events (unlogged behavior) when the
+// condition holds.
+func onDereflect(cond func(ctx *jit.Context) bool) Trigger {
+	return func(ctx *jit.Context, ev jit.Event) bool {
+		return ev.Pass == "dereflect" && cond(ctx)
+	}
+}
+
+// onTrapInsert fires when speculation is inserted and the condition holds.
+func onTrapInsert(cond func(ctx *jit.Context, ev jit.Event) bool) Trigger {
+	return func(ctx *jit.Context, ev jit.Event) bool {
+		return ev.Pass == "traps" && ev.Behavior == jit.BehaviorNone && cond(ctx, ev)
+	}
+}
+
+// and conjoins triggers on the same event.
+func and(ts ...Trigger) Trigger {
+	return func(ctx *jit.Context, ev jit.Event) bool {
+		for _, t := range ts {
+			if !t(ctx, ev) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Catalog is the full 59-bug ground-truth set: 45 HotSpot + 14 OpenJ9,
+// with kind/status/priority/version distributions matching the paper's
+// Tables 2 and 3 and component distribution matching Table 4.
+var Catalog = buildCatalog()
+
+func buildCatalog() []*Bug {
+	all := []int{8, 11, 17, 21, 23}
+	var bugs []*Bug
+	add := func(b *Bug) { bugs = append(bugs, b) }
+
+	// ---- HotSpot: Global Value Numbering, C2 (10 bugs) ----
+	add(&Bug{ID: "JDK-8301001", Impl: HotSpot, Component: "Global Value Number., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P3", Status: InProgress, Versions: all,
+		Summary: "GVN subsumes a node inside an unrolled body and leaves a stale control edge",
+		Trigger: withProv(profile.BGVN, jit.FromUnroll)})
+	add(&Bug{ID: "JDK-8301002", Impl: HotSpot, Component: "Global Value Number., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: InProgress, Versions: []int{8, 11, 17},
+		Summary: "value numbering after scalar replacement hits a dangling field projection",
+		Trigger: withPair(profile.BGVN, profile.BScalarReplace)})
+	add(&Bug{ID: "JDK-8301003", Impl: HotSpot, Component: "Global Value Number., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{8},
+		Summary: "GVN over inlined expression trees recurses past the node budget",
+		Trigger: withProv(profile.BGVN, jit.FromInline)})
+	add(&Bug{ID: "JDK-8301004", Impl: HotSpot, Component: "Global Value Number., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: InProgress, Versions: []int{17, 21, 23},
+		Summary: "iterative GVN reprocesses a coarsened lock region's phi",
+		Trigger: withPair(profile.BGVN, profile.BLockCoarsen)})
+	add(&Bug{ID: "JDK-8301005", Impl: HotSpot, Component: "Global Value Number., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{8},
+		Summary: "hash collision after autobox elimination rewrites the constant table",
+		Trigger: withPair(profile.BGVN, profile.BAutoboxElim)})
+	add(&Bug{ID: "JDK-8301006", Impl: HotSpot, Component: "Global Value Number., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P3", Status: Fixed, Versions: []int{17},
+		Summary: "GVN inside a peeled iteration misses the loop-exit projection",
+		Trigger: withProv(profile.BGVN, jit.FromPeel)})
+	add(&Bug{ID: "JDK-8301007", Impl: HotSpot, Component: "Global Value Number., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: InProgress, Versions: []int{23},
+		Summary: "repeated subsumption under a lock region corrupts the worklist",
+		Trigger: and(countAtLeast(profile.BGVN, 3), atSyncDepth(profile.BGVN, 1))})
+	add(&Bug{ID: "JDK-8301008", Impl: HotSpot, Component: "Global Value Number., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{8},
+		Summary: "GVN after lock elimination reuses a released BoxLock slot",
+		Trigger: withPair(profile.BGVN, profile.BLockElim)})
+	add(&Bug{ID: "JDK-8301009", Impl: HotSpot, Component: "Global Value Number., C2", Kind: Miscompile, Effect: EffectCorruptFold,
+		Priority: "P2", Status: Fixed, Versions: []int{17},
+		Summary: "constant fold after GVN-subsumed redundant store yields a stale value",
+		Trigger: and(on(profile.BAlgebraic), func(ctx *jit.Context, _ jit.Event) bool {
+			return ctx.Count(profile.BGVN) > 0 && ctx.Count(profile.BRedundantStore) > 0
+		})})
+	add(&Bug{ID: "JDK-8301010", Impl: HotSpot, Component: "Global Value Number., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: Duplicate, Versions: []int{8, 11},
+		Summary: "GVN encounters a de-reflected call node with an unexpected kind",
+		Trigger: onDereflect(func(ctx *jit.Context) bool { return ctx.Count(profile.BGVN) >= 2 })})
+
+	// ---- HotSpot: Ideal Loop Optimization, C2 (7 bugs) ----
+	add(&Bug{ID: "JDK-8302001", Impl: HotSpot, Component: "Ideal Loop Optimizat., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P3", Status: InProgress, Versions: []int{8, 21},
+		Summary: "unrolling a body that holds a monitor duplicates the BoxLock without renumbering",
+		Trigger: atSyncDepth(profile.BUnroll, 1)})
+	add(&Bug{ID: "JDK-8302002", Impl: HotSpot, Component: "Ideal Loop Optimizat., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: InProgress, Versions: []int{17, 21, 23},
+		Summary: "peel followed by unswitch leaves the peeled guard outside the selected loop",
+		Trigger: withPair(profile.BUnswitch, profile.BPeel)})
+	add(&Bug{ID: "JDK-8302003", Impl: HotSpot, Component: "Ideal Loop Optimizat., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{8},
+		Summary: "pre/main/post split of an inlined body recomputes limits from the wrong frame",
+		Trigger: withProv(profile.BPreMainPost, jit.FromInline)})
+	add(&Bug{ID: "JDK-8302004", Impl: HotSpot, Component: "Ideal Loop Optimizat., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P3", Status: Fixed, Versions: []int{8},
+		Summary: "unswitching a condition produced by peeling duplicates the exit edge",
+		Trigger: withProv(profile.BUnswitch, jit.FromPeel)})
+	add(&Bug{ID: "JDK-8302005", Impl: HotSpot, Component: "Ideal Loop Optimizat., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: InProgress, Versions: []int{21},
+		Summary: "nested-loop unroll interacts with an outer peel's backedge bookkeeping",
+		Trigger: atLoopDepth(profile.BUnroll, 2)})
+	add(&Bug{ID: "JDK-8302006", Impl: HotSpot, Component: "Ideal Loop Optimizat., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{8},
+		Summary: "unroll of a body holding a boxing round-trip reuses a dead cache node",
+		Trigger: withPair(profile.BUnroll, profile.BAutoboxElim)})
+	add(&Bug{ID: "JDK-8302007", Impl: HotSpot, Component: "Ideal Loop Optimizat., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: Duplicate, Versions: []int{8},
+		Summary: "peeling twice in one compilation clones the same safepoint",
+		Trigger: countAtLeast(profile.BPeel, 2)})
+
+	// ---- HotSpot: Code Generation, C2 (7 bugs) ----
+	add(&Bug{ID: "JDK-8303001", Impl: HotSpot, Component: "Code Generation, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P3", Status: InProgress, Versions: []int{17, 21, 23},
+		Summary: "matcher fails on a lock region whose body was produced by unroll+coarsen",
+		Trigger: onFinish(func(ctx *jit.Context) bool {
+			u := ctx.ProvUnion()
+			return u.Has(jit.FromUnroll) && u.Has(jit.FromCoarsen) && ctx.Count(profile.BNestedLockElim) > 0
+		})})
+	add(&Bug{ID: "JDK-8303002", Impl: HotSpot, Component: "Code Generation, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: InProgress, Versions: []int{8, 11},
+		Summary: "spill slot accounting wrong after heavy inlining with escape analysis",
+		Trigger: onFinish(counts(map[profile.Behavior]int64{profile.BInline: 4, profile.BEscapeNone: 1}))})
+	add(&Bug{ID: "JDK-8303003", Impl: HotSpot, Component: "Code Generation, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{8},
+		Summary: "flag register clobbered emitting a coarsened region with algebraic rewrites",
+		Trigger: onFinish(counts(map[profile.Behavior]int64{profile.BLockCoarsen: 1, profile.BAlgebraic: 2}))})
+	add(&Bug{ID: "JDK-8303004", Impl: HotSpot, Component: "Code Generation, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{8},
+		Summary: "branch shortening miscounts after unswitch duplicated a trap table",
+		Trigger: onFinish(counts(map[profile.Behavior]int64{profile.BUnswitch: 1, profile.BDCE: 1}))})
+	add(&Bug{ID: "JDK-8303005", Impl: HotSpot, Component: "Code Generation, C2", Kind: Miscompile, Effect: EffectDropLiveStore,
+		Priority: "P3", Status: InProgress, Versions: []int{17},
+		Summary: "store scheduler drops a live store when RSE ran inside an unrolled body",
+		Trigger: withProv(profile.BRedundantStore, jit.FromUnroll)})
+	add(&Bug{ID: "JDK-8303006", Impl: HotSpot, Component: "Code Generation, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: Duplicate, Versions: []int{8},
+		Summary: "oop map for an inlined synchronized frame omits the displaced header",
+		Trigger: and(on(profile.BInlineSync), atLoopDepth(profile.BInlineSync, 1))})
+	add(&Bug{ID: "JDK-8303007", Impl: HotSpot, Component: "Code Generation, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: InProgress, Versions: []int{23},
+		Summary: "peephole window crosses a deopt point inserted for an unstable if",
+		Trigger: onTrapInsert(func(ctx *jit.Context, _ jit.Event) bool {
+			return ctx.Count(profile.BUnswitch) > 0
+		})})
+
+	// ---- HotSpot: Ideal Graph Building, C2 (5 bugs) ----
+	add(&Bug{ID: "JDK-8304001", Impl: HotSpot, Component: "Ideal Graph Building, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P3", Status: InProgress, Versions: []int{17, 23},
+		Summary: "parser merges a rewired monitor state with the wrong JVMS depth",
+		Trigger: atSyncDepth(profile.BInlineSync, 1)})
+	add(&Bug{ID: "JDK-8304002", Impl: HotSpot, Component: "Ideal Graph Building, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{8},
+		Summary: "deep inlining exhausts the parse-time monitor stack",
+		Trigger: countAtLeast(profile.BInline, 6)})
+	add(&Bug{ID: "JDK-8304003", Impl: HotSpot, Component: "Ideal Graph Building, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: InProgress, Versions: []int{8, 11, 17},
+		Summary: "de-reflected callee inlined under a lock builds a malformed exception state",
+		Trigger: and(on(profile.BInline), atSyncDepth(profile.BInline, 1),
+			func(ctx *jit.Context, ev jit.Event) bool { return ev.Prov.Has(jit.FromDereflect) })})
+	add(&Bug{ID: "JDK-8304004", Impl: HotSpot, Component: "Ideal Graph Building, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{8},
+		Summary: "inlining inside a loop body miscomputes the backedge phi count",
+		Trigger: and(atLoopDepth(profile.BInline, 1), countAtLeast(profile.BInline, 3))})
+	add(&Bug{ID: "JDK-8304005", Impl: HotSpot, Component: "Ideal Graph Building, C2", Kind: Miscompile, Effect: EffectDropSyncCleanup,
+		Priority: "P3", Status: Fixed, Versions: []int{11},
+		Summary: "rewired monitor's exception handler dropped when callee also unrolled a loop",
+		Trigger: withPair(profile.BInlineSync, profile.BUnroll)})
+
+	// ---- HotSpot: Macro Expansion, C2 (4 bugs) ----
+	add(&Bug{ID: "JDK-8312744", Impl: HotSpot, Component: "Macro Expansion, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P2", Status: Fixed, Versions: []int{17, 21, 23},
+		Summary: "lock coarsening retry after unrolling reshaped the region dereferences null",
+		Trigger: withProv(profile.BLockCoarsen, jit.FromUnroll)})
+	add(&Bug{ID: "JDK-8324174", Impl: HotSpot, Component: "Macro Expansion, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P3", Status: Fixed, Versions: []int{21, 23},
+		Summary: "three nested monitors overflow the eliminated-lock retry budget",
+		Trigger: and(on(profile.BNestedLockElim), atSyncDepth(profile.BNestedLockElim, 2))})
+	add(&Bug{ID: "JDK-8305003", Impl: HotSpot, Component: "Macro Expansion, C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: InProgress, Versions: []int{8, 11},
+		Summary: "expanding a coarsened region twice reuses the freed FastLock node",
+		Trigger: countAtLeast(profile.BLockCoarsen, 2)})
+	add(&Bug{ID: "JDK-8305004", Impl: HotSpot, Component: "Macro Expansion, C2", Kind: Miscompile, Effect: EffectSkipCoarsenUnlock,
+		Priority: "P3", Status: InProgress, Versions: []int{8},
+		Summary: "coarsened region inside an unswitched loop loses its exceptional unlock",
+		Trigger: withProv(profile.BLockCoarsen, jit.FromUnswitch)})
+
+	// ---- HotSpot: Conditional Constant Propagation, C2 (1 bug) ----
+	add(&Bug{ID: "JDK-8306001", Impl: HotSpot, Component: "Cond. Const. Prop., C2", Kind: Crash, Effect: EffectCrash,
+		Priority: "P3", Status: InProgress, Versions: []int{23},
+		Summary: "CCP folds a condition cloned by unswitching and frees the live twin",
+		Trigger: withProv(profile.BAlgebraic, jit.FromUnswitch)})
+
+	// ---- HotSpot: Runtime (4 bugs) ----
+	add(&Bug{ID: "JDK-8307001", Impl: HotSpot, Component: "Runtime", Kind: Crash, Effect: EffectCrash,
+		Priority: "P3", Status: InProgress, Versions: []int{17},
+		Summary: "deopt of a frame holding a rewired monitor unwinds past the lock record",
+		Trigger: and(on(profile.BDeoptRecompile), func(ctx *jit.Context, _ jit.Event) bool {
+			has := false
+			ctx.Fn.Body.Walk(func(n *jit.Node) bool {
+				if n.Kind == jit.NSync {
+					has = true
+				}
+				return !has
+			})
+			return has
+		})})
+	add(&Bug{ID: "JDK-8307002", Impl: HotSpot, Component: "Runtime", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{8},
+		Summary: "trap table relocation wrong when speculation lands inside a lock region",
+		Trigger: onTrapInsert(func(_ *jit.Context, ev jit.Event) bool { return ev.SyncDepth >= 1 })})
+	add(&Bug{ID: "JDK-8307003", Impl: HotSpot, Component: "Runtime", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: InProgress, Versions: []int{17, 23},
+		Summary: "recompilation after deopt replays stale escape analysis results",
+		Trigger: withPair(profile.BDeoptRecompile, profile.BEscapeNone)})
+	add(&Bug{ID: "JDK-8307004", Impl: HotSpot, Component: "Runtime", Kind: Miscompile, Effect: EffectCorruptFold,
+		Priority: "P4", Status: Duplicate, Versions: []int{8},
+		Summary: "constant table patched during recompilation reads a torn entry",
+		Trigger: withPair(profile.BAlgebraic, profile.BDeoptRecompile)})
+
+	// ---- HotSpot: Other JIT Components (7 bugs) ----
+	add(&Bug{ID: "JDK-8322743", Impl: HotSpot, Component: "Other JIT Compone.", Kind: Crash, Effect: EffectCrash,
+		Priority: "P3", Status: Fixed, Versions: []int{21, 23},
+		Summary: "loop + nested locks + inlining + escape analysis interaction corrupts the allocation state",
+		Trigger: onFinish(counts(map[profile.Behavior]int64{
+			profile.BUnroll: 1, profile.BNestedLockElim: 1, profile.BInline: 1, profile.BEscapeNone: 1}))})
+	add(&Bug{ID: "JDK-8324853", Impl: HotSpot, Component: "Other JIT Compone.", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{8},
+		Summary: "escape analysis of an arg-escaping monitor confuses lock elision",
+		Trigger: withPair(profile.BEscapeArg, profile.BLockElim)})
+	add(&Bug{ID: "JDK-8308003", Impl: HotSpot, Component: "Other JIT Compone.", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{8},
+		Summary: "scalar replacement inside an unrolled body duplicates the field local",
+		Trigger: withPair(profile.BScalarReplace, profile.BUnroll)})
+	add(&Bug{ID: "JDK-8308004", Impl: HotSpot, Component: "Other JIT Compone.", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: Duplicate, Versions: []int{8},
+		Summary: "autobox elimination in a peeled iteration leaves a stale cache probe",
+		Trigger: withProv(profile.BAutoboxElim, jit.FromPeel)})
+	add(&Bug{ID: "JDK-8308005", Impl: HotSpot, Component: "Other JIT Compone.", Kind: Miscompile, Effect: EffectDropSyncCleanup,
+		Priority: "P4", Status: InProgress, Versions: []int{8},
+		Summary: "rewired monitor under reflection-eliminated call loses the unlock on throw",
+		Trigger: and(on(profile.BInlineSync), func(ctx *jit.Context, _ jit.Event) bool {
+			for _, ev := range ctx.Events {
+				if ev.Pass == "dereflect" {
+					return true
+				}
+			}
+			return false
+		})})
+	add(&Bug{ID: "JDK-8308006", Impl: HotSpot, Component: "Other JIT Compone.", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{11},
+		Summary: "DCE removes the landing pad of an unswitched loop twin",
+		Trigger: withProv(profile.BDCE, jit.FromUnswitch)})
+	add(&Bug{ID: "JDK-8308007", Impl: HotSpot, Component: "Other JIT Compone.", Kind: Crash, Effect: EffectCrash,
+		Priority: "P4", Status: NotBackportable, Versions: []int{11},
+		Summary: "redundant store elimination across a coarsened region removes a live store",
+		Trigger: withProv(profile.BRedundantStore, jit.FromCoarsen)})
+
+	// ---- OpenJ9 (14 bugs) ----
+	add(&Bug{ID: "Issue-18919", Impl: OpenJ9, Component: "Redundancy Elimination", Kind: Miscompile, Effect: EffectDropLiveStore,
+		Status: Fixed, Versions: []int{17, 21, 23},
+		Summary: "store elimination inside an unrolled body removes the live iteration's store",
+		Trigger: withProv(profile.BRedundantStore, jit.FromUnroll)})
+	add(&Bug{ID: "Issue-18920", Impl: OpenJ9, Component: "Redundancy Elimination", Kind: Miscompile, Effect: EffectDropLiveStore,
+		Status: InProgress, Versions: []int{8, 11, 17},
+		Summary: "field store elimination confused by an inlined setter",
+		Trigger: withProv(profile.BRedundantStore, jit.FromInline)})
+	add(&Bug{ID: "Issue-18921", Impl: OpenJ9, Component: "Redundancy Elimination", Kind: Miscompile, Effect: EffectDropLiveStore,
+		Status: InProgress, Versions: []int{8, 11, 17, 21, 23},
+		Summary: "store under a coarsened monitor treated as redundant",
+		Trigger: and(on(profile.BRedundantStore), atSyncDepth(profile.BRedundantStore, 1),
+			withPair(profile.BRedundantStore, profile.BLockCoarsen))})
+	add(&Bug{ID: "Issue-18922", Impl: OpenJ9, Component: "Redundancy Elimination", Kind: Miscompile, Effect: EffectDropLiveStore,
+		Status: InProgress, Versions: []int{21, 23},
+		Summary: "second RSE round after GVN drops a store GVN had renamed",
+		Trigger: withPair(profile.BRedundantStore, profile.BGVN)})
+	add(&Bug{ID: "Issue-19001", Impl: OpenJ9, Component: "Loop Optimization", Kind: Crash, Effect: EffectCrash,
+		Status: InProgress, Versions: []int{8, 11, 17, 21, 23},
+		Summary: "unroll of a region holding two monitors corrupts the loop table",
+		Trigger: atSyncDepth(profile.BUnroll, 2)})
+	add(&Bug{ID: "Issue-19002", Impl: OpenJ9, Component: "Loop Optimization", Kind: Miscompile, Effect: EffectCorruptFold,
+		Status: Fixed, Versions: []int{11, 17},
+		Summary: "trip-count fold wrong after peel+unroll of the same loop nest",
+		Trigger: and(on(profile.BAlgebraic), func(ctx *jit.Context, _ jit.Event) bool {
+			return ctx.Count(profile.BPeel) > 0 && ctx.Count(profile.BUnroll) > 0
+		})})
+	add(&Bug{ID: "Issue-19003", Impl: OpenJ9, Component: "Loop Optimization", Kind: Miscompile, Effect: EffectCorruptFold,
+		Status: InProgress, Versions: []int{8, 11},
+		Summary: "unswitch twin's folded condition evaluated with inverted sense",
+		Trigger: and(on(profile.BAlgebraic), withProv(profile.BAlgebraic, jit.FromUnswitch))})
+	add(&Bug{ID: "Issue-19101", Impl: OpenJ9, Component: "Pattern Recognition", Kind: Miscompile, Effect: EffectCorruptFold,
+		Status: InProgress, Versions: []int{8, 11, 17, 21, 23},
+		Summary: "idiom recognizer fires on an inlined expression with a widened operand",
+		Trigger: and(on(profile.BAlgebraic), withProv(profile.BAlgebraic, jit.FromInline),
+			countAtLeast(profile.BAlgebraic, 2))})
+	add(&Bug{ID: "Issue-19102", Impl: OpenJ9, Component: "Pattern Recognition", Kind: Miscompile, Effect: EffectCorruptFold,
+		Status: Fixed, Versions: []int{8},
+		Summary: "recognizer walks past a trap node inserted in a hot guard",
+		Trigger: onTrapInsert(func(ctx *jit.Context, _ jit.Event) bool {
+			return ctx.Count(profile.BAlgebraic) > 0 && ctx.Count(profile.BInline) > 0
+		})})
+	add(&Bug{ID: "Issue-19201", Impl: OpenJ9, Component: "Dead Code Elimination", Kind: Miscompile, Effect: EffectDropLiveStore,
+		Status: InProgress, Versions: []int{17, 21, 23},
+		Summary: "DCE pass marks the store kept by RSE as dead",
+		Trigger: and(on(profile.BRedundantStore), withPair(profile.BRedundantStore, profile.BDCE))})
+	add(&Bug{ID: "Issue-19301", Impl: OpenJ9, Component: "Escape Analysis", Kind: Miscompile, Effect: EffectDropSyncCleanup,
+		Status: InProgress, Versions: []int{8, 11, 17, 21, 23},
+		Summary: "EA-driven lock elision miscommunicates with the inliner's monitor rewiring",
+		Trigger: withPair(profile.BInlineSync, profile.BEscapeNone)})
+	add(&Bug{ID: "Issue-19401", Impl: OpenJ9, Component: "SIMD Support", Kind: Miscompile, Effect: EffectCorruptFold,
+		Status: Fixed, Versions: []int{11, 17},
+		Summary: "vectorized unrolled body folds the remainder lane constant wrongly",
+		Trigger: and(on(profile.BAlgebraic), withProv(profile.BAlgebraic, jit.FromUnroll),
+			withPair(profile.BAlgebraic, profile.BPreMainPost))})
+	add(&Bug{ID: "Issue-19501", Impl: OpenJ9, Component: "Value propagation", Kind: Miscompile, Effect: EffectCorruptFold,
+		Status: Duplicate, Versions: []int{8, 11},
+		Summary: "value propagation through a scalar-replaced field loses the wrap",
+		Trigger: and(on(profile.BAlgebraic), withPair(profile.BAlgebraic, profile.BScalarReplace))})
+	add(&Bug{ID: "Issue-19601", Impl: OpenJ9, Component: "Runtime", Kind: Crash, Effect: EffectCrash,
+		Status: InProgress, Versions: []int{8, 11, 17, 21, 23},
+		Summary: "deopt record for a frame with a coarsened monitor misparsed on recompile",
+		Trigger: withPair(profile.BDeoptRecompile, profile.BLockCoarsen)})
+
+	return bugs
+}

@@ -1,0 +1,213 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+func compileSrc(t *testing.T, src string) *Image {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := lang.Check(p); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	img, err := Compile(p)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return img
+}
+
+const allConstructs = `
+class T {
+  int f;
+  static int sf;
+  static void main() {
+    T t = new T();
+    t.f = 3;
+    T.sf = 9;
+    int[] a = new int[4];
+    a[0] = t.f + T.sf;
+    Integer bx = Integer.valueOf(a[0]);
+    int u = bx.intValue();
+    long l = 5L;
+    l = l * u;
+    boolean b = u > 3 && l < 100L;
+    if (b) { print(l); } else { print(0); }
+    int s = 0;
+    for (int i = 0; i < 10; i += 2) { s = s + i; }
+    while (s > 0) { s = s - 7; }
+    synchronized (t) { t.f = t.f + 1; }
+    try { throw 5; } catch (e) { print(e); }
+    int r = reflect_invoke("T", "id", t, 4);
+    int g = reflect_get("T", "f", t);
+    print(r + g ? 1 : 0);
+  }
+  int id(int x) { return x; }
+}
+`
+
+func TestCompileAndVerifyAllConstructs(t *testing.T) {
+	src := strings.Replace(allConstructs, "print(r + g ? 1 : 0);", "print(r + g);", 1)
+	img := compileSrc(t, src)
+	if err := Verify(img); err != nil {
+		t.Fatalf("Verify: %v\n%s", err, DisassembleImage(img))
+	}
+}
+
+func TestCompileTernary(t *testing.T) {
+	img := compileSrc(t, `class T { static void main() { int x = 3; int y = x > 1 ? 10 : 20; print(y); } }`)
+	if err := Verify(img); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesBadJump(t *testing.T) {
+	img := compileSrc(t, `class T { static void main() { print(1); } }`)
+	f := img.Entry()
+	f.Code = append(f.Code, Instr{Op: Jump, A: 999})
+	if err := Verify(img); err == nil || !strings.Contains(err.Error(), "jump target") {
+		t.Errorf("Verify = %v, want jump target error", err)
+	}
+}
+
+func TestVerifyCatchesUnderflow(t *testing.T) {
+	img := compileSrc(t, `class T { static void main() { print(1); } }`)
+	f := img.Entry()
+	f.Code = append([]Instr{{Op: Pop}}, f.Code...)
+	if err := Verify(img); err == nil || !strings.Contains(err.Error(), "underflow") {
+		t.Errorf("Verify = %v, want underflow error", err)
+	}
+}
+
+func TestVerifyCatchesInconsistentDepth(t *testing.T) {
+	img := compileSrc(t, `class T { static void main() { print(1); } }`)
+	f := img.Entry()
+	// Build: 0: const_bool -> 1: jump_if_false 3 -> 2: const(pushes) -> 3: return
+	// Path A reaches 3 with depth 0, path B (through 2) with depth 1.
+	f.Code = []Instr{
+		{Op: ConstBool, A: 1},
+		{Op: JumpIfFalse, A: 3},
+		{Op: Const, A: 0},
+		{Op: Return},
+	}
+	f.Ints = []int64{7}
+	if err := Verify(img); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+		t.Errorf("Verify = %v, want inconsistent depth error", err)
+	}
+}
+
+func TestVerifyCatchesBadLocal(t *testing.T) {
+	img := compileSrc(t, `class T { static void main() { print(1); } }`)
+	f := img.Entry()
+	f.Code = append([]Instr{{Op: Load, A: 57}}, f.Code...)
+	if err := Verify(img); err == nil || !strings.Contains(err.Error(), "local slot") {
+		t.Errorf("Verify = %v, want local slot error", err)
+	}
+}
+
+func TestVerifyCatchesUnresolvableMethod(t *testing.T) {
+	img := compileSrc(t, `class T { static void main() { T.foo(); } static void foo() { return; } }`)
+	f := img.Entry()
+	f.Methods[0].Method = "gone"
+	if err := Verify(img); err == nil || !strings.Contains(err.Error(), "unresolvable") {
+		t.Errorf("Verify = %v, want unresolvable method error", err)
+	}
+}
+
+func TestVerifyCatchesFallOffEnd(t *testing.T) {
+	img := compileSrc(t, `class T { static void main() { print(1); } }`)
+	f := img.Entry()
+	f.Code = f.Code[:len(f.Code)-1] // drop trailing return
+	if err := Verify(img); err == nil || !strings.Contains(err.Error(), "falls off") {
+		t.Errorf("Verify = %v, want falls-off-end error", err)
+	}
+}
+
+func TestExceptionTableRecordsMonDepth(t *testing.T) {
+	img := compileSrc(t, `
+class T {
+  static void main() {
+    T t = new T();
+    synchronized (t) {
+      try { throw 1; } catch (e) { print(e); }
+    }
+  }
+}`)
+	f := img.Entry()
+	if len(f.ExTable) != 1 {
+		t.Fatalf("ExTable len = %d, want 1", len(f.ExTable))
+	}
+	if f.ExTable[0].MonDepth != 1 {
+		t.Errorf("MonDepth = %d, want 1", f.ExTable[0].MonDepth)
+	}
+}
+
+func TestDisassembleContainsOps(t *testing.T) {
+	img := compileSrc(t, `class T { static void main() { T t = new T(); synchronized (t) { print(1); } } }`)
+	out := Disassemble(img.Entry())
+	for _, want := range []string{"monitorenter", "monitorexit", "new", "print", "return"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMethodRefDedup(t *testing.T) {
+	img := compileSrc(t, `
+class T {
+  static void main() { T.foo(); T.foo(); T.foo(); }
+  static void foo() { return; }
+}`)
+	f := img.Entry()
+	if len(f.Methods) != 1 {
+		t.Errorf("method pool size = %d, want 1 (dedup)", len(f.Methods))
+	}
+}
+
+func TestConstPoolDedup(t *testing.T) {
+	img := compileSrc(t, `class T { static void main() { print(42 + 42 + 42); } }`)
+	f := img.Entry()
+	count := 0
+	for _, v := range f.Ints {
+		if v == 42 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("constant 42 appears %d times in pool, want 1", count)
+	}
+}
+
+func TestSynchronizedMethodFlag(t *testing.T) {
+	img := compileSrc(t, `
+class T {
+  static void main() { T t = new T(); t.locked(); }
+  synchronized void locked() { return; }
+}`)
+	f := img.Class("T").Func("locked")
+	if !f.Synchronized || !f.HasReceiver {
+		t.Errorf("locked: Synchronized=%v HasReceiver=%v", f.Synchronized, f.HasReceiver)
+	}
+	if err := Verify(img); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestImageLookup(t *testing.T) {
+	img := compileSrc(t, `class T { static void main() { return; } }`)
+	if img.Lookup(MethodRef{Class: "T", Method: "main"}) == nil {
+		t.Error("Lookup failed for T.main")
+	}
+	if img.Lookup(MethodRef{Class: "X", Method: "main"}) != nil {
+		t.Error("Lookup of unknown class should be nil")
+	}
+	if got := len(img.Functions()); got != 1 {
+		t.Errorf("Functions() = %d, want 1", got)
+	}
+}

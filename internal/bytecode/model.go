@@ -1,0 +1,140 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// MethodRef names a callable method in the image.
+type MethodRef struct {
+	Class  string
+	Method string
+	Static bool
+	NArgs  int  // declared parameters (excluding receiver)
+	Void   bool // true when the method returns void
+}
+
+func (r MethodRef) String() string {
+	kind := "virtual"
+	if r.Static {
+		kind = "static"
+	}
+	return fmt.Sprintf("%s %s.%s/%d", kind, r.Class, r.Method, r.NArgs)
+}
+
+// FieldRef names a field in the image.
+type FieldRef struct {
+	Class  string
+	Name   string
+	Static bool
+}
+
+func (r FieldRef) String() string { return r.Class + "." + r.Name }
+
+// ExRange is one exception-table entry: if an exception unwinds while
+// pc is in [Start, End), control transfers to Handler with the thrown
+// code stored into local CatchSlot. MonDepth records the frame monitor
+// depth at try entry so the runtime can release monitors entered inside
+// the protected range before running the handler.
+type ExRange struct {
+	Start, End int32
+	Handler    int32
+	CatchSlot  int32
+	MonDepth   int32
+}
+
+// Function is one compiled method.
+type Function struct {
+	Class        string
+	Name         string
+	NParams      int // locals 0..NParams-1 hold receiver (if any) then args
+	HasReceiver  bool
+	NLocals      int
+	Void         bool
+	Synchronized bool
+
+	Code    []Instr
+	Ints    []int64     // integer constant pool
+	Strs    []string    // string constant pool
+	Methods []MethodRef // method refs, indexed by Invoke A operands
+	Fields  []FieldRef  // field refs, indexed by field ops
+	Classes []string    // class refs, indexed by NewObj
+	ExTable []ExRange
+
+	// Source is the method's tree form, retained for the JIT tiers
+	// (analogous to HotSpot retaining bytecode for recompilation).
+	Source *lang.Method
+}
+
+// Key returns "Class.Name", the image-wide function key.
+func (f *Function) Key() string { return f.Class + "." + f.Name }
+
+// ClassFile is one compiled class.
+type ClassFile struct {
+	Name   string
+	Fields []FieldInfo
+	Funcs  []*Function
+}
+
+// FieldInfo describes a declared field.
+type FieldInfo struct {
+	Name   string
+	Static bool
+	IsRef  bool // reference-typed (objects, boxes, arrays) vs numeric/bool
+}
+
+// Func returns the named function of the class, or nil.
+func (c *ClassFile) Func(name string) *Function {
+	for _, f := range c.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Image is a fully compiled program: the unit the VM loads and runs.
+type Image struct {
+	Classes    []*ClassFile
+	EntryClass string
+	// Program is the source program, retained for the JIT tiers.
+	Program *lang.Program
+}
+
+// Class returns the named class file, or nil.
+func (img *Image) Class(name string) *ClassFile {
+	for _, c := range img.Classes {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Lookup resolves a method ref to its function, or nil.
+func (img *Image) Lookup(ref MethodRef) *Function {
+	c := img.Class(ref.Class)
+	if c == nil {
+		return nil
+	}
+	return c.Func(ref.Method)
+}
+
+// Entry returns the program's main function, or nil.
+func (img *Image) Entry() *Function {
+	c := img.Class(img.EntryClass)
+	if c == nil {
+		return nil
+	}
+	return c.Func("main")
+}
+
+// Functions returns every function in the image in declaration order.
+func (img *Image) Functions() []*Function {
+	var out []*Function
+	for _, c := range img.Classes {
+		out = append(out, c.Funcs...)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/buginject"
+	"repro/internal/corpus"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+)
+
+// CampaignConfig drives a multi-seed fuzzing campaign. Budget is the
+// total number of target executions — the deterministic stand-in for
+// the paper's wall-clock budgets (24 hours, three months).
+type CampaignConfig struct {
+	Seeds   []corpus.Seed
+	Budget  int
+	Targets []jvm.Spec // fuzzing targets, cycled per seed
+	Fuzz    Config     // per-seed settings (Target/Seed overwritten)
+	Seed    int64
+}
+
+// Finding is one campaign-level bug detection.
+type Finding struct {
+	Bug         *buginject.Bug
+	Oracle      string
+	SeedName    string
+	Target      jvm.Spec
+	AtExecution int // cumulative executions when found (the time axis)
+	Mutators    []string
+	Program     *lang.Program // the triggering mutant (pre-reduction)
+}
+
+// CampaignResult aggregates a campaign.
+type CampaignResult struct {
+	Findings    []Finding // chronological; first occurrence per bug ID
+	Executions  int
+	SeedsFuzzed int
+	// FinalDeltas holds Δ(seed OBV, final-mutant OBV) per fuzzed seed —
+	// the Figure 3/4 distribution.
+	FinalDeltas []float64
+}
+
+// UniqueBugs returns the distinct detected bugs in detection order.
+func (r *CampaignResult) UniqueBugs() []*buginject.Bug {
+	var out []*buginject.Bug
+	for _, f := range r.Findings {
+		out = append(out, f.Bug)
+	}
+	return out
+}
+
+// BugIDs returns the detected bug IDs as a set.
+func (r *CampaignResult) BugIDs() map[string]bool {
+	out := map[string]bool{}
+	for _, f := range r.Findings {
+		out[f.Bug.ID] = true
+	}
+	return out
+}
+
+// ComponentCounts tallies detected bugs per JIT component.
+func (r *CampaignResult) ComponentCounts() map[string]int {
+	out := map[string]int{}
+	for _, f := range r.Findings {
+		out[f.Bug.Component]++
+	}
+	return out
+}
+
+// MedianDelta returns the median of FinalDeltas (0 when empty).
+func (r *CampaignResult) MedianDelta() float64 {
+	if len(r.FinalDeltas) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), r.FinalDeltas...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// RunCampaign fuzzes seeds sequentially (Algorithm 1 line 1) until the
+// execution budget is exhausted, cycling the seed pool if needed.
+func RunCampaign(cfg CampaignConfig) *CampaignResult {
+	if len(cfg.Targets) == 0 {
+		cfg.Targets = []jvm.Spec{jvm.Reference()}
+	}
+	res := &CampaignResult{}
+	seen := map[string]bool{}
+	round := 0
+	for res.Executions < cfg.Budget {
+		progressed := false
+		for i, seed := range cfg.Seeds {
+			if res.Executions >= cfg.Budget {
+				break
+			}
+			fcfg := cfg.Fuzz
+			fcfg.Target = cfg.Targets[(round*len(cfg.Seeds)+i)%len(cfg.Targets)]
+			fcfg.Seed = cfg.Seed + int64(round*len(cfg.Seeds)+i)
+			f := NewFuzzer(fcfg)
+			fr, err := f.FuzzSeed(seed.Name, seed.Parse())
+			if err != nil {
+				continue
+			}
+			progressed = true
+			res.Executions += fr.Executions
+			res.SeedsFuzzed++
+			res.FinalDeltas = append(res.FinalDeltas, fr.FinalDelta)
+			for _, fd := range fr.Findings {
+				if fd.Bug == nil || seen[fd.Bug.ID] {
+					continue
+				}
+				seen[fd.Bug.ID] = true
+				res.Findings = append(res.Findings, Finding{
+					Bug:         fd.Bug,
+					Oracle:      fd.Oracle,
+					SeedName:    seed.Name,
+					Target:      fcfg.Target,
+					AtExecution: res.Executions,
+					Mutators:    fd.Mutators,
+					Program:     fr.Final,
+				})
+			}
+		}
+		if !progressed {
+			break
+		}
+		round++
+	}
+	return res
+}

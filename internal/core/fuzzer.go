@@ -1,0 +1,413 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/buginject"
+	"repro/internal/coverage"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+	"repro/internal/profile"
+)
+
+// Config tunes a Fuzzer. The defaults mirror the paper's §4.1 settings.
+type Config struct {
+	MaxIterations int  // mutations per seed (paper: 50)
+	Guided        bool // profile-data-based mutator weighting (§3.4)
+	FixedMP       bool // iterate on one mutation point (false = MopFuzzer_r)
+	Target        jvm.Spec
+	DiffSpecs     []jvm.Spec // differential-testing targets for the final mutant
+	Flags         profile.FlagSet
+	MaxSteps      int64
+	Seed          int64
+	// Coverage, when non-nil, accumulates VM line coverage across every
+	// execution (the Figure 2 instrumentation).
+	Coverage *coverage.Tracker
+	// DisableBugs runs against bug-free VMs — used when measuring Δ
+	// distributions so crashes don't truncate runs.
+	DisableBugs bool
+	// MaxStmts rejects mutants larger than this many statements
+	// (default 400): iterated region copying would otherwise grow
+	// programs geometrically.
+	MaxStmts int
+	// ExtendedMutators adds the alternative evoking-mutator
+	// implementations (the paper's future-work extension).
+	ExtendedMutators bool
+}
+
+// DefaultConfig returns the paper's configuration against the given
+// target.
+func DefaultConfig(target jvm.Spec) Config {
+	return Config{
+		MaxIterations: 50,
+		Guided:        true,
+		FixedMP:       true,
+		Target:        target,
+		DiffSpecs:     jvm.AllSpecs(),
+		Flags:         profile.DefaultFlags(),
+		MaxSteps:      3_000_000,
+	}
+}
+
+// IterationRecord captures one fuzzing iteration for analysis
+// (Figure 1's curve is plotted from these).
+type IterationRecord struct {
+	Iter       int
+	Mutator    string
+	Delta      float64 // Δ(parent, child), Formula 2
+	DeltaSeed  float64 // Δ(seed, child) — Figure 1's y-axis
+	OBV        profile.OBV
+	Weight     float64 // mutator's weight after the update
+	CrashBugID string  // non-empty when this mutant crashed the JVM
+	Skipped    bool    // mutation produced an invalid program
+}
+
+// BugFinding is one detected bug occurrence.
+type BugFinding struct {
+	Bug       *buginject.Bug
+	Oracle    string // "crash" or "differential"
+	Iteration int    // mutation count when detected
+	Mutators  []string
+}
+
+// FuzzResult is the outcome of fuzzing one seed.
+type FuzzResult struct {
+	SeedName   string
+	Final      *lang.Program // the final mutant c*
+	Records    []IterationRecord
+	SeedOBV    profile.OBV
+	FinalOBV   profile.OBV
+	FinalDelta float64 // Δ(seed OBV, final OBV)
+	Findings   []BugFinding
+	MutatorSeq []string // mutators applied, in order
+	Executions int      // target executions consumed (the time proxy)
+	MPID       int
+}
+
+// Fuzzer runs the paper's Algorithm 1.
+type Fuzzer struct {
+	Cfg      Config
+	Mutators []Mutator
+	rng      *rand.Rand
+	weights  map[string]float64
+	// compileOnly is the -XX:CompileCommand=compileonly target: the
+	// method holding the seed's mutation point (§4.1). It is fixed per
+	// seed, so the MopFuzzer_r variant's scattered mutations mostly land
+	// in code the JIT never compiles — the paper's explanation for that
+	// variant's collapse.
+	compileOnly string
+}
+
+// NewFuzzer builds a fuzzer with the 13 mutators.
+func NewFuzzer(cfg Config) *Fuzzer {
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 50
+	}
+	if cfg.MaxStmts == 0 {
+		cfg.MaxStmts = 600
+	}
+	muts := AllMutators()
+	if cfg.ExtendedMutators {
+		muts = ExtendedMutators()
+	}
+	return &Fuzzer{
+		Cfg:      cfg,
+		Mutators: muts,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// selectMP picks the mutation point: a random non-block statement in hot
+// code — a method reachable from main (mutations in dead methods never
+// execute, so they cannot evoke anything), preferring statements inside
+// the workload rather than the entry point's driver bookkeeping. This is
+// the paper's setting: its -XX:CompileCommand=compileonly targets the
+// seed's workload method, and its example MP is the hot call site.
+func (f *Fuzzer) selectMP(p *lang.Program) *lang.Location {
+	reach := reachableMethods(p)
+	var hot, all []*lang.Location
+	for _, loc := range lang.Statements(p) {
+		if _, isBlock := loc.Stmt.(*lang.Block); isBlock {
+			continue
+		}
+		if !reach[loc.Class.Name+"."+loc.Method.Name] {
+			continue
+		}
+		all = append(all, loc)
+		if loc.Method.Name != "main" || loc.LoopDepth() > 0 {
+			hot = append(hot, loc)
+		}
+	}
+	if len(hot) > 0 {
+		return hot[f.rng.Intn(len(hot))]
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	return all[f.rng.Intn(len(all))]
+}
+
+// reachableMethods computes the call-graph closure from main.
+func reachableMethods(p *lang.Program) map[string]bool {
+	reach := map[string]bool{}
+	var visit func(class, method string)
+	visit = func(class, method string) {
+		key := class + "." + method
+		if reach[key] {
+			return
+		}
+		cl := p.Class(class)
+		if cl == nil {
+			return
+		}
+		m := cl.Method(method)
+		if m == nil {
+			return
+		}
+		reach[key] = true
+		lang.WalkStmts(m.Body, func(s lang.Stmt) bool {
+			lang.WalkExprsIn(s, func(e lang.Expr) {
+				switch n := e.(type) {
+				case *lang.Call:
+					visit(n.Class, n.Method)
+				case *lang.ReflectCall:
+					visit(n.Class, n.Method)
+				}
+			})
+			return true
+		})
+	}
+	visit(p.EntryClass, "main")
+	return reach
+}
+
+// applicable returns the applicable mutators and their weights at loc.
+func (f *Fuzzer) applicable(loc *lang.Location) ([]Mutator, []float64) {
+	var ms []Mutator
+	var ws []float64
+	for _, m := range f.Mutators {
+		if m.Applicable(loc) {
+			ms = append(ms, m)
+			ws = append(ws, f.weights[m.Name()])
+		}
+	}
+	return ms, ws
+}
+
+// selectByWeight implements Formula 1: potential(m_i) = w_i / Σ w_j.
+func (f *Fuzzer) selectByWeight(ms []Mutator, ws []float64) Mutator {
+	total := 0.0
+	for _, w := range ws {
+		total += w
+	}
+	if total <= 0 {
+		return ms[f.rng.Intn(len(ms))]
+	}
+	x := f.rng.Float64() * total
+	for i, w := range ws {
+		x -= w
+		if x <= 0 {
+			return ms[i]
+		}
+	}
+	return ms[len(ms)-1]
+}
+
+// execute runs the program on the fuzzing target with flags enabled.
+func (f *Fuzzer) execute(p *lang.Program) (*jvm.ExecResult, error) {
+	opt := jvm.Options{
+		Flags:        f.Cfg.Flags,
+		ForceCompile: true,
+		MaxSteps:     f.Cfg.MaxSteps,
+		Coverage:     f.Cfg.Coverage,
+		CompileOnly:  f.compileOnly,
+	}
+	if f.Cfg.DisableBugs {
+		opt.Bugs = []*buginject.Bug{}
+	}
+	return jvm.Run(p, f.Cfg.Target, opt)
+}
+
+// FuzzSeed runs Algorithm 1 on one seed program and returns the result.
+// The seed is not modified.
+func (f *Fuzzer) FuzzSeed(name string, seed *lang.Program) (*FuzzResult, error) {
+	res := &FuzzResult{SeedName: name}
+
+	// Initialize mutator weights to 1 (Algorithm 1, line 4).
+	f.weights = map[string]float64{}
+	for _, m := range f.Mutators {
+		f.weights[m.Name()] = 1
+	}
+
+	parent := lang.CloneProgram(seed)
+	if err := lang.Check(parent); err != nil {
+		return nil, fmt.Errorf("core: seed rejected: %w", err)
+	}
+
+	// Select the mutation point (line 2).
+	mpLoc := f.selectMP(parent)
+	if mpLoc == nil {
+		return nil, fmt.Errorf("core: seed has no statements")
+	}
+	mp := MP{ID: mpLoc.Stmt.ID()}
+	res.MPID = mp.ID
+	f.compileOnly = mpLoc.Class.Name + "." + mpLoc.Method.Name
+
+	// Execute the seed for its baseline profile data (line 3).
+	parentExec, err := f.execute(lang.CloneProgram(parent))
+	if err != nil {
+		return nil, err
+	}
+	res.Executions++
+	res.SeedOBV = parentExec.OBV
+	parentOBV := parentExec.OBV
+	if parentExec.Crashed() {
+		// The unmutated seed already crashes (possible on heavily bugged
+		// versions): report and stop.
+		f.recordCrash(res, parentExec, 0)
+		res.Final = parent
+		res.FinalOBV = parentOBV
+		return res, nil
+	}
+
+	for iter := 1; iter <= f.Cfg.MaxIterations; iter++ {
+		// Variant MopFuzzer_r re-picks a random statement each round.
+		loc := mp.Locate(parent)
+		if !f.Cfg.FixedMP || loc == nil {
+			loc = f.selectMP(parent)
+			if loc == nil {
+				break
+			}
+			mp = MP{ID: loc.Stmt.ID()}
+		}
+
+		ms, ws := f.applicable(loc)
+		if len(ms) == 0 {
+			break
+		}
+		m := f.selectByWeight(ms, ws)
+
+		child := lang.CloneProgram(parent)
+		childLoc := mp.Locate(child)
+		if childLoc == nil {
+			break
+		}
+		newMP, err := m.Apply(child, childLoc, f.rng)
+		if err != nil {
+			res.Records = append(res.Records, IterationRecord{Iter: iter, Mutator: m.Name(), Skipped: true})
+			continue
+		}
+		if err := lang.Check(child); err != nil {
+			res.Records = append(res.Records, IterationRecord{Iter: iter, Mutator: m.Name(), Skipped: true})
+			continue
+		}
+		if lang.CountStmts(child) > f.Cfg.MaxStmts {
+			res.Records = append(res.Records, IterationRecord{Iter: iter, Mutator: m.Name(), Skipped: true})
+			continue
+		}
+
+		childExec, err := f.execute(lang.CloneProgram(child))
+		if err != nil {
+			res.Records = append(res.Records, IterationRecord{Iter: iter, Mutator: m.Name(), Skipped: true})
+			continue
+		}
+		res.Executions++
+		res.MutatorSeq = append(res.MutatorSeq, m.Name())
+
+		rec := IterationRecord{
+			Iter:      iter,
+			Mutator:   m.Name(),
+			OBV:       childExec.OBV,
+			Delta:     profile.Delta(parentOBV, childExec.OBV),
+			DeltaSeed: profile.Delta(res.SeedOBV, childExec.OBV),
+		}
+
+		// Weight update (Formula 3) under guidance.
+		if f.Cfg.Guided {
+			f.weights[m.Name()] = profile.UpdateWeight(f.weights[m.Name()], parentOBV, childExec.OBV)
+		}
+		rec.Weight = f.weights[m.Name()]
+
+		if childExec.Crashed() {
+			rec.CrashBugID = childExec.Result.Crash.BugID
+			res.Records = append(res.Records, rec)
+			f.recordCrash(res, childExec, iter)
+			res.Final = child
+			res.FinalOBV = childExec.OBV
+			res.FinalDelta = rec.DeltaSeed
+			return res, nil
+		}
+		res.Records = append(res.Records, rec)
+
+		// Timed-out mutants are a dead end: do not adopt them.
+		if childExec.Result.TimedOut {
+			continue
+		}
+
+		parent = child
+		parentOBV = childExec.OBV
+		mp = newMP
+	}
+
+	res.Final = parent
+	res.FinalOBV = parentOBV
+	res.FinalDelta = profile.Delta(res.SeedOBV, parentOBV)
+
+	// Differential testing of the final mutant c* (Algorithm 1 line 20).
+	if len(f.Cfg.DiffSpecs) > 0 {
+		diff, err := jvm.RunDifferential(parent, f.Cfg.DiffSpecs, jvm.Options{
+			ForceCompile: true,
+			MaxSteps:     f.Cfg.MaxSteps,
+			CompileOnly:  f.compileOnly,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Executions += len(diff.Results)
+		if crash := diff.AnyCrash(); crash != nil {
+			f.recordCrash(res, crash, f.Cfg.MaxIterations)
+		} else if diff.Inconsistent() {
+			for _, b := range diff.DivergentBugs() {
+				res.Findings = append(res.Findings, BugFinding{
+					Bug: b, Oracle: "differential", Iteration: f.Cfg.MaxIterations,
+					Mutators: append([]string(nil), res.MutatorSeq...),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+func (f *Fuzzer) recordCrash(res *FuzzResult, exec *jvm.ExecResult, iter int) {
+	crash := exec.Result.Crash
+	finding := BugFinding{
+		Oracle:    "crash",
+		Iteration: iter,
+		Mutators:  append([]string(nil), res.MutatorSeq...),
+	}
+	if b := buginject.ByID(crash.BugID); b != nil {
+		finding.Bug = b
+	} else {
+		// A crash without a catalog entry (e.g. an illegal-monitor
+		// state produced by a miscompile defect): attribute it to the
+		// first triggered bug if any.
+		for _, b := range exec.Triggered {
+			finding.Bug = b
+			break
+		}
+	}
+	if finding.Bug != nil {
+		res.Findings = append(res.Findings, finding)
+	}
+}
+
+// Weights exposes the current weight table (for the guidance example and
+// tests).
+func (f *Fuzzer) Weights() map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range f.weights {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+// Package core implements MopFuzzer: the 13 optimization-evoking
+// mutators, the profile-data-guided fuzzing loop (the paper's Algorithm
+// 1), the crash and differential-testing oracles, and the campaign
+// runner the evaluation harness drives.
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/lang"
+)
+
+// MP is the mutation point: a statement addressed by its program-unique
+// ID, stable across program clones. Mutators update it when the paper's
+// Table 1 designates a new MP_n.
+type MP struct {
+	ID int
+}
+
+// Locate resolves the mutation point in (a clone of) the program.
+func (mp MP) Locate(p *lang.Program) *lang.Location {
+	return lang.Find(p, mp.ID)
+}
+
+// Mutator is one optimization-evoking mutator. Apply transforms the
+// program in place around the located mutation point and returns the
+// next mutation point (usually unchanged).
+type Mutator interface {
+	// Name is the mutator's identifier ("LoopUnrolling-evoke", ...).
+	Name() string
+	// Evokes names the optimization behavior the mutator targets.
+	Evokes() string
+	// Applicable reports whether the mutator's condition holds at the
+	// location (the "Cond" column of Table 1). Unconditional mutators
+	// return true for any located statement.
+	Applicable(loc *lang.Location) bool
+	// Apply performs the mutation. The program has already been cloned;
+	// Apply may assume exclusive ownership. It returns the new MP.
+	Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error)
+}
+
+// AllMutators returns the 13 mutators in canonical order.
+func AllMutators() []Mutator {
+	return []Mutator{
+		&LoopUnrollingEvoke{},
+		&LockEliminationEvoke{},
+		&LockCoarseningEvoke{},
+		&InliningEvoke{},
+		&DeReflectionEvoke{},
+		&LoopPeelingEvoke{},
+		&LoopUnswitchingEvoke{},
+		&DeoptimizationEvoke{},
+		&AutoboxEliminationEvoke{},
+		&RedundantStoreEvoke{},
+		&AlgebraicSimplificationEvoke{},
+		&EscapeAnalysisEvoke{},
+		&DeadCodeEliminationEvoke{},
+	}
+}
+
+// MutatorNames returns the names in canonical order.
+func MutatorNames() []string {
+	ms := AllMutators()
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// --- shared helpers ---
+
+// copyForInsert clones the MP statement with fresh IDs, ready to be
+// inserted elsewhere in the same program.
+func copyForInsert(p *lang.Program, s lang.Stmt) lang.Stmt {
+	c := lang.CloneStmt(s)
+	lang.ReassignIDs(p, c)
+	return c
+}
+
+// copyRegion clones the mutation point together with its accumulated
+// synchronized nest (the outermost enclosing sync), as in the paper's
+// Listing 3 where the inserted loop wraps the previously inserted
+// synchronized statement. This is what makes iterated mutation compound:
+// structures built by earlier iterations are replicated by later ones.
+func copyRegion(p *lang.Program, loc *lang.Location) lang.Stmt {
+	// Cap the copied region so iterated copying cannot double program
+	// size without bound (the paper's "performance considerations").
+	const regionCap = 32
+	syncs := loc.EnclosingSyncs()
+	for _, sy := range syncs {
+		if stmtSize(sy) <= regionCap {
+			return copyForInsert(p, sy)
+		}
+	}
+	return copyForInsert(p, loc.Stmt)
+}
+
+func stmtSize(s lang.Stmt) int {
+	n := 0
+	lang.WalkStmts(s, func(lang.Stmt) bool { n++; return true })
+	return n
+}
+
+// HotMethodKey returns the "Class.method" key of the seed's workload
+// method — the largest reachable non-main method (falling back to main).
+// Baseline tools pass it as the compileonly target so every tool's OBV
+// is measured under the same JVM settings.
+func HotMethodKey(p *lang.Program) string {
+	best := ""
+	bestSize := -1
+	for _, cl := range p.Classes {
+		for _, m := range cl.Methods {
+			if m.Name == "main" {
+				continue
+			}
+			n := 0
+			lang.WalkStmts(m.Body, func(lang.Stmt) bool { n++; return true })
+			if n > bestSize {
+				bestSize = n
+				best = cl.Name + "." + m.Name
+			}
+		}
+	}
+	if best == "" {
+		return p.EntryClass + ".main"
+	}
+	return best
+}
+
+// intVarsInScope lists int-typed variables visible at the location.
+func intVarsInScope(loc *lang.Location) []string {
+	var out []string
+	for _, pr := range loc.LocalsInScope() {
+		if pr.Ty.Kind == lang.KindInt {
+			out = append(out, pr.Name)
+		}
+	}
+	return out
+}
+
+// objectsInScope lists reference-typed variables visible at the location
+// (including "this" for instance methods).
+func objectsInScope(loc *lang.Location) []lang.Param {
+	var out []lang.Param
+	for _, pr := range loc.LocalsInScope() {
+		if pr.Ty.Kind == lang.KindObject {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// pickIntExpr selects a random int-typed expression inside the statement
+// (excluding child statements), or nil.
+func pickIntExpr(loc *lang.Location, rng *rand.Rand) *exprSlot {
+	slots := intExprSlots(loc.Stmt)
+	if len(slots) == 0 {
+		return nil
+	}
+	return slots[rng.Intn(len(slots))]
+}
+
+// exprSlot is a mutable reference to an expression position.
+type exprSlot struct {
+	get func() lang.Expr
+	set func(lang.Expr)
+}
+
+// intExprSlots enumerates the int-typed expression positions directly in
+// the statement. The slots permit in-place replacement.
+func intExprSlots(s lang.Stmt) []*exprSlot {
+	var out []*exprSlot
+	addExpr := func(get func() lang.Expr, set func(lang.Expr)) {
+		e := get()
+		if e != nil && e.ResultType().Kind == lang.KindInt {
+			out = append(out, &exprSlot{get: get, set: set})
+		}
+	}
+	// Top-level expression positions of the statement.
+	switch n := s.(type) {
+	case *lang.VarDecl:
+		addExpr(func() lang.Expr { return n.Init }, func(e lang.Expr) { n.Init = e })
+	case *lang.Assign:
+		addExpr(func() lang.Expr { return n.Value }, func(e lang.Expr) { n.Value = e })
+	case *lang.ExprStmt:
+		addExpr(func() lang.Expr { return n.E }, func(e lang.Expr) { n.E = e })
+	case *lang.Print:
+		addExpr(func() lang.Expr { return n.E }, func(e lang.Expr) { n.E = e })
+	case *lang.Return:
+		addExpr(func() lang.Expr { return n.E }, func(e lang.Expr) { n.E = e })
+	case *lang.If:
+		// The condition is boolean; descend into binary comparisons.
+		if b, ok := n.Cond.(*lang.Binary); ok {
+			addExpr(func() lang.Expr { return b.L }, func(e lang.Expr) { b.L = e })
+			addExpr(func() lang.Expr { return b.R }, func(e lang.Expr) { b.R = e })
+		}
+	case *lang.Throw:
+		addExpr(func() lang.Expr { return n.E }, func(e lang.Expr) { n.E = e })
+	}
+	// One level deeper: operands of a top-level binary expression.
+	for _, slot := range append([]*exprSlot(nil), out...) {
+		if b, ok := slot.get().(*lang.Binary); ok {
+			bb := b
+			addExpr(func() lang.Expr { return bb.L }, func(e lang.Expr) { bb.L = e })
+			addExpr(func() lang.Expr { return bb.R }, func(e lang.Expr) { bb.R = e })
+		}
+	}
+	return out
+}
+
+// firstBinary finds a binary expression with primitive int operands
+// inside the statement's expressions, with its slot.
+func firstBinary(s lang.Stmt) (slot *exprSlot) {
+	for _, sl := range intExprSlots(s) {
+		if b, ok := sl.get().(*lang.Binary); ok && b.Op.IsArith() {
+			if b.L.ResultType().Kind == lang.KindInt && b.R.ResultType().Kind == lang.KindInt {
+				return sl
+			}
+		}
+	}
+	return nil
+}
+
+// containsCallOrFieldAccess reports whether the statement contains a
+// direct method call or instance field read (DeReflection's condition).
+func containsCallOrFieldAccess(s lang.Stmt) bool {
+	found := false
+	lang.WalkExprsIn(s, func(e lang.Expr) {
+		switch n := e.(type) {
+		case *lang.Call:
+			found = true
+		case *lang.FieldRef:
+			if n.Recv != nil || n.Class != "" {
+				found = true
+			}
+		}
+	})
+	return found
+}

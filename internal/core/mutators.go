@@ -1,0 +1,570 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lang"
+)
+
+// LoopUnrollingEvoke inserts a loop structure before MP wrapping a copy
+// of MP (Table 1). The copy is not used as MP_n for performance reasons
+// (nested loop growth); the original statement remains the MP.
+type LoopUnrollingEvoke struct{}
+
+func (LoopUnrollingEvoke) Name() string   { return "LoopUnrolling-evoke" }
+func (LoopUnrollingEvoke) Evokes() string { return "loop unrolling" }
+func (LoopUnrollingEvoke) Applicable(loc *lang.Location) bool {
+	return true
+}
+
+func (LoopUnrollingEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	// Trip counts chosen to exercise the unroller: small counts fully
+	// unroll, 16/20 take the pre/main/post partial path.
+	trips := []int64{3, 4, 6, 8, 16, 20}[rng.Intn(6)]
+	v := lang.FreshVar(loc.Method, "lu")
+	body := lang.Register(p, &lang.Block{Stmts: []lang.Stmt{copyRegion(p, loc)}})
+	loop := lang.Register(p, &lang.For{
+		Var:  v,
+		From: &lang.IntLit{V: 0},
+		To:   &lang.IntLit{V: trips},
+		Step: 1,
+		Body: body,
+	})
+	loc.InsertBefore(loop)
+	return MP{ID: loc.Stmt.ID()}, nil
+}
+
+// LockEliminationEvoke wraps MP in a synchronized body. The monitor is a
+// valid object in scope, the receiver, a class-wide string constant, or
+// a fresh non-escaping allocation (prime lock-elision food).
+type LockEliminationEvoke struct{}
+
+func (LockEliminationEvoke) Name() string   { return "LockElimination-evoke" }
+func (LockEliminationEvoke) Evokes() string { return "lock elimination" }
+func (LockEliminationEvoke) Applicable(loc *lang.Location) bool {
+	return true
+}
+
+func (LockEliminationEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	var monitor lang.Expr
+	objs := objectsInScope(loc)
+	switch {
+	case len(objs) > 0 && rng.Intn(3) != 0:
+		monitor = &lang.VarRef{Name: objs[rng.Intn(len(objs))].Name}
+	case rng.Intn(2) == 0:
+		// The class-constant monitor (synchronized (T.class) analogue):
+		// a string literal locks a shared interned object.
+		monitor = &lang.StrLit{V: loc.Class.Name + ".class"}
+	default:
+		monitor = &lang.New{Class: loc.Class.Name}
+	}
+	// A declaration cannot simply move inside the region (its scope
+	// would shrink past the closing brace), so it splits into a hoisted
+	// default-initialized declaration and a locked assignment — which is
+	// what javac's scoping would force a human to write too.
+	if vd, ok := loc.Stmt.(*lang.VarDecl); ok {
+		var zero lang.Expr
+		switch vd.Ty.Kind {
+		case lang.KindInt, lang.KindLong:
+			zero = &lang.IntLit{V: 0}
+		case lang.KindBool:
+			zero = &lang.BoolLit{V: false}
+		default:
+			return MP{}, fmt.Errorf("mutator: cannot hoist %s declaration out of a lock region", vd.Ty)
+		}
+		assign := lang.Register(p, &lang.Assign{
+			Target: &lang.VarRef{Name: vd.Name},
+			Value:  vd.Init,
+		})
+		vd.Init = zero
+		body := lang.Register(p, &lang.Block{Stmts: []lang.Stmt{assign}})
+		sync := lang.Register(p, &lang.Sync{Monitor: monitor, Body: body})
+		loc.InsertAfter(sync)
+		return MP{ID: assign.ID()}, nil
+	}
+	inner := loc.Stmt
+	body := lang.Register(p, &lang.Block{Stmts: []lang.Stmt{inner}})
+	sync := lang.Register(p, &lang.Sync{Monitor: monitor, Body: body})
+	loc.Replace(sync)
+	return MP{ID: inner.ID()}, nil
+}
+
+// LockCoarseningEvoke requires MP to be inside a synchronized body and
+// splits that body into two synchronized bodies on the same monitor,
+// with MP opening the second (Table 1).
+type LockCoarseningEvoke struct{}
+
+func (LockCoarseningEvoke) Name() string   { return "LockCoarsening-evoke" }
+func (LockCoarseningEvoke) Evokes() string { return "lock coarsening" }
+func (LockCoarseningEvoke) Applicable(loc *lang.Location) bool {
+	return loc.InnermostSync() != nil
+}
+
+func (LockCoarseningEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	sync := loc.InnermostSync()
+	if sync == nil {
+		return MP{}, fmt.Errorf("mutator: MP not inside synchronized body")
+	}
+	// Find MP's index chain: the statement at the top level of sync.Body
+	// that contains (or is) the MP.
+	idx := -1
+	for i, s := range sync.Body.Stmts {
+		if s.ID() == loc.Stmt.ID() || containsID(s, loc.Stmt.ID()) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return MP{}, fmt.Errorf("mutator: MP not found at sync body top level")
+	}
+	first := sync.Body.Stmts[:idx]
+	second := sync.Body.Stmts[idx:]
+	if len(first) == 0 {
+		// Nothing precedes MP: split after it instead, keeping MP in the
+		// first region.
+		if len(second) < 2 {
+			// A single-statement region cannot split; duplicate the lock
+			// around a no-op-ish statement by cloning MP's region shape:
+			// insert an empty-bodied sibling region before.
+			sibling := lang.Register(p, &lang.Sync{
+				Monitor: lang.CloneExpr(sync.Monitor),
+				Body:    lang.Register(p, &lang.Block{}),
+			})
+			// Place it adjacent to the enclosing sync.
+			outer := lang.Find(p, sync.ID())
+			if outer == nil {
+				return MP{}, fmt.Errorf("mutator: enclosing sync lost")
+			}
+			outer.InsertBefore(sibling)
+			return MP{ID: loc.Stmt.ID()}, nil
+		}
+		first = second[:1]
+		second = second[1:]
+	}
+	sync.Body.Stmts = first
+	secondBlock := lang.Register(p, &lang.Block{Stmts: second})
+	secondSync := lang.Register(p, &lang.Sync{
+		Monitor: lang.CloneExpr(sync.Monitor),
+		Body:    secondBlock,
+	})
+	outer := lang.Find(p, sync.ID())
+	if outer == nil {
+		return MP{}, fmt.Errorf("mutator: enclosing sync lost")
+	}
+	outer.InsertAfter(secondSync)
+	return MP{ID: loc.Stmt.ID()}, nil
+}
+
+func containsID(s lang.Stmt, id int) bool {
+	found := false
+	lang.WalkStmts(s, func(st lang.Stmt) bool {
+		if st.ID() == id {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// InliningEvoke requires a binary expression in MP and replaces it with
+// a call to a new function performing the same operation (Table 1).
+type InliningEvoke struct{}
+
+func (InliningEvoke) Name() string   { return "Inlining-evoke" }
+func (InliningEvoke) Evokes() string { return "inlining" }
+func (InliningEvoke) Applicable(loc *lang.Location) bool {
+	return firstBinary(loc.Stmt) != nil
+}
+
+func (InliningEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	slot := firstBinary(loc.Stmt)
+	if slot == nil {
+		return MP{}, fmt.Errorf("mutator: no binary expression in MP")
+	}
+	bin := slot.get().(*lang.Binary)
+	name := lang.FreshMethod(loc.Class, "mop_fn")
+	// static int mop_fnN(int x, int y) { return x <op> y; }
+	ret := lang.Register(p, &lang.Return{E: &lang.Binary{
+		Op: bin.Op,
+		L:  &lang.VarRef{Name: "x"},
+		R:  &lang.VarRef{Name: "y"},
+	}})
+	m := &lang.Method{
+		Name:   name,
+		Params: []lang.Param{{Name: "x", Ty: lang.Int}, {Name: "y", Ty: lang.Int}},
+		Ret:    lang.Int,
+		Static: true,
+		Body:   lang.Register(p, &lang.Block{Stmts: []lang.Stmt{ret}}),
+	}
+	loc.Class.Methods = append(loc.Class.Methods, m)
+	slot.set(&lang.Call{Class: loc.Class.Name, Method: name, Args: []lang.Expr{bin.L, bin.R}})
+	return MP{ID: loc.Stmt.ID()}, nil
+}
+
+// DeReflectionEvoke requires a function call or field access in MP and
+// routes it through the reflection mechanism (Table 1).
+type DeReflectionEvoke struct{}
+
+func (DeReflectionEvoke) Name() string   { return "DeReflection-evoke" }
+func (DeReflectionEvoke) Evokes() string { return "de-reflection" }
+func (DeReflectionEvoke) Applicable(loc *lang.Location) bool {
+	return containsCallOrFieldAccess(loc.Stmt)
+}
+
+func (DeReflectionEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	converted := false
+	var rewrite func(e lang.Expr) lang.Expr
+	rewrite = func(e lang.Expr) lang.Expr {
+		if converted || e == nil {
+			return e
+		}
+		switch n := e.(type) {
+		case *lang.Call:
+			n.Recv = rewrite(n.Recv)
+			for i := range n.Args {
+				n.Args[i] = rewrite(n.Args[i])
+			}
+			if converted {
+				return n
+			}
+			converted = true
+			return &lang.ReflectCall{Class: n.Class, Method: n.Method, Recv: n.Recv, Args: n.Args}
+		case *lang.FieldRef:
+			n.Recv = rewrite(n.Recv)
+			if converted {
+				return n
+			}
+			converted = true
+			return &lang.ReflectFieldGet{Class: n.Class, Name: n.Name, Recv: n.Recv}
+		case *lang.Binary:
+			n.L = rewrite(n.L)
+			n.R = rewrite(n.R)
+		case *lang.Unary:
+			n.X = rewrite(n.X)
+		case *lang.Box:
+			n.X = rewrite(n.X)
+		case *lang.Unbox:
+			n.X = rewrite(n.X)
+		case *lang.Widen:
+			n.X = rewrite(n.X)
+		case *lang.Index:
+			n.Arr = rewrite(n.Arr)
+			n.Idx = rewrite(n.Idx)
+		case *lang.Cond:
+			n.C, n.T, n.F = rewrite(n.C), rewrite(n.T), rewrite(n.F)
+		}
+		return e
+	}
+	rewriteStmtExprs(loc.Stmt, rewrite)
+	if !converted {
+		return MP{}, fmt.Errorf("mutator: no call or field access in MP")
+	}
+	return MP{ID: loc.Stmt.ID()}, nil
+}
+
+// rewriteStmtExprs maps fn over the statement's direct expressions.
+func rewriteStmtExprs(s lang.Stmt, fn func(lang.Expr) lang.Expr) {
+	switch n := s.(type) {
+	case *lang.VarDecl:
+		n.Init = fn(n.Init)
+	case *lang.Assign:
+		n.Value = fn(n.Value)
+	case *lang.ExprStmt:
+		n.E = fn(n.E)
+	case *lang.If:
+		n.Cond = fn(n.Cond)
+	case *lang.While:
+		n.Cond = fn(n.Cond)
+	case *lang.Sync:
+		n.Monitor = fn(n.Monitor)
+	case *lang.Return:
+		if n.E != nil {
+			n.E = fn(n.E)
+		}
+	case *lang.Throw:
+		n.E = fn(n.E)
+	case *lang.Print:
+		n.E = fn(n.E)
+	case *lang.For:
+		n.From = fn(n.From)
+		n.To = fn(n.To)
+	}
+}
+
+// LoopPeelingEvoke inserts before MP a counted loop whose body branches
+// on the first iteration — the shape the peeling heuristic targets. The
+// branch wraps a copy of MP so peeled code nests the existing code.
+type LoopPeelingEvoke struct{}
+
+func (LoopPeelingEvoke) Name() string   { return "LoopPeeling-evoke" }
+func (LoopPeelingEvoke) Evokes() string { return "loop peeling" }
+func (LoopPeelingEvoke) Applicable(loc *lang.Location) bool {
+	return true
+}
+
+func (LoopPeelingEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	v := lang.FreshVar(loc.Method, "lp")
+	guarded := lang.Register(p, &lang.If{
+		Cond: &lang.Binary{Op: lang.OpEq, L: &lang.VarRef{Name: v}, R: &lang.IntLit{V: 0}},
+		Then: lang.Register(p, &lang.Block{Stmts: []lang.Stmt{copyRegion(p, loc)}}),
+	})
+	loop := lang.Register(p, &lang.For{
+		Var:  v,
+		From: &lang.IntLit{V: 0},
+		To:   &lang.IntLit{V: int64(3 + rng.Intn(6))},
+		Step: 1,
+		Body: lang.Register(p, &lang.Block{Stmts: []lang.Stmt{guarded}}),
+	})
+	loc.InsertBefore(loop)
+	return MP{ID: loc.Stmt.ID()}, nil
+}
+
+// LoopUnswitchingEvoke inserts before MP a loop whose body holds a
+// loop-invariant branch (unswitching's shape), with a copy of MP under
+// one arm.
+type LoopUnswitchingEvoke struct{}
+
+func (LoopUnswitchingEvoke) Name() string   { return "LoopUnswitching-evoke" }
+func (LoopUnswitchingEvoke) Evokes() string { return "loop unswitching" }
+func (LoopUnswitchingEvoke) Applicable(loc *lang.Location) bool {
+	return true
+}
+
+func (LoopUnswitchingEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	flag := lang.FreshVar(loc.Method, "uw")
+	ints := intVarsInScope(loc)
+	var src lang.Expr = &lang.IntLit{V: int64(rng.Intn(7))}
+	if len(ints) > 0 {
+		src = &lang.VarRef{Name: ints[rng.Intn(len(ints))]}
+	}
+	decl := lang.Register(p, &lang.VarDecl{
+		Name: flag, Ty: lang.Bool,
+		Init: &lang.Binary{Op: lang.OpEq,
+			L: &lang.Binary{Op: lang.OpAnd, L: src, R: &lang.IntLit{V: 1}},
+			R: &lang.IntLit{V: 0}},
+	})
+	v := lang.FreshVar(loc.Method, "us")
+	branch := lang.Register(p, &lang.If{
+		Cond: &lang.VarRef{Name: flag},
+		Then: lang.Register(p, &lang.Block{Stmts: []lang.Stmt{copyRegion(p, loc)}}),
+		Else: lang.Register(p, &lang.Block{}),
+	})
+	loop := lang.Register(p, &lang.For{
+		Var:  v,
+		From: &lang.IntLit{V: 0},
+		To:   &lang.IntLit{V: int64(4 + rng.Intn(5))},
+		Step: 1,
+		Body: lang.Register(p, &lang.Block{Stmts: []lang.Stmt{branch}}),
+	})
+	loc.InsertBefore(decl)
+	loc.InsertBefore(loop)
+	return MP{ID: loc.Stmt.ID()}, nil
+}
+
+// DeoptimizationEvoke inserts before MP an uncommon-trap-shaped guard: a
+// comparison of an in-scope int against a large constant, wrapping a
+// copy of MP. The compiler speculates the branch never taken; when the
+// driver eventually satisfies it, the compiled code deoptimizes.
+type DeoptimizationEvoke struct{}
+
+func (DeoptimizationEvoke) Name() string   { return "Deoptimization-evoke" }
+func (DeoptimizationEvoke) Evokes() string { return "deoptimization" }
+func (DeoptimizationEvoke) Applicable(loc *lang.Location) bool {
+	return len(intVarsInScope(loc)) > 0
+}
+
+func (DeoptimizationEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	ints := intVarsInScope(loc)
+	if len(ints) == 0 {
+		return MP{}, fmt.Errorf("mutator: no int variable in scope")
+	}
+	v := ints[rng.Intn(len(ints))]
+	big := int64(300 + rng.Intn(3)*300)
+	guard := lang.Register(p, &lang.If{
+		Cond: &lang.Binary{Op: lang.OpGt, L: &lang.VarRef{Name: v}, R: &lang.IntLit{V: big}},
+		Then: lang.Register(p, &lang.Block{Stmts: []lang.Stmt{copyRegion(p, loc)}}),
+	})
+	loc.InsertBefore(guard)
+	return MP{ID: loc.Stmt.ID()}, nil
+}
+
+// AutoboxEliminationEvoke requires an int expression in MP and wraps it
+// in a boxing round-trip: Integer.valueOf(e).intValue().
+type AutoboxEliminationEvoke struct{}
+
+func (AutoboxEliminationEvoke) Name() string   { return "AutoboxElimination-evoke" }
+func (AutoboxEliminationEvoke) Evokes() string { return "autobox elimination" }
+func (AutoboxEliminationEvoke) Applicable(loc *lang.Location) bool {
+	return len(intExprSlots(loc.Stmt)) > 0
+}
+
+func (AutoboxEliminationEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	slot := pickIntExpr(loc, rng)
+	if slot == nil {
+		return MP{}, fmt.Errorf("mutator: no int expression in MP")
+	}
+	slot.set(&lang.Unbox{X: &lang.Box{X: slot.get()}})
+	return MP{ID: loc.Stmt.ID()}, nil
+}
+
+// RedundantStoreEvoke requires MP to be a store (to a variable or
+// field) and inserts a redundant store to the same target before it.
+type RedundantStoreEvoke struct{}
+
+func (RedundantStoreEvoke) Name() string   { return "RedundantStore-evoke" }
+func (RedundantStoreEvoke) Evokes() string { return "redundant store elimination" }
+func (RedundantStoreEvoke) Applicable(loc *lang.Location) bool {
+	switch n := loc.Stmt.(type) {
+	case *lang.Assign:
+		return n.Target.ResultType().Kind == lang.KindInt || n.Target.ResultType().Kind == lang.KindLong
+	case *lang.VarDecl:
+		return n.Ty.Kind == lang.KindInt || n.Ty.Kind == lang.KindLong
+	}
+	return false
+}
+
+func (RedundantStoreEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	val := &lang.IntLit{V: int64(rng.Intn(100))}
+	switch n := loc.Stmt.(type) {
+	case *lang.Assign:
+		dead := lang.Register(p, &lang.Assign{Target: lang.CloneExpr(n.Target), Value: val})
+		loc.InsertBefore(dead)
+	case *lang.VarDecl:
+		// Declarations get their redundancy after: v = dead; v = v (keep).
+		dead := lang.Register(p, &lang.Assign{Target: &lang.VarRef{Name: n.Name}, Value: val})
+		redef := lang.Register(p, &lang.Assign{
+			Target: &lang.VarRef{Name: n.Name},
+			Value:  lang.CloneExpr(n.Init),
+		})
+		loc.InsertAfter(redef)
+		loc.InsertAfter(dead)
+	default:
+		return MP{}, fmt.Errorf("mutator: MP is not a store")
+	}
+	return MP{ID: loc.Stmt.ID()}, nil
+}
+
+// AlgebraicSimplificationEvoke requires an int expression in MP and
+// rewrites it into an algebraically reducible form.
+type AlgebraicSimplificationEvoke struct{}
+
+func (AlgebraicSimplificationEvoke) Name() string   { return "AlgebraicSimplification-evoke" }
+func (AlgebraicSimplificationEvoke) Evokes() string { return "algebraic simplification" }
+func (AlgebraicSimplificationEvoke) Applicable(loc *lang.Location) bool {
+	return len(intExprSlots(loc.Stmt)) > 0
+}
+
+func (AlgebraicSimplificationEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	slot := pickIntExpr(loc, rng)
+	if slot == nil {
+		return MP{}, fmt.Errorf("mutator: no int expression in MP")
+	}
+	e := slot.get()
+	switch rng.Intn(4) {
+	case 0: // (e + 0)
+		slot.set(&lang.Binary{Op: lang.OpAdd, L: e, R: &lang.IntLit{V: 0}})
+	case 1: // (e * 1)
+		slot.set(&lang.Binary{Op: lang.OpMul, L: e, R: &lang.IntLit{V: 1}})
+	case 2: // (e * 2) — strength-reducible
+		slot.set(&lang.Binary{Op: lang.OpMul, L: e, R: &lang.IntLit{V: 2}})
+	default: // (e | 0) with a constant-folding neighbor
+		slot.set(&lang.Binary{Op: lang.OpOr,
+			L: e,
+			R: &lang.Binary{Op: lang.OpSub, L: &lang.IntLit{V: 7}, R: &lang.IntLit{V: 7}}})
+	}
+	return MP{ID: loc.Stmt.ID()}, nil
+}
+
+// EscapeAnalysisEvoke inserts a non-escaping allocation around MP: a
+// fresh object whose fields are written and read locally, then discarded.
+type EscapeAnalysisEvoke struct{}
+
+func (EscapeAnalysisEvoke) Name() string   { return "EscapeAnalysis-evoke" }
+func (EscapeAnalysisEvoke) Evokes() string { return "escape analysis" }
+func (EscapeAnalysisEvoke) Applicable(loc *lang.Location) bool {
+	return firstIntFieldClass(loc) != ""
+}
+
+// firstIntFieldClass returns a class with a non-static int field,
+// preferring the enclosing class.
+func firstIntFieldClass(loc *lang.Location) string {
+	hasIntField := func(c *lang.Class) bool {
+		for _, f := range c.Fields {
+			if !f.Static && f.Ty.Kind == lang.KindInt {
+				return true
+			}
+		}
+		return false
+	}
+	if hasIntField(loc.Class) {
+		return loc.Class.Name
+	}
+	return ""
+}
+
+func (EscapeAnalysisEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	class := firstIntFieldClass(loc)
+	if class == "" {
+		return MP{}, fmt.Errorf("mutator: no class with an int field")
+	}
+	var field string
+	for _, f := range loc.Class.Fields {
+		if !f.Static && f.Ty.Kind == lang.KindInt {
+			field = f.Name
+			break
+		}
+	}
+	obj := lang.FreshVar(loc.Method, "ea")
+	snk := lang.FreshVar(loc.Method, "eas")
+	ints := intVarsInScope(loc)
+	var val lang.Expr = &lang.IntLit{V: int64(rng.Intn(100))}
+	if len(ints) > 0 {
+		val = &lang.VarRef{Name: ints[rng.Intn(len(ints))]}
+	}
+	decl := lang.Register(p, &lang.VarDecl{Name: obj, Ty: lang.ObjectType(class), Init: &lang.New{Class: class}})
+	store := lang.Register(p, &lang.Assign{
+		Target: &lang.FieldRef{Recv: &lang.VarRef{Name: obj}, Class: class, Name: field},
+		Value:  val,
+	})
+	load := lang.Register(p, &lang.VarDecl{Name: snk, Ty: lang.Int,
+		Init: &lang.Binary{Op: lang.OpAdd,
+			L: &lang.FieldRef{Recv: &lang.VarRef{Name: obj}, Class: class, Name: field},
+			R: &lang.IntLit{V: 1}}})
+	loc.InsertBefore(decl)
+	loc.InsertBefore(store)
+	loc.InsertBefore(load)
+	return MP{ID: loc.Stmt.ID()}, nil
+}
+
+// DeadCodeEliminationEvoke inserts dead code around MP: either a pure
+// computation into a never-read local, or a branch whose condition folds
+// to false wrapping a copy of MP.
+type DeadCodeEliminationEvoke struct{}
+
+func (DeadCodeEliminationEvoke) Name() string   { return "DeadCodeElimination-evoke" }
+func (DeadCodeEliminationEvoke) Evokes() string { return "dead code elimination" }
+func (DeadCodeEliminationEvoke) Applicable(loc *lang.Location) bool {
+	return true
+}
+
+func (DeadCodeEliminationEvoke) Apply(p *lang.Program, loc *lang.Location, rng *rand.Rand) (MP, error) {
+	ints := intVarsInScope(loc)
+	if rng.Intn(2) == 0 || len(ints) == 0 {
+		dead := lang.FreshVar(loc.Method, "dc")
+		var e lang.Expr = &lang.Binary{Op: lang.OpMul, L: &lang.IntLit{V: 13}, R: &lang.IntLit{V: 77}}
+		if len(ints) > 0 {
+			e = &lang.Binary{Op: lang.OpXor, L: &lang.VarRef{Name: ints[rng.Intn(len(ints))]}, R: e}
+		}
+		decl := lang.Register(p, &lang.VarDecl{Name: dead, Ty: lang.Int, Init: e})
+		loc.InsertBefore(decl)
+		return MP{ID: loc.Stmt.ID()}, nil
+	}
+	// if (3 > 5) { copy of MP } — a constant-foldable dead branch.
+	guard := lang.Register(p, &lang.If{
+		Cond: &lang.Binary{Op: lang.OpGt, L: &lang.IntLit{V: 3}, R: &lang.IntLit{V: 5}},
+		Then: lang.Register(p, &lang.Block{Stmts: []lang.Stmt{copyRegion(p, loc)}}),
+	})
+	loc.InsertBefore(guard)
+	return MP{ID: loc.Stmt.ID()}, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/buginject"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+	"repro/internal/profile"
+)
+
+func allFlags() profile.FlagSet { return profile.DefaultFlags() }
+
+func TestExtendedMutatorSet(t *testing.T) {
+	ext := ExtendedMutators()
+	if len(ext) != 17 {
+		t.Fatalf("extended set = %d, want 13 + 4", len(ext))
+	}
+	names := map[string]bool{}
+	for _, m := range ext {
+		if names[m.Name()] {
+			t.Errorf("duplicate mutator name %q", m.Name())
+		}
+		names[m.Name()] = true
+		if m.Evokes() == "" {
+			t.Errorf("%s has no Evokes description", m.Name())
+		}
+	}
+}
+
+func TestAltMutatorsProduceValidPrograms(t *testing.T) {
+	alts := []Mutator{
+		&LoopUnrollingEvokeAlt{},
+		&LockEliminationEvokeAlt{},
+		&InliningEvokeAlt{},
+		&DeoptimizationEvokeAlt{},
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, m := range alts {
+		t.Run(m.Name(), func(t *testing.T) {
+			applied := false
+			for attempt := 0; attempt < 12 && !applied; attempt++ {
+				p := seedProgram(t)
+				if m.Name() == "Inlining-evoke-alt" {
+					// The outliner needs a field store or call statement.
+					p = lang.MustParse(`
+class T {
+  int f;
+  static void main() {
+    T t = new T();
+    long total = 0;
+    for (int i = 0; i < 1200; i += 1) { total = total + t.foo(i); }
+    print(total);
+    print(t.f);
+  }
+  int foo(int i) {
+    this.f = i + 1;
+    int acc = i + this.f;
+    return acc;
+  }
+}`)
+					if err := lang.Check(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Pick any statement in T.foo the mutator accepts.
+				var loc *lang.Location
+				for _, l := range lang.Statements(p) {
+					if l.Method.Name == "foo" && m.Applicable(l) {
+						loc = l
+						break
+					}
+				}
+				if loc == nil {
+					t.Fatalf("%s not applicable anywhere in T.foo", m.Name())
+				}
+				if _, err := m.Apply(p, loc, rng); err != nil {
+					continue
+				}
+				if err := lang.Check(p); err != nil {
+					t.Fatalf("mutant ill-typed: %v\n%s", err, lang.Format(p))
+				}
+				r, err := jvm.Run(p, jvm.Reference(), jvm.Options{
+					ForceCompile: true, Bugs: []*buginject.Bug{}, MaxSteps: 5_000_000,
+				})
+				if err != nil {
+					t.Fatalf("mutant rejected: %v", err)
+				}
+				if r.Crashed() {
+					t.Fatalf("mutant crashed bug-free JVM: %v", r.Result.Crash)
+				}
+				applied = true
+			}
+			if !applied {
+				t.Fatalf("%s never applied", m.Name())
+			}
+		})
+	}
+}
+
+func TestSyncMethodAltEvokesInlineSync(t *testing.T) {
+	// LockElimination-evoke-alt synthesizes a synchronized callee; the
+	// JIT should report the monitors-rewired inline on compilation.
+	rng := rand.New(rand.NewSource(2))
+	p := seedProgram(t)
+	var loc *lang.Location
+	for _, l := range lang.Statements(p) {
+		if l.Method.Name == "foo" {
+			loc = l
+			break
+		}
+	}
+	m := &LockEliminationEvokeAlt{}
+	if !m.Applicable(loc) {
+		t.Fatal("not applicable")
+	}
+	if _, err := m.Apply(p, loc, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	r, err := jvm.Run(p, jvm.Reference(), jvm.Options{
+		ForceCompile: true,
+		Bugs:         []*buginject.Bug{},
+		Flags:        allFlags(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OBV.Total() == 0 {
+		t.Errorf("no behaviors logged; log:\n%s", r.Log)
+	}
+}
+
+func TestFuzzerWithExtendedMutators(t *testing.T) {
+	cfg := DefaultConfig(jvm.Spec{Impl: buginject.HotSpot, Version: 17})
+	cfg.ExtendedMutators = true
+	cfg.MaxIterations = 10
+	cfg.DiffSpecs = nil
+	cfg.DisableBugs = true
+	cfg.Seed = 6
+	f := NewFuzzer(cfg)
+	if len(f.Mutators) != 17 {
+		t.Fatalf("fuzzer mutators = %d", len(f.Mutators))
+	}
+	res, err := f.FuzzSeed("ext", seedProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("no iterations")
+	}
+}

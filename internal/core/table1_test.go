@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// Table 1 of the paper illustrates five mutators on the statement
+// `m = a + t.f();`. These tests apply each mutator to exactly that
+// mutation point and check the transformation shape the table shows.
+
+const table1Seed = `
+class T {
+  int fld;
+  static void main() {
+    T t = new T();
+    int a = 3;
+    int m = 0;
+    m = a + t.f();
+    print(m);
+  }
+  int f() { return this.fld + 1; }
+}
+`
+
+// table1MP locates `m = a + t.f();`.
+func table1MP(t *testing.T, p *lang.Program) *lang.Location {
+	t.Helper()
+	for _, loc := range lang.Statements(p) {
+		if a, ok := loc.Stmt.(*lang.Assign); ok {
+			if v, ok := a.Target.(*lang.VarRef); ok && v.Name == "m" {
+				return loc
+			}
+		}
+	}
+	t.Fatal("Table 1 MP not found")
+	return nil
+}
+
+func table1Program(t *testing.T) *lang.Program {
+	t.Helper()
+	p := lang.MustParse(table1Seed)
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTable1LoopUnrolling(t *testing.T) {
+	// "Insert a loop structure before MP. The loop structure wraps a
+	// copy of MP. We do not use the copy of MP as MP_n."
+	p := table1Program(t)
+	loc := table1MP(t, p)
+	origID := loc.Stmt.ID()
+	m := &LoopUnrollingEvoke{}
+	mp, err := m.Apply(p, loc, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.ID != origID {
+		t.Error("MP_n must remain the original statement, not the copy")
+	}
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	src := lang.Format(p)
+	// The loop with the copy precedes the original statement.
+	iLoop := strings.Index(src, "for (int lu0")
+	iOrig := strings.LastIndex(src, "m = (a + t.f())")
+	if iLoop < 0 || iOrig < 0 || iLoop > iOrig {
+		t.Errorf("loop not inserted before MP:\n%s", src)
+	}
+	if strings.Count(src, "(a + t.f())") != 2 {
+		t.Errorf("MP copy count wrong:\n%s", src)
+	}
+}
+
+func TestTable1LockElimination(t *testing.T) {
+	// "Wrap MP in a synchronized body... MP_n is the statement inside."
+	p := table1Program(t)
+	loc := table1MP(t, p)
+	origID := loc.Stmt.ID()
+	m := &LockEliminationEvoke{}
+	mp, err := m.Apply(p, loc, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.ID != origID {
+		t.Errorf("MP_n should be the wrapped statement")
+	}
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	newLoc := mp.Locate(p)
+	if newLoc.InnermostSync() == nil {
+		t.Errorf("MP not inside a synchronized body:\n%s", lang.Format(p))
+	}
+}
+
+func TestTable1LockCoarsening(t *testing.T) {
+	// "If MP is in a synchronized body, split this body into two
+	// synchronized bodies with the same synchronized object."
+	p := table1Program(t)
+	loc := table1MP(t, p)
+	le := &LockEliminationEvoke{}
+	mp, err := le.Apply(p, loc, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	lc := &LockCoarseningEvoke{}
+	newLoc := mp.Locate(p)
+	if !lc.Applicable(newLoc) {
+		t.Fatal("coarsening-evoke must be applicable inside a sync body")
+	}
+	if _, err := lc.Apply(p, newLoc, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	src := lang.Format(p)
+	if strings.Count(src, "synchronized") < 2 {
+		t.Errorf("body not split into two synchronized regions:\n%s", src)
+	}
+	// Both regions lock the same monitor expression.
+	first := strings.Index(src, "synchronized (")
+	second := strings.Index(src[first+1:], "synchronized (")
+	if second < 0 {
+		t.Fatalf("second region missing:\n%s", src)
+	}
+	monOf := func(i int) string {
+		rest := src[i:]
+		return rest[:strings.Index(rest, ")")]
+	}
+	if monOf(first) != monOf(first+1+second) {
+		t.Errorf("split regions lock different monitors:\n%s", src)
+	}
+}
+
+func TestTable1Inlining(t *testing.T) {
+	// "If MP contains a binary expression, replace it with a function
+	// call, with the variables involved passed as arguments"; plus the
+	// generated declaration performing the same operation.
+	p := table1Program(t)
+	loc := table1MP(t, p)
+	m := &InliningEvoke{}
+	if !m.Applicable(loc) {
+		t.Fatal("binary expression present, must be applicable")
+	}
+	if _, err := m.Apply(p, loc, rand.New(rand.NewSource(4))); err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	src := lang.Format(p)
+	if !strings.Contains(src, "m = T.mop_fn0(a, t.f())") {
+		t.Errorf("binary expression not outlined into a call:\n%s", src)
+	}
+	if !strings.Contains(src, "static int mop_fn0(int x, int y)") {
+		t.Errorf("generated function declaration missing:\n%s", src)
+	}
+	if !strings.Contains(src, "return (x + y);") {
+		t.Errorf("generated function must perform the original operation:\n%s", src)
+	}
+}
+
+func TestTable1DeReflection(t *testing.T) {
+	// "If MP contains a function call or field access, replace it with a
+	// reflection call through the Java reflection mechanism."
+	p := table1Program(t)
+	loc := table1MP(t, p)
+	m := &DeReflectionEvoke{}
+	if !m.Applicable(loc) {
+		t.Fatal("call present, must be applicable")
+	}
+	if _, err := m.Apply(p, loc, rand.New(rand.NewSource(5))); err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	src := lang.Format(p)
+	if !strings.Contains(src, `reflect_invoke("T", "f", t)`) {
+		t.Errorf("call not routed through reflection:\n%s", src)
+	}
+}
+
+func TestTable1ConditionalMutatorsRejectBareStatement(t *testing.T) {
+	// On `print(m);` (no binary expr, no call/field access after m is a
+	// plain variable), the conditional mutators must not apply.
+	p := table1Program(t)
+	var printLoc *lang.Location
+	for _, loc := range lang.Statements(p) {
+		if _, ok := loc.Stmt.(*lang.Print); ok {
+			printLoc = loc
+		}
+	}
+	if printLoc == nil {
+		t.Fatal("print not found")
+	}
+	if (&LockCoarseningEvoke{}).Applicable(printLoc) {
+		t.Error("LockCoarsening-evoke requires an enclosing sync body")
+	}
+	if (&InliningEvoke{}).Applicable(printLoc) {
+		t.Error("Inlining-evoke requires a binary expression")
+	}
+	if (&DeReflectionEvoke{}).Applicable(printLoc) {
+		t.Error("DeReflection-evoke requires a call or field access")
+	}
+}
+
+func TestSixUnconditionalMutators(t *testing.T) {
+	// §3.3: "Among the designed 13 mutators, 6 types are unconditional."
+	p := table1Program(t)
+	var bare *lang.Location
+	for _, loc := range lang.Statements(p) {
+		if _, ok := loc.Stmt.(*lang.Print); ok {
+			bare = loc
+		}
+	}
+	unconditional := 0
+	for _, m := range AllMutators() {
+		if m.Applicable(bare) {
+			unconditional++
+		}
+	}
+	// print(m) offers an int expression, so the expression-conditioned
+	// mutators also apply here; count the truly unconditional ones by a
+	// statement with no expressions at all: a bare return in a void
+	// helper.
+	p2 := lang.MustParse(`class T { static void main() { T.v(); } static void v() { return; } }`)
+	if err := lang.Check(p2); err != nil {
+		t.Fatal(err)
+	}
+	var ret *lang.Location
+	for _, loc := range lang.Statements(p2) {
+		if r, ok := loc.Stmt.(*lang.Return); ok && r.E == nil {
+			ret = loc
+		}
+	}
+	names := []string{}
+	for _, m := range AllMutators() {
+		if m.Applicable(ret) {
+			names = append(names, m.Name())
+		}
+	}
+	// LoopUnrolling, LockElimination, LoopPeeling, LoopUnswitching,
+	// DeadCodeElimination are structurally unconditional; EscapeAnalysis
+	// needs a class with an int field (absent here); Deoptimization
+	// needs an int in scope (absent here).
+	want := map[string]bool{
+		"LoopUnrolling-evoke": true, "LockElimination-evoke": true,
+		"LoopPeeling-evoke": true, "LoopUnswitching-evoke": true,
+		"DeadCodeElimination-evoke": true,
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Errorf("unexpected mutator applicable to bare return: %s", n)
+		}
+		delete(want, n)
+	}
+	for n := range want {
+		t.Errorf("mutator %s should apply to a bare return", n)
+	}
+}

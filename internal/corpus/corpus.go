@@ -1,0 +1,173 @@
+// Package corpus generates the seed pool. Seeds are shaped like the
+// OpenJDK regression tests the paper draws from (its Listing 2): a main
+// that warms a workload method up through a hot loop, plus a few helper
+// methods — plain programs with mutation points, not yet optimization-rich.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// Seed is one corpus entry.
+type Seed struct {
+	Name   string
+	Source string
+}
+
+// Parse returns the seed's program (panics on malformed generated source,
+// which the generator's tests rule out).
+func (s Seed) Parse() *lang.Program {
+	p, err := lang.Parse(s.Source)
+	if err != nil {
+		panic(fmt.Sprintf("corpus: seed %s: %v", s.Name, err))
+	}
+	return p
+}
+
+// DefaultPool deterministically generates count seeds from the given
+// random seed.
+func DefaultPool(count int, seed int64) []Seed {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Seed, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, Seed{
+			Name:   fmt.Sprintf("Test%04d", i+1),
+			Source: generate(rng),
+		})
+	}
+	return out
+}
+
+// generate emits one regression-test-shaped program.
+func generate(rng *rand.Rand) string {
+	g := &gen{rng: rng}
+	return g.program()
+}
+
+type gen struct {
+	rng  *rand.Rand
+	vars []string // int locals in scope inside work()
+	n    int
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.n++
+	return fmt.Sprintf("%s%d", prefix, g.n)
+}
+
+func (g *gen) pickVar() string {
+	return g.vars[g.rng.Intn(len(g.vars))]
+}
+
+func (g *gen) intExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return g.pickVar()
+		case 1:
+			return fmt.Sprintf("%d", g.rng.Intn(97)+1)
+		default:
+			return "this.f"
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	op := ops[g.rng.Intn(len(ops))]
+	return fmt.Sprintf("(%s %s %s)", g.intExpr(depth-1), op, g.intExpr(depth-1))
+}
+
+func (g *gen) stmt(b *strings.Builder, indent string) {
+	switch g.rng.Intn(8) {
+	case 0: // new local
+		v := g.fresh("v")
+		fmt.Fprintf(b, "%sint %s = %s;\n", indent, v, g.intExpr(2))
+		g.vars = append(g.vars, v)
+	case 1: // assignment
+		fmt.Fprintf(b, "%s%s = %s;\n", indent, g.pickVar(), g.intExpr(2))
+	case 2: // field update
+		fmt.Fprintf(b, "%sthis.f = %s;\n", indent, g.intExpr(1))
+	case 3: // branch
+		fmt.Fprintf(b, "%sif (%s > %s) {\n", indent, g.pickVar(), g.intExpr(1))
+		fmt.Fprintf(b, "%s  %s = %s + 1;\n", indent, g.pickVar(), g.pickVar())
+		fmt.Fprintf(b, "%s}\n", indent)
+	case 4: // small counted loop
+		lv := g.fresh("k")
+		trips := []int{3, 4, 6, 8, 16, 20, 32}[g.rng.Intn(7)]
+		fmt.Fprintf(b, "%sfor (int %s = 0; %s < %d; %s += 1) {\n", indent, lv, lv, trips, lv)
+		fmt.Fprintf(b, "%s  %s = %s + %s;\n", indent, g.pickVar(), g.pickVar(), lv)
+		fmt.Fprintf(b, "%s}\n", indent)
+	case 5: // call a helper
+		fmt.Fprintf(b, "%s%s = T.helper(%s);\n", indent, g.pickVar(), g.intExpr(1))
+	case 6: // array traffic (masked index: always in bounds)
+		fmt.Fprintf(b, "%sarr[%s & 7] = %s;\n", indent, g.pickVar(), g.intExpr(1))
+		fmt.Fprintf(b, "%s%s = %s + arr[%s & 7];\n", indent, g.pickVar(), g.pickVar(), g.pickVar())
+	default: // accumulate
+		fmt.Fprintf(b, "%s%s = %s %s %s;\n", indent, g.pickVar(), g.pickVar(),
+			[]string{"+", "-", "^"}[g.rng.Intn(3)], g.intExpr(1))
+	}
+}
+
+func (g *gen) program() string {
+	g.vars = []string{"i", "acc"}
+	g.n = 0
+	trips := 1000 + g.rng.Intn(4)*250
+
+	var body strings.Builder
+	nStmts := 3 + g.rng.Intn(4)
+	for s := 0; s < nStmts; s++ {
+		g.stmt(&body, "    ")
+	}
+
+	var b strings.Builder
+	b.WriteString("class T {\n")
+	b.WriteString("  int f;\n")
+	b.WriteString("  static int sf;\n")
+	b.WriteString("  static void main() {\n")
+	b.WriteString("    T t = new T();\n")
+	fmt.Fprintf(&b, "    t.f = %d;\n", g.rng.Intn(50)+1)
+	b.WriteString("    long total = 0;\n")
+	fmt.Fprintf(&b, "    for (int i = 0; i < %d; i += 1) {\n", trips)
+	b.WriteString("      total = total + t.work(i);\n")
+	b.WriteString("    }\n")
+	b.WriteString("    print(total);\n")
+	b.WriteString("    print(t.f);\n")
+	b.WriteString("    print(T.sf);\n")
+	b.WriteString("  }\n")
+	b.WriteString("  int work(int i) {\n")
+	b.WriteString("    int acc = i;\n")
+	b.WriteString("    int[] arr = new int[8];\n")
+	b.WriteString(body.String())
+	b.WriteString("    T.sf = T.sf + 1;\n")
+	b.WriteString("    return acc;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  static int helper(int x) { return x * 2 + 1; }\n")
+	b.WriteString("  static int helper2(int x, int y) { return x + y; }\n")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// MotivatingSeed is the paper's Listing 2 shape: the smallest seed that
+// reproduces the JDK-8312744 walk-through in the examples.
+const MotivatingSeed = `
+class T {
+  int f;
+  static int sf;
+  static void main() {
+    T t = new T();
+    t.f = 7;
+    long total = 0;
+    for (int i = 0; i < 1500; i += 1) {
+      total = total + t.foo(i);
+    }
+    print(total);
+  }
+  int foo(int i) {
+    int acc = i + this.f;
+    return acc;
+  }
+  static int helper(int x) { return x * 2 + 1; }
+}
+`

@@ -1,0 +1,76 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/jvm"
+	"repro/internal/lang"
+)
+
+func TestPoolDeterministic(t *testing.T) {
+	a := DefaultPool(10, 42)
+	b := DefaultPool(10, 42)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("pool sizes %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Source != b[i].Source {
+			t.Fatalf("seed %d differs across identical generations", i)
+		}
+	}
+	c := DefaultPool(10, 43)
+	same := 0
+	for i := range a {
+		if a[i].Source == c[i].Source {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical pools")
+	}
+}
+
+func TestAllSeedsParseCheckAndRun(t *testing.T) {
+	for _, seed := range DefaultPool(25, 7) {
+		p := seed.Parse()
+		if err := lang.Check(p); err != nil {
+			t.Fatalf("%s: %v\n%s", seed.Name, err, seed.Source)
+		}
+		// Seeds must run cleanly on the pure interpreter...
+		ref, err := jvm.Run(lang.CloneProgram(p), jvm.Reference(), jvm.Options{PureInterpreter: true})
+		if err != nil {
+			t.Fatalf("%s: %v", seed.Name, err)
+		}
+		if ref.Result.Exception != nil || ref.Result.TimedOut {
+			t.Fatalf("%s: seed misbehaves: %s", seed.Name, ref.Result.OutputString())
+		}
+		// ...and agree with the bug-free JIT.
+		opt, err := jvm.Run(lang.CloneProgram(p), jvm.Reference(), jvm.Options{ForceCompile: true, Bugs: nil})
+		if err != nil {
+			t.Fatalf("%s: %v", seed.Name, err)
+		}
+		// The reference (mainline) carries bugs; what matters here is
+		// that seeds themselves don't trigger any.
+		if opt.Crashed() {
+			t.Fatalf("%s: unmutated seed crashes the JVM: %v", seed.Name, opt.Result.Crash)
+		}
+		if ref.Result.OutputString() != opt.Result.OutputString() {
+			t.Fatalf("%s: seed output differs across engines:\n%s\nvs\n%s",
+				seed.Name, ref.Result.OutputString(), opt.Result.OutputString())
+		}
+	}
+}
+
+func TestMotivatingSeedShape(t *testing.T) {
+	p := lang.MustParse(MotivatingSeed)
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	cl := p.Class("T")
+	if cl == nil || cl.Method("foo") == nil {
+		t.Fatal("motivating seed must define T.foo (the Listing 2 shape)")
+	}
+	if cl.FieldByName("f") == nil {
+		t.Fatal("motivating seed needs an int field for EscapeAnalysis-evoke")
+	}
+}

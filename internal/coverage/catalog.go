@@ -1,0 +1,80 @@
+package coverage
+
+// Catalog is the instrumented-region table of the simulated JVM. Line
+// weights sum to 126,000 across the four components, matching the
+// paper's note that OpenJDK17's four main components encompass roughly
+// 126K lines. Regions prefixed with a pass name are marked by that pass;
+// runtime and GC regions are marked by the interpreter and heap.
+var Catalog = []Region{
+	// --- C1 (client compiler): 19,000 lines ---
+	{"c1.build", C1, 3000},
+	{"c1.inline.try", C1, 1200},
+	{"c1.inline.apply", C1, 900},
+	{"c1.inline.sync_handler", C1, 700}, // Listing 1's fill_sync_handler path
+	{"c1.algebra.apply", C1, 800},
+	{"c1.rse.apply", C1, 700},
+	{"c1.dce.apply", C1, 900},
+	{"c1.codegen", C1, 4500},
+	{"c1.runtime_stubs", C1, 1800},
+	{"c1.deopt_support", C1, 1100},
+	{"c1.profiling", C1, 1600},
+	{"c1.exceptions", C1, 1800},
+
+	// --- C2 (server compiler): 60,000 lines ---
+	{"c2.parse", C2, 5000},
+	{"c2.gvn.apply", C2, 2500},
+	{"c2.gvn.subsume", C2, 1500},
+	{"c2.inline.try", C2, 2000},
+	{"c2.inline.apply", C2, 1500},
+	{"c2.inline.sync", C2, 1200},
+	{"c2.escape.analyze", C2, 2500},
+	{"c2.escape.noescape", C2, 1200},
+	{"c2.escape.argescape", C2, 800},
+	{"c2.scalar.replace", C2, 1500},
+	{"c2.locks.eliminate", C2, 1500},
+	{"c2.locks.nested", C2, 1000},
+	{"c2.locks.coarsen", C2, 1800},
+	{"c2.loop.tree", C2, 2200},
+	{"c2.loop.peel", C2, 1300},
+	{"c2.loop.unswitch", C2, 1400},
+	{"c2.loop.unroll", C2, 1700},
+	{"c2.loop.premainpost", C2, 1100},
+	{"c2.autobox.eliminate", C2, 1200},
+	{"c2.algebra.apply", C2, 1600},
+	{"c2.algebra.fold", C2, 900},
+	{"c2.rse.apply", C2, 1100},
+	{"c2.dce.apply", C2, 1400},
+	{"c2.dereflect.apply", C2, 1300},
+	{"c2.traps.insert", C2, 1200},
+	{"c2.traps.fire", C2, 900},
+	{"c2.macro.expand", C2, 2400},
+	{"c2.codegen", C2, 7000},
+	{"c2.regalloc", C2, 4200},
+	{"c2.idealize", C2, 3300},
+	{"c2.osr", C2, 1800},
+
+	// --- Runtime: 27,000 lines ---
+	{"runtime.startup", Runtime, 3000},
+	{"runtime.interp.core", Runtime, 6000},
+	{"runtime.interp.calls", Runtime, 2000},
+	{"runtime.objects", Runtime, 2200},
+	{"runtime.arrays", Runtime, 1800},
+	{"runtime.boxing", Runtime, 1200},
+	{"runtime.monitors", Runtime, 2400},
+	{"runtime.monitors.nested", Runtime, 800},
+	{"runtime.exceptions", Runtime, 2200},
+	{"runtime.exceptions.unwind", Runtime, 1000},
+	{"runtime.reflection", Runtime, 2000},
+	{"runtime.deopt", Runtime, 1400},
+	{"runtime.statics", Runtime, 1000},
+
+	// --- GC: 20,000 lines ---
+	{"gc.alloc.fast", GC, 3500},
+	{"gc.alloc.slow", GC, 1500},
+	{"gc.mark", GC, 4000},
+	{"gc.sweep", GC, 3500},
+	{"gc.roots.frames", GC, 2000},
+	{"gc.roots.statics", GC, 1200},
+	{"gc.barriers", GC, 2800},
+	{"gc.large", GC, 1500},
+}

@@ -1,0 +1,119 @@
+// Package coverage models the --enable-native-coverage instrumentation
+// of the simulated JVM. The VM's source is divided into named line
+// regions, each belonging to one of the four components the paper's
+// Figure 2 reports (C1, C2, Runtime, GC). Executing a code path marks
+// its region; coverage is the line-weighted fraction of marked regions.
+package coverage
+
+// Component is one of the JVM's four instrumented components.
+type Component string
+
+// Components.
+const (
+	C1      Component = "C1"
+	C2      Component = "C2"
+	Runtime Component = "Runtime"
+	GC      Component = "GC"
+)
+
+// Components lists the four components in report order.
+func Components() []Component { return []Component{C1, C2, Runtime, GC} }
+
+// Region is a named block of VM source lines.
+type Region struct {
+	Name  string
+	Comp  Component
+	Lines int
+}
+
+// Tracker accumulates region hits across one or many executions.
+type Tracker struct {
+	hits map[string]bool
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{hits: map[string]bool{}} }
+
+// Hit marks a region as executed. Unknown names are tolerated (and
+// ignored by reports) so instrumentation sites never fail.
+func (t *Tracker) Hit(name string) {
+	if t == nil {
+		return
+	}
+	t.hits[name] = true
+}
+
+// Hits returns the number of distinct regions marked.
+func (t *Tracker) Hits() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.hits)
+}
+
+// Covered reports whether the named region was hit.
+func (t *Tracker) Covered(name string) bool {
+	if t == nil {
+		return false
+	}
+	return t.hits[name]
+}
+
+// Merge folds another tracker's hits into t.
+func (t *Tracker) Merge(o *Tracker) {
+	if t == nil || o == nil {
+		return
+	}
+	for k := range o.hits {
+		t.hits[k] = true
+	}
+}
+
+// Lines returns (covered, total) line counts for a component.
+func (t *Tracker) Lines(comp Component) (covered, total int) {
+	for _, r := range Catalog {
+		if r.Comp != comp {
+			continue
+		}
+		total += r.Lines
+		if t != nil && t.hits[r.Name] {
+			covered += r.Lines
+		}
+	}
+	return covered, total
+}
+
+// Percent returns the line coverage percentage for a component.
+func (t *Tracker) Percent(comp Component) float64 {
+	c, tot := t.Lines(comp)
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(c) / float64(tot)
+}
+
+// Summary returns the line-weighted coverage percentage across all four
+// components (the paper's "Summary" bar).
+func (t *Tracker) Summary() float64 {
+	var c, tot int
+	for _, comp := range Components() {
+		cc, ct := t.Lines(comp)
+		c += cc
+		tot += ct
+	}
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(c) / float64(tot)
+}
+
+// TotalLines returns the instrumented line count of the whole VM
+// (~126K, matching the paper's statement about OpenJDK17's four main
+// components).
+func TotalLines() int {
+	n := 0
+	for _, r := range Catalog {
+		n += r.Lines
+	}
+	return n
+}

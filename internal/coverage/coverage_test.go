@@ -1,0 +1,115 @@
+package coverage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogTotals(t *testing.T) {
+	if got := TotalLines(); got != 126000 {
+		t.Errorf("TotalLines = %d, want 126000 (the paper's ~126K)", got)
+	}
+	perComp := map[Component]int{}
+	names := map[string]bool{}
+	for _, r := range Catalog {
+		if names[r.Name] {
+			t.Errorf("duplicate region %q", r.Name)
+		}
+		names[r.Name] = true
+		if r.Lines <= 0 {
+			t.Errorf("region %q has %d lines", r.Name, r.Lines)
+		}
+		perComp[r.Comp] += r.Lines
+	}
+	want := map[Component]int{C1: 19000, C2: 60000, Runtime: 27000, GC: 20000}
+	for c, w := range want {
+		if perComp[c] != w {
+			t.Errorf("%s lines = %d, want %d", c, perComp[c], w)
+		}
+	}
+}
+
+func TestTrackerBasics(t *testing.T) {
+	tr := NewTracker()
+	if tr.Percent(C2) != 0 {
+		t.Error("fresh tracker should be 0%")
+	}
+	tr.Hit("c2.parse")
+	tr.Hit("c2.parse") // idempotent
+	tr.Hit("not-a-region")
+	c, total := tr.Lines(C2)
+	if c != 5000 || total != 60000 {
+		t.Errorf("Lines(C2) = %d/%d", c, total)
+	}
+	if !tr.Covered("c2.parse") || tr.Covered("c2.codegen") {
+		t.Error("Covered broken")
+	}
+	if tr.Hits() != 2 { // includes the unknown name
+		t.Errorf("Hits = %d", tr.Hits())
+	}
+}
+
+func TestTrackerMergeAndSummary(t *testing.T) {
+	a, b := NewTracker(), NewTracker()
+	a.Hit("c1.build")
+	b.Hit("gc.mark")
+	a.Merge(b)
+	if !a.Covered("gc.mark") {
+		t.Error("merge lost a hit")
+	}
+	wantPct := 100 * float64(3000+4000) / float64(TotalLines())
+	if got := a.Summary(); got < wantPct-0.01 || got > wantPct+0.01 {
+		t.Errorf("Summary = %v, want %v", got, wantPct)
+	}
+}
+
+func TestNilTrackerSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Hit("c2.parse") // must not panic
+	tr.Merge(NewTracker())
+	if tr.Hits() != 0 || tr.Covered("c2.parse") {
+		t.Error("nil tracker should be inert")
+	}
+	if c, _ := tr.Lines(C2); c != 0 {
+		t.Error("nil tracker covered lines")
+	}
+}
+
+// Property: Percent is monotone under additional hits and bounded by 100.
+func TestPercentMonotoneProperty(t *testing.T) {
+	var regionNames []string
+	for _, r := range Catalog {
+		regionNames = append(regionNames, r.Name)
+	}
+	f := func(picks []uint16) bool {
+		tr := NewTracker()
+		prev := 0.0
+		for _, p := range picks {
+			tr.Hit(regionNames[int(p)%len(regionNames)])
+			cur := tr.Summary()
+			if cur < prev || cur > 100.0001 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullCoverageIs100(t *testing.T) {
+	tr := NewTracker()
+	for _, r := range Catalog {
+		tr.Hit(r.Name)
+	}
+	for _, c := range Components() {
+		if p := tr.Percent(c); p < 99.999 {
+			t.Errorf("%s full coverage = %v", c, p)
+		}
+	}
+	if tr.Summary() < 99.999 {
+		t.Errorf("Summary = %v", tr.Summary())
+	}
+}

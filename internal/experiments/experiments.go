@@ -1,0 +1,186 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation over the simulated substrate: deterministic campaigns with
+// fixed seeds, execution-count budgets standing in for wall-clock time,
+// and text renderings of each artifact.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/buginject"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/coverage"
+	"repro/internal/jvm"
+)
+
+// Budget scales the experiments: Executions stands in for the paper's
+// 24-hour tool budgets; Seeds sizes the shared pool (§4.1 uses the same
+// seed pool for every tool).
+type Budget struct {
+	Executions int
+	Seeds      int
+	Seed       int64
+}
+
+// DefaultBudget finishes in tens of seconds on a laptop.
+func DefaultBudget() Budget { return Budget{Executions: 1500, Seeds: 40, Seed: 1} }
+
+// QuickBudget is the benchmark-sized budget.
+func QuickBudget() Budget { return Budget{Executions: 250, Seeds: 10, Seed: 1} }
+
+// toolRun aggregates one tool's budgeted campaign.
+type toolRun struct {
+	Name     string
+	Findings []core.BugFinding
+	// FindingAt holds cumulative executions at each unique-bug detection.
+	FindingAt []int
+	Deltas    []float64
+	Coverage  *coverage.Tracker
+	Execs     int
+}
+
+// runTool drives a baselines.Tool over the shared seed pool until the
+// execution budget is exhausted.
+func runTool(tool baselines.Tool, seeds []corpus.Seed, budget Budget) *toolRun {
+	run := &toolRun{Name: tool.Name()}
+	seen := map[string]bool{}
+	idx := int64(0)
+	for run.Execs < budget.Executions {
+		progressed := false
+		for _, seed := range seeds {
+			if run.Execs >= budget.Executions {
+				break
+			}
+			idx++
+			fr, err := tool.FuzzSeed(seed.Name, seed.Parse(), budget.Seed*100000+idx)
+			if err != nil {
+				continue
+			}
+			progressed = true
+			run.Execs += fr.Executions
+			run.Deltas = append(run.Deltas, fr.FinalDelta)
+			for _, fd := range fr.Findings {
+				if fd.Bug == nil || seen[fd.Bug.ID] {
+					continue
+				}
+				seen[fd.Bug.ID] = true
+				run.Findings = append(run.Findings, fd)
+				run.FindingAt = append(run.FindingAt, run.Execs)
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return run
+}
+
+func (r *toolRun) bugIDs() map[string]bool {
+	out := map[string]bool{}
+	for _, f := range r.Findings {
+		out[f.Bug.ID] = true
+	}
+	return out
+}
+
+// --- small stats helpers ---
+
+type fiveNum struct{ Min, Q1, Med, Q3, Max float64 }
+
+func summarize(xs []float64) fiveNum {
+	if len(xs) == 0 {
+		return fiveNum{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	return fiveNum{Min: s[0], Q1: q(0.25), Med: q(0.5), Q3: q(0.75), Max: s[len(s)-1]}
+}
+
+// boxplotLine renders a five-number summary as an ASCII boxplot scaled
+// into [lo, hi].
+func boxplotLine(f fiveNum, lo, hi float64, width int) string {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	pos := func(v float64) int {
+		p := int(float64(width-1) * (v - lo) / (hi - lo))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	line := make([]byte, width)
+	for i := range line {
+		line[i] = ' '
+	}
+	for i := pos(f.Min); i <= pos(f.Max); i++ {
+		line[i] = '-'
+	}
+	for i := pos(f.Q1); i <= pos(f.Q3); i++ {
+		line[i] = '='
+	}
+	line[pos(f.Med)] = '|'
+	return string(line)
+}
+
+// table renders rows with aligned columns.
+func table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func pool(budget Budget) []corpus.Seed {
+	return corpus.DefaultPool(budget.Seeds, budget.Seed)
+}
+
+// hotspotTargets cycles the OpenJDK LTS+mainline targets (§4.1).
+func hotspotTargets() []jvm.Spec { return jvm.HotSpotLTSAndMainline() }
+
+// allTargets cycles both implementations.
+func allTargets() []jvm.Spec { return jvm.AllSpecs() }
+
+var _ = buginject.Catalog // referenced by tables.go

@@ -1,0 +1,309 @@
+package jit
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+)
+
+// Lower translates a checked method's source tree into JIT IR. It is the
+// JIT front end (HotSpot's "ideal graph building" analogue); lowering
+// failures abort compilation with a bailout error.
+func Lower(class *lang.Class, m *lang.Method) (*Func, error) {
+	body, err := lowerBlock(m.Body)
+	if err != nil {
+		return nil, fmt.Errorf("jit: lower %s.%s: %w", class.Name, m.Name, err)
+	}
+	return &Func{
+		Class:        class.Name,
+		Name:         m.Name,
+		Params:       append([]lang.Param(nil), m.Params...),
+		HasReceiver:  !m.Static,
+		Ret:          m.Ret,
+		Synchronized: m.Synchronized,
+		Body:         body,
+	}, nil
+}
+
+func lowerBlock(b *lang.Block) (*Node, error) {
+	seq := &Node{Kind: NSeq}
+	if b == nil {
+		return seq, nil
+	}
+	for _, s := range b.Stmts {
+		n, err := lowerStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		seq.Kids = append(seq.Kids, n)
+	}
+	return seq, nil
+}
+
+func lowerStmt(s lang.Stmt) (*Node, error) {
+	switch n := s.(type) {
+	case *lang.VarDecl:
+		init, err := lowerExpr(n.Init)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NDecl, Name: n.Name, Ty: n.Ty, Kids: []*Node{init}}, nil
+	case *lang.Assign:
+		val, err := lowerExpr(n.Value)
+		if err != nil {
+			return nil, err
+		}
+		switch t := n.Target.(type) {
+		case *lang.VarRef:
+			return &Node{Kind: NAssignVar, Name: t.Name, Ty: t.ResultType(), Kids: []*Node{val}}, nil
+		case *lang.FieldRef:
+			if t.Recv == nil {
+				return &Node{Kind: NAssignField, Class: t.Class, Name: t.Name, Static: true, Kids: []*Node{val}}, nil
+			}
+			recv, err := lowerExpr(t.Recv)
+			if err != nil {
+				return nil, err
+			}
+			return &Node{Kind: NAssignField, Class: t.Class, Name: t.Name, Kids: []*Node{recv, val}}, nil
+		case *lang.Index:
+			arr, err := lowerExpr(t.Arr)
+			if err != nil {
+				return nil, err
+			}
+			idx, err := lowerExpr(t.Idx)
+			if err != nil {
+				return nil, err
+			}
+			return &Node{Kind: NAssignIndex, Kids: []*Node{arr, idx, val}}, nil
+		}
+		return nil, fmt.Errorf("bad assignment target %T", n.Target)
+	case *lang.ExprStmt:
+		e, err := lowerExpr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NExprStmt, Kids: []*Node{e}}, nil
+	case *lang.If:
+		cond, err := lowerExpr(n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := lowerBlock(n.Then)
+		if err != nil {
+			return nil, err
+		}
+		kids := []*Node{cond, then}
+		if n.Else != nil {
+			els, err := lowerBlock(n.Else)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, els)
+		}
+		return &Node{Kind: NIf, Kids: kids}, nil
+	case *lang.For:
+		from, err := lowerExpr(n.From)
+		if err != nil {
+			return nil, err
+		}
+		to, err := lowerExpr(n.To)
+		if err != nil {
+			return nil, err
+		}
+		body, err := lowerBlock(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NFor, Name: n.Var, Step: n.Step, Kids: []*Node{from, to, body}}, nil
+	case *lang.While:
+		cond, err := lowerExpr(n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		body, err := lowerBlock(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NWhile, Kids: []*Node{cond, body}}, nil
+	case *lang.Sync:
+		mon, err := lowerExpr(n.Monitor)
+		if err != nil {
+			return nil, err
+		}
+		body, err := lowerBlock(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NSync, Kids: []*Node{mon, body}}, nil
+	case *lang.Return:
+		if n.E == nil {
+			return &Node{Kind: NReturn}, nil
+		}
+		e, err := lowerExpr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NReturn, Kids: []*Node{e}}, nil
+	case *lang.Throw:
+		e, err := lowerExpr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NThrow, Kids: []*Node{e}}, nil
+	case *lang.Try:
+		body, err := lowerBlock(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		catch, err := lowerBlock(n.Catch)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NTry, Name: n.CatchVar, Kids: []*Node{body, catch}}, nil
+	case *lang.Print:
+		e, err := lowerExpr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NPrint, Kids: []*Node{e}}, nil
+	case *lang.Block:
+		return lowerBlock(n)
+	}
+	return nil, fmt.Errorf("unknown statement %T", s)
+}
+
+func lowerExpr(e lang.Expr) (*Node, error) {
+	switch n := e.(type) {
+	case nil:
+		return nil, fmt.Errorf("nil expression")
+	case *lang.IntLit:
+		return &Node{Kind: NConstInt, IVal: n.V, IsLong: n.Ty.Kind == lang.KindLong, Ty: n.Ty}, nil
+	case *lang.BoolLit:
+		v := int64(0)
+		if n.V {
+			v = 1
+		}
+		return &Node{Kind: NConstBool, IVal: v, Ty: lang.Bool}, nil
+	case *lang.StrLit:
+		return &Node{Kind: NConstStr, SVal: n.V, Ty: lang.String}, nil
+	case *lang.VarRef:
+		return &Node{Kind: NVar, Name: n.Name, Ty: n.ResultType()}, nil
+	case *lang.FieldRef:
+		if n.Recv == nil {
+			return &Node{Kind: NFieldGet, Class: n.Class, Name: n.Name, Static: true, Ty: n.ResultType()}, nil
+		}
+		recv, err := lowerExpr(n.Recv)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NFieldGet, Class: n.Class, Name: n.Name, Ty: n.ResultType(), Kids: []*Node{recv}}, nil
+	case *lang.Binary:
+		l, err := lowerExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := lowerExpr(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NBinary, BinOp: n.Op, Ty: n.ResultType(), Kids: []*Node{l, r}}, nil
+	case *lang.Unary:
+		x, err := lowerExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NUnary, UnOp: n.Op, Ty: n.ResultType(), Kids: []*Node{x}}, nil
+	case *lang.Call:
+		return lowerCall(NCall, n.Class, n.Method, n.Recv, n.Args, n.ResultType())
+	case *lang.ReflectCall:
+		return lowerCall(NReflectCall, n.Class, n.Method, n.Recv, n.Args, n.ResultType())
+	case *lang.ReflectFieldGet:
+		if n.Recv == nil {
+			return &Node{Kind: NReflectGet, Class: n.Class, Name: n.Name, Static: true, Ty: n.ResultType()}, nil
+		}
+		recv, err := lowerExpr(n.Recv)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NReflectGet, Class: n.Class, Name: n.Name, Ty: n.ResultType(), Kids: []*Node{recv}}, nil
+	case *lang.New:
+		return &Node{Kind: NNew, Class: n.Class, Ty: n.ResultType()}, nil
+	case *lang.NewArray:
+		l, err := lowerExpr(n.Len)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NNewArray, Ty: lang.IntArray, Kids: []*Node{l}}, nil
+	case *lang.Index:
+		arr, err := lowerExpr(n.Arr)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := lowerExpr(n.Idx)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NIndex, Ty: lang.Int, Kids: []*Node{arr, idx}}, nil
+	case *lang.Box:
+		x, err := lowerExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NBox, Ty: lang.IntBox, Kids: []*Node{x}}, nil
+	case *lang.Unbox:
+		x, err := lowerExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NUnbox, Ty: lang.Int, Kids: []*Node{x}}, nil
+	case *lang.Widen:
+		x, err := lowerExpr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NWiden, Ty: lang.Long, Kids: []*Node{x}}, nil
+	case *lang.Cond:
+		c, err := lowerExpr(n.C)
+		if err != nil {
+			return nil, err
+		}
+		t, err := lowerExpr(n.T)
+		if err != nil {
+			return nil, err
+		}
+		f, err := lowerExpr(n.F)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: NCond, Ty: n.ResultType(), Kids: []*Node{c, t, f}}, nil
+	}
+	return nil, fmt.Errorf("unknown expression %T", e)
+}
+
+func lowerCall(kind Kind, class, method string, recv lang.Expr, args []lang.Expr, ty lang.Type) (*Node, error) {
+	n := &Node{Kind: kind, Class: class, Name: method, Ty: ty, Static: recv == nil}
+	if recv != nil {
+		r, err := lowerExpr(recv)
+		if err != nil {
+			return nil, err
+		}
+		n.Kids = append(n.Kids, r)
+	}
+	for _, a := range args {
+		an, err := lowerExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		n.Kids = append(n.Kids, an)
+	}
+	return n, nil
+}
+
+// CallArgs splits an NCall/NReflectCall node's kids into receiver (nil
+// for static) and arguments.
+func CallArgs(n *Node) (recv *Node, args []*Node) {
+	if n.Static {
+		return nil, n.Kids
+	}
+	return n.Kids[0], n.Kids[1:]
+}

@@ -1,0 +1,235 @@
+package jit
+
+import (
+	"repro/internal/profile"
+)
+
+// passRSE removes redundant stores: an assignment whose value is dead
+// because a later assignment to the same variable (or the same field of
+// the same receiver) overwrites it with no intervening read and no
+// intervening statement that could throw (a handler might observe the
+// stored value). A seeded defect (ctx.DropNextStore) makes the pass
+// delete the *live* store instead — the classic redundancy-elimination
+// miscompilation.
+func passRSE(ctx *Context, prefix string) error {
+	var failed error
+	forEachSeq(ctx.Fn.Body, func(seq *Node) {
+		if failed != nil {
+			return
+		}
+		for i := 0; i < len(seq.Kids); i++ {
+			k := seq.Kids[i]
+			switch k.Kind {
+			case NAssignVar:
+				if !IsPure(k.Kids[0]) {
+					continue
+				}
+				for j := i + 1; j < len(seq.Kids); j++ {
+					next := seq.Kids[j]
+					if next.Kind == NAssignVar && next.Name == k.Name &&
+						IsPure(next.Kids[0]) && !ReadsVar(next.Kids[0], k.Name) {
+						ctx.Cover(prefix + ".rse.apply")
+						ctx.Emitf(profile.FlagTraceRedundantStores, "Removed redundant store to %s in %s", k.Name, ctx.Fn.Key())
+						failed = ctx.Record(Event{Pass: "rse", Behavior: profile.BRedundantStore,
+							Detail: k.Name, Prov: provOf(seq.Kids[i])})
+						dead := i
+						if ctx.DropNextStore {
+							dead = j // defect: remove the live store
+							ctx.DropNextStore = false
+						}
+						removed := seq.Kids[dead]
+						seq.Kids[dead] = &Node{Kind: NNop, Prov: removed.Prov}
+						break
+					}
+					if !rseTransparent(next) || ReadsVar(next, k.Name) {
+						break
+					}
+				}
+				if failed != nil {
+					return
+				}
+			case NAssignField:
+				if k.Static || k.Kids[0].Kind != NVar || !IsPure(k.Kids[1]) {
+					continue
+				}
+				recvName, fieldName := k.Kids[0].Name, k.Name
+				for j := i + 1; j < len(seq.Kids); j++ {
+					next := seq.Kids[j]
+					if next.Kind == NAssignField && !next.Static && next.Name == fieldName &&
+						next.Kids[0].Kind == NVar && next.Kids[0].Name == recvName &&
+						IsPure(next.Kids[1]) && !readsField(next.Kids[1], fieldName) {
+						removed := seq.Kids[i]
+						seq.Kids[i] = &Node{Kind: NNop, Prov: removed.Prov}
+						ctx.Cover(prefix + ".rse.apply")
+						ctx.Emitf(profile.FlagTraceRedundantStores, "Removed redundant store to %s.%s in %s", recvName, fieldName, ctx.Fn.Key())
+						failed = ctx.Record(Event{Pass: "rse", Behavior: profile.BRedundantStore,
+							Detail: recvName + "." + fieldName, Prov: provOf(removed)})
+						break
+					}
+					if !rseTransparent(next) || readsField(next, fieldName) ||
+						assignsAnywhere(next, recvName) {
+						break
+					}
+				}
+				if failed != nil {
+					return
+				}
+			}
+		}
+	})
+	return failed
+}
+
+// rseTransparent reports whether the scan window may extend across the
+// statement: it must not throw (a handler could observe the dead store),
+// not transfer control, and not call out.
+func rseTransparent(n *Node) bool {
+	switch n.Kind {
+	case NNop:
+		return true
+	case NDecl, NAssignVar, NPrint:
+		return IsPure(n.Kids[0])
+	}
+	return false
+}
+
+func assignsAnywhere(n *Node, name string) bool {
+	found := false
+	n.Walk(func(m *Node) bool {
+		if (m.Kind == NAssignVar || m.Kind == NDecl) && m.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// readsField reports whether the subtree reads the named field (of any
+// receiver — conservative) or calls out (which could read it).
+func readsField(n *Node, field string) bool {
+	found := false
+	n.Walk(func(m *Node) bool {
+		switch m.Kind {
+		case NFieldGet, NReflectGet:
+			if m.Name == field {
+				found = true
+			}
+		case NCall, NReflectCall:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// passDCE removes dead code: statements after a return/throw,
+// branches with constant conditions, counted loops with zero trips,
+// pure expression statements, and pure stores to never-read locals.
+func passDCE(ctx *Context, prefix string) error {
+	var failed error
+	record := func(what string, prov Prov) {
+		if failed != nil {
+			return
+		}
+		ctx.Cover(prefix + ".dce.apply")
+		ctx.Emitf(profile.FlagTraceDeadCode, "DCE: removed %s in %s", what, ctx.Fn.Key())
+		failed = ctx.Record(Event{Pass: "dce", Behavior: profile.BDCE, Detail: what, Prov: prov})
+	}
+
+	for round := 0; round < 2 && failed == nil; round++ {
+		// Unreachable code after a terminator.
+		forEachSeq(ctx.Fn.Body, func(seq *Node) {
+			for i, k := range seq.Kids {
+				if k.Kind == NReturn || k.Kind == NThrow {
+					if i+1 < len(seq.Kids) {
+						var prov Prov
+						for _, dead := range seq.Kids[i+1:] {
+							prov |= provOf(dead)
+						}
+						seq.Kids = seq.Kids[:i+1]
+						record("unreachable code", prov)
+					}
+					break
+				}
+			}
+		})
+		if failed != nil {
+			return failed
+		}
+
+		// Constant branches, zero-trip loops, pure expression statements.
+		forEachSeq(ctx.Fn.Body, func(seq *Node) {
+			for i, k := range seq.Kids {
+				switch k.Kind {
+				case NIf:
+					if k.Kids[0].Kind != NConstBool {
+						continue
+					}
+					var taken *Node
+					if k.Kids[0].IVal != 0 {
+						taken = k.Kids[1]
+					} else if len(k.Kids) > 2 {
+						taken = k.Kids[2]
+					} else {
+						taken = &Node{Kind: NNop}
+					}
+					taken.Prov |= k.Prov
+					seq.Kids[i] = taken
+					record("dead branch", provOf(k))
+				case NFor:
+					if constTrip(k) == 0 {
+						seq.Kids[i] = &Node{Kind: NNop, Prov: k.Prov}
+						record("zero-trip loop", provOf(k))
+					}
+				case NExprStmt:
+					if IsPure(k.Kids[0]) {
+						seq.Kids[i] = &Node{Kind: NNop, Prov: k.Prov}
+						record("pure expression statement", provOf(k))
+					}
+				}
+				if failed != nil {
+					return
+				}
+			}
+		})
+		if failed != nil {
+			return failed
+		}
+
+		// Dead stores to locals never read anywhere in the method. Only
+		// uniquely declared names are candidates (shadowing would alias).
+		declCount := map[string]int{}
+		reads := map[string]int{}
+		ctx.Fn.Body.Walk(func(n *Node) bool {
+			switch n.Kind {
+			case NDecl:
+				declCount[n.Name]++
+			case NFor, NTry:
+				declCount[n.Name] += 2 // loop/catch vars are not candidates
+			case NVar:
+				reads[n.Name]++
+			}
+			return true
+		})
+		forEachSeq(ctx.Fn.Body, func(seq *Node) {
+			for i, k := range seq.Kids {
+				if failed != nil {
+					return
+				}
+				switch k.Kind {
+				case NDecl:
+					if declCount[k.Name] == 1 && reads[k.Name] == 0 && IsPure(k.Kids[0]) {
+						seq.Kids[i] = &Node{Kind: NNop, Prov: k.Prov}
+						record("dead local "+k.Name, provOf(k))
+					}
+				case NAssignVar:
+					if declCount[k.Name] <= 1 && reads[k.Name] == 0 && IsPure(k.Kids[0]) {
+						seq.Kids[i] = &Node{Kind: NNop, Prov: k.Prov}
+						record("dead store "+k.Name, provOf(k))
+					}
+				}
+			}
+		})
+	}
+	return failed
+}

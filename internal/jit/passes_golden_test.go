@@ -1,0 +1,475 @@
+package jit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bytecode"
+	"repro/internal/coverage"
+	"repro/internal/lang"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// lowerWork lowers T.work from a program snippet, returning a fresh
+// compilation context wired to a live machine env.
+func lowerWork(t *testing.T, src string) (*Context, *vm.Machine) {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	img, err := bytecode.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.NewMachine(img, vm.Config{})
+	f, err := LowerProgramFunc(p, "T.work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := profile.NewRecorder(profile.DefaultFlags())
+	return &Context{Fn: f, Tier: vm.TierC2, Log: rec, Cov: coverage.NewTracker(), Env: m}, m
+}
+
+const workTemplate = `
+class T {
+  int f;
+  static int sf;
+  static void main() {
+    T t = new T();
+    print(t.work(1));
+  }
+  int work(int i) {
+    BODY
+  }
+  static int add(int x, int y) { return x + y; }
+  synchronized int locked(int x) { return x + this.f; }
+}
+`
+
+func work(body string) string {
+	return strings.Replace(workTemplate, "BODY", body, 1)
+}
+
+func TestGoldenFullUnroll(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    int acc = 0;
+    for (int k = 0; k < 3; k += 1) {
+      acc = acc + k;
+    }
+    return acc;
+  `))
+	if err := passLoopUnroll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(ctx.Fn)
+	if strings.Contains(out, "for k") {
+		t.Errorf("loop not fully unrolled:\n%s", out)
+	}
+	// Three copies, each substituting k = 0, 1, 2.
+	for _, want := range []string{"const 0", "const 1", "const 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing unrolled constant %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "<unroll>") {
+		t.Errorf("missing unroll provenance:\n%s", out)
+	}
+	if ctx.Count(profile.BUnroll) != 1 {
+		t.Errorf("unroll count = %d", ctx.Count(profile.BUnroll))
+	}
+}
+
+func TestGoldenPartialUnroll(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    int acc = 0;
+    for (int k = 0; k < 32; k += 1) {
+      acc = acc + k;
+    }
+    return acc;
+  `))
+	if err := passLoopUnroll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(ctx.Fn)
+	if !strings.Contains(out, "for k step 4") {
+		t.Errorf("loop not partially unrolled by 4:\n%s", out)
+	}
+	if ctx.Count(profile.BPreMainPost) != 1 {
+		t.Error("missing pre/main/post event")
+	}
+}
+
+func TestGoldenUnrollRespectsBodyCap(t *testing.T) {
+	// A body larger than loopBodyNodeCap must not unroll.
+	var sb strings.Builder
+	sb.WriteString("int acc = 0;\nfor (int k = 0; k < 4; k += 1) {\n")
+	for i := 0; i < 40; i++ {
+		sb.WriteString("  acc = acc + k + 1;\n")
+	}
+	sb.WriteString("}\nreturn acc;\n")
+	ctx, _ := lowerWork(t, work(sb.String()))
+	if err := passLoopUnroll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Count(profile.BUnroll) != 0 {
+		t.Error("oversized body was unrolled")
+	}
+}
+
+func TestGoldenPeel(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    int acc = 0;
+    for (int k = 0; k < 9; k += 1) {
+      if (k == 0) {
+        acc = acc + 100;
+      }
+      acc = acc + k;
+    }
+    return acc;
+  `))
+	if err := passLoopPeel(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(ctx.Fn)
+	if !strings.Contains(out, "<peel>") {
+		t.Errorf("missing peel provenance:\n%s", out)
+	}
+	if ctx.Count(profile.BPeel) != 1 {
+		t.Errorf("peel count = %d", ctx.Count(profile.BPeel))
+	}
+}
+
+func TestGoldenUnswitch(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    int acc = 0;
+    boolean flag = i > 2;
+    for (int k = 0; k < 40; k += 1) {
+      if (flag) {
+        acc = acc + k;
+      } else {
+        acc = acc - k;
+      }
+    }
+    return acc;
+  `))
+	if err := passLoopUnswitch(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(ctx.Fn)
+	// Two loop twins under the hoisted test.
+	if strings.Count(out, "for ") != 2 {
+		t.Errorf("expected two loop twins:\n%s", out)
+	}
+	if ctx.Count(profile.BUnswitch) != 1 {
+		t.Errorf("unswitch count = %d", ctx.Count(profile.BUnswitch))
+	}
+}
+
+func TestGoldenLockElisionAndScalarReplace(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    T tmp = new T();
+    synchronized (tmp) {
+      tmp.f = i;
+    }
+    return tmp.f;
+  `))
+	if err := passEscapeAnalysis(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Escape["tmp"] != NoEscape {
+		t.Fatalf("tmp classified %v, want NoEscape", ctx.Escape["tmp"])
+	}
+	if err := passLockElide(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := passScalarReplace(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(ctx.Fn)
+	if strings.Contains(out, "sync") {
+		t.Errorf("lock not elided:\n%s", out)
+	}
+	if strings.Contains(out, "new T") {
+		t.Errorf("allocation not scalar-replaced:\n%s", out)
+	}
+	if !strings.Contains(out, "tmp$f") {
+		t.Errorf("missing scalar field local:\n%s", out)
+	}
+}
+
+func TestGoldenEscapeStates(t *testing.T) {
+	src := `
+class T {
+  int f;
+  static int sf;
+  static T sfT;
+  static void main() {
+    T t = new T();
+    print(t.work(1));
+  }
+  int work(int i) {
+    T a = new T();
+    T b = new T();
+    T c = new T();
+    a.f = 1;
+    int y = b.probe();
+    T.sfT = c;
+    return a.f + y;
+  }
+  int probe() { return 1; }
+}
+`
+	ctx, _ := lowerWork(t, src)
+	if err := passEscapeAnalysis(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Escape["a"] != NoEscape {
+		t.Errorf("a = %v, want NoEscape", ctx.Escape["a"])
+	}
+	if ctx.Escape["b"] != ArgEscape {
+		t.Errorf("b = %v, want ArgEscape (receiver use)", ctx.Escape["b"])
+	}
+	if ctx.Escape["c"] != GlobalEscape {
+		t.Errorf("c = %v, want GlobalEscape (stored to a static)", ctx.Escape["c"])
+	}
+}
+
+func TestGoldenNestedLockElim(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    int acc = 0;
+    synchronized (this) {
+      synchronized (this) {
+        acc = i;
+      }
+    }
+    return acc;
+  `))
+	if err := passNestedLocks(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(ctx.Fn)
+	if strings.Count(out, "sync") != 1 {
+		t.Errorf("inner nested lock not removed:\n%s", out)
+	}
+}
+
+func TestGoldenCoarsen(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    int acc = 0;
+    synchronized (this) {
+      acc = acc + 1;
+    }
+    synchronized (this) {
+      acc = acc + 2;
+    }
+    synchronized (this) {
+      acc = acc + 3;
+    }
+    return acc;
+  `))
+	if err := passLockCoarsen(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(ctx.Fn)
+	if strings.Count(out, "sync") != 1 {
+		t.Errorf("regions not coarsened into one:\n%s", out)
+	}
+	if !strings.Contains(out, "<coarsen>") {
+		t.Errorf("missing coarsen provenance:\n%s", out)
+	}
+}
+
+func TestGoldenCoarsenDifferentMonitorsUntouched(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    T other = new T();
+    int acc = 0;
+    synchronized (this) {
+      acc = acc + 1;
+    }
+    synchronized (other) {
+      acc = acc + 2;
+    }
+    return acc;
+  `))
+	if err := passLockCoarsen(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Count(profile.BLockCoarsen) != 0 {
+		t.Error("coarsened across distinct monitors")
+	}
+}
+
+func TestGoldenGVNAndAlgebra(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    int a = i * 31 + 7;
+    int b = i * 31 + 7;
+    int c = a + 0;
+    return a + b + c;
+  `))
+	if err := passGVN(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := passAlgebra(ctx, "c2"); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Count(profile.BGVN) != 1 {
+		t.Errorf("GVN count = %d", ctx.Count(profile.BGVN))
+	}
+	if ctx.Count(profile.BAlgebraic) == 0 {
+		t.Error("no algebraic rewrites")
+	}
+	out := Dump(ctx.Fn)
+	if !strings.Contains(out, "<gvn>") {
+		t.Errorf("missing gvn provenance:\n%s", out)
+	}
+}
+
+func TestGoldenRSEWindowStopsAtThrowingStatement(t *testing.T) {
+	// The intermediate call can throw: the earlier store must survive
+	// (a handler in a caller... in this language, same-method try could
+	// observe it).
+	ctx, _ := lowerWork(t, work(`
+    int a = 0;
+    a = 5;
+    int z = T.add(i, 1);
+    a = z;
+    return a;
+  `))
+	if err := passRSE(ctx, "c2"); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Count(profile.BRedundantStore) != 0 {
+		t.Error("RSE crossed a potentially-throwing statement")
+	}
+}
+
+func TestGoldenDCE(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    int dead = i * 999;
+    if (3 > 5) {
+      T.sf = 1;
+    }
+    return i;
+  `))
+	// Fold the constant condition first, then DCE.
+	if err := passAlgebra(ctx, "c2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := passDCE(ctx, "c2"); err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(ctx.Fn)
+	if strings.Contains(out, "dead") {
+		t.Errorf("dead local survived:\n%s", out)
+	}
+	if strings.Contains(out, "putstatic") {
+		t.Errorf("dead branch survived:\n%s", out)
+	}
+	if ctx.Count(profile.BDCE) < 2 {
+		t.Errorf("DCE count = %d", ctx.Count(profile.BDCE))
+	}
+}
+
+func TestGoldenDereflect(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    int a = reflect_invoke("T", "add", null, i, 2);
+    int b = reflect_get("T", "sf", null);
+    return a + b;
+  `))
+	if err := passDereflect(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(ctx.Fn)
+	if strings.Contains(out, "reflect_call") || strings.Contains(out, "reflect_get") {
+		t.Errorf("reflection survived:\n%s", out)
+	}
+	if !strings.Contains(out, "<dereflect>") {
+		t.Errorf("missing dereflect provenance:\n%s", out)
+	}
+	// De-reflection is unlogged (§5.1): no behavior counts.
+	for b := 0; b < profile.NumBehaviors; b++ {
+		if ctx.Counts[b] != 0 {
+			t.Errorf("behavior %v counted for dereflect", profile.Behavior(b))
+		}
+	}
+	if len(ctx.Events) != 2 {
+		t.Errorf("events = %d, want 2 white-box dereflect events", len(ctx.Events))
+	}
+}
+
+func TestGoldenTrapInsertion(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    int r = i;
+    if (i > 5000) {
+      r = r * 2;
+    }
+    return r;
+  `))
+	if err := passTraps(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(ctx.Fn)
+	if !strings.Contains(out, "uncommon_trap") {
+		t.Errorf("no trap inserted:\n%s", out)
+	}
+}
+
+func TestGoldenTrapSkippedOnRecompile(t *testing.T) {
+	ctx, m := lowerWork(t, work(`
+    int r = i;
+    if (i > 5000) {
+      r = r * 2;
+    }
+    return r;
+  `))
+	m.InvalidateCode("T.work") // simulate a prior deopt
+	if err := passTraps(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(Dump(ctx.Fn), "uncommon_trap") {
+		t.Error("speculation repeated after deopt")
+	}
+	if ctx.Count(profile.BDeoptRecompile) != 1 {
+		t.Error("missing recompile event")
+	}
+}
+
+func TestGoldenAutoboxLocal(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    Integer bx = Integer.valueOf(i + 1);
+    int a = bx.intValue();
+    int b = bx.intValue();
+    return a + b;
+  `))
+	if err := passAutobox(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := Dump(ctx.Fn)
+	if strings.Contains(out, "box") && !strings.Contains(out, "autobox") {
+		t.Errorf("boxing survived:\n%s", out)
+	}
+	if ctx.Count(profile.BAutoboxElim) == 0 {
+		t.Error("no autobox events")
+	}
+}
+
+func TestDumpReadable(t *testing.T) {
+	ctx, _ := lowerWork(t, work(`
+    int acc = 0;
+    synchronized (this) {
+      acc = i + this.f;
+    }
+    return acc;
+  `))
+	out := Dump(ctx.Fn)
+	for _, want := range []string{"func T.work", "decl int acc", "sync", "getfield .f", "return"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,444 @@
+package jit
+
+import (
+	"fmt"
+
+	"repro/internal/lang"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// passDereflect replaces reflective calls and field reads whose targets
+// the compiler can resolve statically with direct operations. The VM has
+// no diagnostic flag for this optimization (paper §5.1), so the events
+// carry BehaviorNone and never reach the profile log — the fuzzer's
+// guidance is blind to them by design.
+func passDereflect(ctx *Context) error {
+	var failed error
+	ctx.Fn.Body = rewriteExprs(ctx.Fn.Body, func(n *Node) *Node {
+		if failed != nil {
+			return n
+		}
+		switch n.Kind {
+		case NReflectCall:
+			n.Kind = NCall
+			n.Prov |= FromDereflect
+			ctx.Cover("c2.dereflect.apply")
+			failed = ctx.Record(Event{Pass: "dereflect", Behavior: BehaviorNone,
+				Detail: fmt.Sprintf("call %s.%s", n.Class, n.Name), Prov: n.Prov})
+		case NReflectGet:
+			n.Kind = NFieldGet
+			n.Prov |= FromDereflect
+			ctx.Cover("c2.dereflect.apply")
+			failed = ctx.Record(Event{Pass: "dereflect", Behavior: BehaviorNone,
+				Detail: fmt.Sprintf("field %s.%s", n.Class, n.Name), Prov: n.Prov})
+		}
+		return n
+	})
+	return failed
+}
+
+// inliner carries inlining state for one compilation.
+type inliner struct {
+	ctx     *Context
+	budget  int
+	counter int
+	cache   map[string]*Func
+}
+
+// passInline performs up to three rounds of call inlining:
+//   - expression inlining for callees of the form `return <expr>;`
+//   - statement inlining for void callees at statement position
+//
+// Synchronized callees get their bodies wrapped in a monitor region on
+// the receiver ("monitors rewired", the Listing 1 obligation).
+func passInline(ctx *Context, budget int) error {
+	in := &inliner{ctx: ctx, budget: budget, cache: map[string]*Func{}}
+	for round := 0; round < 3; round++ {
+		before := in.counter
+		if err := in.run(); err != nil {
+			return err
+		}
+		if in.counter == before {
+			break
+		}
+	}
+	return nil
+}
+
+func (in *inliner) prefix() string {
+	if in.ctx.Tier == vm.TierC1 {
+		return "c1"
+	}
+	return "c2"
+}
+
+func (in *inliner) lookup(class, method string) *Func {
+	key := class + "." + method
+	if f, ok := in.cache[key]; ok {
+		return f
+	}
+	prog := in.ctx.Env.Image().Program
+	cl := prog.Class(class)
+	if cl == nil {
+		return nil
+	}
+	m := cl.Method(method)
+	if m == nil {
+		return nil
+	}
+	f, err := Lower(cl, m)
+	if err != nil {
+		f = nil
+	}
+	in.cache[key] = f
+	return f
+}
+
+func (in *inliner) run() error {
+	var failed error
+	var visit func(n *Node, sc stmtCtx)
+	visit = func(n *Node, sc stmtCtx) {
+		if failed != nil {
+			return
+		}
+		switch n.Kind {
+		case NSeq:
+			for i := 0; i < len(n.Kids); i++ {
+				k := n.Kids[i]
+				if repl, ok, err := in.tryStmtInline(k, sc); err != nil {
+					failed = err
+					return
+				} else if ok {
+					// Splice (declarations hoisted out of monitor regions
+					// must live in this scope, not a nested one).
+					n.Kids = append(n.Kids[:i], append(repl, n.Kids[i+1:]...)...)
+					i += len(repl) - 1
+					continue
+				}
+				visit(k, sc)
+			}
+		case NIf:
+			visit(n.Kids[1], sc)
+			if len(n.Kids) > 2 {
+				visit(n.Kids[2], sc)
+			}
+		case NFor:
+			inner := sc
+			inner.LoopDepth++
+			visit(n.Kids[2], inner)
+		case NWhile:
+			inner := sc
+			inner.LoopDepth++
+			visit(n.Kids[1], inner)
+		case NSync:
+			inner := sc
+			inner.SyncDepth++
+			visit(n.Kids[1], inner)
+		case NTry:
+			visit(n.Kids[0], sc)
+			visit(n.Kids[1], sc)
+		case NUncommonTrap:
+			visit(n.Kids[0], sc)
+		}
+	}
+	visit(in.ctx.Fn.Body, stmtCtx{})
+	return failed
+}
+
+// tryStmtInline attempts to inline the calls reachable from one
+// statement. It returns the replacement statement when a structural
+// (synchronized or void-body) inline changed the statement shape.
+func (in *inliner) tryStmtInline(stmt *Node, sc stmtCtx) ([]*Node, bool, error) {
+	// First: expression inlining of non-synchronized `return expr`
+	// callees anywhere inside the statement's expressions.
+	var failed error
+	var rewrite func(n *Node) *Node
+	rewrite = func(n *Node) *Node {
+		if failed != nil || n == nil {
+			return n
+		}
+		for i, k := range n.Kids {
+			if !k.Kind.IsStmt() {
+				n.Kids[i] = rewrite(k)
+			}
+		}
+		if n.Kind == NCall {
+			if repl, ok, err := in.tryExprInline(n, sc, false); err != nil {
+				failed = err
+			} else if ok {
+				return repl
+			}
+		}
+		return n
+	}
+	switch stmt.Kind {
+	case NDecl, NAssignVar, NExprStmt, NPrint, NReturn, NThrow, NAssignField, NAssignIndex, NIf, NFor, NWhile, NSync:
+		for i, k := range stmt.Kids {
+			if !k.Kind.IsStmt() {
+				stmt.Kids[i] = rewrite(k)
+			}
+		}
+	}
+	if failed != nil {
+		return nil, false, failed
+	}
+
+	// Second: structural inlining where the call is the statement's
+	// direct expression — covers synchronized `return expr` callees
+	// (the statement gets wrapped in a monitor region) and void callees.
+	var call *Node
+	switch stmt.Kind {
+	case NDecl, NAssignVar:
+		call = stmt.Kids[0]
+	case NExprStmt:
+		call = stmt.Kids[0]
+	}
+	if call == nil || call.Kind != NCall {
+		return nil, false, nil
+	}
+	callee := in.lookup(call.Class, call.Name)
+	if callee == nil {
+		return nil, false, nil
+	}
+	if callee.Synchronized && callee.HasReceiver {
+		return in.inlineSynchronized(stmt, call, callee, sc)
+	}
+	if stmt.Kind == NExprStmt && callee.Ret.Kind == lang.KindVoid {
+		seq, ok, err := in.inlineVoidBody(call, callee, sc)
+		if !ok || err != nil {
+			return nil, ok, err
+		}
+		return []*Node{seq}, true, nil
+	}
+	return nil, false, nil
+}
+
+// tryExprInline inlines a `return expr` callee into the call site.
+func (in *inliner) tryExprInline(call *Node, sc stmtCtx, allowSync bool) (*Node, bool, error) {
+	callee := in.lookup(call.Class, call.Name)
+	if callee == nil || (callee.Synchronized && !allowSync) {
+		return nil, false, nil
+	}
+	body := callee.Body
+	if len(body.Kids) != 1 || body.Kids[0].Kind != NReturn || len(body.Kids[0].Kids) == 0 {
+		return nil, false, nil
+	}
+	if callee.Body.CountNodes() > in.budget {
+		in.ctx.Cover(in.prefix() + ".inline.try")
+		return nil, false, nil
+	}
+	expr := body.Kids[0].Kids[0].Clone()
+	recv, args := CallArgs(call)
+	if len(args) != len(callee.Params) {
+		return nil, false, nil
+	}
+
+	// Substitution reorders argument evaluation relative to the call's
+	// left-to-right order, so the bindings must commute: at most one may
+	// be impure, and when one is, every other binding must be strongly
+	// pure (constants and variable reads only — field reads could observe
+	// the impure binding's writes). An impure binding must be used
+	// exactly once; an unused binding must be pure (dropping it would
+	// lose its effects).
+	type binding struct {
+		name string
+		arg  *Node
+	}
+	var binds []binding
+	if callee.HasReceiver {
+		// The call site null-checks the receiver; the inlined body must
+		// preserve that, so the receiver substitutes with an explicit
+		// null check (impure: it can throw).
+		if !IsPure(recv) {
+			return nil, false, nil
+		}
+		checked := &Node{Kind: NNullCheck, Ty: recv.Ty, Kids: []*Node{recv}}
+		binds = append(binds, binding{"this", checked})
+	}
+	for i, p := range callee.Params {
+		binds = append(binds, binding{p.Name, args[i]})
+	}
+	impure := 0
+	for _, b := range binds {
+		if !IsPure(b.arg) {
+			impure++
+		}
+	}
+	if impure > 1 {
+		return nil, false, nil
+	}
+	for _, b := range binds {
+		pure := IsPure(b.arg)
+		if impure == 1 && pure && !strongPure(b.arg) {
+			return nil, false, nil
+		}
+		uses := countVarReads(expr, b.name)
+		if uses == 0 && !pure {
+			return nil, false, nil
+		}
+		if uses > 1 && !pure {
+			return nil, false, nil
+		}
+		expr = substVar(expr, b.name, b.arg)
+	}
+	expr.AddProv(FromInline)
+	in.counter++
+	in.ctx.Cover(in.prefix() + ".inline.try")
+	in.ctx.Cover(in.prefix() + ".inline.apply")
+	in.ctx.Emitf(profile.FlagPrintInlining, "@ %d %s::%s (%d nodes)   inline (hot)",
+		in.counter, call.Class, call.Name, callee.Body.CountNodes())
+	if err := in.ctx.Record(Event{Pass: "inline", Behavior: profile.BInline,
+		Detail: call.Class + "." + call.Name, Prov: expr.Prov,
+		SyncDepth: sc.SyncDepth, LoopDepth: sc.LoopDepth}); err != nil {
+		return nil, false, err
+	}
+	return expr, true, nil
+}
+
+// inlineSynchronized inlines a synchronized instance callee by inlining
+// its body expression and wrapping the whole statement in a monitor
+// region on the receiver — the compiler obligation from Listing 1.
+func (in *inliner) inlineSynchronized(stmt, call *Node, callee *Func, sc stmtCtx) ([]*Node, bool, error) {
+	recv, _ := CallArgs(call)
+	if recv == nil || recv.Kind != NVar {
+		return nil, false, nil // need a re-evaluable monitor expression
+	}
+	// A declaration cannot move inside the monitor region (its scope
+	// would shrink), so it is split into a hoisted default-initialized
+	// declaration and an in-region assignment. Reference-typed results
+	// have no expressible default and are not inlined this way.
+	if stmt.Kind == NDecl && stmt.Ty.IsRef() {
+		return nil, false, nil
+	}
+	inlined, ok, err := in.tryExprInline(call, sc, true)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if stmt.Kind == NDecl {
+		zero := &Node{Kind: NConstInt, IVal: 0, IsLong: stmt.Ty.Kind == lang.KindLong, Ty: stmt.Ty}
+		if stmt.Ty.Kind == lang.KindBool {
+			zero = &Node{Kind: NConstBool, IVal: 0, Ty: lang.Bool}
+		}
+		hoisted := &Node{Kind: NDecl, Name: stmt.Name, Ty: stmt.Ty,
+			Prov: stmt.Prov | FromInline, Kids: []*Node{zero}}
+		region := &Node{Kind: NAssignVar, Name: stmt.Name, Ty: stmt.Ty,
+			Prov: stmt.Prov | FromInline, Kids: []*Node{inlined}}
+		sync := &Node{Kind: NSync, Prov: FromInline | FromInlineSync,
+			Kids: []*Node{recv.Clone(), Seq(region)}}
+		return in.finishSyncInline([]*Node{hoisted, sync}, sync, call, sc)
+	}
+	stmt.Kids[0] = inlined
+	sync := &Node{Kind: NSync, Prov: FromInline | FromInlineSync,
+		Kids: []*Node{recv.Clone(), Seq(stmt)}}
+	return in.finishSyncInline([]*Node{sync}, sync, call, sc)
+}
+
+// finishSyncInline applies defect flags, emits the rewiring log line and
+// event, and returns the replacement statement.
+func (in *inliner) finishSyncInline(result []*Node, sync *Node, call *Node, sc stmtCtx) ([]*Node, bool, error) {
+	in.ctx.Cover(in.prefix() + ".inline.sync")
+	if in.ctx.Tier == vm.TierC1 {
+		in.ctx.Cover("c1.inline.sync_handler")
+	}
+	in.ctx.Emitf(profile.FlagPrintInlining, "@ %d %s::%s   inline (hot) monitors rewired",
+		in.counter, call.Class, call.Name)
+	if err := in.ctx.Record(Event{Pass: "inline", Behavior: profile.BInlineSync,
+		Detail: call.Class + "." + call.Name, Prov: sync.Prov,
+		SyncDepth: sc.SyncDepth, LoopDepth: sc.LoopDepth}); err != nil {
+		return nil, false, err
+	}
+	// The hook observing the event above may have requested the defect:
+	// the rewired monitor loses its exception-path release (the missing
+	// fill_sync_handler case of Listing 1).
+	if in.ctx.DropSyncCleanup {
+		sync.NoExcCleanup = true
+		in.ctx.DropSyncCleanup = false
+	}
+	return result, true, nil
+}
+
+// inlineVoidBody splices a void callee's statements into the call site,
+// renaming locals and binding parameters through fresh temporaries.
+func (in *inliner) inlineVoidBody(call *Node, callee *Func, sc stmtCtx) (*Node, bool, error) {
+	if callee.Body.CountNodes() > in.budget {
+		in.ctx.Cover(in.prefix() + ".inline.try")
+		return nil, false, nil
+	}
+	// Reject callees with non-trailing returns (control flow we cannot
+	// splice), recursion into the caller, and static synchronized
+	// methods (their class-object monitor is not expressible here).
+	if callee.Key() == in.ctx.Fn.Key() || callee.Synchronized {
+		return nil, false, nil
+	}
+	bad := false
+	callee.Body.Walk(func(m *Node) bool {
+		if m.Kind == NReturn {
+			bad = true
+		}
+		return true
+	})
+	// Allow exactly one trailing `return;`.
+	kids := callee.Body.Kids
+	if len(kids) > 0 && kids[len(kids)-1].Kind == NReturn && len(kids[len(kids)-1].Kids) == 0 {
+		trailing := kids[len(kids)-1]
+		count := 0
+		callee.Body.Walk(func(m *Node) bool {
+			if m.Kind == NReturn && m != trailing {
+				count++
+			}
+			return true
+		})
+		bad = count > 0
+	}
+	if bad {
+		return nil, false, nil
+	}
+
+	body := callee.Body.Clone()
+	if len(body.Kids) > 0 && body.Kids[len(body.Kids)-1].Kind == NReturn {
+		body.Kids = body.Kids[:len(body.Kids)-1]
+	}
+	in.counter++
+	p := fmt.Sprintf("$inl%d_", in.counter)
+	mapping := map[string]string{}
+	body.Walk(func(m *Node) bool {
+		switch m.Kind {
+		case NDecl, NFor, NTry:
+			mapping[m.Name] = p + m.Name
+		}
+		return true
+	})
+	for _, prm := range callee.Params {
+		mapping[prm.Name] = p + prm.Name
+	}
+	if callee.HasReceiver {
+		mapping["this"] = p + "this"
+	}
+	renameLocals(body, mapping)
+
+	seq := Seq()
+	recv, args := CallArgs(call)
+	if callee.HasReceiver {
+		checked := &Node{Kind: NNullCheck, Ty: recv.Ty, Kids: []*Node{recv}}
+		seq.Kids = append(seq.Kids, &Node{Kind: NDecl, Name: p + "this",
+			Ty: lang.ObjectType(callee.Class), Kids: []*Node{checked}})
+	}
+	for i, prm := range callee.Params {
+		seq.Kids = append(seq.Kids, &Node{Kind: NDecl, Name: p + prm.Name,
+			Ty: prm.Ty, Kids: []*Node{args[i]}})
+	}
+	seq.Kids = append(seq.Kids, body.Kids...)
+	seq.AddProv(FromInline)
+
+	in.ctx.Cover(in.prefix() + ".inline.try")
+	in.ctx.Cover(in.prefix() + ".inline.apply")
+	in.ctx.Emitf(profile.FlagPrintInlining, "@ %d %s::%s (%d nodes)   inline (hot)",
+		in.counter, call.Class, call.Name, callee.Body.CountNodes())
+	if err := in.ctx.Record(Event{Pass: "inline", Behavior: profile.BInline,
+		Detail: call.Class + "." + call.Name, Prov: seq.Prov,
+		SyncDepth: sc.SyncDepth, LoopDepth: sc.LoopDepth}); err != nil {
+		return nil, false, err
+	}
+	return seq, true, nil
+}

@@ -1,0 +1,482 @@
+package jit
+
+import (
+	"repro/internal/profile"
+)
+
+// passEscapeAnalysis classifies every locally allocated object
+// (NDecl name = new C()) by how far it escapes:
+//
+//	NoEscape     — only field accesses and monitor use on the local
+//	ArgEscape    — additionally passed to calls (as arg or receiver)
+//	GlobalEscape — stored to fields/arrays/statics/other locals,
+//	               returned, printed, or compared by identity
+//
+// The classification feeds lock elision and scalar replacement.
+func passEscapeAnalysis(ctx *Context) error {
+	ctx.Escape = map[string]EscapeState{}
+	body := ctx.Fn.Body
+
+	// Candidates: locals declared exactly once, initialized with new,
+	// and never reassigned.
+	declCount := map[string]int{}
+	body.Walk(func(n *Node) bool {
+		if n.Kind == NDecl || n.Kind == NAssignVar {
+			declCount[n.Name]++
+		}
+		return true
+	})
+	var candidates []string
+	body.Walk(func(n *Node) bool {
+		if n.Kind == NDecl && n.Kids[0].Kind == NNew && declCount[n.Name] == 1 {
+			candidates = append(candidates, n.Name)
+		}
+		return true
+	})
+	if len(candidates) == 0 {
+		return nil
+	}
+	ctx.Cover("c2.escape.analyze")
+
+	for _, name := range candidates {
+		state := classifyEscape(body, name)
+		ctx.Escape[name] = state
+		switch state {
+		case NoEscape:
+			ctx.Cover("c2.escape.noescape")
+			ctx.Emitf(profile.FlagPrintEscapeAnalysis, "%s is NoEscape", name)
+			if err := ctx.Record(Event{Pass: "escape", Behavior: profile.BEscapeNone, Detail: name}); err != nil {
+				return err
+			}
+		case ArgEscape:
+			ctx.Cover("c2.escape.argescape")
+			ctx.Emitf(profile.FlagPrintEscapeAnalysis, "%s is ArgEscape", name)
+			if err := ctx.Record(Event{Pass: "escape", Behavior: profile.BEscapeArg, Detail: name}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// classifyEscape inspects every use of the named local.
+func classifyEscape(body *Node, name string) EscapeState {
+	state := NoEscape
+	raise := func(s EscapeState) {
+		if s > state {
+			state = s
+		}
+	}
+	// reads reports whether an expression subtree reads the local
+	// anywhere *except* in allowed receiver positions.
+	var scanExpr func(n *Node, allowRecv bool)
+	scanExpr = func(n *Node, allowRecv bool) {
+		if n == nil {
+			return
+		}
+		switch n.Kind {
+		case NVar:
+			if n.Name == name {
+				raise(GlobalEscape) // value position
+			}
+			return
+		case NFieldGet, NReflectGet:
+			if len(n.Kids) == 1 {
+				if n.Kids[0].Kind == NVar && n.Kids[0].Name == name {
+					return // receiver of a field read: no escape
+				}
+				scanExpr(n.Kids[0], false)
+			}
+			return
+		case NCall, NReflectCall:
+			recv, args := CallArgs(n)
+			if recv != nil {
+				if recv.Kind == NVar && recv.Name == name {
+					raise(ArgEscape)
+				} else {
+					scanExpr(recv, false)
+				}
+			}
+			for _, a := range args {
+				if a.Kind == NVar && a.Name == name {
+					raise(ArgEscape)
+				} else {
+					scanExpr(a, false)
+				}
+			}
+			return
+		case NBinary:
+			// Identity comparison pins the object.
+			if n.BinOp.IsComparison() {
+				for _, k := range n.Kids {
+					if k.Kind == NVar && k.Name == name {
+						raise(GlobalEscape)
+					}
+				}
+			}
+		}
+		for _, k := range n.Kids {
+			if !k.Kind.IsStmt() {
+				scanExpr(k, false)
+			}
+		}
+	}
+
+	body.Walk(func(n *Node) bool {
+		switch n.Kind {
+		case NDecl:
+			if n.Name != name { // our own init is the allocation
+				if n.Kids[0].Kind == NVar && n.Kids[0].Name == name {
+					raise(GlobalEscape)
+				} else {
+					scanExpr(n.Kids[0], false)
+				}
+			}
+		case NAssignVar:
+			if n.Kids[0].Kind == NVar && n.Kids[0].Name == name {
+				raise(GlobalEscape)
+			} else {
+				scanExpr(n.Kids[0], false)
+			}
+		case NAssignField:
+			// receiver position fine; value position escapes
+			if n.Static {
+				scanExprValue(n.Kids[0], name, raise, scanExpr)
+			} else {
+				if !(n.Kids[0].Kind == NVar && n.Kids[0].Name == name) {
+					scanExpr(n.Kids[0], false)
+				}
+				scanExprValue(n.Kids[1], name, raise, scanExpr)
+			}
+		case NAssignIndex:
+			scanExpr(n.Kids[0], false)
+			scanExpr(n.Kids[1], false)
+			scanExprValue(n.Kids[2], name, raise, scanExpr)
+		case NReturn:
+			if len(n.Kids) > 0 {
+				scanExprValue(n.Kids[0], name, raise, scanExpr)
+			}
+		case NPrint:
+			scanExprValue(n.Kids[0], name, raise, scanExpr)
+		case NThrow, NExprStmt, NIf, NFor, NWhile:
+			for _, k := range n.Kids {
+				if !k.Kind.IsStmt() {
+					scanExpr(k, false)
+				}
+			}
+		case NSync:
+			// Monitor use of the local itself is not an escape.
+			if !(n.Kids[0].Kind == NVar && n.Kids[0].Name == name) {
+				scanExpr(n.Kids[0], false)
+			}
+		}
+		return true
+	})
+	return state
+}
+
+func scanExprValue(n *Node, name string, raise func(EscapeState), scanExpr func(*Node, bool)) {
+	if n.Kind == NVar && n.Name == name {
+		raise(GlobalEscape)
+		return
+	}
+	scanExpr(n, false)
+}
+
+// passLockElide removes synchronized regions whose monitor provably
+// never escapes the method (HotSpot's EliminateLocks on NoEscape
+// objects), and regions locking a freshly allocated object inline.
+func passLockElide(ctx *Context) error {
+	eliminated := 0
+	var failed error
+	var walk func(n *Node, sc stmtCtx)
+	walk = func(n *Node, sc stmtCtx) {
+		if failed != nil || n == nil || !n.Kind.IsStmt() {
+			return
+		}
+		if n.Kind == NSeq {
+			for i := 0; i < len(n.Kids); i++ {
+				k := n.Kids[i]
+				if k.Kind == NSync && elidableMonitor(ctx, k.Kids[0]) {
+					eliminated++
+					body := k.Kids[1]
+					body.Prov |= k.Prov
+					n.Kids[i] = body
+					ctx.Cover("c2.locks.eliminate")
+					ctx.Emitf(profile.FlagPrintEliminateLocks, "++++ Eliminated: %d Lock", eliminated)
+					failed = ctx.Record(Event{Pass: "locks", Behavior: profile.BLockElim,
+						Detail: ctx.Fn.Key(), Prov: provOf(k), SyncDepth: sc.SyncDepth, LoopDepth: sc.LoopDepth})
+					if failed != nil {
+						return
+					}
+					i-- // revisit the replacement (it may hold nested syncs)
+					continue
+				}
+				walk(k, sc)
+			}
+			return
+		}
+		switch n.Kind {
+		case NIf:
+			walk(n.Kids[1], sc)
+			if len(n.Kids) > 2 {
+				walk(n.Kids[2], sc)
+			}
+		case NFor:
+			inner := sc
+			inner.LoopDepth++
+			walk(n.Kids[2], inner)
+		case NWhile:
+			inner := sc
+			inner.LoopDepth++
+			walk(n.Kids[1], inner)
+		case NSync:
+			inner := sc
+			inner.SyncDepth++
+			walk(n.Kids[1], inner)
+		case NTry:
+			walk(n.Kids[0], sc)
+			walk(n.Kids[1], sc)
+		case NUncommonTrap:
+			walk(n.Kids[0], sc)
+		}
+	}
+	walk(ctx.Fn.Body, stmtCtx{})
+	return failed
+}
+
+func elidableMonitor(ctx *Context, mon *Node) bool {
+	if mon.Kind == NNew {
+		return true // lock on a fresh allocation never contends
+	}
+	if mon.Kind == NVar && ctx.Escape != nil && ctx.Escape[mon.Name] == NoEscape {
+		return true
+	}
+	return false
+}
+
+// passNestedLocks removes re-entrant inner synchronized regions: an
+// inner region whose monitor is provably the same object as an enclosing
+// region's monitor is redundant (the thread already holds the lock).
+func passNestedLocks(ctx *Context) error {
+	// Monitors must be stable expressions: locals never reassigned, string
+	// literals, or static fields never written in this method.
+	assigned := map[string]bool{}
+	staticWritten := map[string]bool{}
+	ctx.Fn.Body.Walk(func(n *Node) bool {
+		switch n.Kind {
+		case NAssignVar:
+			assigned[n.Name] = true
+		case NAssignField:
+			if n.Static {
+				staticWritten[n.Class+"."+n.Name] = true
+			}
+		}
+		return true
+	})
+	stable := func(mon *Node) bool {
+		switch mon.Kind {
+		case NVar:
+			return !assigned[mon.Name]
+		case NConstStr:
+			return true
+		case NFieldGet:
+			return mon.Static && !staticWritten[mon.Class+"."+mon.Name]
+		}
+		return false
+	}
+
+	var failed error
+	var walk func(n *Node, enclosing []*Node, sc stmtCtx)
+	walk = func(n *Node, enclosing []*Node, sc stmtCtx) {
+		if failed != nil || n == nil || !n.Kind.IsStmt() {
+			return
+		}
+		if n.Kind == NSeq {
+			for i := 0; i < len(n.Kids); i++ {
+				k := n.Kids[i]
+				if k.Kind == NSync && stable(k.Kids[0]) {
+					redundant := false
+					for _, outer := range enclosing {
+						if SameSimpleExpr(outer, k.Kids[0]) {
+							redundant = true
+							break
+						}
+					}
+					if redundant {
+						body := k.Kids[1]
+						body.Prov |= k.Prov
+						n.Kids[i] = body
+						ctx.Cover("c2.locks.nested")
+						ctx.Emitf(profile.FlagPrintEliminateLocks, "++++ Eliminated: 1 Lock (nested)")
+						failed = ctx.Record(Event{Pass: "locks", Behavior: profile.BNestedLockElim,
+							Detail: ctx.Fn.Key(), Prov: provOf(k), SyncDepth: sc.SyncDepth, LoopDepth: sc.LoopDepth})
+						if failed != nil {
+							return
+						}
+						i--
+						continue
+					}
+				}
+				walk(k, enclosing, sc)
+			}
+			return
+		}
+		switch n.Kind {
+		case NIf:
+			walk(n.Kids[1], enclosing, sc)
+			if len(n.Kids) > 2 {
+				walk(n.Kids[2], enclosing, sc)
+			}
+		case NFor:
+			inner := sc
+			inner.LoopDepth++
+			walk(n.Kids[2], enclosing, inner)
+		case NWhile:
+			inner := sc
+			inner.LoopDepth++
+			walk(n.Kids[1], enclosing, inner)
+		case NSync:
+			inner := sc
+			inner.SyncDepth++
+			enc := enclosing
+			if stable(n.Kids[0]) {
+				enc = append(append([]*Node(nil), enclosing...), n.Kids[0])
+			}
+			walk(n.Kids[1], enc, inner)
+		case NTry:
+			walk(n.Kids[0], enclosing, sc)
+			walk(n.Kids[1], enclosing, sc)
+		case NUncommonTrap:
+			walk(n.Kids[0], enclosing, sc)
+		}
+	}
+	walk(ctx.Fn.Body, nil, stmtCtx{})
+	return failed
+}
+
+// passLockCoarsen merges runs of adjacent synchronized regions on the
+// same monitor into one region (HotSpot's lock coarsening in macro
+// expansion). It runs after loop unrolling, so fully unrolled
+// synchronized loop bodies — now adjacent sibling regions — are prime
+// input; the provenance union on the event is how bug predicates see
+// that interaction.
+func passLockCoarsen(ctx *Context) error {
+	var failed error
+	forEachSeqDeep(ctx.Fn.Body, func(seq *Node, sc stmtCtx) {
+		if failed != nil {
+			return
+		}
+		for i := 0; i < len(seq.Kids); i++ {
+			first := seq.Kids[i]
+			if first.Kind != NSync || !coarsenableMonitor(first.Kids[0]) {
+				continue
+			}
+			// Collect the run: [sync, (transparent stmts), sync, ...].
+			run := []int{i}
+			j := i + 1
+			for j < len(seq.Kids) {
+				k := seq.Kids[j]
+				if k.Kind == NSync && SameSimpleExpr(first.Kids[0], k.Kids[0]) {
+					run = append(run, j)
+					j++
+					continue
+				}
+				if transparentForCoarsen(k, first.Kids[0]) {
+					j++
+					continue
+				}
+				break
+			}
+			// Trim trailing transparent statements past the last sync.
+			last := run[len(run)-1]
+			if len(run) < 2 {
+				continue
+			}
+			// Merge: bodies and intervening statements, in order.
+			merged := Seq()
+			var prov Prov
+			for idx := i; idx <= last; idx++ {
+				k := seq.Kids[idx]
+				prov |= provOf(k)
+				if k.Kind == NSync {
+					merged.Kids = append(merged.Kids, k.Kids[1])
+				} else {
+					merged.Kids = append(merged.Kids, k)
+				}
+			}
+			coarse := &Node{Kind: NSync, Prov: first.Prov | FromCoarsen,
+				Kids: []*Node{first.Kids[0], merged}}
+			seq.Kids = append(seq.Kids[:i], append([]*Node{coarse}, seq.Kids[last+1:]...)...)
+
+			ctx.Cover("c2.locks.coarsen")
+			ctx.Cover("c2.macro.expand")
+			ctx.Emitf(profile.FlagPrintLockCoarsening, "Coarsened %d locks on %s in %s",
+				len(run), monDesc(first.Kids[0]), ctx.Fn.Key())
+			failed = ctx.Record(Event{Pass: "locks", Behavior: profile.BLockCoarsen,
+				Detail: ctx.Fn.Key(), Prov: prov | FromCoarsen,
+				SyncDepth: sc.SyncDepth, LoopDepth: sc.LoopDepth})
+			if failed != nil {
+				return
+			}
+			if ctx.SkipCoarsenUnlock {
+				// Seeded defect (requested by the hook observing the
+				// event): the merged region's exception path loses its
+				// unlock.
+				coarse.NoExcCleanup = true
+				ctx.SkipCoarsenUnlock = false
+			}
+		}
+	})
+	return failed
+}
+
+// coarsenableMonitor limits coarsening to stable simple monitors.
+func coarsenableMonitor(mon *Node) bool {
+	switch mon.Kind {
+	case NVar, NConstStr:
+		return true
+	case NFieldGet:
+		return mon.Static
+	}
+	return false
+}
+
+// transparentForCoarsen reports whether a statement between two lock
+// regions can safely move inside the merged region: pure-value local
+// work that cannot touch the monitor reference.
+func transparentForCoarsen(n *Node, mon *Node) bool {
+	switch n.Kind {
+	case NNop:
+		return true
+	case NAssignVar:
+		// Declarations must not move (their scope would shrink);
+		// assignments to existing locals are safe to pull inside.
+		if mon.Kind == NVar && n.Name == mon.Name {
+			return false
+		}
+		return IsPure(n.Kids[0])
+	}
+	return false
+}
+
+func monDesc(mon *Node) string {
+	switch mon.Kind {
+	case NVar:
+		return mon.Name
+	case NConstStr:
+		return "\"" + mon.SVal + "\""
+	case NFieldGet:
+		return mon.Class + "." + mon.Name
+	}
+	return "monitor"
+}
+
+// forEachSeqDeep is forEachSeq with nesting context.
+func forEachSeqDeep(root *Node, fn func(seq *Node, sc stmtCtx)) {
+	walkStmtsCtx(root, stmtCtx{}, func(n *Node, sc stmtCtx) {
+		if n.Kind == NSeq {
+			fn(n, sc)
+		}
+	})
+}

@@ -1,0 +1,243 @@
+package jit
+
+import (
+	"repro/internal/lang"
+	"repro/internal/profile"
+)
+
+// Loop-optimization tuning, mirroring HotSpot's LoopUnrollLimit family.
+const (
+	fullUnrollLimit = 8  // loops with at most this many trips fully unroll
+	partialFactor   = 4  // partial-unroll replication factor
+	partialMinTrips = 16 // minimum constant trip count for partial unroll
+	loopBodyNodeCap = 96 // bodies larger than this are not unrolled
+)
+
+// coverLoopTree marks the loop-tree region when the method has loops.
+func coverLoopTree(ctx *Context) {
+	has := false
+	ctx.Fn.Body.Walk(func(n *Node) bool {
+		if n.Kind == NFor || n.Kind == NWhile {
+			has = true
+		}
+		return true
+	})
+	if has {
+		ctx.Cover("c2.loop.tree")
+	}
+}
+
+// passLoopPeel peels the first iteration of counted loops whose body
+// branches on the loop variable — after peeling, the in-loop branch can
+// fold for the remaining iterations. Requires a constant, nonzero trip
+// count so the peeled copy is unconditionally correct.
+func passLoopPeel(ctx *Context) error {
+	var failed error
+	forEachSeq(ctx.Fn.Body, func(seq *Node) {
+		if failed != nil {
+			return
+		}
+		for i := 0; i < len(seq.Kids); i++ {
+			n := seq.Kids[i]
+			if n.Kind != NFor || n.Prov.Has(FromPeel) {
+				continue
+			}
+			trips := constTrip(n)
+			if trips < 1 {
+				continue
+			}
+			body := n.Kids[2]
+			if body.CountNodes() > loopBodyNodeCap || AssignsVar(body, n.Name) {
+				continue
+			}
+			// Peel only when the body branches on the loop variable.
+			branches := false
+			body.Walk(func(m *Node) bool {
+				if m.Kind == NIf && ReadsVar(m.Kids[0], n.Name) {
+					branches = true
+				}
+				return true
+			})
+			if !branches {
+				continue
+			}
+			peeled := body.Clone()
+			peeled = substVar(peeled, n.Name, ConstInt(n.Kids[0].IVal))
+			peeled.AddProv(FromPeel)
+			n.Kids[0] = ConstInt(n.Kids[0].IVal + n.Step)
+			n.Prov |= FromPeel
+
+			seq.Kids = append(seq.Kids, nil)
+			copy(seq.Kids[i+1:], seq.Kids[i:])
+			seq.Kids[i] = peeled
+			i++ // skip over the loop we just shifted
+
+			ctx.Cover("c2.loop.peel")
+			ctx.Emitf(profile.FlagTraceLoopOpts, "Peel  %s trip=%d", ctx.Fn.Key(), trips)
+			failed = ctx.Record(Event{Pass: "loop", Behavior: profile.BPeel,
+				Detail: ctx.Fn.Key(), Prov: peeled.Prov | provOf(n)})
+			if failed != nil {
+				return
+			}
+		}
+	})
+	return failed
+}
+
+// passLoopUnswitch hoists a loop-invariant branch out of a loop,
+// duplicating the loop under each arm of the hoisted test.
+func passLoopUnswitch(ctx *Context) error {
+	var failed error
+	forEachSeq(ctx.Fn.Body, func(seq *Node) {
+		if failed != nil {
+			return
+		}
+		for i, n := range seq.Kids {
+			if n.Kind != NFor || n.Prov.Has(FromUnswitch) {
+				continue
+			}
+			body := n.Kids[2]
+			if body.CountNodes() > loopBodyNodeCap {
+				continue
+			}
+			// Find a top-level if in the body with a loop-invariant,
+			// strongly pure condition.
+			idx := -1
+			for j, k := range body.Kids {
+				if k.Kind != NIf {
+					continue
+				}
+				cond := k.Kids[0]
+				if !strongPure(cond) || ReadsVar(cond, n.Name) {
+					continue
+				}
+				invariant := true
+				for name := range varsRead(cond) {
+					if AssignsVar(body, name) {
+						invariant = false
+					}
+				}
+				if invariant {
+					idx = j
+					break
+				}
+			}
+			if idx < 0 {
+				continue
+			}
+			iff := body.Kids[idx]
+			cond := iff.Kids[0]
+
+			thenLoop := n.Clone()
+			thenLoop.Kids[2].Kids[idx] = iff.Kids[1]
+			elseLoop := n.Clone()
+			if len(iff.Kids) > 2 {
+				elseLoop.Kids[2].Kids[idx] = iff.Kids[2].Clone()
+			} else {
+				elseLoop.Kids[2].Kids[idx] = &Node{Kind: NNop}
+			}
+			thenLoop.AddProv(FromUnswitch)
+			elseLoop.AddProv(FromUnswitch)
+			hoisted := &Node{Kind: NIf, Prov: FromUnswitch,
+				Kids: []*Node{cond.Clone(), Seq(thenLoop), Seq(elseLoop)}}
+			seq.Kids[i] = hoisted
+
+			ctx.Cover("c2.loop.unswitch")
+			ctx.Emitf(profile.FlagTraceLoopOpts, "Unswitch  %s", ctx.Fn.Key())
+			failed = ctx.Record(Event{Pass: "loop", Behavior: profile.BUnswitch,
+				Detail: ctx.Fn.Key(), Prov: hoisted.Prov | provOf(n)})
+			if failed != nil {
+				return
+			}
+		}
+	})
+	return failed
+}
+
+// passLoopUnroll unrolls counted loops with constant bounds: small trip
+// counts unroll fully; larger counts divisible by the factor unroll
+// partially behind a pre/main/post split. Fully unrolled synchronized
+// bodies become adjacent lock regions — the raw material for lock
+// coarsening, and the paper's central interaction (JDK-8312744).
+func passLoopUnroll(ctx *Context) error {
+	var failed error
+	forEachSeq(ctx.Fn.Body, func(seq *Node) {
+		if failed != nil {
+			return
+		}
+		for i, n := range seq.Kids {
+			if n.Kind != NFor || n.Prov.Has(FromUnroll) {
+				continue
+			}
+			trips := constTrip(n)
+			if trips < 1 {
+				continue
+			}
+			body := n.Kids[2]
+			if body.CountNodes() > loopBodyNodeCap || AssignsVar(body, n.Name) {
+				continue
+			}
+			from := n.Kids[0].IVal
+
+			if trips <= fullUnrollLimit {
+				repl := Seq()
+				for k := int64(0); k < trips; k++ {
+					copyK := body.Clone()
+					copyK = substVar(copyK, n.Name, ConstInt(from+k*n.Step))
+					copyK.AddProv(FromUnroll)
+					repl.Kids = append(repl.Kids, copyK.Kids...)
+				}
+				repl.Prov |= FromUnroll
+				seq.Kids[i] = repl
+				ctx.Cover("c2.loop.unroll")
+				ctx.Emitf(profile.FlagTraceLoopOpts, "Unroll %d(%d)", trips, trips)
+				failed = ctx.Record(Event{Pass: "loop", Behavior: profile.BUnroll,
+					Detail: ctx.Fn.Key(), Prov: repl.Prov | provOf(n)})
+				if failed != nil {
+					return
+				}
+				continue
+			}
+
+			if trips >= partialMinTrips && trips%partialFactor == 0 {
+				newBody := Seq()
+				for k := int64(0); k < partialFactor; k++ {
+					copyK := body.Clone()
+					if k > 0 {
+						iPlus := &Node{Kind: NBinary, BinOp: lang.OpAdd, Ty: lang.Int,
+							Kids: []*Node{Var(n.Name, lang.Int), ConstInt(k * n.Step)}}
+						copyK = substVar(copyK, n.Name, iPlus)
+					}
+					copyK.AddProv(FromUnroll)
+					newBody.Kids = append(newBody.Kids, copyK.Kids...)
+				}
+				unrolled := &Node{Kind: NFor, Name: n.Name, Step: n.Step * partialFactor,
+					Prov: n.Prov | FromUnroll | FromPreMainPost,
+					Kids: []*Node{n.Kids[0], n.Kids[1], newBody}}
+				seq.Kids[i] = unrolled
+				ctx.Cover("c2.loop.unroll")
+				ctx.Cover("c2.loop.premainpost")
+				ctx.Emitf(profile.FlagTraceLoopOpts, "PreMainPost %s", ctx.Fn.Key())
+				ctx.Emitf(profile.FlagTraceLoopOpts, "Unroll %d", partialFactor)
+				if err := ctx.Record(Event{Pass: "loop", Behavior: profile.BPreMainPost,
+					Detail: ctx.Fn.Key(), Prov: unrolled.Prov}); err != nil {
+					failed = err
+					return
+				}
+				failed = ctx.Record(Event{Pass: "loop", Behavior: profile.BUnroll,
+					Detail: ctx.Fn.Key(), Prov: unrolled.Prov})
+				if failed != nil {
+					return
+				}
+			}
+		}
+	})
+	return failed
+}
+
+// provOf returns the provenance union of a subtree.
+func provOf(n *Node) Prov {
+	var p Prov
+	n.Walk(func(m *Node) bool { p |= m.Prov; return true })
+	return p
+}

@@ -1,0 +1,382 @@
+package jit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/profile"
+)
+
+// passAutobox eliminates boxing round-trips:
+//
+//  1. Integer.valueOf(e).intValue()  =>  e
+//  2. Integer v = Integer.valueOf(e) where every use of v is
+//     v.intValue() and v is never reassigned, locked, compared, or
+//     passed on  =>  int v = e, with uses rewritten to plain reads.
+func passAutobox(ctx *Context) error {
+	var failed error
+	// Pattern 1: unbox-of-box anywhere in an expression.
+	ctx.Fn.Body = rewriteExprs(ctx.Fn.Body, func(n *Node) *Node {
+		if failed != nil {
+			return n
+		}
+		if n.Kind == NUnbox && n.Kids[0].Kind == NBox {
+			inner := n.Kids[0].Kids[0]
+			inner.Prov |= n.Prov | n.Kids[0].Prov | FromAutoboxElim
+			ctx.Cover("c2.autobox.eliminate")
+			ctx.Emitf(profile.FlagTraceAutoBoxElimination, "Eliminated autobox Integer.valueOf in %s", ctx.Fn.Key())
+			failed = ctx.Record(Event{Pass: "autobox", Behavior: profile.BAutoboxElim,
+				Detail: ctx.Fn.Key(), Prov: inner.Prov})
+			return inner
+		}
+		return n
+	})
+	if failed != nil {
+		return failed
+	}
+
+	// Pattern 2: single-assignment box-typed locals used only via unbox.
+	body := ctx.Fn.Body
+	writes := map[string]int{}
+	body.Walk(func(n *Node) bool {
+		if n.Kind == NDecl || n.Kind == NAssignVar {
+			writes[n.Name]++
+		}
+		return true
+	})
+	var decls []*Node
+	body.Walk(func(n *Node) bool {
+		if n.Kind == NDecl && n.Kids[0].Kind == NBox && writes[n.Name] == 1 {
+			decls = append(decls, n)
+		}
+		return true
+	})
+	for _, decl := range decls {
+		name := decl.Name
+		ok := true
+		reads := 0
+		// Every read of name must appear as NUnbox(NVar name).
+		var check func(n *Node, parentUnbox bool)
+		check = func(n *Node, parentUnbox bool) {
+			if n == nil || !ok {
+				return
+			}
+			if n.Kind == NVar && n.Name == name {
+				reads++
+				if !parentUnbox {
+					ok = false
+				}
+				return
+			}
+			for _, k := range n.Kids {
+				check(k, n.Kind == NUnbox)
+			}
+		}
+		check(body, false)
+		if !ok || reads == 0 {
+			continue
+		}
+		// Rewrite: decl becomes int v = e; every Unbox(Var v) -> Var v.
+		inner := decl.Kids[0].Kids[0]
+		decl.Kids[0] = inner
+		decl.Ty = lang.Int
+		decl.Prov |= FromAutoboxElim
+		ctx.Fn.Body = rewriteExprs(ctx.Fn.Body, func(n *Node) *Node {
+			if n.Kind == NUnbox && n.Kids[0].Kind == NVar && n.Kids[0].Name == name {
+				v := n.Kids[0]
+				v.Ty = lang.Int
+				v.Prov |= FromAutoboxElim
+				return v
+			}
+			return n
+		})
+		ctx.Cover("c2.autobox.eliminate")
+		ctx.Emitf(profile.FlagTraceAutoBoxElimination, "Eliminated autobox local %s in %s", name, ctx.Fn.Key())
+		if err := ctx.Record(Event{Pass: "autobox", Behavior: profile.BAutoboxElim,
+			Detail: name, Prov: decl.Prov}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// passAlgebra performs constant folding (with Java int-wrap semantics)
+// and algebraic identity rewrites. A seeded defect (ctx.CorruptFold)
+// makes one fold produce an off-by-one constant.
+func passAlgebra(ctx *Context, prefix string) error {
+	var failed error
+	ctx.Fn.Body = rewriteExprs(ctx.Fn.Body, func(n *Node) *Node {
+		if failed != nil {
+			return n
+		}
+		out, desc := simplifyNode(n)
+		if out == n || desc == "" {
+			return out
+		}
+		out.Prov |= n.Prov | FromAlgebraic
+		ctx.Cover(prefix + ".algebra.apply")
+		if out.Kind == NConstInt || out.Kind == NConstBool {
+			ctx.Cover(prefix + ".algebra.fold")
+		}
+		ctx.Emitf(profile.FlagTraceAlgebraicOpts, "AlgebraicSimplify: %s in %s", desc, ctx.Fn.Key())
+		failed = ctx.Record(Event{Pass: "algebra", Behavior: profile.BAlgebraic,
+			Detail: desc, Prov: out.Prov})
+		if ctx.CorruptFold && out.Kind == NConstInt {
+			out.IVal++ // miscompilation (hook-requested): off-by-one fold
+			ctx.CorruptFold = false
+		}
+		return out
+	})
+	return failed
+}
+
+// simplifyNode returns the simplified replacement and a description, or
+// (n, "") when no rewrite applies.
+func simplifyNode(n *Node) (*Node, string) {
+	switch n.Kind {
+	case NWiden:
+		if k := n.Kids[0]; k.Kind == NConstInt && !k.IsLong {
+			return &Node{Kind: NConstInt, IVal: int64(int32(k.IVal)), IsLong: true, Ty: lang.Long}, "i2l(const)"
+		}
+	case NUnary:
+		if k := n.Kids[0]; k.Kind == NConstInt {
+			v := k.IVal
+			switch n.UnOp {
+			case lang.OpNeg:
+				v = -v
+			case lang.OpBitNot:
+				v = ^v
+			default:
+				return n, ""
+			}
+			if !k.IsLong {
+				v = int64(int32(v))
+			}
+			return &Node{Kind: NConstInt, IVal: v, IsLong: k.IsLong, Ty: k.Ty}, "fold unary"
+		}
+		if n.UnOp == lang.OpNot && n.Kids[0].Kind == NConstBool {
+			return &Node{Kind: NConstBool, IVal: 1 - n.Kids[0].IVal, Ty: lang.Bool}, "fold !const"
+		}
+	case NBinary:
+		l, r := n.Kids[0], n.Kids[1]
+		if l.Kind == NConstInt && r.Kind == NConstInt {
+			return foldConstBinary(n, l, r)
+		}
+		// Identities. Rewrites that return an operand must preserve the
+		// result's numeric kind (int vs long), or downstream wrap
+		// semantics would change.
+		lKeeps := l.Ty.Kind == n.Ty.Kind
+		rKeeps := r.Ty.Kind == n.Ty.Kind
+		switch n.BinOp {
+		case lang.OpAdd:
+			if isZero(r) && lKeeps {
+				return l, "x+0"
+			}
+			if isZero(l) && rKeeps {
+				return r, "0+x"
+			}
+		case lang.OpSub:
+			if isZero(r) && lKeeps {
+				return l, "x-0"
+			}
+			if sameVar(l, r) {
+				return zeroLike(n), "x-x"
+			}
+		case lang.OpMul:
+			if isOne(r) && lKeeps {
+				return l, "x*1"
+			}
+			if isOne(l) && rKeeps {
+				return r, "1*x"
+			}
+			if isZero(r) && strongPure(l) {
+				return zeroLike(n), "x*0"
+			}
+			if isZero(l) && strongPure(r) {
+				return zeroLike(n), "0*x"
+			}
+			if isConst(r, 2) && n.Ty.Kind == lang.KindInt {
+				return &Node{Kind: NBinary, BinOp: lang.OpShl, Ty: n.Ty,
+					Kids: []*Node{l, ConstInt(1)}}, "x*2=>x<<1"
+			}
+		case lang.OpDiv:
+			if isOne(r) && lKeeps {
+				return l, "x/1"
+			}
+		case lang.OpXor:
+			if sameVar(l, r) && l.Ty.Kind != lang.KindBool {
+				return zeroLike(n), "x^x"
+			}
+			if isZero(r) && l.Ty.IsNumeric() && lKeeps {
+				return l, "x^0"
+			}
+		case lang.OpOr:
+			if isZero(r) && l.Ty.IsNumeric() && lKeeps {
+				return l, "x|0"
+			}
+		case lang.OpShl, lang.OpShr:
+			if isZero(r) && lKeeps {
+				return l, "x<<0"
+			}
+		}
+	}
+	return n, ""
+}
+
+func foldConstBinary(n, l, r *Node) (*Node, string) {
+	isLong := l.IsLong || r.IsLong
+	a, b := l.IVal, r.IVal
+	var v int64
+	switch n.BinOp {
+	case lang.OpAdd:
+		v = a + b
+	case lang.OpSub:
+		v = a - b
+	case lang.OpMul:
+		v = a * b
+	case lang.OpDiv, lang.OpRem:
+		if b == 0 {
+			return n, "" // folding would erase the ArithmeticException
+		}
+		if n.BinOp == lang.OpDiv {
+			v = a / b
+		} else {
+			v = a % b
+		}
+	case lang.OpAnd:
+		v = a & b
+	case lang.OpOr:
+		v = a | b
+	case lang.OpXor:
+		v = a ^ b
+	case lang.OpShl:
+		if isLong {
+			v = a << uint(b&63)
+		} else {
+			v = int64(int32(a) << uint(b&31))
+		}
+	case lang.OpShr:
+		if isLong {
+			v = a >> uint(b&63)
+		} else {
+			v = int64(int32(a) >> uint(b&31))
+		}
+	default:
+		// Comparisons fold to booleans.
+		var res bool
+		switch n.BinOp {
+		case lang.OpEq:
+			res = a == b
+		case lang.OpNe:
+			res = a != b
+		case lang.OpLt:
+			res = a < b
+		case lang.OpLe:
+			res = a <= b
+		case lang.OpGt:
+			res = a > b
+		case lang.OpGe:
+			res = a >= b
+		default:
+			return n, ""
+		}
+		iv := int64(0)
+		if res {
+			iv = 1
+		}
+		return &Node{Kind: NConstBool, IVal: iv, Ty: lang.Bool}, "fold cmp"
+	}
+	if !isLong {
+		v = int64(int32(v))
+	}
+	ty := lang.Int
+	if isLong {
+		ty = lang.Long
+	}
+	return &Node{Kind: NConstInt, IVal: v, IsLong: isLong, Ty: ty},
+		fmt.Sprintf("fold %s", n.BinOp)
+}
+
+func isZero(n *Node) bool { return n.Kind == NConstInt && n.IVal == 0 }
+func isOne(n *Node) bool  { return n.Kind == NConstInt && n.IVal == 1 }
+func isConst(n *Node, v int64) bool {
+	return n.Kind == NConstInt && n.IVal == v
+}
+
+func sameVar(a, b *Node) bool {
+	return a.Kind == NVar && b.Kind == NVar && a.Name == b.Name
+}
+
+func zeroLike(n *Node) *Node {
+	return &Node{Kind: NConstInt, IVal: 0, IsLong: n.Ty.Kind == lang.KindLong, Ty: n.Ty}
+}
+
+// passGVN performs block-local value numbering over declaration
+// initializers and assignments: a pure expression already computed into
+// a live variable subsumes later recomputations.
+func passGVN(ctx *Context) error {
+	var failed error
+	ctx.Cover("c2.gvn.apply")
+	forEachSeq(ctx.Fn.Body, func(seq *Node) {
+		if failed != nil {
+			return
+		}
+		avail := map[string]string{} // exprKey -> variable holding it
+		invalidate := func(name string) {
+			for k, v := range avail {
+				if v == name {
+					delete(avail, k)
+				}
+			}
+			// Drop expressions that read the reassigned variable.
+			probe := "v(" + name + ")"
+			for k := range avail {
+				if strings.Contains(k, probe) {
+					delete(avail, k)
+				}
+			}
+		}
+		for _, k := range seq.Kids {
+			switch k.Kind {
+			case NDecl, NAssignVar:
+				init := k.Kids[0]
+				if !IsPure(init) {
+					// Impure RHS may write anything: flush.
+					avail = map[string]string{}
+					invalidate(k.Name)
+					continue
+				}
+				key := exprKey(init)
+				if prior, ok := avail[key]; ok && prior != k.Name && init.Kind != NVar && init.Kind != NConstInt && init.Kind != NConstBool {
+					k.Kids[0] = &Node{Kind: NVar, Name: prior, Ty: init.Ty, Prov: init.Prov | FromGVN}
+					ctx.Cover("c2.gvn.subsume")
+					ctx.Emitf(profile.FlagPrintGVN, "GVN hit: %s subsumed by %s in %s", key, prior, ctx.Fn.Key())
+					failed = ctx.Record(Event{Pass: "gvn", Behavior: profile.BGVN,
+						Detail: prior, Prov: k.Kids[0].Prov | provOf(k)})
+					if failed != nil {
+						return
+					}
+					invalidate(k.Name)
+					avail[key] = prior
+					continue
+				}
+				invalidate(k.Name)
+				// Do not record expressions that read the variable just
+				// written: their value changes with it.
+				if !strings.Contains(key, "v("+k.Name+")") {
+					avail[key] = k.Name
+				}
+			case NPrint:
+				if !IsPure(k.Kids[0]) {
+					avail = map[string]string{}
+				}
+			case NNop:
+			default:
+				// Any other statement may write state: flush.
+				avail = map[string]string{}
+			}
+		}
+	})
+	return failed
+}

@@ -1,0 +1,96 @@
+package jit
+
+import (
+	"repro/internal/lang"
+	"repro/internal/profile"
+)
+
+// trapCutoff is the constant magnitude above which a comparison against
+// a loop-carried value is speculated never-taken (the profile of such
+// guards in warm-up loops is overwhelmingly one-sided).
+const trapCutoff = 300
+
+// passTraps compiles rarely-taken branches as uncommon traps: the branch
+// body is replaced by a trap node that, if ever executed, logs the
+// deoptimization and invalidates the compiled code. On a recompilation
+// (DeoptCount > 0) the pass emits the recompile event and performs no
+// speculation, matching the trap-then-recompile lifecycle.
+func passTraps(ctx *Context) error {
+	key := ctx.Fn.Key()
+	if ctx.Env.DeoptCount(key) > 0 {
+		ctx.Cover("c2.osr")
+		ctx.Cover("c1.deopt_support")
+		ctx.Emitf(profile.FlagTraceDeoptimization, "Deoptimization: recompile %s (count %d)", key, ctx.Env.DeoptCount(key))
+		return ctx.Record(Event{Pass: "traps", Behavior: profile.BDeoptRecompile, Detail: key})
+	}
+	var failed error
+	var walk func(n *Node, sc stmtCtx)
+	walk = func(n *Node, sc stmtCtx) {
+		if failed != nil || n == nil || !n.Kind.IsStmt() {
+			return
+		}
+		switch n.Kind {
+		case NSeq:
+			for _, k := range n.Kids {
+				walk(k, sc)
+			}
+		case NIf:
+			if len(n.Kids) == 2 && speculateNeverTaken(n.Kids[0]) && n.Kids[1].Kind == NSeq {
+				trap := &Node{Kind: NUncommonTrap, Name: "unstable_if",
+					Prov: n.Prov, Kids: []*Node{n.Kids[1]}}
+				n.Kids[1] = Seq(trap)
+				ctx.Cover("c2.traps.insert")
+				failed = ctx.Record(Event{Pass: "traps", Behavior: BehaviorNone,
+					Detail: "speculate unstable_if", Prov: n.Prov,
+					SyncDepth: sc.SyncDepth, LoopDepth: sc.LoopDepth})
+				if failed != nil {
+					return
+				}
+				return // do not speculate inside the trapped region
+			}
+			walk(n.Kids[1], sc)
+			if len(n.Kids) > 2 {
+				walk(n.Kids[2], sc)
+			}
+		case NFor:
+			inner := sc
+			inner.LoopDepth++
+			walk(n.Kids[2], inner)
+		case NWhile:
+			inner := sc
+			inner.LoopDepth++
+			walk(n.Kids[1], inner)
+		case NSync:
+			inner := sc
+			inner.SyncDepth++
+			walk(n.Kids[1], inner)
+		case NTry:
+			walk(n.Kids[0], sc)
+			walk(n.Kids[1], sc)
+		}
+	}
+	walk(ctx.Fn.Body, stmtCtx{})
+	return failed
+}
+
+// speculateNeverTaken matches guard shapes of the form
+// `var == BIG`, `var > BIG`, `var >= BIG` with |BIG| >= trapCutoff.
+func speculateNeverTaken(cond *Node) bool {
+	if cond.Kind != NBinary {
+		return false
+	}
+	switch cond.BinOp {
+	case lang.OpEq, lang.OpGt, lang.OpGe:
+	default:
+		return false
+	}
+	l, r := cond.Kids[0], cond.Kids[1]
+	if l.Kind != NVar || r.Kind != NConstInt {
+		return false
+	}
+	v := r.IVal
+	if v < 0 {
+		v = -v
+	}
+	return v >= trapCutoff
+}

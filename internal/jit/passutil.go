@@ -1,0 +1,209 @@
+package jit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// forEachSeq visits every NSeq node in the tree (including nested bodies)
+// and lets fn rewrite its Kids slice in place.
+func forEachSeq(root *Node, fn func(seq *Node)) {
+	root.Walk(func(n *Node) bool {
+		if n.Kind == NSeq {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// rewriteExprs applies fn bottom-up to every node in the tree, replacing
+// each node with fn's result. Statement structure is preserved by fn
+// returning statements unchanged.
+func rewriteExprs(n *Node, fn func(*Node) *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	for i, k := range n.Kids {
+		n.Kids[i] = rewriteExprs(k, fn)
+	}
+	return fn(n)
+}
+
+// substVar replaces every read of the named variable with a clone of
+// repl, returning the (possibly replaced) root.
+func substVar(n *Node, name string, repl *Node) *Node {
+	return rewriteExprs(n, func(m *Node) *Node {
+		if m.Kind == NVar && m.Name == name {
+			return repl.Clone()
+		}
+		return m
+	})
+}
+
+// countVarReads returns how many times the subtree reads the variable.
+func countVarReads(n *Node, name string) int {
+	c := 0
+	n.Walk(func(m *Node) bool {
+		if m.Kind == NVar && m.Name == name {
+			c++
+		}
+		return true
+	})
+	return c
+}
+
+// renameLocals rewrites all declarations and uses of method-local names
+// in the subtree by applying the mapping (used by statement inlining to
+// avoid capture).
+func renameLocals(n *Node, mapping map[string]string) {
+	n.Walk(func(m *Node) bool {
+		switch m.Kind {
+		case NVar, NDecl, NAssignVar:
+			if nn, ok := mapping[m.Name]; ok {
+				m.Name = nn
+			}
+		case NFor, NTry:
+			if nn, ok := mapping[m.Name]; ok {
+				m.Name = nn
+			}
+		}
+		return true
+	})
+}
+
+// exprKey serializes an expression subtree into a canonical string used
+// as a value-numbering key.
+func exprKey(n *Node) string {
+	var b strings.Builder
+	writeKey(&b, n)
+	return b.String()
+}
+
+func writeKey(b *strings.Builder, n *Node) {
+	if n == nil {
+		b.WriteString("_")
+		return
+	}
+	switch n.Kind {
+	case NConstInt:
+		fmt.Fprintf(b, "i%d", n.IVal)
+		if n.IsLong {
+			b.WriteString("L")
+		}
+	case NConstBool:
+		fmt.Fprintf(b, "b%d", n.IVal)
+	case NConstStr:
+		fmt.Fprintf(b, "s%q", n.SVal)
+	case NVar:
+		fmt.Fprintf(b, "v(%s)", n.Name)
+	case NFieldGet:
+		fmt.Fprintf(b, "f(%s.%s,", n.Class, n.Name)
+		if len(n.Kids) > 0 {
+			writeKey(b, n.Kids[0])
+		}
+		b.WriteString(")")
+	case NBinary:
+		fmt.Fprintf(b, "(%d ", n.BinOp)
+		writeKey(b, n.Kids[0])
+		b.WriteString(" ")
+		writeKey(b, n.Kids[1])
+		b.WriteString(")")
+	case NUnary:
+		fmt.Fprintf(b, "(u%d ", n.UnOp)
+		writeKey(b, n.Kids[0])
+		b.WriteString(")")
+	case NWiden:
+		b.WriteString("(i2l ")
+		writeKey(b, n.Kids[0])
+		b.WriteString(")")
+	case NCond:
+		b.WriteString("(? ")
+		for _, k := range n.Kids {
+			writeKey(b, k)
+			b.WriteString(" ")
+		}
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "<%d:", n.Kind)
+		for _, k := range n.Kids {
+			writeKey(b, k)
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(b, "%s.%s>", n.Class, n.Name)
+	}
+}
+
+// varsRead collects the set of variable names the subtree reads.
+func varsRead(n *Node) map[string]bool {
+	out := map[string]bool{}
+	n.Walk(func(m *Node) bool {
+		if m.Kind == NVar {
+			out[m.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// stmtCtx carries nesting context while walking statements.
+type stmtCtx struct {
+	SyncDepth int
+	LoopDepth int
+}
+
+// walkStmtsCtx visits statement nodes with their sync/loop nesting depth.
+// Expressions are not visited.
+func walkStmtsCtx(n *Node, sc stmtCtx, fn func(*Node, stmtCtx)) {
+	if n == nil || !n.Kind.IsStmt() {
+		return
+	}
+	fn(n, sc)
+	switch n.Kind {
+	case NSeq:
+		for _, k := range n.Kids {
+			walkStmtsCtx(k, sc, fn)
+		}
+	case NIf:
+		walkStmtsCtx(n.Kids[1], sc, fn)
+		if len(n.Kids) > 2 {
+			walkStmtsCtx(n.Kids[2], sc, fn)
+		}
+	case NFor:
+		inner := sc
+		inner.LoopDepth++
+		walkStmtsCtx(n.Kids[2], inner, fn)
+	case NWhile:
+		inner := sc
+		inner.LoopDepth++
+		walkStmtsCtx(n.Kids[1], inner, fn)
+	case NSync:
+		inner := sc
+		inner.SyncDepth++
+		walkStmtsCtx(n.Kids[1], inner, fn)
+	case NTry:
+		walkStmtsCtx(n.Kids[0], sc, fn)
+		walkStmtsCtx(n.Kids[1], sc, fn)
+	case NUncommonTrap:
+		walkStmtsCtx(n.Kids[0], sc, fn)
+	}
+}
+
+// constTrip returns the trip count of a counted loop with constant
+// bounds, or -1 when the bounds are not compile-time constants.
+func constTrip(n *Node) int64 {
+	if n.Kind != NFor {
+		return -1
+	}
+	from, to := n.Kids[0], n.Kids[1]
+	if from.Kind != NConstInt || to.Kind != NConstInt || from.IsLong || to.IsLong {
+		return -1
+	}
+	if n.Step <= 0 {
+		return -1
+	}
+	span := to.IVal - from.IVal
+	if span <= 0 {
+		return 0
+	}
+	return (span + n.Step - 1) / n.Step
+}

@@ -1,0 +1,207 @@
+package jit
+
+import (
+	"fmt"
+
+	"repro/internal/bytecode"
+	"repro/internal/coverage"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// Options tunes the compiler pipelines.
+type Options struct {
+	InlineBudgetC1 int  // node budget for C1 inlining (default 16)
+	InlineBudgetC2 int  // node budget for C2 inlining (default 64)
+	TrapLimit      int  // runtime traps before invalidation (default 2)
+	Speculate      bool // insert uncommon traps (default true via New)
+}
+
+// DefaultOptions returns the production pipeline configuration.
+func DefaultOptions() Options {
+	return Options{InlineBudgetC1: 16, InlineBudgetC2: 64, TrapLimit: 2, Speculate: true}
+}
+
+// Compiler is the simulated JIT. It implements vm.Compiler: the machine
+// hands it hot methods; it lowers, optimizes, and returns executable
+// compiled code. Log, Cov, and Hook are shared per-execution channels.
+type Compiler struct {
+	Log  *profile.Recorder
+	Cov  *coverage.Tracker
+	Hook Hook
+	Opt  Options
+
+	// OnCompiled, if set, observes the finished compilation context
+	// (the fuzzer's white-box test hook; production runs leave it nil).
+	OnCompiled func(*Context)
+}
+
+// New returns a Compiler with default options.
+func New(log *profile.Recorder, cov *coverage.Tracker, hook Hook) *Compiler {
+	return &Compiler{Log: log, Cov: cov, Hook: hook, Opt: DefaultOptions()}
+}
+
+// Compile implements vm.Compiler.
+func (c *Compiler) Compile(fn *bytecode.Function, tier vm.Tier, env vm.Env) (vm.CompiledMethod, error) {
+	if fn.Source == nil {
+		return nil, fmt.Errorf("jit: %s has no source tree (bailout)", fn.Key())
+	}
+	prog := env.Image().Program
+	cl := prog.Class(fn.Class)
+	if cl == nil {
+		return nil, fmt.Errorf("jit: class %s not in image (bailout)", fn.Class)
+	}
+	f, err := Lower(cl, fn.Source)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Context{Fn: f, Tier: tier, Log: c.Log, Cov: c.Cov, Env: env, Hook: c.Hook}
+
+	if c.Log != nil {
+		c.Log.Emitf(profile.FlagPrintCompilation, "%4d %s  %s::%s (%d nodes)",
+			env.DeoptCount(fn.Key()), tier, fn.Class, fn.Name, f.Body.CountNodes())
+	}
+
+	var passErr error
+	if tier == vm.TierC1 {
+		passErr = c.runC1(ctx)
+	} else {
+		passErr = c.runC2(ctx)
+	}
+	if passErr != nil {
+		return nil, passErr
+	}
+
+	// Final hook checkpoint: aggregate interaction predicates (pairs,
+	// depth thresholds) fire here with the whole compilation visible.
+	if ctx.Hook != nil {
+		if err := ctx.Hook.Observe(ctx, Event{Pass: "finish", Behavior: BehaviorNone,
+			Detail: fn.Key(), Prov: ctx.ProvUnion()}); err != nil {
+			return nil, err
+		}
+	}
+	if c.OnCompiled != nil {
+		c.OnCompiled(ctx)
+	}
+	if c.Log != nil {
+		c.Log.Emitf(profile.FlagPrintAssembly, "  # {method} %s::%s tier=%s compiled", fn.Class, fn.Name, tier)
+	}
+	return &Compiled{
+		F:   f,
+		Env: env,
+		Log: c.Log,
+		Cov: &covSink{hit: func(name string) { c.Cov.Hit(name) }},
+
+		trapLimit: c.Opt.TrapLimit,
+	}, nil
+}
+
+// runC1 is the client-compiler pipeline: fast, conservative.
+func (c *Compiler) runC1(ctx *Context) error {
+	ctx.Cover("c1.build")
+	ctx.Cover("c1.profiling")
+	defer func() {
+		ctx.Cover("c1.codegen")
+		ctx.Cover("c1.runtime_stubs")
+	}()
+	hasExc := false
+	ctx.Fn.Body.Walk(func(n *Node) bool {
+		if n.Kind == NTry || n.Kind == NThrow {
+			hasExc = true
+		}
+		return true
+	})
+	if hasExc {
+		ctx.Cover("c1.exceptions")
+	}
+	budget := c.Opt.InlineBudgetC1
+	if budget == 0 {
+		budget = 16
+	}
+	if err := passInline(ctx, budget); err != nil {
+		return err
+	}
+	if err := passAlgebra(ctx, "c1"); err != nil {
+		return err
+	}
+	if err := passRSE(ctx, "c1"); err != nil {
+		return err
+	}
+	return passDCE(ctx, "c1")
+}
+
+// runC2 is the server-compiler pipeline. The ordering is deliberate and
+// load-bearing for interactions:
+//
+//	parse -> dereflect -> inline -> EA -> lock elision/nesting ->
+//	scalar replacement -> autobox -> GVN+algebra -> loop opts
+//	(peel, unswitch, unroll) -> lock coarsening (macro expansion)
+//	-> iterative GVN/algebra/RSE/DCE -> traps -> codegen
+//
+// Unrolling runs before coarsening so that unrolled synchronized bodies
+// become adjacent regions coarsening will merge — the JDK-8312744
+// interaction chain.
+func (c *Compiler) runC2(ctx *Context) error {
+	ctx.Cover("c2.parse")
+	ctx.Cover("c2.idealize")
+	defer func() {
+		ctx.Cover("c2.codegen")
+		ctx.Cover("c2.regalloc")
+		ctx.Cover("c2.macro.expand")
+	}()
+	budget := c.Opt.InlineBudgetC2
+	if budget == 0 {
+		budget = 64
+	}
+	coverLoopTree(ctx)
+
+	front := []func() error{
+		func() error { return passDereflect(ctx) },
+		func() error { return passInline(ctx, budget) },
+		func() error { return passEscapeAnalysis(ctx) },
+		func() error { return passLockElide(ctx) },
+		func() error { return passScalarReplace(ctx) },
+		func() error { return passAutobox(ctx) },
+	}
+	for _, step := range front {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+
+	// The optimization phase iterates to a fixpoint (bounded), like
+	// HotSpot's iterative GVN / repeated loop-opts rounds: each round's
+	// transformations expose the next round's opportunities — an
+	// unswitched twin unrolls, the unrolled synchronized copies coarsen,
+	// the coarsened region exposes nested locks, DCE cleans up, and the
+	// simplified tree may unroll further. Deeply nested and adjacent
+	// structures (the fixed-mutation-point signature) feed this cascade;
+	// scattered independent insertions exhaust it in one round.
+	const maxRounds = 4
+	loopSteps := []func() error{
+		func() error { return passNestedLocks(ctx) },
+		func() error { return passGVN(ctx) },
+		func() error { return passAlgebra(ctx, "c2") },
+		func() error { return passLoopPeel(ctx) },
+		func() error { return passLoopUnswitch(ctx) },
+		func() error { return passLoopUnroll(ctx) },
+		func() error { return passLockCoarsen(ctx) },
+		func() error { return passRSE(ctx, "c2") },
+		func() error { return passDCE(ctx, "c2") },
+	}
+	for round := 0; round < maxRounds; round++ {
+		before := len(ctx.Events)
+		for _, step := range loopSteps {
+			if err := step(); err != nil {
+				return err
+			}
+		}
+		if len(ctx.Events) == before {
+			break
+		}
+	}
+	if c.Opt.Speculate {
+		return passTraps(ctx)
+	}
+	return nil
+}

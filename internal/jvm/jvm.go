@@ -1,0 +1,258 @@
+// Package jvm composes the substrate into named, versioned JVM
+// implementations: each Spec pairs an implementation (HotSpot-sim or
+// OpenJ9-sim) and a release train (LTS 8/11/17/21 or mainline 23) with
+// that version's seeded bug set and tuning. Running a program on several
+// specs and comparing outputs is the paper's differential-testing oracle.
+package jvm
+
+import (
+	"fmt"
+
+	"repro/internal/buginject"
+	"repro/internal/bytecode"
+	"repro/internal/coverage"
+	"repro/internal/jit"
+	"repro/internal/lang"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// Spec identifies one simulated JVM build.
+type Spec struct {
+	Impl    buginject.Impl
+	Version int // 8, 11, 17, 21, or 23 (mainline)
+}
+
+// Name renders the spec like a JDK build string.
+func (s Spec) Name() string {
+	v := fmt.Sprintf("%d", s.Version)
+	if s.Version == 23 {
+		v = "mainline"
+	}
+	if s.Impl == buginject.OpenJ9 {
+		return "openj9-" + v
+	}
+	return "openjdk-" + v
+}
+
+// HotSpotLTSAndMainline returns the OpenJDK test targets (§4.1).
+func HotSpotLTSAndMainline() []Spec {
+	return []Spec{
+		{buginject.HotSpot, 8}, {buginject.HotSpot, 11}, {buginject.HotSpot, 17},
+		{buginject.HotSpot, 21}, {buginject.HotSpot, 23},
+	}
+}
+
+// OpenJ9LTSAndMainline returns the OpenJ9 test targets.
+func OpenJ9LTSAndMainline() []Spec {
+	return []Spec{
+		{buginject.OpenJ9, 8}, {buginject.OpenJ9, 11}, {buginject.OpenJ9, 17},
+		{buginject.OpenJ9, 21}, {buginject.OpenJ9, 23},
+	}
+}
+
+// AllSpecs returns every differential-testing target.
+func AllSpecs() []Spec {
+	return append(HotSpotLTSAndMainline(), OpenJ9LTSAndMainline()...)
+}
+
+// Reference is the spec differential runs treat as the primary target
+// (latest HotSpot mainline).
+func Reference() Spec { return Spec{buginject.HotSpot, 23} }
+
+// Options tunes one execution.
+type Options struct {
+	// Flags selects the diagnostic flags; nil means no profile data.
+	Flags profile.FlagSet
+	// Coverage, when non-nil, accumulates VM line coverage.
+	Coverage *coverage.Tracker
+	// ForceCompile mirrors -Xcomp: aggressive tier thresholds so the
+	// target methods compile within short fuzzing runs.
+	ForceCompile bool
+	// CompileOnly mirrors -XX:CompileCommand=compileonly,C::m: when
+	// non-empty only this method ("Class.method") is JIT compiled. The
+	// paper's OBV-construction setting (§4.1).
+	CompileOnly string
+	// MaxSteps bounds execution (0 = machine default).
+	MaxSteps int64
+	// PureInterpreter disables the JIT entirely (reference semantics).
+	PureInterpreter bool
+	// Bugs overrides the spec's armed bug set when non-nil (ablations).
+	Bugs []*buginject.Bug
+}
+
+// ExecResult is one program execution on one spec.
+type ExecResult struct {
+	Spec      Spec
+	Result    *vm.Result
+	Log       string
+	OBV       profile.OBV
+	Triggered []*buginject.Bug
+	Compiled  int // number of method compilations observed
+}
+
+// Crashed reports whether the run ended in a JVM crash.
+func (r *ExecResult) Crashed() bool { return r.Result.Crashed() }
+
+// HsErr renders the crash report (empty when no crash).
+func (r *ExecResult) HsErr() string {
+	if r.Result.Crash == nil {
+		return ""
+	}
+	return r.Result.Crash.HsErrReport(r.Spec.Name())
+}
+
+// Run type-checks, compiles, verifies, and executes the program on the
+// given simulated JVM. Program-level errors (unparseable, ill-typed)
+// return an error; JVM-level outcomes (crash, exception, timeout) are in
+// the ExecResult.
+func Run(p *lang.Program, spec Spec, opt Options) (*ExecResult, error) {
+	if err := lang.Check(p); err != nil {
+		return nil, fmt.Errorf("jvm: program rejected: %w", err)
+	}
+	img, err := bytecode.Compile(p)
+	if err != nil {
+		return nil, fmt.Errorf("jvm: compile: %w", err)
+	}
+	if err := bytecode.Verify(img); err != nil {
+		return nil, fmt.Errorf("jvm: verify: %w", err)
+	}
+
+	rec := profile.NewRecorder(opt.Flags)
+	cov := opt.Coverage
+	if cov == nil {
+		cov = coverage.NewTracker()
+	}
+
+	cfg := vm.Config{MaxSteps: opt.MaxSteps, Trace: cov.Hit, CompileOnly: opt.CompileOnly}
+	if opt.ForceCompile {
+		cfg.CompileEager = true
+	}
+	var inj *buginject.Injector
+	compiled := 0
+	if !opt.PureInterpreter {
+		if opt.Bugs != nil {
+			inj = buginject.NewInjectorFor(opt.Bugs)
+		} else {
+			inj = buginject.NewInjector(spec.Impl, spec.Version)
+		}
+		comp := jit.New(rec, cov, inj)
+		if spec.Impl == buginject.OpenJ9 {
+			// The J9-sim compiler tunes differently: a larger inline
+			// budget and slightly later speculation.
+			comp.Opt.InlineBudgetC2 = 96
+			comp.Opt.TrapLimit = 3
+		}
+		comp.OnCompiled = func(*jit.Context) { compiled++ }
+		cfg.JIT = comp
+	}
+
+	res := vm.NewMachine(img, cfg).Run()
+	logText := rec.Text()
+	out := &ExecResult{
+		Spec:     spec,
+		Result:   res,
+		Log:      logText,
+		OBV:      profile.ExtractOBV(logText),
+		Compiled: compiled,
+	}
+	if inj != nil {
+		out.Triggered = inj.Triggered
+	}
+	return out, nil
+}
+
+// RunSource parses src and runs it (convenience for tools and examples).
+func RunSource(src string, spec Spec, opt Options) (*ExecResult, error) {
+	p, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(p, spec, opt)
+}
+
+// Differential runs the program on every spec and reports the distinct
+// output groups. A single group means all implementations agree.
+type Differential struct {
+	Results []*ExecResult
+	Groups  map[string][]Spec // output string -> specs producing it
+}
+
+// RunDifferential executes p on all the given specs.
+func RunDifferential(p *lang.Program, specs []Spec, opt Options) (*Differential, error) {
+	d := &Differential{Groups: map[string][]Spec{}}
+	for _, spec := range specs {
+		// Each run needs a fresh program instance: Check mutates the AST
+		// (type annotations) but execution does not; cloning keeps runs
+		// hermetic anyway.
+		r, err := Run(lang.CloneProgram(p), spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		d.Results = append(d.Results, r)
+		key := r.Result.OutputString()
+		d.Groups[key] = append(d.Groups[key], spec)
+	}
+	return d, nil
+}
+
+// Inconsistent reports whether the specs disagree on the output.
+func (d *Differential) Inconsistent() bool { return len(d.Groups) > 1 }
+
+// AnyCrash returns the first crashing result, or nil.
+func (d *Differential) AnyCrash() *ExecResult {
+	for _, r := range d.Results {
+		if r.Crashed() {
+			return r
+		}
+	}
+	return nil
+}
+
+// TriggeredBugs returns the union of bugs triggered across all runs.
+func (d *Differential) TriggeredBugs() []*buginject.Bug {
+	seen := map[string]bool{}
+	var out []*buginject.Bug
+	for _, r := range d.Results {
+		for _, b := range r.Triggered {
+			if !seen[b.ID] {
+				seen[b.ID] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// DivergentBugs attributes the inconsistency: it returns the
+// miscompilation bugs triggered on builds whose output differs from the
+// modal (most common) output. Bugs that fired on agreeing builds did not
+// cause the divergence and are excluded — differential testing only
+// ever reveals the defect that actually changed the output.
+func (d *Differential) DivergentBugs() []*buginject.Bug {
+	if !d.Inconsistent() {
+		return nil
+	}
+	modal := ""
+	best := -1
+	for out, specs := range d.Groups {
+		if len(specs) > best {
+			best = len(specs)
+			modal = out
+		}
+	}
+	seen := map[string]bool{}
+	var out []*buginject.Bug
+	for _, r := range d.Results {
+		if r.Result.OutputString() == modal {
+			continue
+		}
+		for _, b := range r.Triggered {
+			if b.Kind == buginject.Miscompile && !seen[b.ID] {
+				seen[b.ID] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexer token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokLong
+	tokString
+	tokPunct // operators and punctuation, Text holds the exact spelling
+)
+
+type token struct {
+	Kind tokKind
+	Text string
+	Int  int64
+	Pos  int // byte offset, for error messages
+	Line int
+}
+
+// lexer tokenizes mini-Java source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+var multiPunct = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		case unicode.IsDigit(rune(c)):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			l.lexPunct()
+		}
+	}
+	l.toks = append(l.toks, token{Kind: tokEOF, Pos: l.pos, Line: l.line})
+	return l.toks, nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	l.toks = append(l.toks, token{Kind: tokIdent, Text: l.src[start:l.pos], Pos: start, Line: l.line})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	text := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return fmt.Errorf("lang: line %d: bad number %q: %v", l.line, text, err)
+	}
+	kind := tokInt
+	if l.pos < len(l.src) && (l.src[l.pos] == 'L' || l.src[l.pos] == 'l') {
+		kind = tokLong
+		l.pos++
+	}
+	l.toks = append(l.toks, token{Kind: kind, Int: v, Text: text, Pos: start, Line: l.line})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			l.toks = append(l.toks, token{Kind: tokString, Text: b.String(), Pos: start, Line: l.line})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			default:
+				b.WriteByte(l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("lang: line %d: unterminated string", l.line)
+}
+
+func (l *lexer) lexPunct() {
+	for _, p := range multiPunct {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.toks = append(l.toks, token{Kind: tokPunct, Text: p, Pos: l.pos, Line: l.line})
+			l.pos += len(p)
+			return
+		}
+	}
+	l.toks = append(l.toks, token{Kind: tokPunct, Text: l.src[l.pos : l.pos+1], Pos: l.pos, Line: l.line})
+	l.pos++
+}

@@ -1,0 +1,208 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program as Java-like source text. The output parses
+// back with Parse (round-trip property, tested in print_test.go).
+func Format(p *Program) string {
+	var b strings.Builder
+	for i, c := range p.Classes {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		formatClass(&b, c)
+	}
+	return b.String()
+}
+
+func formatClass(b *strings.Builder, c *Class) {
+	fmt.Fprintf(b, "class %s {\n", c.Name)
+	for _, f := range c.Fields {
+		b.WriteString("  ")
+		if f.Static {
+			b.WriteString("static ")
+		}
+		fmt.Fprintf(b, "%s %s;\n", f.Ty, f.Name)
+	}
+	for _, m := range c.Methods {
+		formatMethod(b, m)
+	}
+	b.WriteString("}\n")
+}
+
+func formatMethod(b *strings.Builder, m *Method) {
+	b.WriteString("  ")
+	if m.Static {
+		b.WriteString("static ")
+	}
+	if m.Synchronized {
+		b.WriteString("synchronized ")
+	}
+	fmt.Fprintf(b, "%s %s(", m.Ret, m.Name)
+	for i, p := range m.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", p.Ty, p.Name)
+	}
+	b.WriteString(") ")
+	formatBlock(b, m.Body, 1)
+	b.WriteString("\n")
+}
+
+func formatBlock(b *strings.Builder, blk *Block, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		formatStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch n := s.(type) {
+	case *VarDecl:
+		fmt.Fprintf(b, "%s %s = %s;\n", n.Ty, n.Name, FormatExpr(n.Init))
+	case *Assign:
+		fmt.Fprintf(b, "%s = %s;\n", FormatExpr(n.Target), FormatExpr(n.Value))
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s;\n", FormatExpr(n.E))
+	case *If:
+		fmt.Fprintf(b, "if (%s) ", FormatExpr(n.Cond))
+		formatBlock(b, n.Then, depth)
+		if n.Else != nil {
+			b.WriteString(" else ")
+			formatBlock(b, n.Else, depth)
+		}
+		b.WriteString("\n")
+	case *For:
+		fmt.Fprintf(b, "for (int %s = %s; %s < %s; %s += %d) ",
+			n.Var, FormatExpr(n.From), n.Var, FormatExpr(n.To), n.Var, n.Step)
+		formatBlock(b, n.Body, depth)
+		b.WriteString("\n")
+	case *While:
+		fmt.Fprintf(b, "while (%s) ", FormatExpr(n.Cond))
+		formatBlock(b, n.Body, depth)
+		b.WriteString("\n")
+	case *Sync:
+		fmt.Fprintf(b, "synchronized (%s) ", FormatExpr(n.Monitor))
+		formatBlock(b, n.Body, depth)
+		b.WriteString("\n")
+	case *Return:
+		if n.E == nil {
+			b.WriteString("return;\n")
+		} else {
+			fmt.Fprintf(b, "return %s;\n", FormatExpr(n.E))
+		}
+	case *Throw:
+		fmt.Fprintf(b, "throw %s;\n", FormatExpr(n.E))
+	case *Try:
+		b.WriteString("try ")
+		formatBlock(b, n.Body, depth)
+		fmt.Fprintf(b, " catch (%s) ", n.CatchVar)
+		formatBlock(b, n.Catch, depth)
+		b.WriteString("\n")
+	case *Print:
+		fmt.Fprintf(b, "print(%s);\n", FormatExpr(n.E))
+	case *Block:
+		formatBlock(b, n, depth)
+		b.WriteString("\n")
+	default:
+		panic("lang: Format: unknown statement type")
+	}
+}
+
+// FormatExpr renders an expression as source text.
+func FormatExpr(e Expr) string {
+	switch n := e.(type) {
+	case nil:
+		return "<nil>"
+	case *IntLit:
+		if n.Ty.Kind == KindLong {
+			return fmt.Sprintf("%dL", n.V)
+		}
+		return fmt.Sprintf("%d", n.V)
+	case *BoolLit:
+		if n.V {
+			return "true"
+		}
+		return "false"
+	case *StrLit:
+		return fmt.Sprintf("%q", n.V)
+	case *VarRef:
+		return n.Name
+	case *FieldRef:
+		if n.Recv == nil {
+			return fmt.Sprintf("%s.%s", n.Class, n.Name)
+		}
+		return fmt.Sprintf("%s.%s", FormatExpr(n.Recv), n.Name)
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(n.L), n.Op, FormatExpr(n.R))
+	case *Unary:
+		// Canonicalize unary minus over a literal to a negative literal
+		// (the parser folds the same shape).
+		if n.Op == OpNeg {
+			if lit, ok := n.X.(*IntLit); ok {
+				folded := &IntLit{V: -lit.V}
+				folded.Ty = lit.Ty
+				return FormatExpr(folded)
+			}
+		}
+		return fmt.Sprintf("(%s%s)", n.Op, FormatExpr(n.X))
+	case *Call:
+		args := formatArgs(n.Args)
+		if n.Recv == nil {
+			return fmt.Sprintf("%s.%s(%s)", n.Class, n.Method, args)
+		}
+		return fmt.Sprintf("%s.%s(%s)", FormatExpr(n.Recv), n.Method, args)
+	case *ReflectCall:
+		recv := "null"
+		if n.Recv != nil {
+			recv = FormatExpr(n.Recv)
+		}
+		args := formatArgs(n.Args)
+		if args != "" {
+			args = ", " + args
+		}
+		return fmt.Sprintf("reflect_invoke(%q, %q, %s%s)", n.Class, n.Method, recv, args)
+	case *ReflectFieldGet:
+		recv := "null"
+		if n.Recv != nil {
+			recv = FormatExpr(n.Recv)
+		}
+		return fmt.Sprintf("reflect_get(%q, %q, %s)", n.Class, n.Name, recv)
+	case *New:
+		return fmt.Sprintf("new %s()", n.Class)
+	case *NewArray:
+		return fmt.Sprintf("new int[%s]", FormatExpr(n.Len))
+	case *Index:
+		return fmt.Sprintf("%s[%s]", FormatExpr(n.Arr), FormatExpr(n.Idx))
+	case *Box:
+		return fmt.Sprintf("Integer.valueOf(%s)", FormatExpr(n.X))
+	case *Unbox:
+		return fmt.Sprintf("%s.intValue()", FormatExpr(n.X))
+	case *Widen:
+		return fmt.Sprintf("(long)(%s)", FormatExpr(n.X))
+	case *Cond:
+		return fmt.Sprintf("(%s ? %s : %s)", FormatExpr(n.C), FormatExpr(n.T), FormatExpr(n.F))
+	}
+	panic("lang: FormatExpr: unknown expression type")
+}
+
+func formatArgs(args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = FormatExpr(a)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,166 @@
+package lang
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genExpr builds a random well-typed int expression over variables a, b.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &VarRef{Name: "a"}
+		case 1:
+			return &VarRef{Name: "b"}
+		default:
+			return &IntLit{V: int64(rng.Intn(2001) - 1000)}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return &Unary{Op: OpNeg, X: genExpr(rng, depth-1)}
+	case 1:
+		return &Unary{Op: OpBitNot, X: genExpr(rng, depth-1)}
+	case 2:
+		return &Cond{
+			C: &Binary{Op: OpLt, L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)},
+			T: genExpr(rng, depth-1),
+			F: genExpr(rng, depth-1),
+		}
+	default:
+		ops := []BinOp{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr}
+		return &Binary{Op: ops[rng.Intn(len(ops))], L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+	}
+}
+
+// exprValue implements quick.Generator for random expressions.
+type exprValue struct{ E Expr }
+
+func (exprValue) Generate(rng *rand.Rand, size int) reflect.Value {
+	d := size % 5
+	return reflect.ValueOf(exprValue{E: genExpr(rng, d)})
+}
+
+// Property: FormatExpr(parse(FormatExpr(e))) == FormatExpr(e).
+func TestQuickExprRoundTrip(t *testing.T) {
+	f := func(ev exprValue) bool {
+		s1 := FormatExpr(ev.E)
+		parsed, err := ParseExprString(s1, nil)
+		if err != nil {
+			t.Logf("parse failed on %q: %v", s1, err)
+			return false
+		}
+		return FormatExpr(parsed) == s1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CloneExpr produces an equal rendering and a disjoint tree.
+func TestQuickCloneExprIndependent(t *testing.T) {
+	f := func(ev exprValue) bool {
+		c := CloneExpr(ev.E)
+		if FormatExpr(c) != FormatExpr(ev.E) {
+			return false
+		}
+		// Zero out every literal in the clone; the original must not move.
+		before := FormatExpr(ev.E)
+		WalkExpr(c, func(x Expr) {
+			if lit, ok := x.(*IntLit); ok {
+				lit.V = 0
+			}
+		})
+		return FormatExpr(ev.E) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a program wrapping a random expression type-checks,
+// round-trips, and keeps statement IDs unique after a clone+mutation.
+func TestQuickProgramWithRandomExpr(t *testing.T) {
+	f := func(ev exprValue) bool {
+		p := &Program{EntryClass: "T"}
+		body := Register(p, &Block{})
+		body.Stmts = append(body.Stmts,
+			Register(p, &VarDecl{Name: "a", Ty: Int, Init: &IntLit{V: 3}}),
+			Register(p, &VarDecl{Name: "b", Ty: Int, Init: &IntLit{V: 5}}),
+			Register(p, &Print{E: CloneExpr(ev.E)}),
+		)
+		p.Classes = []*Class{{Name: "T", Methods: []*Method{{
+			Name: "main", Static: true, Ret: Void, Body: body,
+		}}}}
+		if err := Check(p); err != nil {
+			t.Logf("check failed: %v\n%s", err, Format(p))
+			return false
+		}
+		s1 := Format(p)
+		p2, err := Parse(s1)
+		if err != nil {
+			return false
+		}
+		if err := Check(p2); err != nil {
+			return false
+		}
+		if Format(p2) != s1 {
+			return false
+		}
+		// Clone and mutate: IDs stay unique program-wide.
+		q := CloneProgram(p)
+		loc := Statements(q)[0]
+		loc.InsertBefore(Register(q, &Print{E: &IntLit{V: 1}}))
+		seen := map[int]bool{}
+		ok := true
+		for _, l := range Statements(q) {
+			if seen[l.Stmt.ID()] {
+				ok = false
+			}
+			seen[l.Stmt.ID()] = true
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Find locates every statement Statements enumerates, with the
+// same parent block identity.
+func TestQuickFindConsistent(t *testing.T) {
+	f := func(ev exprValue) bool {
+		src := `
+class T {
+  static void main() {
+    int a = 1;
+    int b = 2;
+    for (int i = 0; i < 4; i += 1) {
+      if (a < b) {
+        print(` + FormatExpr(ev.E) + `);
+      }
+    }
+  }
+}`
+		p, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		if err := Check(p); err != nil {
+			return false
+		}
+		for _, loc := range Statements(p) {
+			got := Find(p, loc.Stmt.ID())
+			if got == nil || got.Parent != loc.Parent || got.Index != loc.Index {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,496 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Check resolves names and types across the whole program, filling in the
+// static type of every expression and the declaring class of instance
+// field accesses and calls. It returns an error describing every problem
+// found (joined), or nil if the program is well formed.
+//
+// Check is idempotent and must run before compiling to bytecode and
+// before the fuzzer inspects expression types at a mutation point.
+func Check(p *Program) error {
+	c := &checker{prog: p}
+	for _, cl := range p.Classes {
+		for _, m := range cl.Methods {
+			c.checkMethod(cl, m)
+		}
+	}
+	if ec, em := p.Entry(); ec == nil || em == nil || !em.Static {
+		c.errorf("program has no static main method in entry class %q", p.EntryClass)
+	}
+	return errors.Join(c.errs...)
+}
+
+type checker struct {
+	prog *Program
+	errs []error
+
+	class  *Class
+	method *Method
+	scopes []map[string]Type
+}
+
+func (c *checker) errorf(format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("lang: %s", fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) push()                    { c.scopes = append(c.scopes, map[string]Type{}) }
+func (c *checker) pop()                     { c.scopes = c.scopes[:len(c.scopes)-1] }
+func (c *checker) declare(n string, t Type) { c.scopes[len(c.scopes)-1][n] = t }
+
+func (c *checker) lookup(n string) (Type, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][n]; ok {
+			return t, true
+		}
+	}
+	return Void, false
+}
+
+func (c *checker) checkMethod(cl *Class, m *Method) {
+	c.class, c.method = cl, m
+	c.scopes = nil
+	c.push()
+	if !m.Static {
+		c.declare("this", ObjectType(cl.Name))
+	}
+	for _, p := range m.Params {
+		c.declare(p.Name, p.Ty)
+	}
+	c.checkBlock(m.Body)
+	c.pop()
+	if m.Ret.Kind != KindVoid && !alwaysExits(m.Body) {
+		c.errorf("method %s.%s: missing return statement", cl.Name, m.Name)
+	}
+}
+
+// alwaysExits conservatively reports whether every path through the
+// block ends in a return or throw (Java's definite-completion rule,
+// restricted to the constructs the language has).
+func alwaysExits(b *Block) bool {
+	if b == nil || len(b.Stmts) == 0 {
+		return false
+	}
+	for _, s := range b.Stmts {
+		switch n := s.(type) {
+		case *Return, *Throw:
+			return true
+		case *If:
+			if n.Else != nil && alwaysExits(n.Then) && alwaysExits(n.Else) {
+				return true
+			}
+		case *Block:
+			if alwaysExits(n) {
+				return true
+			}
+		case *Sync:
+			if alwaysExits(n.Body) {
+				return true
+			}
+		case *Try:
+			if alwaysExits(n.Body) && alwaysExits(n.Catch) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *checker) checkBlock(b *Block) {
+	if b == nil {
+		return
+	}
+	c.push()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.pop()
+}
+
+// assignable reports whether a value of type src can be assigned to dst.
+func assignable(dst, src Type) bool {
+	if dst == src {
+		return true
+	}
+	// int widens to long.
+	if dst.Kind == KindLong && src.Kind == KindInt {
+		return true
+	}
+	return false
+}
+
+// widen wraps e in a Widen node when assigning an int value to a long
+// destination, so every engine widens at the same program point.
+func widen(dst Type, e Expr) Expr {
+	if e == nil || dst.Kind != KindLong {
+		return e
+	}
+	if e.ResultType().Kind != KindInt {
+		return e
+	}
+	w := &Widen{X: e}
+	w.Ty = Long
+	return w
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch n := s.(type) {
+	case *VarDecl:
+		t := c.checkExpr(n.Init)
+		if !assignable(n.Ty, t) {
+			c.errorf("cannot initialize %s %s with %s value", n.Ty, n.Name, t)
+		}
+		n.Init = widen(n.Ty, n.Init)
+		c.declare(n.Name, n.Ty)
+	case *Assign:
+		vt := c.checkExpr(n.Value)
+		tt := c.checkExpr(n.Target)
+		switch n.Target.(type) {
+		case *VarRef, *FieldRef, *Index:
+		default:
+			c.errorf("invalid assignment target %s", FormatExpr(n.Target))
+		}
+		if !assignable(tt, vt) {
+			c.errorf("cannot assign %s value to %s target %s", vt, tt, FormatExpr(n.Target))
+		}
+		n.Value = widen(tt, n.Value)
+	case *ExprStmt:
+		c.checkExpr(n.E)
+	case *If:
+		if t := c.checkExpr(n.Cond); t.Kind != KindBool {
+			c.errorf("if condition must be boolean, got %s", t)
+		}
+		c.checkBlock(n.Then)
+		c.checkBlock(n.Else)
+	case *For:
+		if t := c.checkExpr(n.From); t.Kind != KindInt {
+			c.errorf("for-loop start must be int, got %s", t)
+		}
+		if t := c.checkExpr(n.To); t.Kind != KindInt {
+			c.errorf("for-loop bound must be int, got %s", t)
+		}
+		if n.Step == 0 {
+			c.errorf("for-loop step must be nonzero")
+		}
+		c.push()
+		c.declare(n.Var, Int)
+		c.checkBlock(n.Body)
+		c.pop()
+	case *While:
+		if t := c.checkExpr(n.Cond); t.Kind != KindBool {
+			c.errorf("while condition must be boolean, got %s", t)
+		}
+		c.checkBlock(n.Body)
+	case *Sync:
+		if t := c.checkExpr(n.Monitor); !t.IsRef() {
+			c.errorf("synchronized monitor must be a reference, got %s", t)
+		}
+		c.checkBlock(n.Body)
+	case *Return:
+		ret := c.method.Ret
+		if n.E == nil {
+			if ret.Kind != KindVoid {
+				c.errorf("method %s must return %s", c.method.Name, ret)
+			}
+			return
+		}
+		t := c.checkExpr(n.E)
+		if !assignable(ret, t) {
+			c.errorf("method %s returns %s, got %s", c.method.Name, ret, t)
+		}
+		n.E = widen(ret, n.E)
+	case *Throw:
+		if t := c.checkExpr(n.E); t.Kind != KindInt {
+			c.errorf("throw expression must be int, got %s", t)
+		}
+	case *Try:
+		c.checkBlock(n.Body)
+		c.push()
+		c.declare(n.CatchVar, Int)
+		c.checkBlock(n.Catch)
+		c.pop()
+	case *Print:
+		c.checkExpr(n.E)
+	case *Block:
+		c.checkBlock(n)
+	default:
+		c.errorf("unknown statement type %T", s)
+	}
+}
+
+// checkExpr computes and stores the static type of e, returning it.
+func (c *checker) checkExpr(e Expr) Type {
+	switch n := e.(type) {
+	case nil:
+		return Void
+	case *IntLit:
+		if n.Ty.Kind != KindLong {
+			n.Ty = Int
+		}
+		return n.Ty
+	case *BoolLit:
+		n.Ty = Bool
+		return Bool
+	case *StrLit:
+		n.Ty = String
+		return String
+	case *VarRef:
+		t, ok := c.lookup(n.Name)
+		if !ok {
+			c.errorf("undefined variable %q in %s.%s", n.Name, c.class.Name, c.method.Name)
+			t = Int
+		}
+		n.Ty = t
+		return t
+	case *FieldRef:
+		return c.checkFieldRef(n)
+	case *Binary:
+		return c.checkBinary(n)
+	case *Unary:
+		t := c.checkExpr(n.X)
+		switch n.Op {
+		case OpNeg, OpBitNot:
+			if !t.IsNumeric() {
+				c.errorf("unary %s needs numeric operand, got %s", n.Op, t)
+			}
+			n.Ty = t
+		case OpNot:
+			if t.Kind != KindBool {
+				c.errorf("! needs boolean operand, got %s", t)
+			}
+			n.Ty = Bool
+		}
+		return n.Ty
+	case *Call:
+		return c.checkCall(n)
+	case *ReflectCall:
+		return c.checkReflectCall(n)
+	case *ReflectFieldGet:
+		cl := c.prog.Class(n.Class)
+		if cl == nil {
+			c.errorf("reflect_get on unknown class %q", n.Class)
+			n.Ty = Int
+			return n.Ty
+		}
+		f := cl.FieldByName(n.Name)
+		if f == nil {
+			c.errorf("reflect_get on unknown field %s.%s", n.Class, n.Name)
+			n.Ty = Int
+			return n.Ty
+		}
+		if n.Recv != nil {
+			c.checkExpr(n.Recv)
+		} else if !f.Static {
+			c.errorf("reflect_get of instance field %s.%s needs a receiver", n.Class, n.Name)
+		}
+		n.Ty = f.Ty
+		return n.Ty
+	case *New:
+		if c.prog.Class(n.Class) == nil {
+			c.errorf("new of unknown class %q", n.Class)
+		}
+		n.Ty = ObjectType(n.Class)
+		return n.Ty
+	case *NewArray:
+		if t := c.checkExpr(n.Len); t.Kind != KindInt {
+			c.errorf("array length must be int, got %s", t)
+		}
+		n.Ty = IntArray
+		return n.Ty
+	case *Index:
+		if t := c.checkExpr(n.Arr); t.Kind != KindIntArray {
+			c.errorf("indexing non-array type %s", t)
+		}
+		if t := c.checkExpr(n.Idx); t.Kind != KindInt {
+			c.errorf("array index must be int, got %s", t)
+		}
+		n.Ty = Int
+		return n.Ty
+	case *Box:
+		if t := c.checkExpr(n.X); t.Kind != KindInt {
+			c.errorf("Integer.valueOf needs int, got %s", t)
+		}
+		n.Ty = IntBox
+		return n.Ty
+	case *Unbox:
+		if t := c.checkExpr(n.X); t.Kind != KindIntBox {
+			c.errorf("intValue() needs Integer, got %s", t)
+		}
+		n.Ty = Int
+		return n.Ty
+	case *Widen:
+		c.checkExpr(n.X)
+		n.Ty = Long
+		return Long
+	case *Cond:
+		if t := c.checkExpr(n.C); t.Kind != KindBool {
+			c.errorf("ternary condition must be boolean, got %s", t)
+		}
+		tt := c.checkExpr(n.T)
+		ft := c.checkExpr(n.F)
+		if tt != ft && !(tt.IsNumeric() && ft.IsNumeric()) {
+			c.errorf("ternary arms disagree: %s vs %s", tt, ft)
+		}
+		n.Ty = tt
+		if tt.Kind == KindInt && ft.Kind == KindLong {
+			n.Ty = Long
+		}
+		return n.Ty
+	}
+	c.errorf("unknown expression type %T", e)
+	return Void
+}
+
+func (c *checker) checkBinary(n *Binary) Type {
+	lt := c.checkExpr(n.L)
+	rt := c.checkExpr(n.R)
+	switch {
+	case n.Op.IsLogical():
+		if lt.Kind != KindBool || rt.Kind != KindBool {
+			c.errorf("%s needs boolean operands, got %s and %s", n.Op, lt, rt)
+		}
+		n.Ty = Bool
+	case n.Op.IsComparison():
+		switch {
+		case lt.IsNumeric() && rt.IsNumeric():
+		case lt.IsRef() && rt.IsRef() && (n.Op == OpEq || n.Op == OpNe):
+		case lt.Kind == KindBool && rt.Kind == KindBool && (n.Op == OpEq || n.Op == OpNe):
+		default:
+			c.errorf("cannot compare %s and %s with %s", lt, rt, n.Op)
+		}
+		n.Ty = Bool
+	default: // arithmetic / bitwise
+		if !lt.IsNumeric() || !rt.IsNumeric() {
+			c.errorf("%s needs numeric operands, got %s and %s (%s)", n.Op, lt, rt, FormatExpr(n))
+		}
+		n.Ty = Int
+		if lt.Kind == KindLong || rt.Kind == KindLong {
+			n.Ty = Long
+		}
+	}
+	return n.Ty
+}
+
+func (c *checker) checkFieldRef(n *FieldRef) Type {
+	var cl *Class
+	if n.Recv == nil {
+		cl = c.prog.Class(n.Class)
+		if cl == nil {
+			c.errorf("unknown class %q in static field access", n.Class)
+			n.Ty = Int
+			return n.Ty
+		}
+	} else {
+		rt := c.checkExpr(n.Recv)
+		if rt.Kind != KindObject {
+			c.errorf("field access on non-object type %s", rt)
+			n.Ty = Int
+			return n.Ty
+		}
+		cl = c.prog.Class(rt.Class)
+		if cl == nil {
+			c.errorf("field access on unknown class %q", rt.Class)
+			n.Ty = Int
+			return n.Ty
+		}
+		n.Class = cl.Name
+	}
+	f := cl.FieldByName(n.Name)
+	if f == nil {
+		c.errorf("unknown field %s.%s", cl.Name, n.Name)
+		n.Ty = Int
+		return n.Ty
+	}
+	if n.Recv == nil && !f.Static {
+		c.errorf("instance field %s.%s accessed statically", cl.Name, n.Name)
+	}
+	n.Ty = f.Ty
+	return n.Ty
+}
+
+func (c *checker) checkCall(n *Call) Type {
+	var cl *Class
+	if n.Recv == nil {
+		cl = c.prog.Class(n.Class)
+		if cl == nil {
+			c.errorf("unknown class %q in static call", n.Class)
+			n.Ty = Int
+			return n.Ty
+		}
+	} else {
+		rt := c.checkExpr(n.Recv)
+		if rt.Kind != KindObject {
+			c.errorf("method call on non-object type %s (%s)", rt, FormatExpr(n))
+			n.Ty = Int
+			return n.Ty
+		}
+		cl = c.prog.Class(rt.Class)
+		if cl == nil {
+			c.errorf("method call on unknown class %q", rt.Class)
+			n.Ty = Int
+			return n.Ty
+		}
+		n.Class = cl.Name
+	}
+	m := cl.Method(n.Method)
+	if m == nil {
+		c.errorf("unknown method %s.%s", cl.Name, n.Method)
+		n.Ty = Int
+		return n.Ty
+	}
+	if n.Recv == nil && !m.Static {
+		c.errorf("instance method %s.%s called statically", cl.Name, n.Method)
+	}
+	if len(n.Args) != len(m.Params) {
+		c.errorf("call to %s.%s with %d args, want %d", cl.Name, n.Method, len(n.Args), len(m.Params))
+	}
+	for i, a := range n.Args {
+		at := c.checkExpr(a)
+		if i < len(m.Params) {
+			if !assignable(m.Params[i].Ty, at) {
+				c.errorf("call to %s.%s: arg %d has type %s, want %s", cl.Name, n.Method, i, at, m.Params[i].Ty)
+			}
+			n.Args[i] = widen(m.Params[i].Ty, n.Args[i])
+		}
+	}
+	n.Ty = m.Ret
+	return n.Ty
+}
+
+func (c *checker) checkReflectCall(n *ReflectCall) Type {
+	cl := c.prog.Class(n.Class)
+	if cl == nil {
+		c.errorf("reflect_invoke on unknown class %q", n.Class)
+		n.Ty = Int
+		return n.Ty
+	}
+	m := cl.Method(n.Method)
+	if m == nil {
+		c.errorf("reflect_invoke on unknown method %s.%s", n.Class, n.Method)
+		n.Ty = Int
+		return n.Ty
+	}
+	if n.Recv != nil {
+		c.checkExpr(n.Recv)
+	} else if !m.Static {
+		c.errorf("reflect_invoke of instance method %s.%s needs a receiver", n.Class, n.Method)
+	}
+	if len(n.Args) != len(m.Params) {
+		c.errorf("reflect_invoke %s.%s with %d args, want %d", n.Class, n.Method, len(n.Args), len(m.Params))
+	}
+	for i, a := range n.Args {
+		at := c.checkExpr(a)
+		if i < len(m.Params) {
+			if !assignable(m.Params[i].Ty, at) {
+				c.errorf("reflect_invoke %s.%s: arg %d has type %s, want %s", n.Class, n.Method, i, at, m.Params[i].Ty)
+			}
+			n.Args[i] = widen(m.Params[i].Ty, n.Args[i])
+		}
+	}
+	n.Ty = m.Ret
+	return n.Ty
+}

@@ -1,0 +1,306 @@
+package lang
+
+// WalkStmts calls fn for every statement in the subtree rooted at s
+// (including s itself), in source order. If fn returns false the walk
+// does not descend into that statement's children.
+func WalkStmts(s Stmt, fn func(Stmt) bool) {
+	if s == nil || !fn(s) {
+		return
+	}
+	switch n := s.(type) {
+	case *Block:
+		for _, c := range n.Stmts {
+			WalkStmts(c, fn)
+		}
+	case *If:
+		WalkStmts(n.Then, fn)
+		if n.Else != nil {
+			WalkStmts(n.Else, fn)
+		}
+	case *For:
+		WalkStmts(n.Body, fn)
+	case *While:
+		WalkStmts(n.Body, fn)
+	case *Sync:
+		WalkStmts(n.Body, fn)
+	case *Try:
+		WalkStmts(n.Body, fn)
+		WalkStmts(n.Catch, fn)
+	}
+}
+
+// WalkExprsIn calls fn for every expression appearing directly in the
+// statement s (not descending into child statements), in evaluation order.
+func WalkExprsIn(s Stmt, fn func(Expr)) {
+	switch n := s.(type) {
+	case *VarDecl:
+		WalkExpr(n.Init, fn)
+	case *Assign:
+		WalkExpr(n.Target, fn)
+		WalkExpr(n.Value, fn)
+	case *ExprStmt:
+		WalkExpr(n.E, fn)
+	case *If:
+		WalkExpr(n.Cond, fn)
+	case *For:
+		WalkExpr(n.From, fn)
+		WalkExpr(n.To, fn)
+	case *While:
+		WalkExpr(n.Cond, fn)
+	case *Sync:
+		WalkExpr(n.Monitor, fn)
+	case *Return:
+		WalkExpr(n.E, fn)
+	case *Throw:
+		WalkExpr(n.E, fn)
+	case *Print:
+		WalkExpr(n.E, fn)
+	}
+}
+
+// WalkExpr calls fn for e and every sub-expression of e.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch n := e.(type) {
+	case *FieldRef:
+		WalkExpr(n.Recv, fn)
+	case *Binary:
+		WalkExpr(n.L, fn)
+		WalkExpr(n.R, fn)
+	case *Unary:
+		WalkExpr(n.X, fn)
+	case *Call:
+		WalkExpr(n.Recv, fn)
+		for _, a := range n.Args {
+			WalkExpr(a, fn)
+		}
+	case *ReflectCall:
+		WalkExpr(n.Recv, fn)
+		for _, a := range n.Args {
+			WalkExpr(a, fn)
+		}
+	case *ReflectFieldGet:
+		WalkExpr(n.Recv, fn)
+	case *NewArray:
+		WalkExpr(n.Len, fn)
+	case *Index:
+		WalkExpr(n.Arr, fn)
+		WalkExpr(n.Idx, fn)
+	case *Box:
+		WalkExpr(n.X, fn)
+	case *Unbox:
+		WalkExpr(n.X, fn)
+	case *Widen:
+		WalkExpr(n.X, fn)
+	case *Cond:
+		WalkExpr(n.C, fn)
+		WalkExpr(n.T, fn)
+		WalkExpr(n.F, fn)
+	}
+}
+
+// CloneExpr deep-copies an expression tree.
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *IntLit:
+		c := *n
+		return &c
+	case *BoolLit:
+		c := *n
+		return &c
+	case *StrLit:
+		c := *n
+		return &c
+	case *VarRef:
+		c := *n
+		return &c
+	case *FieldRef:
+		c := *n
+		c.Recv = CloneExpr(n.Recv)
+		return &c
+	case *Binary:
+		c := *n
+		c.L, c.R = CloneExpr(n.L), CloneExpr(n.R)
+		return &c
+	case *Unary:
+		c := *n
+		c.X = CloneExpr(n.X)
+		return &c
+	case *Call:
+		c := *n
+		c.Recv = CloneExpr(n.Recv)
+		c.Args = cloneExprs(n.Args)
+		return &c
+	case *ReflectCall:
+		c := *n
+		c.Recv = CloneExpr(n.Recv)
+		c.Args = cloneExprs(n.Args)
+		return &c
+	case *ReflectFieldGet:
+		c := *n
+		c.Recv = CloneExpr(n.Recv)
+		return &c
+	case *New:
+		c := *n
+		return &c
+	case *NewArray:
+		c := *n
+		c.Len = CloneExpr(n.Len)
+		return &c
+	case *Index:
+		c := *n
+		c.Arr, c.Idx = CloneExpr(n.Arr), CloneExpr(n.Idx)
+		return &c
+	case *Box:
+		c := *n
+		c.X = CloneExpr(n.X)
+		return &c
+	case *Unbox:
+		c := *n
+		c.X = CloneExpr(n.X)
+		return &c
+	case *Widen:
+		c := *n
+		c.X = CloneExpr(n.X)
+		return &c
+	case *Cond:
+		c := *n
+		c.C, c.T, c.F = CloneExpr(n.C), CloneExpr(n.T), CloneExpr(n.F)
+		return &c
+	}
+	panic("lang: CloneExpr: unknown expression type")
+}
+
+func cloneExprs(es []Expr) []Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = CloneExpr(e)
+	}
+	return out
+}
+
+// CloneStmt deep-copies a statement tree. Statement IDs are preserved;
+// callers that need fresh IDs (e.g. when duplicating code into the same
+// program) should follow with ReassignIDs.
+func CloneStmt(s Stmt) Stmt {
+	if s == nil {
+		return nil
+	}
+	switch n := s.(type) {
+	case *VarDecl:
+		c := *n
+		c.Init = CloneExpr(n.Init)
+		return &c
+	case *Assign:
+		c := *n
+		c.Target, c.Value = CloneExpr(n.Target), CloneExpr(n.Value)
+		return &c
+	case *ExprStmt:
+		c := *n
+		c.E = CloneExpr(n.E)
+		return &c
+	case *If:
+		c := *n
+		c.Cond = CloneExpr(n.Cond)
+		c.Then = CloneBlock(n.Then)
+		c.Else = CloneBlock(n.Else)
+		return &c
+	case *For:
+		c := *n
+		c.From, c.To = CloneExpr(n.From), CloneExpr(n.To)
+		c.Body = CloneBlock(n.Body)
+		return &c
+	case *While:
+		c := *n
+		c.Cond = CloneExpr(n.Cond)
+		c.Body = CloneBlock(n.Body)
+		return &c
+	case *Sync:
+		c := *n
+		c.Monitor = CloneExpr(n.Monitor)
+		c.Body = CloneBlock(n.Body)
+		return &c
+	case *Return:
+		c := *n
+		c.E = CloneExpr(n.E)
+		return &c
+	case *Throw:
+		c := *n
+		c.E = CloneExpr(n.E)
+		return &c
+	case *Try:
+		c := *n
+		c.Body = CloneBlock(n.Body)
+		c.Catch = CloneBlock(n.Catch)
+		return &c
+	case *Print:
+		c := *n
+		c.E = CloneExpr(n.E)
+		return &c
+	case *Block:
+		return CloneBlock(n)
+	}
+	panic("lang: CloneStmt: unknown statement type")
+}
+
+// CloneBlock deep-copies a block (nil-safe).
+func CloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	c := &Block{}
+	c.setID(b.ID())
+	c.Stmts = make([]Stmt, len(b.Stmts))
+	for i, s := range b.Stmts {
+		c.Stmts[i] = CloneStmt(s)
+	}
+	return c
+}
+
+// CloneMethod deep-copies a method.
+func CloneMethod(m *Method) *Method {
+	c := *m
+	c.Params = append([]Param(nil), m.Params...)
+	c.Body = CloneBlock(m.Body)
+	return &c
+}
+
+// CloneClass deep-copies a class.
+func CloneClass(cl *Class) *Class {
+	c := &Class{Name: cl.Name}
+	for _, f := range cl.Fields {
+		ff := *f
+		c.Fields = append(c.Fields, &ff)
+	}
+	for _, m := range cl.Methods {
+		c.Methods = append(c.Methods, CloneMethod(m))
+	}
+	return c
+}
+
+// CloneProgram deep-copies an entire program, preserving statement IDs
+// and the ID counter, so a mutation point remains addressable in the clone.
+func CloneProgram(p *Program) *Program {
+	c := &Program{EntryClass: p.EntryClass, nextID: p.nextID}
+	for _, cl := range p.Classes {
+		c.Classes = append(c.Classes, CloneClass(cl))
+	}
+	return c
+}
+
+// ReassignIDs gives every statement in the subtree a fresh ID from p.
+func ReassignIDs(p *Program, s Stmt) {
+	WalkStmts(s, func(st Stmt) bool {
+		st.setID(p.NewID())
+		return true
+	})
+}

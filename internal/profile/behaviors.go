@@ -1,0 +1,62 @@
+// Package profile models the paper's profile-data channel: JVM flags gate
+// textual log lines that the optimization passes emit; regex rules parse
+// those lines back into a 19-dimensional Optimization Behavior Vector
+// (OBV); and the OBV arithmetic (Euclidean increment Δ, weight update)
+// drives the fuzzer's guidance exactly as in §3.4 of the paper.
+//
+// The information flow is deliberately indirect — passes write text, the
+// fuzzer greps text — because that is the interface the paper's tool has
+// against a real JVM.
+package profile
+
+// Behavior enumerates the 19 optimization behaviors the rules can
+// observe (the paper's 15 flags record 19 behavior types).
+type Behavior int
+
+// Behaviors.
+const (
+	BInline     Behavior = iota
+	BInlineSync          // inlining of a synchronized callee (Listing 1's hazard)
+	BUnroll
+	BPeel
+	BUnswitch
+	BPreMainPost // pre/main/post loop splitting before unrolling
+	BLockElim
+	BNestedLockElim
+	BLockCoarsen
+	BEscapeNone // allocation classified NoEscape
+	BEscapeArg  // allocation classified ArgEscape
+	BScalarReplace
+	BAutoboxElim
+	BRedundantStore
+	BAlgebraic
+	BGVN
+	BDCE
+	BUncommonTrap
+	BDeoptRecompile
+
+	NumBehaviors = 19
+)
+
+var behaviorNames = [NumBehaviors]string{
+	"Inline", "InlineSync", "Unroll", "Peel", "Unswitch", "PreMainPost",
+	"LockElim", "NestedLockElim", "LockCoarsen", "EscapeNone", "EscapeArg",
+	"ScalarReplace", "AutoboxElim", "RedundantStore", "Algebraic", "GVN",
+	"DCE", "UncommonTrap", "DeoptRecompile",
+}
+
+func (b Behavior) String() string {
+	if b >= 0 && int(b) < NumBehaviors {
+		return behaviorNames[b]
+	}
+	return "Behavior?"
+}
+
+// AllBehaviors lists every behavior in index order.
+func AllBehaviors() []Behavior {
+	out := make([]Behavior, NumBehaviors)
+	for i := range out {
+		out[i] = Behavior(i)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package profile
+
+// Flag names a diagnostic VM flag (the -XX:+Print... / -XX:+Trace...
+// family). Each flag gates a family of log lines; §2.2 of the paper.
+type Flag string
+
+// The 15 flags MopFuzzer passes to the VM. The first twelve carry the 19
+// counted behaviors; the last three are informational (compilation
+// events, generated code, statistics) and match no counting rule —
+// exactly the situation the paper describes where available flags bound
+// what guidance can see.
+const (
+	FlagPrintInlining             Flag = "PrintInlining"
+	FlagTraceLoopOpts             Flag = "TraceLoopOpts"
+	FlagPrintEliminateLocks       Flag = "PrintEliminateLocks"
+	FlagPrintLockCoarsening       Flag = "PrintLockCoarsening"
+	FlagPrintEscapeAnalysis       Flag = "PrintEscapeAnalysis"
+	FlagPrintEliminateAllocations Flag = "PrintEliminateAllocations"
+	FlagTraceAutoBoxElimination   Flag = "TraceAutoBoxElimination"
+	FlagTraceRedundantStores      Flag = "TraceRedundantStores"
+	FlagTraceAlgebraicOpts        Flag = "TraceAlgebraicOpts"
+	FlagPrintGVN                  Flag = "PrintGVN"
+	FlagTraceDeadCode             Flag = "TraceDeadCode"
+	FlagTraceDeoptimization       Flag = "TraceDeoptimization"
+	FlagPrintCompilation          Flag = "PrintCompilation"
+	FlagPrintAssembly             Flag = "PrintAssembly"
+	FlagPrintOptoStatistics       Flag = "PrintOptoStatistics"
+)
+
+// AllFlags lists the 15 flags in canonical order.
+func AllFlags() []Flag {
+	return []Flag{
+		FlagPrintInlining, FlagTraceLoopOpts, FlagPrintEliminateLocks,
+		FlagPrintLockCoarsening, FlagPrintEscapeAnalysis, FlagPrintEliminateAllocations,
+		FlagTraceAutoBoxElimination, FlagTraceRedundantStores, FlagTraceAlgebraicOpts,
+		FlagPrintGVN, FlagTraceDeadCode, FlagTraceDeoptimization,
+		FlagPrintCompilation, FlagPrintAssembly, FlagPrintOptoStatistics,
+	}
+}
+
+// FlagSet is the set of enabled diagnostic flags for one execution.
+type FlagSet map[Flag]bool
+
+// DefaultFlags enables all 15 diagnostic flags (the fuzzer's setting).
+func DefaultFlags() FlagSet {
+	fs := FlagSet{}
+	for _, f := range AllFlags() {
+		fs[f] = true
+	}
+	return fs
+}
+
+// NoFlags returns an empty flag set (production-like run: no profile
+// data, the setting the MopFuzzer_g variant is forced into when a VM
+// offers no diagnostics).
+func NoFlags() FlagSet { return FlagSet{} }
+
+// Enabled reports whether f is on.
+func (fs FlagSet) Enabled(f Flag) bool { return fs[f] }

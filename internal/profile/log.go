@@ -1,0 +1,58 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Recorder is the VM-side log sink. Optimization passes emit flag-gated
+// lines into it; the fuzzer reads back the raw text and greps it with
+// the behavior rules. A nil *Recorder is valid and drops everything.
+type Recorder struct {
+	flags FlagSet
+	lines []string
+}
+
+// NewRecorder builds a recorder honoring the given flag set.
+func NewRecorder(flags FlagSet) *Recorder {
+	return &Recorder{flags: flags}
+}
+
+// Emitf appends a formatted line if its gating flag is enabled.
+func (r *Recorder) Emitf(flag Flag, format string, args ...any) {
+	if r == nil || !r.flags.Enabled(flag) {
+		return
+	}
+	r.lines = append(r.lines, fmt.Sprintf(format, args...))
+}
+
+// Text returns the accumulated log as one string.
+func (r *Recorder) Text() string {
+	if r == nil {
+		return ""
+	}
+	return strings.Join(r.lines, "\n")
+}
+
+// Lines returns the raw log lines.
+func (r *Recorder) Lines() []string {
+	if r == nil {
+		return nil
+	}
+	return r.lines
+}
+
+// Len returns the number of recorded lines.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.lines)
+}
+
+// Emitter is the narrow interface passes use to write profile data.
+type Emitter interface {
+	Emitf(flag Flag, format string, args ...any)
+}
+
+var _ Emitter = (*Recorder)(nil)

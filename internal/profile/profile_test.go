@@ -1,0 +1,229 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRulesCoverAllBehaviors(t *testing.T) {
+	seen := map[Behavior]bool{}
+	for _, r := range Rules {
+		if r.Pattern == "" {
+			t.Errorf("rule for %v has empty pattern", r.Behavior)
+		}
+		if seen[r.Behavior] {
+			t.Errorf("duplicate rule for %v", r.Behavior)
+		}
+		seen[r.Behavior] = true
+	}
+	if len(seen) != NumBehaviors {
+		t.Errorf("rules cover %d behaviors, want %d", len(seen), NumBehaviors)
+	}
+}
+
+func TestFifteenFlags(t *testing.T) {
+	if got := len(AllFlags()); got != 15 {
+		t.Errorf("flag count = %d, want 15 (paper §3.4)", got)
+	}
+	// Every counting rule's flag must be one of the 15.
+	valid := map[Flag]bool{}
+	for _, f := range AllFlags() {
+		valid[f] = true
+	}
+	for _, r := range Rules {
+		if !valid[r.Flag] {
+			t.Errorf("rule %v references unknown flag %q", r.Behavior, r.Flag)
+		}
+	}
+}
+
+func TestExtractOBVMatchesEmittedLines(t *testing.T) {
+	rec := NewRecorder(DefaultFlags())
+	rec.Emitf(FlagTraceLoopOpts, "Unroll %d(%d)", 8, 16)
+	rec.Emitf(FlagTraceLoopOpts, "Unroll %d", 4)
+	rec.Emitf(FlagTraceLoopOpts, "Peel  T.foo trip=5")
+	rec.Emitf(FlagPrintEliminateLocks, "++++ Eliminated: %d Lock", 2)
+	rec.Emitf(FlagPrintEliminateLocks, "++++ Eliminated: 1 Lock (nested)")
+	rec.Emitf(FlagPrintLockCoarsening, "Coarsened 4 locks on this in T.foo")
+	rec.Emitf(FlagPrintInlining, "@ 1 T::bar (3 nodes)   inline (hot)")
+	rec.Emitf(FlagPrintInlining, "@ 2 T::baz   inline (hot) monitors rewired")
+	rec.Emitf(FlagTraceDeoptimization, "Uncommon trap occurred in T.foo reason=unstable_if")
+	rec.Emitf(FlagTraceDeoptimization, "Deoptimization: recompile T.foo (count 1)")
+
+	v := ExtractOBV(rec.Text())
+	want := map[Behavior]int64{
+		BUnroll: 2, BPeel: 1, BLockElim: 2, BNestedLockElim: 1, BLockCoarsen: 1,
+		BInline: 2, BInlineSync: 1, BUncommonTrap: 1, BDeoptRecompile: 1,
+	}
+	for b, n := range want {
+		if v[b] != n {
+			t.Errorf("%v = %d, want %d", b, v[b], n)
+		}
+	}
+	// The "Lock (nested)" line also matches the plain Lock rule — that
+	// overlap is intentional (a nested elimination IS an elimination).
+	if v[BUnswitch] != 0 || v[BGVN] != 0 {
+		t.Errorf("spurious counts: %v", v)
+	}
+}
+
+func TestFlagGating(t *testing.T) {
+	rec := NewRecorder(FlagSet{FlagTraceLoopOpts: true})
+	rec.Emitf(FlagTraceLoopOpts, "Unroll 4")
+	rec.Emitf(FlagPrintInlining, "@ 1 x  inline (hot)") // gated off
+	v := ExtractOBV(rec.Text())
+	if v[BUnroll] != 1 || v[BInline] != 0 {
+		t.Errorf("gating broken: %v", v)
+	}
+	var nilRec *Recorder
+	nilRec.Emitf(FlagTraceLoopOpts, "ignored") // must not panic
+	if nilRec.Text() != "" || nilRec.Len() != 0 {
+		t.Error("nil recorder should be empty")
+	}
+}
+
+func TestDeltaFormula(t *testing.T) {
+	var p, c OBV
+	p[0], p[1] = 1, 5
+	c[0], c[1], c[2] = 2, 2, 2
+	// increments: +1, (−3 ignored), +2 => sqrt(1+4)
+	want := math.Sqrt(5)
+	if got := Delta(p, c); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Delta = %v, want %v", got, want)
+	}
+	// The paper's worked example: (1,0,0,...) -> (2,2,2,0,...) gives 3.
+	var p2, c2 OBV
+	p2[0] = 1
+	c2[0], c2[1], c2[2] = 2, 2, 2
+	if got := Delta(p2, c2); math.Abs(got-3) > 1e-9 {
+		t.Errorf("paper example Delta = %v, want 3", got)
+	}
+}
+
+func TestWeightUpdateFormula(t *testing.T) {
+	var p, c OBV
+	c[0] = 3
+	c[1] = 4 // ||c|| = 5, Δ = 5
+	w := UpdateWeight(2, p, c)
+	if math.Abs(w-4) > 1e-9 { // 2 * (1 + 5/5)
+		t.Errorf("UpdateWeight = %v, want 4", w)
+	}
+	// Zero child vector leaves the weight unchanged.
+	var z OBV
+	if got := UpdateWeight(1.5, p, z); got != 1.5 {
+		t.Errorf("UpdateWeight on zero = %v", got)
+	}
+}
+
+func TestSumIncrementBias(t *testing.T) {
+	// §3.4's rationale: frequent behaviors dominate the sum but not the
+	// normalized Euclidean update.
+	var p, c OBV
+	p[BInline], c[BInline] = 100, 200
+	p[BUnswitch], c[BUnswitch] = 1, 2
+	if got := SumIncrement(p, c); got != 101 {
+		t.Errorf("SumIncrement = %v, want 101", got)
+	}
+	d := Delta(p, c)
+	if d >= 101 {
+		t.Errorf("Delta should de-emphasize the imbalance, got %v", d)
+	}
+}
+
+// Property: Δ is never negative and is zero iff no dimension increased.
+func TestDeltaProperties(t *testing.T) {
+	f := func(ps, cs [NumBehaviors]uint8) bool {
+		var p, c OBV
+		inc := false
+		for i := 0; i < NumBehaviors; i++ {
+			p[i] = int64(ps[i])
+			c[i] = int64(cs[i])
+			if c[i] > p[i] {
+				inc = true
+			}
+		}
+		d := Delta(p, c)
+		if d < 0 {
+			return false
+		}
+		return (d > 0) == inc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weights never decrease under Formula 3.
+func TestWeightMonotoneProperty(t *testing.T) {
+	f := func(ps, cs [NumBehaviors]uint8, w8 uint8) bool {
+		var p, c OBV
+		for i := 0; i < NumBehaviors; i++ {
+			p[i], c[i] = int64(ps[i]), int64(cs[i])
+		}
+		w := 0.1 + float64(w8)/16
+		return UpdateWeight(w, p, c) >= w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ExtractOBV is additive over concatenated logs.
+func TestExtractAdditiveProperty(t *testing.T) {
+	lines := []string{
+		"Unroll 4", "Peel  x", "GVN hit: y", "DCE: removed z",
+		"++++ Eliminated: 1 Lock", "is NoEscape",
+	}
+	f := func(pick []uint8) bool {
+		if len(pick) > 60 {
+			pick = pick[:60]
+		}
+		var a, b strings.Builder
+		for i, p := range pick {
+			line := lines[int(p)%len(lines)]
+			if i%2 == 0 {
+				a.WriteString(line + "\n")
+			} else {
+				b.WriteString(line + "\n")
+			}
+		}
+		sum := ExtractOBV(a.String()).Add(ExtractOBV(b.String()))
+		whole := ExtractOBV(a.String() + "\n" + b.String())
+		return sum == whole
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOBVHelpers(t *testing.T) {
+	var v OBV
+	v[BUnroll] = 3
+	v[BInline] = 4
+	if v.Total() != 7 {
+		t.Errorf("Total = %d", v.Total())
+	}
+	if v.DistinctTypes() != 2 {
+		t.Errorf("DistinctTypes = %d", v.DistinctTypes())
+	}
+	if math.Abs(v.Norm()-5) > 1e-9 {
+		t.Errorf("Norm = %v", v.Norm())
+	}
+	s := v.String()
+	if !strings.Contains(s, "Unroll:3") || !strings.Contains(s, "Inline:4") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestBehaviorNames(t *testing.T) {
+	for _, b := range AllBehaviors() {
+		if b.String() == "Behavior?" {
+			t.Errorf("behavior %d has no name", b)
+		}
+	}
+	if Behavior(99).String() != "Behavior?" {
+		t.Error("out-of-range behavior should render as Behavior?")
+	}
+}

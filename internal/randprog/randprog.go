@@ -1,0 +1,233 @@
+// Package randprog generates random well-formed mini-Java programs for
+// stress-testing the substrate itself: every generated program must
+// produce identical output on the bytecode interpreter and the bug-free
+// JIT. It deliberately covers the darker corners the seed corpus avoids
+// (exceptions crossing lock regions, reflection, boxing chains, shadowing,
+// long arithmetic, early returns from loops).
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Generate returns the source of a random program. The same rng state
+// always yields the same program.
+func Generate(rng *rand.Rand) string {
+	g := &gen{rng: rng}
+	return g.program()
+}
+
+type gen struct {
+	rng   *rand.Rand
+	vars  []string // int locals in scope
+	longs []string // long locals in scope
+	depth int
+	n     int
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.n++
+	return fmt.Sprintf("%s%d", prefix, g.n)
+}
+
+func (g *gen) intVar() string {
+	return g.vars[g.rng.Intn(len(g.vars))]
+}
+
+// expr emits an int expression of bounded depth. Division uses guarded
+// denominators so programs fail only where the language says they may.
+func (g *gen) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return g.intVar()
+		case 1:
+			return fmt.Sprintf("%d", g.rng.Intn(201)-100)
+		case 2:
+			return "this.f"
+		default:
+			return "T.sf"
+		}
+	}
+	switch g.rng.Intn(9) {
+	case 0:
+		return fmt.Sprintf("(%s / (1 + (%s & 7)))", g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s %% (1 + (%s & 15)))", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("Integer.valueOf(%s).intValue()", g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("T.h2(%s, %s)", g.expr(depth-1), g.expr(depth-1))
+	case 4:
+		return fmt.Sprintf("(%s ? %s : %s)", g.boolExpr(depth-1), g.expr(depth-1), g.expr(depth-1))
+	case 5:
+		return fmt.Sprintf("(-%s)", g.expr(depth-1))
+	case 6:
+		return fmt.Sprintf("(~%s)", g.expr(depth-1))
+	default:
+		ops := []string{"+", "-", "*", "&", "|", "^", "<<", ">>"}
+		op := ops[g.rng.Intn(len(ops))]
+		r := g.expr(depth - 1)
+		if op == "<<" || op == ">>" {
+			r = fmt.Sprintf("(%s & 7)", r)
+		}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, r)
+	}
+}
+
+func (g *gen) boolExpr(depth int) string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	cmp := fmt.Sprintf("(%s %s %s)", g.expr(depth), ops[g.rng.Intn(len(ops))], g.expr(depth))
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s && %s)", cmp, g.boolExprLeaf())
+	case 1:
+		return fmt.Sprintf("(%s || %s)", cmp, g.boolExprLeaf())
+	case 2:
+		return "(!" + cmp + ")"
+	}
+	return cmp
+}
+
+func (g *gen) boolExprLeaf() string {
+	return fmt.Sprintf("(%s > %d)", g.intVar(), g.rng.Intn(50))
+}
+
+func (g *gen) stmt(b *strings.Builder, indent string) {
+	if g.depth > 4 {
+		fmt.Fprintf(b, "%s%s = %s;\n", indent, g.intVar(), g.expr(1))
+		return
+	}
+	switch g.rng.Intn(14) {
+	case 0:
+		v := g.fresh("x")
+		fmt.Fprintf(b, "%sint %s = %s;\n", indent, v, g.expr(2))
+		g.vars = append(g.vars, v)
+	case 1:
+		fmt.Fprintf(b, "%s%s = %s;\n", indent, g.intVar(), g.expr(2))
+	case 2:
+		fmt.Fprintf(b, "%sthis.f = %s;\n", indent, g.expr(1))
+	case 3:
+		fmt.Fprintf(b, "%sT.sf = %s;\n", indent, g.expr(1))
+	case 4: // if/else
+		g.depth++
+		fmt.Fprintf(b, "%sif (%s) {\n", indent, g.boolExpr(1))
+		g.block(b, indent+"  ", 1+g.rng.Intn(2))
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(b, "%s} else {\n", indent)
+			g.block(b, indent+"  ", 1)
+		}
+		fmt.Fprintf(b, "%s}\n", indent)
+		g.depth--
+	case 5: // counted loop
+		g.depth++
+		lv := g.fresh("k")
+		fmt.Fprintf(b, "%sfor (int %s = 0; %s < %d; %s += %d) {\n",
+			indent, lv, lv, 2+g.rng.Intn(18), lv, 1+g.rng.Intn(2))
+		g.vars = append(g.vars, lv)
+		g.block(b, indent+"  ", 1+g.rng.Intn(2))
+		g.vars = g.vars[:len(g.vars)-1]
+		fmt.Fprintf(b, "%s}\n", indent)
+		g.depth--
+	case 6: // while with decreasing guard
+		g.depth++
+		wv := g.fresh("w")
+		fmt.Fprintf(b, "%sint %s = %d;\n", indent, wv, g.rng.Intn(12))
+		fmt.Fprintf(b, "%swhile (%s > 0) {\n", indent, wv)
+		fmt.Fprintf(b, "%s  %s = %s - 1;\n", indent, wv, wv)
+		g.vars = append(g.vars, wv)
+		g.block(b, indent+"  ", 1)
+		fmt.Fprintf(b, "%s}\n", indent)
+		g.depth--
+	case 7: // synchronized region
+		g.depth++
+		mons := []string{"this", "t2", `"L"`}
+		fmt.Fprintf(b, "%ssynchronized (%s) {\n", indent, mons[g.rng.Intn(len(mons))])
+		g.block(b, indent+"  ", 1+g.rng.Intn(2))
+		fmt.Fprintf(b, "%s}\n", indent)
+		g.depth--
+	case 8: // try/catch with a conditional throw
+		g.depth++
+		cv := g.fresh("e")
+		fmt.Fprintf(b, "%stry {\n", indent)
+		fmt.Fprintf(b, "%s  if (%s) {\n", indent, g.boolExpr(0))
+		fmt.Fprintf(b, "%s    throw %s;\n", indent, g.expr(0))
+		fmt.Fprintf(b, "%s  }\n", indent)
+		g.block(b, indent+"  ", 1)
+		fmt.Fprintf(b, "%s} catch (%s) {\n", indent, cv)
+		fmt.Fprintf(b, "%s  %s = %s + 1;\n", indent, g.intVar(), cv)
+		fmt.Fprintf(b, "%s}\n", indent)
+		g.depth--
+	case 9: // array traffic (masked indices)
+		fmt.Fprintf(b, "%sarr[%s & 7] = %s;\n", indent, g.expr(0), g.expr(1))
+		fmt.Fprintf(b, "%s%s = arr[%s & 7];\n", indent, g.intVar(), g.expr(0))
+	case 10: // boxing round trips
+		v := g.fresh("bx")
+		fmt.Fprintf(b, "%sInteger %s = Integer.valueOf(%s);\n", indent, v, g.expr(1))
+		fmt.Fprintf(b, "%s%s = %s.intValue() ^ %s;\n", indent, g.intVar(), v, g.intVar())
+	case 11: // reflection
+		fmt.Fprintf(b, "%s%s = reflect_invoke(\"T\", \"h1\", null, %s);\n", indent, g.intVar(), g.expr(0))
+	case 12: // long arithmetic
+		v := g.fresh("l")
+		fmt.Fprintf(b, "%slong %s = %s;\n", indent, v, g.expr(1))
+		fmt.Fprintf(b, "%s%s = %s * 2654435761L + %s;\n", indent, v, v, g.intVar())
+		g.longs = append(g.longs, v)
+	default: // accumulate into the checksum
+		fmt.Fprintf(b, "%sacc = acc ^ %s;\n", indent, g.expr(2))
+	}
+}
+
+// block emits n statements in a nested lexical scope: declarations made
+// inside must not leak into the generator's view of the outer scope.
+func (g *gen) block(b *strings.Builder, indent string, n int) {
+	savedVars := len(g.vars)
+	savedLongs := len(g.longs)
+	for i := 0; i < n; i++ {
+		g.stmt(b, indent)
+	}
+	g.vars = g.vars[:savedVars]
+	g.longs = g.longs[:savedLongs]
+}
+
+func (g *gen) program() string {
+	g.vars = []string{"i", "acc"}
+	g.longs = nil
+	g.n = 0
+	g.depth = 0
+
+	var body strings.Builder
+	g.block(&body, "    ", 4+g.rng.Intn(5))
+
+	var b strings.Builder
+	b.WriteString("class T {\n")
+	b.WriteString("  int f;\n")
+	b.WriteString("  static int sf;\n")
+	b.WriteString("  static void main() {\n")
+	b.WriteString("    T t = new T();\n")
+	fmt.Fprintf(&b, "    t.f = %d;\n", g.rng.Intn(40)+1)
+	b.WriteString("    long total = 0;\n")
+	fmt.Fprintf(&b, "    for (int i = 0; i < %d; i += 1) {\n", 600+g.rng.Intn(3)*300)
+	b.WriteString("      try {\n")
+	b.WriteString("        total = total + t.work(i);\n")
+	b.WriteString("      } catch (me) {\n")
+	b.WriteString("        total = total - me;\n")
+	b.WriteString("      }\n")
+	b.WriteString("    }\n")
+	b.WriteString("    print(total);\n")
+	b.WriteString("    print(t.f);\n")
+	b.WriteString("    print(T.sf);\n")
+	b.WriteString("  }\n")
+	b.WriteString("  int work(int i) {\n")
+	b.WriteString("    int acc = i;\n")
+	b.WriteString("    T t2 = new T();\n")
+	b.WriteString("    int[] arr = new int[8];\n")
+	b.WriteString(body.String())
+	b.WriteString("    return acc;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  static int h1(int x) { return x * 3 - 1; }\n")
+	b.WriteString("  static int h2(int x, int y) { return x + y * 2; }\n")
+	b.WriteString("}\n")
+	return b.String()
+}

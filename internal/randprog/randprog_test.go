@@ -1,0 +1,155 @@
+package randprog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/buginject"
+	"repro/internal/bytecode"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(9)))
+	b := Generate(rand.New(rand.NewSource(9)))
+	if a != b {
+		t.Error("same seed produced different programs")
+	}
+}
+
+func TestGeneratedProgramsParseAndCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 60; i++ {
+		src := Generate(rng)
+		p, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("program %d does not parse: %v\n%s", i, err, src)
+		}
+		if err := lang.Check(p); err != nil {
+			t.Fatalf("program %d ill-typed: %v\n%s", i, err, src)
+		}
+	}
+}
+
+// TestInterpreterVsJITStress is the substrate's own fuzzing campaign:
+// random programs must behave identically on the bytecode interpreter
+// and on the bug-free optimizing JIT — if this test fails, one of the
+// sixteen passes or the executor has a real semantics bug.
+func TestInterpreterVsJITStress(t *testing.T) {
+	trials := 80
+	if testing.Short() {
+		trials = 15
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < trials; i++ {
+		src := Generate(rng)
+		p, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		if err := lang.Check(p); err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		ref, err := jvm.Run(lang.CloneProgram(p), jvm.Reference(), jvm.Options{
+			PureInterpreter: true, MaxSteps: 8_000_000,
+		})
+		if err != nil {
+			t.Fatalf("program %d interp: %v", i, err)
+		}
+		opt, err := jvm.Run(lang.CloneProgram(p), jvm.Reference(), jvm.Options{
+			ForceCompile: true, Bugs: []*buginject.Bug{}, MaxSteps: 8_000_000,
+		})
+		if err != nil {
+			t.Fatalf("program %d jit: %v", i, err)
+		}
+		if ref.Result.TimedOut || opt.Result.TimedOut {
+			continue
+		}
+		if opt.Crashed() {
+			t.Fatalf("program %d crashed the bug-free JIT: %v\n%s", i, opt.Result.Crash, src)
+		}
+		if ref.Result.OutputString() != opt.Result.OutputString() {
+			t.Fatalf("program %d: engines disagree\n-- interp --\n%s\n-- jit --\n%s\n-- source --\n%s",
+				i, ref.Result.OutputString(), opt.Result.OutputString(), src)
+		}
+	}
+}
+
+// TestOpenJ9PipelineStress repeats the differential check against the
+// OpenJ9-tuned pipeline (bigger inline budget, later traps).
+func TestOpenJ9PipelineStress(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	rng := rand.New(rand.NewSource(13))
+	spec := jvm.Spec{Impl: buginject.OpenJ9, Version: 23}
+	for i := 0; i < trials; i++ {
+		src := Generate(rng)
+		p := lang.MustParse(src)
+		if err := lang.Check(p); err != nil {
+			t.Fatal(err)
+		}
+		ref, err := jvm.Run(lang.CloneProgram(p), spec, jvm.Options{PureInterpreter: true, MaxSteps: 8_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := jvm.Run(lang.CloneProgram(p), spec, jvm.Options{
+			ForceCompile: true, Bugs: []*buginject.Bug{}, MaxSteps: 8_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Result.TimedOut || opt.Result.TimedOut {
+			continue
+		}
+		if ref.Result.OutputString() != opt.Result.OutputString() {
+			t.Fatalf("program %d (J9): engines disagree\n%s\nvs\n%s\n%s",
+				i, ref.Result.OutputString(), opt.Result.OutputString(), src)
+		}
+	}
+}
+
+// TestGeneratedImagesVerify checks the bytecode verifier accepts every
+// compiled random program (the compiler and verifier agree on
+// structural rules).
+func TestGeneratedImagesVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 40; i++ {
+		p := lang.MustParse(Generate(rng))
+		if err := lang.Check(p); err != nil {
+			t.Fatal(err)
+		}
+		img, err := bytecode.Compile(p)
+		if err != nil {
+			t.Fatalf("program %d: %v", i, err)
+		}
+		if err := bytecode.Verify(img); err != nil {
+			t.Fatalf("program %d fails verification: %v", i, err)
+		}
+	}
+}
+
+// TestRoundTripGeneratedPrograms checks parse(format(p)) == format(p)
+// on random programs (the printer/parser property at scale).
+func TestRoundTripGeneratedPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 40; i++ {
+		p := lang.MustParse(Generate(rng))
+		if err := lang.Check(p); err != nil {
+			t.Fatal(err)
+		}
+		s1 := lang.Format(p)
+		p2, err := lang.Parse(s1)
+		if err != nil {
+			t.Fatalf("program %d reparse: %v", i, err)
+		}
+		if err := lang.Check(p2); err != nil {
+			t.Fatalf("program %d recheck: %v", i, err)
+		}
+		if s2 := lang.Format(p2); s1 != s2 {
+			t.Fatalf("program %d round trip unstable", i)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package reduce implements syntax-guided test-case reduction in the
+// spirit of perses: grammar-aware shrinking steps (statement deletion,
+// structure unwrapping, method removal) applied to a fixed point while a
+// caller-supplied predicate — "still triggers the bug" — keeps holding.
+package reduce
+
+import (
+	"repro/internal/lang"
+)
+
+// Predicate reports whether a candidate still exhibits the behavior of
+// interest. Candidates are always well-formed (type-checked) programs.
+type Predicate func(p *lang.Program) bool
+
+// Options bounds the reduction.
+type Options struct {
+	MaxRounds int // fixed-point iterations (default 8)
+}
+
+// Result reports what reduction achieved.
+type Result struct {
+	Program     *lang.Program
+	StmtsBefore int
+	StmtsAfter  int
+	Rounds      int
+	TestedCands int
+}
+
+// Reduce shrinks p while keep holds. p is not modified.
+func Reduce(p *lang.Program, keep Predicate, opt Options) *Result {
+	if opt.MaxRounds == 0 {
+		opt.MaxRounds = 8
+	}
+	cur := lang.CloneProgram(p)
+	res := &Result{StmtsBefore: lang.CountStmts(p)}
+
+	try := func(candidate *lang.Program) bool {
+		res.TestedCands++
+		if err := lang.Check(candidate); err != nil {
+			return false
+		}
+		return keep(candidate)
+	}
+
+	for round := 0; round < opt.MaxRounds; round++ {
+		res.Rounds = round + 1
+		progress := false
+
+		// Pass 1: delete whole statements, largest first.
+		for _, loc := range sortedBySize(cur) {
+			cand := lang.CloneProgram(cur)
+			cl := lang.Find(cand, loc.Stmt.ID())
+			if cl == nil {
+				continue
+			}
+			cl.Remove()
+			if try(cand) {
+				cur = cand
+				progress = true
+			}
+		}
+
+		// Pass 2: unwrap structures (keep bodies, drop the wrapper).
+		for _, loc := range sortedBySize(cur) {
+			var body []lang.Stmt
+			switch n := loc.Stmt.(type) {
+			case *lang.Sync:
+				body = n.Body.Stmts
+			case *lang.For:
+				body = n.Body.Stmts
+			case *lang.While:
+				body = n.Body.Stmts
+			case *lang.If:
+				body = n.Then.Stmts
+			case *lang.Try:
+				body = n.Body.Stmts
+			default:
+				continue
+			}
+			cand := lang.CloneProgram(cur)
+			cl := lang.Find(cand, loc.Stmt.ID())
+			if cl == nil {
+				continue
+			}
+			// Rebuild the body from the candidate's own copy.
+			var candBody []lang.Stmt
+			switch n := cl.Stmt.(type) {
+			case *lang.Sync:
+				candBody = n.Body.Stmts
+			case *lang.For:
+				candBody = n.Body.Stmts
+			case *lang.While:
+				candBody = n.Body.Stmts
+			case *lang.If:
+				candBody = n.Then.Stmts
+			case *lang.Try:
+				candBody = n.Body.Stmts
+			}
+			if len(candBody) == 0 {
+				continue
+			}
+			cl.Remove()
+			for i := len(candBody) - 1; i >= 0; i-- {
+				cl.Parent.Stmts = insertAt(cl.Parent.Stmts, cl.Index, candBody[i])
+			}
+			if try(cand) {
+				cur = cand
+				progress = true
+			}
+			_ = body
+		}
+
+		// Pass 3: drop unreferenced methods (never main).
+		for _, cl := range cur.Classes {
+			for mi := len(cl.Methods) - 1; mi >= 0; mi-- {
+				m := cl.Methods[mi]
+				if m.Name == "main" && cl.Name == cur.EntryClass {
+					continue
+				}
+				if methodReferenced(cur, cl.Name, m.Name) {
+					continue
+				}
+				cand := lang.CloneProgram(cur)
+				cc := cand.Class(cl.Name)
+				for i, cm := range cc.Methods {
+					if cm.Name == m.Name {
+						cc.Methods = append(cc.Methods[:i], cc.Methods[i+1:]...)
+						break
+					}
+				}
+				if try(cand) {
+					cur = cand
+					progress = true
+				}
+			}
+		}
+
+		if !progress {
+			break
+		}
+	}
+	res.Program = cur
+	res.StmtsAfter = lang.CountStmts(cur)
+	return res
+}
+
+func insertAt(s []lang.Stmt, i int, v lang.Stmt) []lang.Stmt {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// sortedBySize lists statements largest-subtree-first so big deletions
+// are attempted early (perses' priority queue by tree size).
+func sortedBySize(p *lang.Program) []*lang.Location {
+	locs := lang.Statements(p)
+	sizes := make(map[int]int, len(locs))
+	for _, loc := range locs {
+		n := 0
+		lang.WalkStmts(loc.Stmt, func(lang.Stmt) bool { n++; return true })
+		sizes[loc.Stmt.ID()] = n
+	}
+	// Insertion sort by descending size keeps this dependency-free and
+	// stable for determinism.
+	out := append([]*lang.Location(nil), locs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && sizes[out[j].Stmt.ID()] > sizes[out[j-1].Stmt.ID()]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func methodReferenced(p *lang.Program, class, method string) bool {
+	found := false
+	for _, cl := range p.Classes {
+		for _, m := range cl.Methods {
+			lang.WalkStmts(m.Body, func(s lang.Stmt) bool {
+				lang.WalkExprsIn(s, func(e lang.Expr) {
+					switch n := e.(type) {
+					case *lang.Call:
+						if n.Class == class && n.Method == method {
+							found = true
+						}
+					case *lang.ReflectCall:
+						if n.Class == class && n.Method == method {
+							found = true
+						}
+					}
+				})
+				return !found
+			})
+		}
+	}
+	return found
+}

@@ -1,0 +1,148 @@
+package reduce
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/jvm"
+	"repro/internal/lang"
+)
+
+// crashSrc triggers JDK-8312744 on the reference VM with lots of
+// removable clutter around the key structure.
+const crashSrc = `
+class T {
+  int f;
+  static int sf;
+  static void main() {
+    T t = new T();
+    t.f = 3;
+    int[] junk = new int[16];
+    junk[0] = 5;
+    long total = 0;
+    for (int i = 0; i < 1500; i += 1) {
+      total = total + t.foo(i);
+    }
+    print(total);
+    print(junk[0]);
+    T.sf = T.sf + 1;
+    print(T.sf);
+  }
+  int foo(int i) {
+    int noise = i * 31;
+    int noise2 = noise ^ 7;
+    int acc = 0;
+    for (int k = 0; k < 4; k += 1) {
+      synchronized (this) {
+        acc = acc + k + i;
+      }
+    }
+    synchronized (this) {
+      acc = acc + this.f;
+    }
+    return acc + noise2 - noise2;
+  }
+  static int unusedHelper(int x) { return x + 1; }
+}
+`
+
+func crashes(p *lang.Program) bool {
+	r, err := jvm.Run(lang.CloneProgram(p), jvm.Reference(), jvm.Options{ForceCompile: true, MaxSteps: 2_000_000})
+	if err != nil {
+		return false
+	}
+	return r.Crashed() && r.Result.Crash.BugID == "JDK-8312744"
+}
+
+func TestReducePreservesTrigger(t *testing.T) {
+	p := lang.MustParse(crashSrc)
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	if !crashes(p) {
+		t.Fatal("the unreduced case must crash")
+	}
+	res := Reduce(p, crashes, Options{})
+	if res.StmtsAfter >= res.StmtsBefore {
+		t.Errorf("no shrinkage: %d -> %d", res.StmtsBefore, res.StmtsAfter)
+	}
+	if !crashes(res.Program) {
+		t.Fatal("reduced case no longer crashes")
+	}
+	// The key structures must survive: a lock inside a small counted
+	// loop (unrolling turns the copies into the adjacent regions the
+	// coarsening defect needs — one source-level lock suffices).
+	src := lang.Format(res.Program)
+	if strings.Count(src, "synchronized") < 1 {
+		t.Errorf("reduction removed a load-bearing lock:\n%s", src)
+	}
+	if !strings.Contains(src, "for (") {
+		t.Errorf("reduction removed the load-bearing loop:\n%s", src)
+	}
+	// Clutter should be gone.
+	if strings.Contains(src, "unusedHelper") {
+		t.Errorf("dead method survived:\n%s", src)
+	}
+	if strings.Contains(src, "junk") {
+		t.Errorf("dead array survived:\n%s", src)
+	}
+}
+
+func TestReduceOriginalUntouched(t *testing.T) {
+	p := lang.MustParse(crashSrc)
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	before := lang.Format(p)
+	Reduce(p, crashes, Options{MaxRounds: 1})
+	if lang.Format(p) != before {
+		t.Error("Reduce mutated its input")
+	}
+}
+
+func TestReduceStopsWhenPredicateNeverHolds(t *testing.T) {
+	p := lang.MustParse(`class T { static void main() { print(1); print(2); } }`)
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	res := Reduce(p, func(*lang.Program) bool { return false }, Options{})
+	if res.StmtsAfter != res.StmtsBefore {
+		t.Errorf("reduced despite failing predicate: %d -> %d", res.StmtsBefore, res.StmtsAfter)
+	}
+}
+
+func TestReduceToMinimalOutput(t *testing.T) {
+	// Predicate: program still prints "7" somewhere. Reduction should
+	// strip everything unrelated.
+	src := `
+class T {
+  static void main() {
+    int a = 1;
+    int b = a + 10;
+    print(b);
+    print(7);
+    print(b + 5);
+  }
+}`
+	p := lang.MustParse(src)
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	keep := func(cand *lang.Program) bool {
+		r, err := jvm.Run(lang.CloneProgram(cand), jvm.Reference(), jvm.Options{PureInterpreter: true})
+		if err != nil {
+			return false
+		}
+		for _, line := range r.Result.Output {
+			if line == "7" {
+				return true
+			}
+		}
+		return false
+	}
+	res := Reduce(p, keep, Options{})
+	if res.StmtsAfter > 2 {
+		t.Errorf("expected near-minimal program, got %d statements:\n%s",
+			res.StmtsAfter, lang.Format(res.Program))
+	}
+}

@@ -1,0 +1,50 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Thrown is a mini-Java exception in flight, carrying its int code.
+// Negative codes are runtime-generated (see bytecode.Exc*).
+type Thrown struct {
+	Code int64
+}
+
+func (t *Thrown) Error() string { return fmt.Sprintf("exception %d", t.Code) }
+
+// Crash models a JVM-level failure (SIGSEGV, assertion failure in a
+// debug build, ...). It is raised by seeded compiler defects and aborts
+// the whole execution; the machine turns it into an hs_err-style report.
+type Crash struct {
+	BugID     string
+	Component string
+	Message   string
+	FnKey     string // method being compiled or executed
+}
+
+func (c *Crash) Error() string {
+	return fmt.Sprintf("JVM crash in %s (%s): %s [%s]", c.Component, c.BugID, c.Message, c.FnKey)
+}
+
+// HsErrReport renders the crash like HotSpot's hs_err_pid log header.
+func (c *Crash) HsErrReport(vmName string) string {
+	return fmt.Sprintf(`#
+# A fatal error has been detected by the Java Runtime Environment:
+#
+#  Internal Error (%s), bug=%s
+#  Problematic frame: %s
+#  %s
+#
+# VM: %s (simulated, debug build)
+#`, c.Component, c.BugID, c.FnKey, c.Message, vmName)
+}
+
+// ErrTimeout reports that the step budget was exhausted. Mutants with
+// pathological loop growth hit this; the fuzzer treats it as a skip, not
+// a bug.
+var ErrTimeout = errors.New("vm: execution step budget exhausted")
+
+// ErrIllegalMonitor reports an unbalanced monitor exit, which a correct
+// program cannot produce; it indicates a compiler defect.
+var ErrIllegalMonitor = errors.New("vm: IllegalMonitorStateException")

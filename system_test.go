@@ -1,0 +1,148 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/buginject"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+	"repro/internal/reduce"
+)
+
+// TestSystemEndToEnd drives the complete pipeline the paper describes:
+// seed -> guided iterative mutation -> crash -> reduction -> the reduced
+// case still reproduces on exactly the affected versions. This is the
+// repository's "does the whole story hold together" test.
+func TestSystemEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-campaign system test")
+	}
+	target := jvm.Spec{Impl: buginject.HotSpot, Version: 17}
+
+	// 1. Fuzz seeds until a crash finding appears.
+	var finding *core.BugFinding
+	var mutant *lang.Program
+	for s := int64(0); s < 10 && finding == nil; s++ {
+		cfg := core.DefaultConfig(target)
+		cfg.Seed = 100 + s
+		cfg.DiffSpecs = nil
+		f := core.NewFuzzer(cfg)
+		seed := corpus.DefaultPool(1, 100+s)[0]
+		fr, err := f.FuzzSeed(seed.Name, seed.Parse())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fr.Findings {
+			if fr.Findings[i].Oracle == "crash" {
+				finding = &fr.Findings[i]
+				mutant = fr.Final
+			}
+		}
+	}
+	if finding == nil {
+		t.Fatal("no crash found across 10 guided seeds")
+	}
+	bug := finding.Bug
+	t.Logf("found %s (%s) via %v", bug.ID, bug.Component, finding.Mutators)
+
+	// 2. The finding's mutator set reflects iterated mutation: the
+	// paper's central claim is that interaction bugs need several
+	// mutators applied to the same point.
+	if len(finding.Mutators) < 2 {
+		t.Errorf("crash after %d mutators; interaction bugs should need several", len(finding.Mutators))
+	}
+
+	// 3. Reduce while the same bug keeps firing.
+	keep := func(cand *lang.Program) bool {
+		r, err := jvm.Run(lang.CloneProgram(cand), target, jvm.Options{
+			ForceCompile: true, MaxSteps: 2_000_000,
+		})
+		if err != nil {
+			return false
+		}
+		return r.Crashed() && r.Result.Crash.BugID == bug.ID
+	}
+	if !keep(mutant) {
+		t.Fatal("final mutant does not reproduce the crash standalone")
+	}
+	red := reduce.Reduce(mutant, keep, reduce.Options{MaxRounds: 4})
+	if red.StmtsAfter >= red.StmtsBefore {
+		t.Errorf("reduction made no progress: %d -> %d", red.StmtsBefore, red.StmtsAfter)
+	}
+	if !keep(red.Program) {
+		t.Fatal("reduced case lost the trigger")
+	}
+	t.Logf("reduced %d -> %d statements", red.StmtsBefore, red.StmtsAfter)
+
+	// 4. Version confirmation: the reduced case crashes only on versions
+	// carrying the bug (modulo other bugs it may also trip).
+	for _, v := range []int{8, 11, 17, 21, 23} {
+		r, err := jvm.Run(lang.CloneProgram(red.Program), jvm.Spec{Impl: buginject.HotSpot, Version: v},
+			jvm.Options{ForceCompile: true, MaxSteps: 2_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := r.Crashed() && r.Result.Crash.BugID == bug.ID
+		if bug.In(v) && !hits && !r.Crashed() {
+			t.Errorf("jdk%d carries %s but the reduced case does not crash", v, bug.ID)
+		}
+		if !bug.In(v) && hits {
+			t.Errorf("jdk%d does not carry %s but crashed with it", v, bug.ID)
+		}
+	}
+}
+
+// TestSystemMiscompileEndToEnd drives the differential branch of the
+// pipeline on a known miscompiling shape.
+func TestSystemMiscompileEndToEnd(t *testing.T) {
+	src := `
+class T {
+  int f;
+  static void main() {
+    T t = new T();
+    long total = 0;
+    for (int i = 0; i < 1500; i += 1) { total = total + t.work(i); }
+    print(total);
+    print(t.f);
+  }
+  int work(int i) {
+    int acc = 0;
+    for (int k = 0; k < 4; k += 1) {
+      acc = 7;
+      acc = i + k;
+      this.f = this.f + acc;
+    }
+    return acc;
+  }
+}`
+	p := lang.MustParse(src)
+	diff, err := jvm.RunDifferential(p, jvm.AllSpecs(), jvm.Options{
+		ForceCompile: true, CompileOnly: "T.work",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Inconsistent() {
+		t.Fatal("known miscompiling shape not detected")
+	}
+	// Ground truth must attribute the divergence.
+	if len(diff.TriggeredBugs()) == 0 {
+		t.Error("divergence with no triggered-bug attribution")
+	}
+	// The interpreter and the healthy builds agree with each other.
+	ref, err := jvm.Run(lang.CloneProgram(p), jvm.Reference(), jvm.Options{PureInterpreter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthyAgree := false
+	for out, specs := range diff.Groups {
+		if out == ref.Result.OutputString() && len(specs) >= 4 {
+			healthyAgree = true
+		}
+	}
+	if !healthyAgree {
+		t.Error("no healthy-build group matches the interpreter's output")
+	}
+}
