@@ -11,14 +11,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/buginject"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/harness"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 	"repro/internal/reduce"
@@ -36,6 +39,11 @@ func main() {
 	doReduce := flag.Bool("reduce", false, "reduce bug-triggering mutants before reporting")
 	extended := flag.Bool("extended", false, "include the alternative evoking-mutator implementations")
 	dumpMutant := flag.Bool("dump", false, "print the final mutant source")
+	checkpoint := flag.String("checkpoint", "", "periodically snapshot campaign state to this JSON file")
+	resume := flag.String("resume", "", "restore campaign state from this checkpoint file before fuzzing")
+	execTimeout := flag.Duration("exec-timeout", 0, "wall-clock watchdog per seed task (0 = step fuel only)")
+	heapLimit := flag.Int64("heap-limit", 0, "per-execution heap-allocation cap in units (0 = VM default, <0 = uncapped)")
+	quarantineDir := flag.String("quarantine-dir", "", "persist pathological mutants (panic/hang/heap-exhaustion triggers) here")
 	flag.Parse()
 
 	spec, err := parseSpec(*jdk)
@@ -48,22 +56,58 @@ func main() {
 	cfg.FixedMP = *fixedMP
 	cfg.Seed = *seed
 	cfg.ExtendedMutators = *extended
+	cfg.MaxHeapUnits = *heapLimit
 
 	if *caseFile != "" {
 		fuzzOne(*caseFile, cfg, *doReduce, *dumpMutant)
 		return
 	}
 
+	// SIGINT/SIGTERM cancel the campaign between seed tasks; the
+	// harness flushes a final checkpoint and we print the partial
+	// result below before exiting.
+	ctx, stop := harness.ShutdownContext(context.Background())
+	defer stop()
+	hcfg := harness.Config{
+		ExecTimeout:    *execTimeout,
+		QuarantineDir:  *quarantineDir,
+		CheckpointPath: *checkpoint,
+		ResumePath:     *resume,
+		MaxRetries:     2,
+		Backoff:        100 * time.Millisecond,
+	}
+	if hcfg.CheckpointPath == "" && hcfg.ResumePath != "" {
+		// Resuming without an explicit -checkpoint keeps snapshotting to
+		// the same file, so repeated interrupt/resume cycles just work.
+		hcfg.CheckpointPath = hcfg.ResumePath
+	}
+
 	pool := corpus.DefaultPool(*seeds, *seed)
-	res := core.RunCampaign(core.CampaignConfig{
+	res, err := core.RunCampaignContext(ctx, core.CampaignConfig{
 		Seeds:   pool,
 		Budget:  *budget,
 		Targets: []jvm.Spec{spec},
 		Fuzz:    cfg,
 		Seed:    *seed,
-	})
-	fmt.Printf("campaign: %d executions, %d seeds fuzzed, %d unique bugs\n",
-		res.Executions, res.SeedsFuzzed, len(res.Findings))
+	}, hcfg)
+	if err != nil {
+		fatal(err)
+	}
+	status := ""
+	if res.Resumed {
+		status += " (resumed)"
+	}
+	if res.Interrupted {
+		status += " (interrupted — partial result)"
+	}
+	fmt.Printf("campaign: %d executions, %d seeds fuzzed, %d unique bugs%s\n",
+		res.Executions, res.SeedsFuzzed, len(res.Findings), status)
+	if n := len(res.SeedErrors); n > 0 {
+		fmt.Printf("  %d seed error(s):\n", n)
+		for _, se := range res.SeedErrors {
+			fmt.Printf("    round %d %s: %s\n", se.Round, se.SeedName, se.Err)
+		}
+	}
 	for _, f := range res.Findings {
 		fmt.Printf("  [%6d exec] %-14s %-26s %s (%s, via %s oracle)\n",
 			f.AtExecution, f.Bug.ID, f.Bug.Component, f.Bug.Kind, f.Target.Name(), f.Oracle)
@@ -74,6 +118,23 @@ func main() {
 				fmt.Println(indent(lang.Format(reduced.Program)))
 			}
 		}
+	}
+	for _, f := range res.Faults {
+		q := f.QuarantinePath
+		if q == "" {
+			q = "<memory>"
+		}
+		fmt.Printf("  fault  %-14s %-10s seed %s round %d, retries %d, quarantine %s\n",
+			f.Class, f.Component, f.SeedName, f.Round, f.Retries, q)
+		if *dumpMutant {
+			fmt.Println(indent(f.HsErrReport(spec.Name())))
+		}
+	}
+	if res.SkippedQuarantined > 0 {
+		fmt.Printf("  %d task(s) skipped (quarantined seeds)\n", res.SkippedQuarantined)
+	}
+	if res.Interrupted && *checkpoint != "" {
+		fmt.Printf("campaign: checkpoint flushed to %s — continue with -resume %s\n", *checkpoint, *checkpoint)
 	}
 }
 

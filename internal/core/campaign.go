@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
 	"sort"
 
 	"repro/internal/buginject"
 	"repro/internal/corpus"
+	"repro/internal/harness"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 )
@@ -29,6 +33,18 @@ type Finding struct {
 	AtExecution int // cumulative executions when found (the time axis)
 	Mutators    []string
 	Program     *lang.Program // the triggering mutant (pre-reduction)
+	// Harness carries the supervision context (fault class, retries,
+	// quarantine path) when the finding came through the supervised
+	// path; hs_err reports are annotated with it.
+	Harness *harness.FaultContext
+}
+
+// SeedError records a seed the fuzzer rejected (parse/shape problems),
+// previously swallowed silently by the campaign loop.
+type SeedError struct {
+	SeedName string `json:"seed_name"`
+	Round    int    `json:"round"`
+	Err      string `json:"err"`
 }
 
 // CampaignResult aggregates a campaign.
@@ -39,6 +55,19 @@ type CampaignResult struct {
 	// FinalDeltas holds Δ(seed OBV, final-mutant OBV) per fuzzed seed —
 	// the Figure 3/4 distribution.
 	FinalDeltas []float64
+	// SeedErrors lists seeds the fuzzer could not process, per round.
+	SeedErrors []SeedError
+	// Faults lists harness-level failures (contained panics, wall-clock
+	// hangs, heap exhaustions) — themselves crash-oracle findings, with
+	// the triggering mutants quarantined on disk.
+	Faults []*harness.Fault
+	// SkippedQuarantined counts task runs skipped because the seed was
+	// already quarantined.
+	SkippedQuarantined int
+	// Interrupted marks a partial result (SIGINT/SIGTERM or context
+	// cancellation); Resumed marks a run restored from a checkpoint.
+	Interrupted bool
+	Resumed     bool
 }
 
 // UniqueBugs returns the distinct detected bugs in detection order.
@@ -78,38 +107,147 @@ func (r *CampaignResult) MedianDelta() float64 {
 	return s[len(s)/2]
 }
 
+// FaultCounts tallies harness faults per class.
+func (r *CampaignResult) FaultCounts() map[harness.FaultClass]int {
+	out := map[harness.FaultClass]int{}
+	for _, f := range r.Faults {
+		out[f.Class]++
+	}
+	return out
+}
+
 // RunCampaign fuzzes seeds sequentially (Algorithm 1 line 1) until the
-// execution budget is exhausted, cycling the seed pool if needed.
+// execution budget is exhausted, cycling the seed pool if needed. It
+// delegates to the supervised execution engine in its zero
+// configuration: sequential, deterministic, panic-contained, with no
+// watchdog goroutine or persistence — so every experiment table and
+// figure reproduces byte-identically.
 func RunCampaign(cfg CampaignConfig) *CampaignResult {
+	// The zero harness config performs no I/O, so this cannot fail.
+	res, _ := RunCampaignContext(context.Background(), cfg, harness.Config{})
+	return res
+}
+
+// RunCampaignContext runs a campaign under the fault-isolated harness.
+// Per-seed fuzzing executes as supervised tasks: panics anywhere in the
+// substrate become classified faults instead of killing the process, a
+// wall-clock watchdog (hcfg.ExecTimeout) cancels hung executions, and
+// pathological seeds are quarantined and skipped on later rounds. When
+// hcfg.CheckpointPath is set the campaign state (executions, findings,
+// per-seed mutator weights, RNG cursor, quarantine index) is
+// snapshotted periodically and flushed on cancellation, and
+// hcfg.ResumePath restores a snapshot so an interrupted campaign
+// continues where it stopped. The per-task RNG seed is derived from
+// cfg.Seed plus the global task index, so resume reproduces the exact
+// random stream of an uninterrupted run.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Config) (*CampaignResult, error) {
 	if len(cfg.Targets) == 0 {
 		cfg.Targets = []jvm.Spec{jvm.Reference()}
 	}
 	res := &CampaignResult{}
+	if len(cfg.Seeds) == 0 {
+		return res, nil
+	}
+	sup, err := harness.New(hcfg)
+	if err != nil {
+		return nil, err
+	}
+
 	seen := map[string]bool{}
-	round := 0
-	for res.Executions < cfg.Budget {
-		progressed := false
-		for i, seed := range cfg.Seeds {
-			if res.Executions >= cfg.Budget {
-				break
+	weights := map[string]map[string]float64{}
+	cursor := 0 // global task index == RNG cursor
+	roundProgressed := false
+
+	if hcfg.ResumePath != "" {
+		ck, err := harness.LoadCheckpoint(hcfg.ResumePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := restoreCampaign(ck, sup, res, seen, weights, &cursor, &roundProgressed); err != nil {
+			return nil, err
+		}
+		res.Resumed = true
+	}
+
+	nSeeds := len(cfg.Seeds)
+	lastCkptExec := res.Executions
+	flush := func() {
+		if hcfg.CheckpointPath == "" {
+			return
+		}
+		// Checkpoint failures must not kill the campaign; the next
+		// flush retries with fresh state.
+		_ = saveCampaign(hcfg.CheckpointPath, sup, res, seen, weights, cursor, roundProgressed)
+	}
+
+	for {
+		if res.Executions >= cfg.Budget {
+			break
+		}
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
+		round, i := cursor/nSeeds, cursor%nSeeds
+		if i == 0 && round > 0 {
+			if !roundProgressed {
+				break // a full round made no progress: the pool is dead
 			}
-			fcfg := cfg.Fuzz
-			fcfg.Target = cfg.Targets[(round*len(cfg.Seeds)+i)%len(cfg.Targets)]
-			fcfg.Seed = cfg.Seed + int64(round*len(cfg.Seeds)+i)
-			f := NewFuzzer(fcfg)
-			fr, err := f.FuzzSeed(seed.Name, seed.Parse())
-			if err != nil {
-				continue
+			roundProgressed = false
+		}
+
+		seed := cfg.Seeds[i]
+		fcfg := cfg.Fuzz
+		fcfg.Target = cfg.Targets[cursor%len(cfg.Targets)]
+		fcfg.Seed = cfg.Seed + int64(cursor)
+		taskKey := fmt.Sprintf("%s#r%d", seed.Name, round)
+
+		out := sup.Do(ctx, harness.Task{
+			ID:       seed.Name,
+			SeedName: seed.Name,
+			Round:    round,
+			Source:   seed.Source,
+			Run: func(context.Context) (any, error) {
+				f := NewFuzzer(fcfg)
+				return f.FuzzSeed(seed.Name, seed.Parse())
+			},
+		})
+
+		switch {
+		case out.Skipped:
+			res.SkippedQuarantined++
+		case out.Fault != nil:
+			res.Faults = append(res.Faults, out.Fault)
+		case out.Err != nil:
+			if ctx.Err() != nil {
+				// Shutdown raced the task; leave the cursor on it so a
+				// resume re-runs it instead of recording a phantom error.
+				res.Interrupted = true
+				flush()
+				return res, nil
 			}
-			progressed = true
+			res.SeedErrors = append(res.SeedErrors, SeedError{SeedName: seed.Name, Round: round, Err: out.Err.Error()})
+		default:
+			fr := out.Value.(*FuzzResult)
+			roundProgressed = true
 			res.Executions += fr.Executions
 			res.SeedsFuzzed++
 			res.FinalDeltas = append(res.FinalDeltas, fr.FinalDelta)
+			if fr.Weights != nil {
+				weights[taskKey] = fr.Weights
+			}
+			if fr.HeapExhaustions > 0 {
+				res.Faults = append(res.Faults, reportHeapExhaustion(sup, seed, taskKey, round, fr))
+			}
 			for _, fd := range fr.Findings {
 				if fd.Bug == nil || seen[fd.Bug.ID] {
 					continue
 				}
 				seen[fd.Bug.ID] = true
+				class := harness.FaultCrash
+				if fd.Oracle == "differential" {
+					class = harness.FaultMiscompile
+				}
 				res.Findings = append(res.Findings, Finding{
 					Bug:         fd.Bug,
 					Oracle:      fd.Oracle,
@@ -118,13 +256,172 @@ func RunCampaign(cfg CampaignConfig) *CampaignResult {
 					AtExecution: res.Executions,
 					Mutators:    fd.Mutators,
 					Program:     fr.Final,
+					Harness:     &harness.FaultContext{Class: class, Retries: out.Retries},
 				})
 			}
 		}
-		if !progressed {
-			break
+		cursor++
+		if hcfg.CheckpointPath != "" &&
+			(hcfg.CheckpointEvery <= 0 || res.Executions-lastCkptExec >= hcfg.CheckpointEvery) {
+			flush()
+			lastCkptExec = res.Executions
 		}
-		round++
 	}
-	return res
+	flush()
+	return res, nil
+}
+
+// reportHeapExhaustion quarantines a heap-exhaustion trigger. A seed
+// whose unmutated baseline already exhausts the heap (no iteration
+// records) is quarantined under its own name so future rounds skip it;
+// a single pathological mutant is stored under a round-scoped key, so
+// the artifact is kept but the seed stays fuzzable.
+func reportHeapExhaustion(sup *harness.Supervisor, seed corpus.Seed, taskKey string, round int, fr *FuzzResult) *harness.Fault {
+	id := taskKey
+	if len(fr.Records) == 0 {
+		id = seed.Name
+	}
+	src := seed.Source
+	if fr.FirstHeapExhausting != nil {
+		src = lang.Format(fr.FirstHeapExhausting)
+	}
+	return sup.Report(&harness.Fault{
+		Class:    harness.FaultHeapExhausted,
+		TaskID:   id,
+		SeedName: seed.Name,
+		Round:    round,
+		Message:  fmt.Sprintf("%d execution(s) exhausted the heap-allocation budget", fr.HeapExhaustions),
+		Source:   src,
+	})
+}
+
+// campaignState is the campaign-owned slice of a checkpoint: everything
+// needed to continue a run with byte-identical results.
+type campaignState struct {
+	TaskCursor         int                           `json:"task_cursor"`
+	RoundProgressed    bool                          `json:"round_progressed"`
+	Executions         int                           `json:"executions"`
+	SeedsFuzzed        int                           `json:"seeds_fuzzed"`
+	SkippedQuarantined int                           `json:"skipped_quarantined,omitempty"`
+	FinalDeltas        []float64                     `json:"final_deltas,omitempty"`
+	SeenBugs           []string                      `json:"seen_bugs,omitempty"`
+	SeedErrors         []SeedError                   `json:"seed_errors,omitempty"`
+	Findings           []findingSnapshot             `json:"findings,omitempty"`
+	Faults             []*harness.Fault              `json:"faults,omitempty"`
+	Weights            map[string]map[string]float64 `json:"weights,omitempty"`
+}
+
+// findingSnapshot is the JSON form of a Finding: bugs by catalog ID,
+// programs as source text, both re-resolved on restore.
+type findingSnapshot struct {
+	BugID         string                `json:"bug_id"`
+	Oracle        string                `json:"oracle"`
+	SeedName      string                `json:"seed_name"`
+	TargetImpl    string                `json:"target_impl"`
+	TargetVersion int                   `json:"target_version"`
+	AtExecution   int                   `json:"at_execution"`
+	Mutators      []string              `json:"mutators,omitempty"`
+	Program       string                `json:"program,omitempty"`
+	Harness       *harness.FaultContext `json:"harness,omitempty"`
+}
+
+func saveCampaign(path string, sup *harness.Supervisor, res *CampaignResult,
+	seen map[string]bool, weights map[string]map[string]float64, cursor int, roundProgressed bool) error {
+	st := campaignState{
+		TaskCursor:         cursor,
+		RoundProgressed:    roundProgressed,
+		Executions:         res.Executions,
+		SeedsFuzzed:        res.SeedsFuzzed,
+		SkippedQuarantined: res.SkippedQuarantined,
+		FinalDeltas:        res.FinalDeltas,
+		SeedErrors:         res.SeedErrors,
+		Faults:             res.Faults,
+		Weights:            weights,
+	}
+	for id := range seen {
+		st.SeenBugs = append(st.SeenBugs, id)
+	}
+	sort.Strings(st.SeenBugs)
+	for _, f := range res.Findings {
+		fs := findingSnapshot{
+			BugID:         f.Bug.ID,
+			Oracle:        f.Oracle,
+			SeedName:      f.SeedName,
+			TargetImpl:    string(f.Target.Impl),
+			TargetVersion: f.Target.Version,
+			AtExecution:   f.AtExecution,
+			Mutators:      f.Mutators,
+			Harness:       f.Harness,
+		}
+		if f.Program != nil {
+			fs.Program = lang.Format(f.Program)
+		}
+		st.Findings = append(st.Findings, fs)
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	ck := &harness.Checkpoint{
+		TaskCursor:  cursor,
+		Executions:  res.Executions,
+		Quarantined: sup.Q.IDs(),
+		State:       raw,
+	}
+	return ck.Save(path)
+}
+
+func restoreCampaign(ck *harness.Checkpoint, sup *harness.Supervisor, res *CampaignResult,
+	seen map[string]bool, weights map[string]map[string]float64, cursor *int, roundProgressed *bool) error {
+	var st campaignState
+	if err := json.Unmarshal(ck.State, &st); err != nil {
+		return fmt.Errorf("core: resume state: %w", err)
+	}
+	*cursor = st.TaskCursor
+	*roundProgressed = st.RoundProgressed
+	res.Executions = st.Executions
+	res.SeedsFuzzed = st.SeedsFuzzed
+	res.SkippedQuarantined = st.SkippedQuarantined
+	res.FinalDeltas = st.FinalDeltas
+	res.SeedErrors = st.SeedErrors
+	res.Faults = st.Faults
+	for _, id := range st.SeenBugs {
+		seen[id] = true
+	}
+	for k, w := range st.Weights {
+		weights[k] = w
+	}
+	for _, fs := range st.Findings {
+		bug := buginject.ByID(fs.BugID)
+		if bug == nil {
+			return fmt.Errorf("core: resume: unknown bug %s in checkpoint", fs.BugID)
+		}
+		f := Finding{
+			Bug:         bug,
+			Oracle:      fs.Oracle,
+			SeedName:    fs.SeedName,
+			Target:      jvm.Spec{Impl: buginject.Impl(fs.TargetImpl), Version: fs.TargetVersion},
+			AtExecution: fs.AtExecution,
+			Mutators:    fs.Mutators,
+			Harness:     fs.Harness,
+		}
+		if fs.Program != "" {
+			if p, err := lang.Parse(fs.Program); err == nil {
+				f.Program = p
+			}
+		}
+		res.Findings = append(res.Findings, f)
+	}
+	// Re-arm skip semantics for quarantined IDs whose artifacts are not
+	// on disk (memory-only quarantine in the interrupted run).
+	for _, id := range ck.Quarantined {
+		if !sup.Q.Has(id) {
+			sup.Report(&harness.Fault{
+				Class:   harness.FaultHarness,
+				TaskID:  id,
+				Message: "quarantined in a previous run (artifact not persisted)",
+			})
+		}
+	}
+	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/buginject"
 	"repro/internal/coverage"
+	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 	"repro/internal/profile"
@@ -20,7 +21,13 @@ type Config struct {
 	DiffSpecs     []jvm.Spec // differential-testing targets for the final mutant
 	Flags         profile.FlagSet
 	MaxSteps      int64
-	Seed          int64
+	// MaxHeapUnits caps per-execution heap allocation (0 = VM default,
+	// negative = uncapped); exhausting it marks the mutant a dead end.
+	MaxHeapUnits int64
+	Seed         int64
+	// CompileHook, when non-nil, observes every JIT compilation event
+	// on the fuzzing target (test seam for fault injection).
+	CompileHook jit.Hook
 	// Coverage, when non-nil, accumulates VM line coverage across every
 	// execution (the Figure 2 instrumentation).
 	Coverage *coverage.Tracker
@@ -57,10 +64,11 @@ type IterationRecord struct {
 	Mutator    string
 	Delta      float64 // Δ(parent, child), Formula 2
 	DeltaSeed  float64 // Δ(seed, child) — Figure 1's y-axis
-	OBV        profile.OBV
-	Weight     float64 // mutator's weight after the update
-	CrashBugID string  // non-empty when this mutant crashed the JVM
-	Skipped    bool    // mutation produced an invalid program
+	OBV           profile.OBV
+	Weight        float64 // mutator's weight after the update
+	CrashBugID    string  // non-empty when this mutant crashed the JVM
+	Skipped       bool    // mutation produced an invalid program
+	HeapExhausted bool    // mutant blew the heap-allocation budget (dead end)
 }
 
 // BugFinding is one detected bug occurrence.
@@ -83,6 +91,14 @@ type FuzzResult struct {
 	MutatorSeq []string // mutators applied, in order
 	Executions int      // target executions consumed (the time proxy)
 	MPID       int
+	// Weights is the final mutator-weight table, snapshotted so campaign
+	// checkpoints can persist per-seed guidance state.
+	Weights map[string]float64
+	// HeapExhaustions counts executions that blew the heap budget;
+	// FirstHeapExhausting keeps the first triggering program so the
+	// harness can quarantine it as a crash-oracle artifact.
+	FirstHeapExhausting *lang.Program
+	HeapExhaustions     int
 }
 
 // Fuzzer runs the paper's Algorithm 1.
@@ -220,8 +236,10 @@ func (f *Fuzzer) execute(p *lang.Program) (*jvm.ExecResult, error) {
 		Flags:        f.Cfg.Flags,
 		ForceCompile: true,
 		MaxSteps:     f.Cfg.MaxSteps,
+		MaxHeapUnits: f.Cfg.MaxHeapUnits,
 		Coverage:     f.Cfg.Coverage,
 		CompileOnly:  f.compileOnly,
+		CompileHook:  f.Cfg.CompileHook,
 	}
 	if f.Cfg.DisableBugs {
 		opt.Bugs = []*buginject.Bug{}
@@ -233,6 +251,9 @@ func (f *Fuzzer) execute(p *lang.Program) (*jvm.ExecResult, error) {
 // The seed is not modified.
 func (f *Fuzzer) FuzzSeed(name string, seed *lang.Program) (*FuzzResult, error) {
 	res := &FuzzResult{SeedName: name}
+	// Snapshot the final weight table on every exit path (checkpoints
+	// persist it as the per-seed guidance state).
+	defer func() { res.Weights = f.Weights() }()
 
 	// Initialize mutator weights to 1 (Algorithm 1, line 4).
 	f.weights = map[string]float64{}
@@ -262,6 +283,16 @@ func (f *Fuzzer) FuzzSeed(name string, seed *lang.Program) (*FuzzResult, error) 
 	res.Executions++
 	res.SeedOBV = parentExec.OBV
 	parentOBV := parentExec.OBV
+	if parentExec.Result.HeapExhausted {
+		// The unmutated seed already exhausts the heap: record it so the
+		// campaign harness can quarantine the seed, and stop — mutation
+		// guidance is meaningless against a truncated baseline profile.
+		res.HeapExhaustions++
+		res.FirstHeapExhausting = parent
+		res.Final = parent
+		res.FinalOBV = parentOBV
+		return res, nil
+	}
 	if parentExec.Crashed() {
 		// The unmutated seed already crashes (possible on heavily bugged
 		// versions): report and stop.
@@ -338,9 +369,19 @@ func (f *Fuzzer) FuzzSeed(name string, seed *lang.Program) (*FuzzResult, error) 
 			res.FinalDelta = rec.DeltaSeed
 			return res, nil
 		}
+		rec.HeapExhausted = childExec.Result.HeapExhausted
 		res.Records = append(res.Records, rec)
 
-		// Timed-out mutants are a dead end: do not adopt them.
+		// Timed-out and heap-exhausted mutants are dead ends: do not
+		// adopt them. Heap exhaustion additionally marks the mutant as a
+		// quarantinable artifact for the harness.
+		if childExec.Result.HeapExhausted {
+			res.HeapExhaustions++
+			if res.FirstHeapExhausting == nil {
+				res.FirstHeapExhausting = child
+			}
+			continue
+		}
 		if childExec.Result.TimedOut {
 			continue
 		}
@@ -359,6 +400,7 @@ func (f *Fuzzer) FuzzSeed(name string, seed *lang.Program) (*FuzzResult, error) 
 		diff, err := jvm.RunDifferential(parent, f.Cfg.DiffSpecs, jvm.Options{
 			ForceCompile: true,
 			MaxSteps:     f.Cfg.MaxSteps,
+			MaxHeapUnits: f.Cfg.MaxHeapUnits,
 			CompileOnly:  f.compileOnly,
 		})
 		if err != nil {

@@ -1,0 +1,19 @@
+package harness
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ShutdownContext returns a context cancelled on SIGINT/SIGTERM (and by
+// the returned stop func). The campaign loop checks the context between
+// supervised tasks: on cancellation it flushes a final checkpoint and
+// returns the partial CampaignResult, so a Ctrl-C mid-campaign loses at
+// most the in-flight seed, and a later -resume continues the run.
+// A second signal falls through to the default handler (hard kill),
+// matching the usual double-Ctrl-C contract.
+func ShutdownContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Config tunes the supervisor. The zero value is the deterministic
+// sequential mode: tasks run inline on the calling goroutine with
+// panic containment only — no watchdog goroutine, no retries, no
+// persistence — so default campaigns reproduce byte-identically.
+type Config struct {
+	// ExecTimeout is the per-task wall-clock deadline. Zero disables
+	// the watchdog (the VM step-fuel budget remains the inner bound);
+	// non-zero runs each task on a worker goroutine and cancels it via
+	// context when the deadline passes, classifying the task as a
+	// timeout fault.
+	ExecTimeout time.Duration
+	// MaxRetries bounds re-attempts for errors IsTransient classifies
+	// as retryable. Faults (panic/hang) are never retried — they are
+	// quarantined instead.
+	MaxRetries int
+	// Backoff is the base delay between transient retries, doubled per
+	// attempt. Zero retries immediately.
+	Backoff time.Duration
+	// IsTransient classifies task errors as retryable. Nil means no
+	// error is transient.
+	IsTransient func(error) bool
+	// QuarantineDir persists pathological mutants; "" keeps the
+	// quarantine in memory for the run only.
+	QuarantineDir string
+	// CheckpointPath enables periodic campaign snapshots; "" disables.
+	CheckpointPath string
+	// CheckpointEvery is the minimum executions between snapshots
+	// (<=0 snapshots after every task).
+	CheckpointEvery int
+	// ResumePath, when set, restores campaign state from a snapshot
+	// before the first task.
+	ResumePath string
+	// OnTask, when set, observes the count of supervised tasks after
+	// each one completes (progress reporting; tests use it to trigger
+	// deterministic interruptions).
+	OnTask func(done int)
+	// Sleep is the backoff clock (test seam; nil = time.Sleep).
+	Sleep func(time.Duration)
+}
+
+// Task is one supervised unit of work — for the campaign, fuzzing one
+// seed for one round.
+type Task struct {
+	ID       string // quarantine key (seed name: a seed that kills the substrate is skipped thereafter)
+	SeedName string
+	Round    int
+	Source   string // program text persisted if the task is quarantined
+	Run      func(ctx context.Context) (any, error)
+}
+
+// Outcome is the result of one supervised task.
+type Outcome struct {
+	Value   any    // task return value on success
+	Err     error  // ordinary task error (recorded, not fatal)
+	Fault   *Fault // classified fault (panic / wall-clock hang)
+	Skipped bool   // task was already quarantined and did not run
+	Retries int    // transient re-attempts consumed
+}
+
+// Supervisor executes tasks with panic containment, a wall-clock
+// watchdog, bounded transient retry, and quarantine bookkeeping.
+type Supervisor struct {
+	Cfg       Config
+	Q         *Quarantine
+	tasksDone int
+}
+
+// New builds a supervisor, opening (and loading) the quarantine store.
+func New(cfg Config) (*Supervisor, error) {
+	q, err := OpenQuarantine(cfg.QuarantineDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Supervisor{Cfg: cfg, Q: q}, nil
+}
+
+// Do runs one task under supervision. Quarantined tasks are skipped
+// (returning the stored fault); contained faults are classified and
+// quarantined; transient errors are retried with exponential backoff.
+func (s *Supervisor) Do(ctx context.Context, t Task) *Outcome {
+	defer func() {
+		s.tasksDone++
+		if s.Cfg.OnTask != nil {
+			s.Cfg.OnTask(s.tasksDone)
+		}
+	}()
+	if f := s.Q.Get(t.ID); f != nil {
+		return &Outcome{Fault: f, Skipped: true}
+	}
+	var out *Outcome
+	for attempt := 0; ; attempt++ {
+		out = s.attempt(ctx, t)
+		out.Retries = attempt
+		if out.Err != nil && out.Fault == nil &&
+			s.Cfg.IsTransient != nil && s.Cfg.IsTransient(out.Err) &&
+			attempt < s.Cfg.MaxRetries {
+			s.sleep(s.Cfg.Backoff << uint(attempt))
+			continue
+		}
+		break
+	}
+	if out.Fault != nil {
+		out.Fault.Retries = out.Retries
+		// Quarantine failures are deliberately non-fatal: losing the
+		// artifact must not lose the campaign.
+		_ = s.Q.Add(out.Fault)
+	}
+	return out
+}
+
+// Report classifies a failure the task surfaced gracefully (e.g. the
+// VM reporting heap exhaustion inside a completed fuzzing round) and
+// quarantines its triggering source like any contained fault.
+func (s *Supervisor) Report(f *Fault) *Fault {
+	_ = s.Q.Add(f)
+	return f
+}
+
+// attempt executes the task once, containing panics, and — when the
+// watchdog is armed — racing it against the wall-clock deadline.
+func (s *Supervisor) attempt(ctx context.Context, t Task) *Outcome {
+	if s.Cfg.ExecTimeout <= 0 {
+		out := &Outcome{}
+		out.Value, out.Err = s.contained(ctx, t, out)
+		return out
+	}
+	tctx, cancel := context.WithTimeout(ctx, s.Cfg.ExecTimeout)
+	defer cancel()
+	type reply struct {
+		v     any
+		err   error
+		fault *Fault
+	}
+	ch := make(chan reply, 1) // buffered: an abandoned worker must not leak forever
+	go func() {
+		o := &Outcome{}
+		v, err := s.contained(tctx, t, o)
+		ch <- reply{v, err, o.Fault}
+	}()
+	select {
+	case r := <-ch:
+		return &Outcome{Value: r.v, Err: r.err, Fault: r.fault}
+	case <-tctx.Done():
+		if ctx.Err() != nil {
+			// The campaign is shutting down; not the task's fault.
+			return &Outcome{Err: ctx.Err()}
+		}
+		return &Outcome{Fault: &Fault{
+			Class:    FaultTimeout,
+			TaskID:   t.ID,
+			SeedName: t.SeedName,
+			Round:    t.Round,
+			Message:  fmt.Sprintf("wall-clock deadline %s exceeded (step fuel did not fire)", s.Cfg.ExecTimeout),
+			Source:   t.Source,
+		}}
+	}
+}
+
+// contained invokes the task body with recover() converting any Go
+// panic in the substrate into a classified harness fault.
+func (s *Supervisor) contained(ctx context.Context, t Task, out *Outcome) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := string(debug.Stack())
+			out.Fault = &Fault{
+				Class:     FaultHarness,
+				TaskID:    t.ID,
+				SeedName:  t.SeedName,
+				Round:     t.Round,
+				Component: ComponentFromStack(stack),
+				Message:   fmt.Sprint(r),
+				Stack:     stack,
+				Source:    t.Source,
+			}
+			v, err = nil, nil
+		}
+	}()
+	return t.Run(ctx)
+}
+
+func (s *Supervisor) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if s.Cfg.Sleep != nil {
+		s.Cfg.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// TasksDone reports the number of supervised tasks completed (including
+// skips).
+func (s *Supervisor) TasksDone() int { return s.tasksDone }

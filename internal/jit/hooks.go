@@ -1,0 +1,34 @@
+package jit
+
+// ChainHooks composes hooks into one: every non-nil hook observes every
+// event in order, and the first error (compiler crash) aborts the
+// chain. Nil hooks are skipped, so callers can chain optional hooks —
+// the bug injector plus a test-only instrumentation hook — without
+// special-casing. Returns nil when no hook remains (a correct compiler
+// runs hook-free).
+func ChainHooks(hooks ...Hook) Hook {
+	var live []Hook
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return hookChain(live)
+}
+
+type hookChain []Hook
+
+func (hc hookChain) Observe(ctx *Context, ev Event) error {
+	for _, h := range hc {
+		if err := h.Observe(ctx, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -75,10 +75,18 @@ type Options struct {
 	CompileOnly string
 	// MaxSteps bounds execution (0 = machine default).
 	MaxSteps int64
+	// MaxHeapUnits bounds cumulative heap allocation (0 = machine
+	// default, negative = uncapped) — the -Xmx analogue of MaxSteps.
+	MaxHeapUnits int64
 	// PureInterpreter disables the JIT entirely (reference semantics).
 	PureInterpreter bool
 	// Bugs overrides the spec's armed bug set when non-nil (ablations).
 	Bugs []*buginject.Bug
+	// CompileHook, when non-nil, observes every compilation event
+	// alongside the spec's bug injector (chained after it). The fault-
+	// containment tests use it to inject panicking passes; production
+	// runs leave it nil.
+	CompileHook jit.Hook
 }
 
 // ExecResult is one program execution on one spec.
@@ -124,7 +132,7 @@ func Run(p *lang.Program, spec Spec, opt Options) (*ExecResult, error) {
 		cov = coverage.NewTracker()
 	}
 
-	cfg := vm.Config{MaxSteps: opt.MaxSteps, Trace: cov.Hit, CompileOnly: opt.CompileOnly}
+	cfg := vm.Config{MaxSteps: opt.MaxSteps, MaxHeapUnits: opt.MaxHeapUnits, Trace: cov.Hit, CompileOnly: opt.CompileOnly}
 	if opt.ForceCompile {
 		cfg.CompileEager = true
 	}
@@ -136,7 +144,11 @@ func Run(p *lang.Program, spec Spec, opt Options) (*ExecResult, error) {
 		} else {
 			inj = buginject.NewInjector(spec.Impl, spec.Version)
 		}
-		comp := jit.New(rec, cov, inj)
+		var hook jit.Hook = inj
+		if opt.CompileHook != nil {
+			hook = jit.ChainHooks(inj, opt.CompileHook)
+		}
+		comp := jit.New(rec, cov, hook)
 		if spec.Impl == buginject.OpenJ9 {
 			// The J9-sim compiler tunes differently: a larger inline
 			// budget and slightly later speculation.

@@ -45,6 +45,15 @@ func (c *Crash) HsErrReport(vmName string) string {
 // a bug.
 var ErrTimeout = errors.New("vm: execution step budget exhausted")
 
+// ErrHeapExhausted reports that the heap-allocation budget was
+// exhausted (the OutOfMemoryError analogue). Like ErrTimeout it is a
+// fuel model — cumulative allocation units, not live bytes — so
+// fuel-proof allocation storms (tight loops allocating huge arrays,
+// which burn few interpreter steps per cell) still terminate. The
+// fuzzer treats it as a dead-end mutant; the campaign harness
+// classifies the triggering mutant as a heap-exhausted fault.
+var ErrHeapExhausted = errors.New("vm: heap allocation budget exhausted")
+
 // ErrIllegalMonitor reports an unbalanced monitor exit, which a correct
 // program cannot produce; it indicates a compiler defect.
 var ErrIllegalMonitor = errors.New("vm: IllegalMonitorStateException")

@@ -33,8 +33,9 @@ type Heap struct {
 	objects []*Object
 	arrays  []*Array
 
-	AllocCount int // total allocations
-	GCEvery    int // allocations between collections (0 = never)
+	AllocCount int   // total allocations
+	Units      int64 // cumulative allocation units: objects + boxes + array elements
+	GCEvery    int   // allocations between collections (0 = never)
 	GCCycles   int // collections performed
 	Freed      int // cells reclaimed across all cycles
 	sinceGC    int
@@ -60,7 +61,7 @@ func (h *Heap) NewObject(class string, refFields map[string]bool) *Object {
 		}
 	}
 	h.objects = append(h.objects, o)
-	h.bump()
+	h.bump(1)
 	return o
 }
 
@@ -68,7 +69,7 @@ func (h *Heap) NewObject(class string, refFields map[string]bool) *Object {
 func (h *Heap) NewBox(v int64) *Object {
 	o := &Object{Class: "Integer", BoxVal: int64(int32(v))}
 	h.objects = append(h.objects, o)
-	h.bump()
+	h.bump(1)
 	return o
 }
 
@@ -79,12 +80,13 @@ func (h *Heap) NewArray(n int64) *Array {
 	}
 	a := &Array{Elems: make([]int64, n)}
 	h.arrays = append(h.arrays, a)
-	h.bump()
+	h.bump(1 + n)
 	return a
 }
 
-func (h *Heap) bump() {
+func (h *Heap) bump(units int64) {
 	h.AllocCount++
+	h.Units += units
 	h.sinceGC++
 }
 

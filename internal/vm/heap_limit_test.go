@@ -1,0 +1,65 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// allocStorm burns few interpreter steps per iteration but 1001 heap
+// units, so the allocation budget fires long before step fuel would.
+const allocStorm = `class T { static void main() {
+	long s = 0;
+	for (int i = 0; i < 1000; i += 1) {
+		int[] a = new int[1000];
+		s = s + a[0];
+	}
+	print(s);
+} }`
+
+func TestHeapExhaustion(t *testing.T) {
+	res := runCfg(t, allocStorm, Config{MaxHeapUnits: 50_000})
+	if !res.HeapExhausted {
+		t.Fatalf("HeapExhausted = false; steps=%d allocs=%d", res.Steps, res.AllocCount)
+	}
+	if res.TimedOut || res.Crash != nil {
+		t.Errorf("misclassified: %+v", res)
+	}
+	if !strings.Contains(res.OutputString(), "<heap-exhausted>") {
+		t.Errorf("OutputString = %q, want <heap-exhausted> marker", res.OutputString())
+	}
+}
+
+func TestHeapDefaultCapUnchangedBehavior(t *testing.T) {
+	// ~1M units is far under the 64M default: the same program must run
+	// to completion untouched by the cap.
+	res := run(t, allocStorm)
+	if res.HeapExhausted {
+		t.Fatal("default heap cap fired on a modest workload")
+	}
+	wantOutput(t, res, "0")
+}
+
+func TestHeapCapDisabled(t *testing.T) {
+	res := runCfg(t, allocStorm, Config{MaxHeapUnits: -1})
+	if res.HeapExhausted {
+		t.Fatal("negative MaxHeapUnits must disable the cap")
+	}
+	wantOutput(t, res, "0")
+}
+
+func TestHeapUnitsAccounting(t *testing.T) {
+	res := run(t, `class T { static void main() {
+		T o = new T();
+		int[] a = new int[10];
+		print(a[3]);
+		print(o.v);
+	}
+	int v;
+	}`)
+	wantOutput(t, res, "0", "0")
+	// One object (1 unit) + one 10-element array (11 units); boxing or
+	// string monitors would only add, so assert a lower bound.
+	if res.AllocCount < 2 {
+		t.Errorf("AllocCount = %d, want >= 2", res.AllocCount)
+	}
+}

@@ -21,7 +21,12 @@ type Config struct {
 	// compiled; everything else stays interpreted.
 	CompileOnly string
 	MaxSteps    int64 // fuel budget (default 30,000,000)
-	GCEvery     int   // allocations between GC cycles (default 4096)
+	// MaxHeapUnits caps cumulative allocation units (objects + boxes +
+	// array elements), the OutOfMemoryError analogue to the MaxSteps
+	// fuel model. Default 64,000,000 — high enough that no well-formed
+	// workload hits it; negative disables the cap.
+	MaxHeapUnits int64
+	GCEvery      int // allocations between GC cycles (default 4096)
 
 	// JIT is the pluggable compiler; nil leaves the machine in pure
 	// interpreter mode (the reference semantics).
@@ -47,6 +52,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSteps == 0 {
 		c.MaxSteps = 30_000_000
 	}
+	if c.MaxHeapUnits == 0 {
+		c.MaxHeapUnits = 64_000_000
+	}
 	if c.GCEvery == 0 {
 		c.GCEvery = 4096
 	}
@@ -69,10 +77,11 @@ func (p *MethodProfile) Hotness() int {
 
 // Result is the outcome of one program execution.
 type Result struct {
-	Output    []string
-	Exception *Thrown // uncaught exception, if any
-	Crash     *Crash  // JVM-level crash, if any
-	TimedOut  bool
+	Output        []string
+	Exception     *Thrown // uncaught exception, if any
+	Crash         *Crash  // JVM-level crash, if any
+	TimedOut      bool
+	HeapExhausted bool // heap-allocation budget blown (OutOfMemoryError analogue)
 
 	MonitorLeaks int // monitors still held at exit (compiler defect symptom)
 	Steps        int64
@@ -100,6 +109,8 @@ func (r *Result) OutputString() string {
 		s += fmt.Sprintf("<uncaught %d>", r.Exception.Code)
 	case r.TimedOut:
 		s += "<timeout>"
+	case r.HeapExhausted:
+		s += "<heap-exhausted>"
 	}
 	if r.MonitorLeaks > 0 {
 		s += fmt.Sprintf("<monitor-leak %d>", r.MonitorLeaks)
@@ -209,6 +220,8 @@ func (m *Machine) Run() *Result {
 	default:
 		if errors.Is(err, ErrTimeout) {
 			res.TimedOut = true
+		} else if errors.Is(err, ErrHeapExhausted) {
+			res.HeapExhausted = true
 		} else if errors.Is(err, ErrIllegalMonitor) {
 			// An unbalanced monitor exit escaping to top level is a
 			// compiler defect symptom; surface it as a crash.
@@ -490,11 +503,18 @@ func (m *Machine) Print(v Value) {
 	m.output = append(m.output, v.String())
 }
 
-// Step consumes one unit of fuel.
+// Step consumes one unit of fuel. It is also where the heap-allocation
+// cap surfaces: allocation sites have no error channel, so the budget
+// check rides the per-instruction fuel check instead (the interpreter
+// and compiled code both step every instruction, bounding the delay to
+// one instruction after the blown allocation).
 func (m *Machine) Step() error {
 	m.steps++
 	if m.steps > m.cfg.MaxSteps {
 		return ErrTimeout
+	}
+	if m.cfg.MaxHeapUnits > 0 && m.Heap.Units > m.cfg.MaxHeapUnits {
+		return ErrHeapExhausted
 	}
 	return nil
 }
