@@ -316,6 +316,91 @@ func BenchmarkAblationEagerVsTieredCompile(b *testing.B) {
 	}
 }
 
+// --- Campaign-engine and OBV fast-path benchmarks ---
+
+// benchCampaignCfg is the shared campaign workload for the engine
+// benchmarks: the standard corpus fuzzed against the reference target
+// with the production fuzzer configuration.
+func benchCampaignCfg(structured bool, workers int) core.CampaignConfig {
+	target := jvm.Reference()
+	fcfg := core.DefaultConfig(target)
+	fcfg.Seed = 1
+	fcfg.StructuredOBV = structured
+	return core.CampaignConfig{
+		Seeds:   corpus.DefaultPool(10, 1),
+		Budget:  250,
+		Targets: []jvm.Spec{target},
+		Fuzz:    fcfg,
+		Seed:    1,
+		Workers: workers,
+	}
+}
+
+// BenchmarkCampaignSequential is the single-goroutine baseline with the
+// structured OBV fast path and campaign caches on.
+func BenchmarkCampaignSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.RunCampaign(benchCampaignCfg(true, 1))
+	}
+}
+
+// BenchmarkCampaignParallel4 shards the same workload across 4 workers;
+// results are byte-identical to sequential (pinned by the core tests),
+// wall-clock speedup tracks available cores.
+func BenchmarkCampaignParallel4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.RunCampaign(benchCampaignCfg(true, 4))
+	}
+}
+
+// BenchmarkCampaignLegacyOBV runs the reference profile path: full log
+// text construction plus regex extraction per execution.
+func BenchmarkCampaignLegacyOBV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.RunCampaign(benchCampaignCfg(false, 1))
+	}
+}
+
+// BenchmarkOBVExtractRegex times the reference oracle alone: regex
+// rules over a real execution's profile log.
+func BenchmarkOBVExtractRegex(b *testing.B) {
+	r, err := jvm.Run(lang.CloneProgram(benchSeed()), jvm.Reference(), jvm.Options{
+		Flags: profile.DefaultFlags(), ForceCompile: true, Bugs: []*buginject.Bug{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obvSink = profile.ExtractOBV(r.Log)
+	}
+}
+
+// BenchmarkOBVLegacyExecution / BenchmarkOBVStructuredExecution compare
+// the end-to-end per-execution cost of the two profile paths.
+func BenchmarkOBVLegacyExecution(b *testing.B) {
+	benchExecution(b, false)
+}
+
+func BenchmarkOBVStructuredExecution(b *testing.B) {
+	benchExecution(b, true)
+}
+
+func benchExecution(b *testing.B, structured bool) {
+	for i := 0; i < b.N; i++ {
+		r, err := jvm.Run(lang.CloneProgram(benchSeed()), jvm.Reference(), jvm.Options{
+			Flags: profile.DefaultFlags(), ForceCompile: true, Bugs: []*buginject.Bug{},
+			StructuredOBV: structured,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		obvSink = r.OBV
+	}
+}
+
+var obvSink profile.OBV
+
 func median(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0

@@ -24,6 +24,8 @@ func main() {
 	budgetFlag := flag.Int("budget", 0, "execution budget per tool (default per experiment)")
 	seedsFlag := flag.Int("seeds", 0, "seed pool size (default per experiment)")
 	seedFlag := flag.Int64("seed", 1, "campaign random seed")
+	benchJSON := flag.String("bench-json", "", "measure campaign throughput (sequential vs parallel vs legacy OBV) and write the JSON report here")
+	benchWorkers := flag.Int("bench-workers", 4, "worker count for the parallel leg of -bench-json")
 	flag.Parse()
 
 	budget := experiments.DefaultBudget()
@@ -106,6 +108,23 @@ func main() {
 		}
 		ran = true
 		experiments.Recall(w, budget)
+	}
+	if *benchJSON != "" {
+		ran = true
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		rep, err := experiments.WriteBenchJSON(f, budget, *benchWorkers)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "bench: %.0f execs/sec sequential, %.0f execs/sec with %d workers (%.2fx), OBV extraction %.0f -> %.0f ns/op (%.1fx); report written to %s\n",
+			rep.SequentialExecsPerSec, rep.ParallelExecsPerSec, rep.Workers, rep.CampaignSpeedup,
+			rep.OBVRegexNsPerOp, rep.OBVStructuredNsPerOp, rep.OBVSpeedup, *benchJSON)
 	}
 	if !ran {
 		flag.Usage()

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -44,6 +45,8 @@ func main() {
 	execTimeout := flag.Duration("exec-timeout", 0, "wall-clock watchdog per seed task (0 = step fuel only)")
 	heapLimit := flag.Int64("heap-limit", 0, "per-execution heap-allocation cap in units (0 = VM default, <0 = uncapped)")
 	quarantineDir := flag.String("quarantine-dir", "", "persist pathological mutants (panic/hang/heap-exhaustion triggers) here")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel seed-task workers (1 = sequential; results are identical either way)")
+	fastOBV := flag.Bool("fast-obv", true, "structured OBV fast path (count behaviors in the JIT instead of regex-scanning profile logs)")
 	flag.Parse()
 
 	spec, err := parseSpec(*jdk)
@@ -57,6 +60,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.ExtendedMutators = *extended
 	cfg.MaxHeapUnits = *heapLimit
+	cfg.StructuredOBV = *fastOBV
 
 	if *caseFile != "" {
 		fuzzOne(*caseFile, cfg, *doReduce, *dumpMutant)
@@ -89,6 +93,7 @@ func main() {
 		Targets: []jvm.Spec{spec},
 		Fuzz:    cfg,
 		Seed:    *seed,
+		Workers: *workers,
 	}, hcfg)
 	if err != nil {
 		fatal(err)

@@ -11,6 +11,7 @@ package buginject
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/jit"
 	"repro/internal/vm"
@@ -99,6 +100,7 @@ type Injector struct {
 	bugs      []*Bug
 	Triggered []*Bug
 	seen      map[string]bool
+	armedFP   string
 }
 
 // NewInjector arms every catalog bug live in (impl, version).
@@ -156,7 +158,60 @@ func (inj *Injector) Observe(ctx *jit.Context, ev jit.Event) error {
 	return nil
 }
 
-var _ jit.Hook = (*Injector)(nil)
+// CacheFingerprint implements jit.CacheableHook. Compile output depends
+// on exactly two injector inputs: the armed bug set and which one-shot
+// miscompile effects already fired this execution (seen is set iff the
+// bug is in Triggered, so the Triggered sequence covers it).
+func (inj *Injector) CacheFingerprint() string {
+	if inj.armedFP == "" {
+		var b strings.Builder
+		for _, bug := range inj.bugs {
+			b.WriteString(bug.ID)
+			b.WriteByte(',')
+		}
+		inj.armedFP = "armed:" + b.String()
+	}
+	var b strings.Builder
+	b.WriteString(inj.armedFP)
+	b.WriteString("|seen:")
+	for _, bug := range inj.Triggered {
+		b.WriteString(bug.ID)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// TriggeredIDs implements jit.CacheableHook.
+func (inj *Injector) TriggeredIDs() []string {
+	ids := make([]string, len(inj.Triggered))
+	for i, b := range inj.Triggered {
+		ids[i] = b.ID
+	}
+	return ids
+}
+
+// ReplayTriggered implements jit.CacheableHook: it re-applies the
+// trigger transitions a cached compilation made, in recorded order (the
+// miscompile effects themselves are baked into the cached IR).
+func (inj *Injector) ReplayTriggered(ids []string) {
+	for _, id := range ids {
+		if inj.seen[id] {
+			continue
+		}
+		for _, b := range inj.bugs {
+			if b.ID == id {
+				inj.seen[id] = true
+				inj.Triggered = append(inj.Triggered, b)
+				break
+			}
+		}
+	}
+}
+
+var (
+	_ jit.Hook          = (*Injector)(nil)
+	_ jit.CacheableHook = (*Injector)(nil)
+)
 
 // ByID returns the catalog bug with the given ID, or nil.
 func ByID(id string) *Bug {

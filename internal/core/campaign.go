@@ -9,6 +9,7 @@ import (
 	"repro/internal/buginject"
 	"repro/internal/corpus"
 	"repro/internal/harness"
+	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 )
@@ -22,6 +23,12 @@ type CampaignConfig struct {
 	Targets []jvm.Spec // fuzzing targets, cycled per seed
 	Fuzz    Config     // per-seed settings (Target/Seed overwritten)
 	Seed    int64
+	// Workers shards seed-tasks across a worker pool. 0 or 1 runs
+	// sequentially on the calling goroutine (the deterministic default);
+	// N>1 executes tasks speculatively on N goroutines while a
+	// cursor-ordered merge reconstructs the sequential result
+	// byte-identically (see internal/core/parallel.go).
+	Workers int
 }
 
 // Finding is one campaign-level bug detection.
@@ -140,6 +147,12 @@ func RunCampaign(cfg CampaignConfig) *CampaignResult {
 // continues where it stopped. The per-task RNG seed is derived from
 // cfg.Seed plus the global task index, so resume reproduces the exact
 // random stream of an uninterrupted run.
+//
+// cfg.Workers > 1 shards task execution across a worker pool; the
+// cursor-ordered merge keeps findings, deltas, faults, weights, and
+// checkpoints byte-identical to a sequential run, and checkpoints
+// always describe a merged prefix, so resume works identically under
+// parallelism.
 func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Config) (*CampaignResult, error) {
 	if len(cfg.Targets) == 0 {
 		cfg.Targets = []jvm.Spec{jvm.Reference()}
@@ -180,6 +193,41 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 		_ = saveCampaign(hcfg.CheckpointPath, sup, res, seen, weights, cursor, roundProgressed)
 	}
 
+	// Campaign-scoped hot-path caches. The parse cache makes each seed
+	// parse once per campaign instead of once per round; the compile
+	// cache shares compiled methods across rounds, mutants, and
+	// differential targets. Both are transparent — a hit is
+	// indistinguishable from a miss — so results stay byte-identical
+	// (determinism tests pin this).
+	if cfg.Fuzz.CompileCache == nil {
+		cfg.Fuzz.CompileCache = jit.NewCache(0)
+	}
+	parsed := corpus.NewParseCache()
+
+	// mkTask builds the task at a cursor position. Everything a task
+	// needs — seed, round, target, RNG seed — derives from the cursor
+	// alone, which is what lets parallel workers execute tasks out of
+	// order and still merge deterministically.
+	mkTask := func(cursor int) harness.Task {
+		round, i := cursor/nSeeds, cursor%nSeeds
+		seed := cfg.Seeds[i]
+		fcfg := cfg.Fuzz
+		fcfg.Target = cfg.Targets[cursor%len(cfg.Targets)]
+		fcfg.Seed = cfg.Seed + int64(cursor)
+		return harness.Task{
+			ID:       seed.Name,
+			SeedName: seed.Name,
+			Round:    round,
+			Source:   seed.Source,
+			Run: func(context.Context) (any, error) {
+				f := NewFuzzer(fcfg)
+				return f.FuzzSeed(seed.Name, parsed.Parse(seed))
+			},
+		}
+	}
+	eng := newEngine(ctx, sup, cfg.Workers, cursor, mkTask)
+	defer eng.stop()
+
 	for {
 		if res.Executions >= cfg.Budget {
 			break
@@ -197,21 +245,10 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 		}
 
 		seed := cfg.Seeds[i]
-		fcfg := cfg.Fuzz
-		fcfg.Target = cfg.Targets[cursor%len(cfg.Targets)]
-		fcfg.Seed = cfg.Seed + int64(cursor)
+		target := cfg.Targets[cursor%len(cfg.Targets)]
 		taskKey := fmt.Sprintf("%s#r%d", seed.Name, round)
 
-		out := sup.Do(ctx, harness.Task{
-			ID:       seed.Name,
-			SeedName: seed.Name,
-			Round:    round,
-			Source:   seed.Source,
-			Run: func(context.Context) (any, error) {
-				f := NewFuzzer(fcfg)
-				return f.FuzzSeed(seed.Name, seed.Parse())
-			},
-		})
+		out := eng.do(cursor)
 
 		switch {
 		case out.Skipped:
@@ -252,7 +289,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 					Bug:         fd.Bug,
 					Oracle:      fd.Oracle,
 					SeedName:    seed.Name,
-					Target:      fcfg.Target,
+					Target:      target,
 					AtExecution: res.Executions,
 					Mutators:    fd.Mutators,
 					Program:     fr.Final,

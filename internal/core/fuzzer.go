@@ -41,6 +41,16 @@ type Config struct {
 	// ExtendedMutators adds the alternative evoking-mutator
 	// implementations (the paper's future-work extension).
 	ExtendedMutators bool
+	// StructuredOBV profiles via the counter fast path instead of
+	// regex-scanning log text (see jvm.Options.StructuredOBV). Guidance
+	// depends only on OBV values, which the equivalence tests pin to the
+	// regex oracle, so results are unchanged.
+	StructuredOBV bool
+	// CompileCache, when non-nil, reuses JIT compilations across this
+	// fuzzer's executions and anything else sharing the cache (campaigns
+	// attach one cache across all seeds, rounds, and differential
+	// targets). A cache hit is byte-equivalent to recompiling.
+	CompileCache *jit.Cache
 }
 
 // DefaultConfig returns the paper's configuration against the given
@@ -233,13 +243,15 @@ func (f *Fuzzer) selectByWeight(ms []Mutator, ws []float64) Mutator {
 // execute runs the program on the fuzzing target with flags enabled.
 func (f *Fuzzer) execute(p *lang.Program) (*jvm.ExecResult, error) {
 	opt := jvm.Options{
-		Flags:        f.Cfg.Flags,
-		ForceCompile: true,
-		MaxSteps:     f.Cfg.MaxSteps,
-		MaxHeapUnits: f.Cfg.MaxHeapUnits,
-		Coverage:     f.Cfg.Coverage,
-		CompileOnly:  f.compileOnly,
-		CompileHook:  f.Cfg.CompileHook,
+		Flags:         f.Cfg.Flags,
+		ForceCompile:  true,
+		MaxSteps:      f.Cfg.MaxSteps,
+		MaxHeapUnits:  f.Cfg.MaxHeapUnits,
+		Coverage:      f.Cfg.Coverage,
+		CompileOnly:   f.compileOnly,
+		CompileHook:   f.Cfg.CompileHook,
+		StructuredOBV: f.Cfg.StructuredOBV,
+		CompileCache:  f.Cfg.CompileCache,
 	}
 	if f.Cfg.DisableBugs {
 		opt.Bugs = []*buginject.Bug{}
@@ -402,6 +414,9 @@ func (f *Fuzzer) FuzzSeed(name string, seed *lang.Program) (*FuzzResult, error) 
 			MaxSteps:     f.Cfg.MaxSteps,
 			MaxHeapUnits: f.Cfg.MaxHeapUnits,
 			CompileOnly:  f.compileOnly,
+			// One cache serves every differential target: compilations on
+			// specs with identical tuning and armed-bug state are shared.
+			CompileCache: f.Cfg.CompileCache,
 		})
 		if err != nil {
 			return nil, err

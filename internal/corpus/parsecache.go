@@ -1,0 +1,54 @@
+package corpus
+
+import (
+	"sync"
+
+	"repro/internal/lang"
+)
+
+// ParseCache memoizes Seed.Parse so a campaign parses each seed once
+// instead of once per round. Sharing the parsed program is sound: the
+// fuzzer clones it before checking or mutating anything, cloning
+// preserves statement IDs and the ID counter, and parsing is
+// deterministic — so a cached program is indistinguishable from a
+// fresh parse. Safe for concurrent use (parallel campaign workers).
+type ParseCache struct {
+	mu sync.RWMutex
+	m  map[string]*lang.Program
+}
+
+// NewParseCache returns an empty cache.
+func NewParseCache() *ParseCache {
+	return &ParseCache{m: map[string]*lang.Program{}}
+}
+
+// Parse returns the seed's program, parsing at most once per distinct
+// source text. Like Seed.Parse it panics on malformed generated source.
+func (c *ParseCache) Parse(s Seed) *lang.Program {
+	if c == nil {
+		return s.Parse()
+	}
+	c.mu.RLock()
+	p := c.m[s.Source]
+	c.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	parsed := s.Parse()
+	c.mu.Lock()
+	// Keep the first stored instance so every caller shares one tree.
+	if prior := c.m[s.Source]; prior != nil {
+		parsed = prior
+	} else {
+		c.m[s.Source] = parsed
+	}
+	c.mu.Unlock()
+	return parsed
+}
+
+// Len reports the number of cached parses.
+func (c *ParseCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

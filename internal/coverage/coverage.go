@@ -5,6 +5,8 @@
 // its region; coverage is the line-weighted fraction of marked regions.
 package coverage
 
+import "sync"
+
 // Component is one of the JVM's four instrumented components.
 type Component string
 
@@ -26,8 +28,12 @@ type Region struct {
 	Lines int
 }
 
-// Tracker accumulates region hits across one or many executions.
+// Tracker accumulates region hits across one or many executions. A hit
+// set only ever grows, so campaign-wide trackers can be shared by
+// parallel workers: the mutex makes each mark atomic, and the final
+// contents are order-independent.
 type Tracker struct {
+	mu   sync.Mutex
 	hits map[string]bool
 }
 
@@ -40,7 +46,9 @@ func (t *Tracker) Hit(name string) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	t.hits[name] = true
+	t.mu.Unlock()
 }
 
 // Hits returns the number of distinct regions marked.
@@ -48,6 +56,8 @@ func (t *Tracker) Hits() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.hits)
 }
 
@@ -56,6 +66,8 @@ func (t *Tracker) Covered(name string) bool {
 	if t == nil {
 		return false
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.hits[name]
 }
 
@@ -64,13 +76,25 @@ func (t *Tracker) Merge(o *Tracker) {
 	if t == nil || o == nil {
 		return
 	}
+	o.mu.Lock()
+	keys := make([]string, 0, len(o.hits))
 	for k := range o.hits {
+		keys = append(keys, k)
+	}
+	o.mu.Unlock()
+	t.mu.Lock()
+	for _, k := range keys {
 		t.hits[k] = true
 	}
+	t.mu.Unlock()
 }
 
 // Lines returns (covered, total) line counts for a component.
 func (t *Tracker) Lines(comp Component) (covered, total int) {
+	if t != nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
 	for _, r := range Catalog {
 		if r.Comp != comp {
 			continue

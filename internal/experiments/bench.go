@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jvm"
+	"repro/internal/profile"
+)
+
+// BenchReport is the machine-readable campaign-performance artifact
+// (BENCH_campaign.json). Campaign throughput compares the sequential
+// engine against the speculative worker pool on identical workloads —
+// wall-clock parallel speedup tracks the host's usable cores
+// (NumCPU/GOMAXPROCS are recorded so a 1-core container's ~1x is
+// interpretable) — and the OBV numbers compare the reference
+// regex-over-log extraction against the structured counter fast path
+// on identical emission streams.
+type BenchReport struct {
+	BudgetExecutions int `json:"budget_executions"`
+	SeedPool         int `json:"seed_pool"`
+	Workers          int `json:"workers"`
+	NumCPU           int `json:"num_cpu"`
+	GoMaxProcs       int `json:"gomaxprocs"`
+
+	SequentialSecs        float64 `json:"sequential_secs"`
+	SequentialExecsPerSec float64 `json:"sequential_execs_per_sec"`
+	ParallelSecs          float64 `json:"parallel_secs"`
+	ParallelExecsPerSec   float64 `json:"parallel_execs_per_sec"`
+	CampaignSpeedup       float64 `json:"campaign_speedup"`
+
+	LegacyOBVSecs        float64 `json:"legacy_obv_campaign_secs"`
+	LegacyOBVExecsPerSec float64 `json:"legacy_obv_execs_per_sec"`
+	FastOBVSpeedupE2E    float64 `json:"fast_obv_campaign_speedup"`
+
+	OBVRegexNsPerOp      float64 `json:"obv_regex_ns_per_op"`
+	OBVStructuredNsPerOp float64 `json:"obv_structured_ns_per_op"`
+	OBVSpeedup           float64 `json:"obv_extraction_speedup"`
+}
+
+// benchCampaignConfig is the shared workload: the standard corpus pool
+// fuzzed against one HotSpot target with the production fuzzer config.
+func benchCampaignConfig(budget Budget, structured bool, workers int) core.CampaignConfig {
+	target := jvm.Reference()
+	fcfg := core.DefaultConfig(target)
+	fcfg.Seed = budget.Seed
+	fcfg.StructuredOBV = structured
+	return core.CampaignConfig{
+		Seeds:   pool(budget),
+		Budget:  budget.Executions,
+		Targets: []jvm.Spec{target},
+		Fuzz:    fcfg,
+		Seed:    budget.Seed,
+		Workers: workers,
+	}
+}
+
+// timeCampaign runs one campaign and returns (executions, seconds).
+func timeCampaign(budget Budget, structured bool, workers int) (int, float64) {
+	start := time.Now()
+	res := core.RunCampaign(benchCampaignConfig(budget, structured, workers))
+	return res.Executions, time.Since(start).Seconds()
+}
+
+// benchOBVExtraction times one representative emission stream — every
+// structured line shape, including both double-rule shapes — through
+// the full recorder + regex extraction versus the counter recorder.
+func benchOBVExtraction() (regexNs, structuredNs float64) {
+	emitStream := func(e interface {
+		Emitf(profile.Flag, string, ...any)
+		EmitBehaviorf(profile.Flag, []profile.Behavior, string, ...any)
+	}) {
+		for rep := 0; rep < 8; rep++ {
+			e.Emitf(profile.FlagPrintCompilation, "    %d    3    Foo::work (hot)", rep)
+			e.EmitBehaviorf(profile.FlagPrintInlining, profile.LineInline, "@ %d Foo::work (%d nodes)   inline (hot)", rep, 12)
+			e.EmitBehaviorf(profile.FlagPrintInlining, profile.LineInlineSync, "@ %d Foo::sync   inline (hot) monitors rewired", rep)
+			e.EmitBehaviorf(profile.FlagTraceLoopOpts, profile.LineUnroll, "Unroll %d(%d)", 8, 16)
+			e.EmitBehaviorf(profile.FlagTraceLoopOpts, profile.LinePeel, "Peel  %s trip=%d", "Foo.work", 3)
+			e.EmitBehaviorf(profile.FlagPrintEliminateLocks, profile.LineNestedLockElim, "++++ Eliminated: 1 Lock (nested)")
+			e.EmitBehaviorf(profile.FlagPrintEscapeAnalysis, profile.LineEscapeNone, "%s is NoEscape", "obj")
+			e.EmitBehaviorf(profile.FlagPrintGVN, profile.LineGVN, "GVN hit: %s subsumed by %s in %s", "add(a,b)", "t1", "Foo.work")
+			e.EmitBehaviorf(profile.FlagTraceDeadCode, profile.LineDCE, "DCE: removed %s in %s", "dead branch", "Foo.work")
+			e.EmitBehaviorf(profile.FlagTraceDeoptimization, profile.LineUncommonTrap, "Uncommon trap occurred in %s reason=%s", "Foo.work", "trap")
+		}
+	}
+	flags := profile.DefaultFlags()
+	const iters = 2000
+	var sink profile.OBV
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		rec := profile.NewRecorder(flags)
+		emitStream(rec)
+		sink = profile.ExtractOBV(rec.Text())
+	}
+	regexNs = float64(time.Since(start).Nanoseconds()) / iters
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		rec := profile.NewCounterRecorder(flags)
+		emitStream(rec)
+		sink = rec.OBV()
+	}
+	structuredNs = float64(time.Since(start).Nanoseconds()) / iters
+	_ = sink
+	return regexNs, structuredNs
+}
+
+// BenchCampaign measures campaign throughput (sequential vs parallel vs
+// legacy-OBV) and OBV extraction cost, returning the report.
+func BenchCampaign(budget Budget, workers int) *BenchReport {
+	if workers <= 0 {
+		workers = 4
+	}
+	r := &BenchReport{
+		BudgetExecutions: budget.Executions,
+		SeedPool:         budget.Seeds,
+		Workers:          workers,
+		NumCPU:           runtime.NumCPU(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+	}
+
+	// Warm-up run so one-time costs (corpus generation, lazy init) do
+	// not land on the first timed configuration.
+	timeCampaign(Budget{Executions: budget.Executions / 4, Seeds: budget.Seeds, Seed: budget.Seed}, true, 1)
+
+	execs, secs := timeCampaign(budget, true, 1)
+	r.SequentialSecs = secs
+	r.SequentialExecsPerSec = float64(execs) / secs
+
+	execs, secs = timeCampaign(budget, true, workers)
+	r.ParallelSecs = secs
+	r.ParallelExecsPerSec = float64(execs) / secs
+	r.CampaignSpeedup = r.ParallelExecsPerSec / r.SequentialExecsPerSec
+
+	execs, secs = timeCampaign(budget, false, 1)
+	r.LegacyOBVSecs = secs
+	r.LegacyOBVExecsPerSec = float64(execs) / secs
+	r.FastOBVSpeedupE2E = r.SequentialExecsPerSec / r.LegacyOBVExecsPerSec
+
+	r.OBVRegexNsPerOp, r.OBVStructuredNsPerOp = benchOBVExtraction()
+	r.OBVSpeedup = r.OBVRegexNsPerOp / r.OBVStructuredNsPerOp
+	return r
+}
+
+// WriteBenchJSON runs BenchCampaign and writes the indented JSON report.
+func WriteBenchJSON(w io.Writer, budget Budget, workers int) (*BenchReport, error) {
+	r := BenchCampaign(budget, workers)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, fmt.Errorf("experiments: bench report: %w", err)
+	}
+	return r, nil
+}

@@ -50,6 +50,7 @@ func runTool(tool baselines.Tool, seeds []corpus.Seed, budget Budget) *toolRun {
 	run := &toolRun{Name: tool.Name()}
 	seen := map[string]bool{}
 	idx := int64(0)
+	parsed := corpus.NewParseCache() // parse each seed once, not once per round
 	for run.Execs < budget.Executions {
 		progressed := false
 		for _, seed := range seeds {
@@ -57,7 +58,7 @@ func runTool(tool baselines.Tool, seeds []corpus.Seed, budget Budget) *toolRun {
 				break
 			}
 			idx++
-			fr, err := tool.FuzzSeed(seed.Name, seed.Parse(), budget.Seed*100000+idx)
+			fr, err := tool.FuzzSeed(seed.Name, parsed.Parse(seed), budget.Seed*100000+idx)
 			if err != nil {
 				continue
 			}

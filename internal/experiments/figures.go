@@ -23,12 +23,13 @@ func Figure1(w io.Writer, budget Budget) {
 	// Find a guided run that crashes after a healthy number of
 	// iterations (the paper's case study crashes at mutant 48).
 	var best *core.FuzzResult
+	parsed := corpus.NewParseCache() // parse each seed once across the search
 	for s := int64(0); s < 24; s++ {
 		cfg := core.DefaultConfig(target)
 		cfg.Seed = budget.Seed*1000 + s
 		cfg.DiffSpecs = nil
 		f := core.NewFuzzer(cfg)
-		fr, err := f.FuzzSeed("fig1", seeds[int(s)%len(seeds)].Parse())
+		fr, err := f.FuzzSeed("fig1", parsed.Parse(seeds[int(s)%len(seeds)]))
 		if err != nil {
 			continue
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/buginject"
+	"repro/internal/corpus"
 )
 
 // Recall runs a long multi-version campaign and reports ground-truth
@@ -21,6 +22,7 @@ func Recall(w io.Writer, budget Budget) {
 	detected := map[string]int{} // bug ID -> executions at detection
 	execs := 0
 	idx := int64(0)
+	parsed := corpus.NewParseCache() // parse each seed once, not once per round
 	for execs < budget.Executions {
 		progressed := false
 		for i, seed := range seeds {
@@ -29,7 +31,7 @@ func Recall(w io.Writer, budget Budget) {
 			}
 			idx++
 			tool := baselines.NewMopFuzzer(targets[(int(idx)+i)%len(targets)], nil)
-			fr, err := tool.FuzzSeed(seed.Name, seed.Parse(), budget.Seed*104729+idx)
+			fr, err := tool.FuzzSeed(seed.Name, parsed.Parse(seed), budget.Seed*104729+idx)
 			if err != nil {
 				continue
 			}

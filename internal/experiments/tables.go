@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/buginject"
+	"repro/internal/corpus"
 	"repro/internal/coverage"
 	"repro/internal/jvm"
 )
@@ -125,6 +126,7 @@ func Table5(w io.Writer, budget Budget) {
 	execs := 0
 	idx := int64(0)
 	targets := allTargets()
+	parsed := corpus.NewParseCache() // parse each seed once, not once per round
 	for execs < budget.Executions {
 		progressed := false
 		for i, seed := range seeds {
@@ -133,7 +135,7 @@ func Table5(w io.Writer, budget Budget) {
 			}
 			idx++
 			tool := baselines.NewMopFuzzer(targets[(int(idx)+i)%len(targets)], nil)
-			fr, err := tool.FuzzSeed(seed.Name, seed.Parse(), budget.Seed*7919+idx)
+			fr, err := tool.FuzzSeed(seed.Name, parsed.Parse(seed), budget.Seed*7919+idx)
 			if err != nil {
 				continue
 			}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Quarantine persists pathological mutants (panic / hang /
@@ -18,7 +19,10 @@ import (
 // Layout: one JSON file per fault under Dir, named after the sanitized
 // task ID. Opening a quarantine re-reads the directory, so the index
 // survives process restarts (the resume path relies on this).
+// Safe for concurrent use: parallel workers pre-check Get while the
+// merge stage Adds entries for earlier tasks.
 type Quarantine struct {
+	mu    sync.Mutex
 	dir   string
 	index map[string]*Fault
 }
@@ -60,6 +64,8 @@ func OpenQuarantine(dir string) (*Quarantine, error) {
 // Add stores the fault, writing it to disk when the store is backed by
 // a directory, and records the resulting path on the fault.
 func (q *Quarantine) Add(f *Fault) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	q.index[f.TaskID] = f
 	if q.dir == "" {
 		return nil
@@ -74,16 +80,26 @@ func (q *Quarantine) Add(f *Fault) error {
 }
 
 // Get returns the stored fault for a task ID, or nil.
-func (q *Quarantine) Get(id string) *Fault { return q.index[id] }
+func (q *Quarantine) Get(id string) *Fault {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.index[id]
+}
 
 // Has reports whether the task ID is quarantined.
-func (q *Quarantine) Has(id string) bool { return q.index[id] != nil }
+func (q *Quarantine) Has(id string) bool { return q.Get(id) != nil }
 
 // Len reports the number of quarantined entries.
-func (q *Quarantine) Len() int { return len(q.index) }
+func (q *Quarantine) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.index)
+}
 
 // IDs returns the quarantined task IDs, sorted for determinism.
 func (q *Quarantine) IDs() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	out := make([]string, 0, len(q.index))
 	for id := range q.index {
 		out = append(out, id)

@@ -87,12 +87,17 @@ func New(cfg Config) (*Supervisor, error) {
 // (returning the stored fault); contained faults are classified and
 // quarantined; transient errors are retried with exponential backoff.
 func (s *Supervisor) Do(ctx context.Context, t Task) *Outcome {
-	defer func() {
-		s.tasksDone++
-		if s.Cfg.OnTask != nil {
-			s.Cfg.OnTask(s.tasksDone)
-		}
-	}()
+	return s.Finish(t, s.Attempt(ctx, t))
+}
+
+// Attempt is the order-independent half of Do: it skip-checks the
+// quarantine, executes the task with containment / watchdog / transient
+// retry, and returns the raw outcome — without writing the quarantine
+// or advancing the completion counter. Parallel engines call Attempt
+// from worker goroutines and apply Finish in task order; the quarantine
+// pre-check here is a safe optimization because the store only grows
+// through Finish calls for earlier tasks.
+func (s *Supervisor) Attempt(ctx context.Context, t Task) *Outcome {
 	if f := s.Q.Get(t.ID); f != nil {
 		return &Outcome{Fault: f, Skipped: true}
 	}
@@ -108,11 +113,33 @@ func (s *Supervisor) Do(ctx context.Context, t Task) *Outcome {
 		}
 		break
 	}
-	if out.Fault != nil {
-		out.Fault.Retries = out.Retries
-		// Quarantine failures are deliberately non-fatal: losing the
-		// artifact must not lose the campaign.
-		_ = s.Q.Add(out.Fault)
+	return out
+}
+
+// Finish applies the order-dependent half of supervision to an outcome
+// produced by Attempt: an authoritative quarantine re-check (a task
+// attempted speculatively in parallel may have had its seed quarantined
+// by an earlier task in the meantime — it is then skipped exactly as a
+// sequential run would have skipped it, and the speculative result
+// discarded), quarantine persistence for new faults, and completion
+// bookkeeping. Must be called in task order, once per Attempt.
+func (s *Supervisor) Finish(t Task, out *Outcome) *Outcome {
+	defer func() {
+		s.tasksDone++
+		if s.Cfg.OnTask != nil {
+			s.Cfg.OnTask(s.tasksDone)
+		}
+	}()
+	if !out.Skipped {
+		if f := s.Q.Get(t.ID); f != nil {
+			return &Outcome{Fault: f, Skipped: true}
+		}
+		if out.Fault != nil {
+			out.Fault.Retries = out.Retries
+			// Quarantine failures are deliberately non-fatal: losing the
+			// artifact must not lose the campaign.
+			_ = s.Q.Add(out.Fault)
+		}
 	}
 	return out
 }

@@ -70,16 +70,32 @@ type Context struct {
 	SkipCoarsenUnlock bool // coarsening forgets one unlock when merging
 	CorruptFold       bool // algebraic folding produces an off-by-one constant
 	DropBoundsCheck   bool // (reserved for array speculation defects)
+
+	// coverRec, when non-nil, additionally records every compile-time
+	// coverage region name in order (the compile cache's capture channel).
+	coverRec *[]string
 }
 
 // Cover marks a coverage region (no-op with a nil tracker).
-func (c *Context) Cover(name string) { c.Cov.Hit(name) }
+func (c *Context) Cover(name string) {
+	if c.coverRec != nil {
+		*c.coverRec = append(*c.coverRec, name)
+	}
+	c.Cov.Hit(name)
+}
 
 // Emitf writes a flag-gated profile log line.
 func (c *Context) Emitf(flag profile.Flag, format string, args ...any) {
 	if c.Log != nil {
 		c.Log.Emitf(flag, format, args...)
 	}
+}
+
+// EmitBehaviorf writes a flag-gated line that the OBV rule table counts
+// under the given behaviors, taking the structured fast path when the
+// sink supports it.
+func (c *Context) EmitBehaviorf(flag profile.Flag, behaviors []profile.Behavior, format string, args ...any) {
+	profile.EmitBehavior(c.Log, flag, behaviors, format, args...)
 }
 
 // Record appends an event, bumps its behavior count, and lets the hook

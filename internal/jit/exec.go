@@ -259,9 +259,8 @@ func (c *Compiled) execStmt(sc *scopes, n *Node) (ctrl, vm.Value, error) {
 		// traps invalidate the compiled code so the method recompiles
 		// without the speculation.
 		c.trapCount++
-		if c.Log != nil {
-			c.Log.Emitf(profile.FlagTraceDeoptimization, "Uncommon trap occurred in %s reason=%s", c.F.Key(), n.Name)
-		}
+		profile.EmitBehavior(c.Log, profile.FlagTraceDeoptimization, profile.LineUncommonTrap,
+			"Uncommon trap occurred in %s reason=%s", c.F.Key(), n.Name)
 		c.Cov.Hit("c2.traps.fire")
 		c.Cov.Hit("runtime.deopt")
 		if c.trapLimit > 0 && c.trapCount >= c.trapLimit {

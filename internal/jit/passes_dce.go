@@ -29,7 +29,7 @@ func passRSE(ctx *Context, prefix string) error {
 					if next.Kind == NAssignVar && next.Name == k.Name &&
 						IsPure(next.Kids[0]) && !ReadsVar(next.Kids[0], k.Name) {
 						ctx.Cover(prefix + ".rse.apply")
-						ctx.Emitf(profile.FlagTraceRedundantStores, "Removed redundant store to %s in %s", k.Name, ctx.Fn.Key())
+						ctx.EmitBehaviorf(profile.FlagTraceRedundantStores, profile.LineRedundantStore, "Removed redundant store to %s in %s", k.Name, ctx.Fn.Key())
 						failed = ctx.Record(Event{Pass: "rse", Behavior: profile.BRedundantStore,
 							Detail: k.Name, Prov: provOf(seq.Kids[i])})
 						dead := i
@@ -61,7 +61,7 @@ func passRSE(ctx *Context, prefix string) error {
 						removed := seq.Kids[i]
 						seq.Kids[i] = &Node{Kind: NNop, Prov: removed.Prov}
 						ctx.Cover(prefix + ".rse.apply")
-						ctx.Emitf(profile.FlagTraceRedundantStores, "Removed redundant store to %s.%s in %s", recvName, fieldName, ctx.Fn.Key())
+						ctx.EmitBehaviorf(profile.FlagTraceRedundantStores, profile.LineRedundantStore, "Removed redundant store to %s.%s in %s", recvName, fieldName, ctx.Fn.Key())
 						failed = ctx.Record(Event{Pass: "rse", Behavior: profile.BRedundantStore,
 							Detail: recvName + "." + fieldName, Prov: provOf(removed)})
 						break
@@ -132,7 +132,7 @@ func passDCE(ctx *Context, prefix string) error {
 			return
 		}
 		ctx.Cover(prefix + ".dce.apply")
-		ctx.Emitf(profile.FlagTraceDeadCode, "DCE: removed %s in %s", what, ctx.Fn.Key())
+		ctx.EmitBehaviorf(profile.FlagTraceDeadCode, profile.LineDCE, "DCE: removed %s in %s", what, ctx.Fn.Key())
 		failed = ctx.Record(Event{Pass: "dce", Behavior: profile.BDCE, Detail: what, Prov: prov})
 	}
 

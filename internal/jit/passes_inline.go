@@ -286,7 +286,7 @@ func (in *inliner) tryExprInline(call *Node, sc stmtCtx, allowSync bool) (*Node,
 	in.counter++
 	in.ctx.Cover(in.prefix() + ".inline.try")
 	in.ctx.Cover(in.prefix() + ".inline.apply")
-	in.ctx.Emitf(profile.FlagPrintInlining, "@ %d %s::%s (%d nodes)   inline (hot)",
+	in.ctx.EmitBehaviorf(profile.FlagPrintInlining, profile.LineInline, "@ %d %s::%s (%d nodes)   inline (hot)",
 		in.counter, call.Class, call.Name, callee.Body.CountNodes())
 	if err := in.ctx.Record(Event{Pass: "inline", Behavior: profile.BInline,
 		Detail: call.Class + "." + call.Name, Prov: expr.Prov,
@@ -341,7 +341,7 @@ func (in *inliner) finishSyncInline(result []*Node, sync *Node, call *Node, sc s
 	if in.ctx.Tier == vm.TierC1 {
 		in.ctx.Cover("c1.inline.sync_handler")
 	}
-	in.ctx.Emitf(profile.FlagPrintInlining, "@ %d %s::%s   inline (hot) monitors rewired",
+	in.ctx.EmitBehaviorf(profile.FlagPrintInlining, profile.LineInlineSync, "@ %d %s::%s   inline (hot) monitors rewired",
 		in.counter, call.Class, call.Name)
 	if err := in.ctx.Record(Event{Pass: "inline", Behavior: profile.BInlineSync,
 		Detail: call.Class + "." + call.Name, Prov: sync.Prov,
@@ -433,7 +433,7 @@ func (in *inliner) inlineVoidBody(call *Node, callee *Func, sc stmtCtx) (*Node, 
 
 	in.ctx.Cover(in.prefix() + ".inline.try")
 	in.ctx.Cover(in.prefix() + ".inline.apply")
-	in.ctx.Emitf(profile.FlagPrintInlining, "@ %d %s::%s (%d nodes)   inline (hot)",
+	in.ctx.EmitBehaviorf(profile.FlagPrintInlining, profile.LineInline, "@ %d %s::%s (%d nodes)   inline (hot)",
 		in.counter, call.Class, call.Name, callee.Body.CountNodes())
 	if err := in.ctx.Record(Event{Pass: "inline", Behavior: profile.BInline,
 		Detail: call.Class + "." + call.Name, Prov: seq.Prov,

@@ -44,13 +44,13 @@ func passEscapeAnalysis(ctx *Context) error {
 		switch state {
 		case NoEscape:
 			ctx.Cover("c2.escape.noescape")
-			ctx.Emitf(profile.FlagPrintEscapeAnalysis, "%s is NoEscape", name)
+			ctx.EmitBehaviorf(profile.FlagPrintEscapeAnalysis, profile.LineEscapeNone, "%s is NoEscape", name)
 			if err := ctx.Record(Event{Pass: "escape", Behavior: profile.BEscapeNone, Detail: name}); err != nil {
 				return err
 			}
 		case ArgEscape:
 			ctx.Cover("c2.escape.argescape")
-			ctx.Emitf(profile.FlagPrintEscapeAnalysis, "%s is ArgEscape", name)
+			ctx.EmitBehaviorf(profile.FlagPrintEscapeAnalysis, profile.LineEscapeArg, "%s is ArgEscape", name)
 			if err := ctx.Record(Event{Pass: "escape", Behavior: profile.BEscapeArg, Detail: name}); err != nil {
 				return err
 			}
@@ -203,7 +203,7 @@ func passLockElide(ctx *Context) error {
 					body.Prov |= k.Prov
 					n.Kids[i] = body
 					ctx.Cover("c2.locks.eliminate")
-					ctx.Emitf(profile.FlagPrintEliminateLocks, "++++ Eliminated: %d Lock", eliminated)
+					ctx.EmitBehaviorf(profile.FlagPrintEliminateLocks, profile.LineLockElim, "++++ Eliminated: %d Lock", eliminated)
 					failed = ctx.Record(Event{Pass: "locks", Behavior: profile.BLockElim,
 						Detail: ctx.Fn.Key(), Prov: provOf(k), SyncDepth: sc.SyncDepth, LoopDepth: sc.LoopDepth})
 					if failed != nil {
@@ -308,7 +308,7 @@ func passNestedLocks(ctx *Context) error {
 						body.Prov |= k.Prov
 						n.Kids[i] = body
 						ctx.Cover("c2.locks.nested")
-						ctx.Emitf(profile.FlagPrintEliminateLocks, "++++ Eliminated: 1 Lock (nested)")
+						ctx.EmitBehaviorf(profile.FlagPrintEliminateLocks, profile.LineNestedLockElim, "++++ Eliminated: 1 Lock (nested)")
 						failed = ctx.Record(Event{Pass: "locks", Behavior: profile.BNestedLockElim,
 							Detail: ctx.Fn.Key(), Prov: provOf(k), SyncDepth: sc.SyncDepth, LoopDepth: sc.LoopDepth})
 						if failed != nil {
@@ -411,7 +411,7 @@ func passLockCoarsen(ctx *Context) error {
 
 			ctx.Cover("c2.locks.coarsen")
 			ctx.Cover("c2.macro.expand")
-			ctx.Emitf(profile.FlagPrintLockCoarsening, "Coarsened %d locks on %s in %s",
+			ctx.EmitBehaviorf(profile.FlagPrintLockCoarsening, profile.LineLockCoarsen, "Coarsened %d locks on %s in %s",
 				len(run), monDesc(first.Kids[0]), ctx.Fn.Key())
 			failed = ctx.Record(Event{Pass: "locks", Behavior: profile.BLockCoarsen,
 				Detail: ctx.Fn.Key(), Prov: prov | FromCoarsen,

@@ -73,7 +73,7 @@ func passLoopPeel(ctx *Context) error {
 			i++ // skip over the loop we just shifted
 
 			ctx.Cover("c2.loop.peel")
-			ctx.Emitf(profile.FlagTraceLoopOpts, "Peel  %s trip=%d", ctx.Fn.Key(), trips)
+			ctx.EmitBehaviorf(profile.FlagTraceLoopOpts, profile.LinePeel, "Peel  %s trip=%d", ctx.Fn.Key(), trips)
 			failed = ctx.Record(Event{Pass: "loop", Behavior: profile.BPeel,
 				Detail: ctx.Fn.Key(), Prov: peeled.Prov | provOf(n)})
 			if failed != nil {
@@ -143,7 +143,7 @@ func passLoopUnswitch(ctx *Context) error {
 			seq.Kids[i] = hoisted
 
 			ctx.Cover("c2.loop.unswitch")
-			ctx.Emitf(profile.FlagTraceLoopOpts, "Unswitch  %s", ctx.Fn.Key())
+			ctx.EmitBehaviorf(profile.FlagTraceLoopOpts, profile.LineUnswitch, "Unswitch  %s", ctx.Fn.Key())
 			failed = ctx.Record(Event{Pass: "loop", Behavior: profile.BUnswitch,
 				Detail: ctx.Fn.Key(), Prov: hoisted.Prov | provOf(n)})
 			if failed != nil {
@@ -190,7 +190,7 @@ func passLoopUnroll(ctx *Context) error {
 				repl.Prov |= FromUnroll
 				seq.Kids[i] = repl
 				ctx.Cover("c2.loop.unroll")
-				ctx.Emitf(profile.FlagTraceLoopOpts, "Unroll %d(%d)", trips, trips)
+				ctx.EmitBehaviorf(profile.FlagTraceLoopOpts, profile.LineUnroll, "Unroll %d(%d)", trips, trips)
 				failed = ctx.Record(Event{Pass: "loop", Behavior: profile.BUnroll,
 					Detail: ctx.Fn.Key(), Prov: repl.Prov | provOf(n)})
 				if failed != nil {
@@ -217,8 +217,8 @@ func passLoopUnroll(ctx *Context) error {
 				seq.Kids[i] = unrolled
 				ctx.Cover("c2.loop.unroll")
 				ctx.Cover("c2.loop.premainpost")
-				ctx.Emitf(profile.FlagTraceLoopOpts, "PreMainPost %s", ctx.Fn.Key())
-				ctx.Emitf(profile.FlagTraceLoopOpts, "Unroll %d", partialFactor)
+				ctx.EmitBehaviorf(profile.FlagTraceLoopOpts, profile.LinePreMainPost, "PreMainPost %s", ctx.Fn.Key())
+				ctx.EmitBehaviorf(profile.FlagTraceLoopOpts, profile.LineUnroll, "Unroll %d", partialFactor)
 				if err := ctx.Record(Event{Pass: "loop", Behavior: profile.BPreMainPost,
 					Detail: ctx.Fn.Key(), Prov: unrolled.Prov}); err != nil {
 					failed = err

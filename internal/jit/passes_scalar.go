@@ -65,7 +65,7 @@ func passScalarReplace(ctx *Context) error {
 		rewriteFieldUses(ctx.Fn.Body, name)
 
 		ctx.Cover("c2.scalar.replace")
-		ctx.Emitf(profile.FlagPrintEliminateAllocations, "Scalar replaced allocation %s (%s)", name, cf.Name)
+		ctx.EmitBehaviorf(profile.FlagPrintEliminateAllocations, profile.LineScalarReplace, "Scalar replaced allocation %s (%s)", name, cf.Name)
 		if err := ctx.Record(Event{Pass: "escape", Behavior: profile.BScalarReplace,
 			Detail: name, Prov: repl.Prov}); err != nil {
 			return err

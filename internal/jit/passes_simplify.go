@@ -25,7 +25,7 @@ func passAutobox(ctx *Context) error {
 			inner := n.Kids[0].Kids[0]
 			inner.Prov |= n.Prov | n.Kids[0].Prov | FromAutoboxElim
 			ctx.Cover("c2.autobox.eliminate")
-			ctx.Emitf(profile.FlagTraceAutoBoxElimination, "Eliminated autobox Integer.valueOf in %s", ctx.Fn.Key())
+			ctx.EmitBehaviorf(profile.FlagTraceAutoBoxElimination, profile.LineAutoboxElim, "Eliminated autobox Integer.valueOf in %s", ctx.Fn.Key())
 			failed = ctx.Record(Event{Pass: "autobox", Behavior: profile.BAutoboxElim,
 				Detail: ctx.Fn.Key(), Prov: inner.Prov})
 			return inner
@@ -92,7 +92,7 @@ func passAutobox(ctx *Context) error {
 			return n
 		})
 		ctx.Cover("c2.autobox.eliminate")
-		ctx.Emitf(profile.FlagTraceAutoBoxElimination, "Eliminated autobox local %s in %s", name, ctx.Fn.Key())
+		ctx.EmitBehaviorf(profile.FlagTraceAutoBoxElimination, profile.LineAutoboxElim, "Eliminated autobox local %s in %s", name, ctx.Fn.Key())
 		if err := ctx.Record(Event{Pass: "autobox", Behavior: profile.BAutoboxElim,
 			Detail: name, Prov: decl.Prov}); err != nil {
 			return err
@@ -119,7 +119,7 @@ func passAlgebra(ctx *Context, prefix string) error {
 		if out.Kind == NConstInt || out.Kind == NConstBool {
 			ctx.Cover(prefix + ".algebra.fold")
 		}
-		ctx.Emitf(profile.FlagTraceAlgebraicOpts, "AlgebraicSimplify: %s in %s", desc, ctx.Fn.Key())
+		ctx.EmitBehaviorf(profile.FlagTraceAlgebraicOpts, profile.LineAlgebraic, "AlgebraicSimplify: %s in %s", desc, ctx.Fn.Key())
 		failed = ctx.Record(Event{Pass: "algebra", Behavior: profile.BAlgebraic,
 			Detail: desc, Prov: out.Prov})
 		if ctx.CorruptFold && out.Kind == NConstInt {
@@ -351,7 +351,7 @@ func passGVN(ctx *Context) error {
 				if prior, ok := avail[key]; ok && prior != k.Name && init.Kind != NVar && init.Kind != NConstInt && init.Kind != NConstBool {
 					k.Kids[0] = &Node{Kind: NVar, Name: prior, Ty: init.Ty, Prov: init.Prov | FromGVN}
 					ctx.Cover("c2.gvn.subsume")
-					ctx.Emitf(profile.FlagPrintGVN, "GVN hit: %s subsumed by %s in %s", key, prior, ctx.Fn.Key())
+					ctx.EmitBehaviorf(profile.FlagPrintGVN, profile.LineGVN, "GVN hit: %s subsumed by %s in %s", key, prior, ctx.Fn.Key())
 					failed = ctx.Record(Event{Pass: "gvn", Behavior: profile.BGVN,
 						Detail: prior, Prov: k.Kids[0].Prov | provOf(k)})
 					if failed != nil {

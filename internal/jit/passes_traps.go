@@ -20,7 +20,7 @@ func passTraps(ctx *Context) error {
 	if ctx.Env.DeoptCount(key) > 0 {
 		ctx.Cover("c2.osr")
 		ctx.Cover("c1.deopt_support")
-		ctx.Emitf(profile.FlagTraceDeoptimization, "Deoptimization: recompile %s (count %d)", key, ctx.Env.DeoptCount(key))
+		ctx.EmitBehaviorf(profile.FlagTraceDeoptimization, profile.LineDeoptRecompile, "Deoptimization: recompile %s (count %d)", key, ctx.Env.DeoptCount(key))
 		return ctx.Record(Event{Pass: "traps", Behavior: profile.BDeoptRecompile, Detail: key})
 	}
 	var failed error

@@ -34,6 +34,14 @@ type Compiler struct {
 	// OnCompiled, if set, observes the finished compilation context
 	// (the fuzzer's white-box test hook; production runs leave it nil).
 	OnCompiled func(*Context)
+
+	// Cache, when non-nil, reuses compilations across executions (and
+	// across differential targets sharing the cache). It is consulted
+	// only when Hook is nil or a CacheableHook; CacheSalt must identify
+	// the program being run, since cache keys only add method, tier,
+	// options, hook fingerprint, and deopt count on top of it.
+	Cache     *Cache
+	CacheSalt string
 }
 
 // New returns a Compiler with default options.
@@ -51,16 +59,50 @@ func (c *Compiler) Compile(fn *bytecode.Function, tier vm.Tier, env vm.Env) (vm.
 	if cl == nil {
 		return nil, fmt.Errorf("jit: class %s not in image (bailout)", fn.Class)
 	}
+
+	// Cache probe. Hooks that cannot be fingerprinted (test hooks
+	// injected via CompileHook) make compile output unpredictable, so
+	// their presence bypasses the cache entirely.
+	var ch CacheableHook
+	useCache := c.Cache != nil
+	if c.Hook != nil {
+		ch, _ = c.Hook.(CacheableHook)
+		if ch == nil {
+			useCache = false
+		}
+	}
+	var key string
+	if useCache {
+		hookFP := ""
+		if ch != nil {
+			hookFP = ch.CacheFingerprint()
+		}
+		key = fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%+v\x00%s",
+			c.CacheSalt, fn.Key(), tier, env.DeoptCount(fn.Key()), c.Opt, hookFP)
+		if e := c.Cache.get(key); e != nil {
+			return c.replay(e, env, ch), nil
+		}
+	}
+
 	f, err := Lower(cl, fn.Source)
 	if err != nil {
 		return nil, err
 	}
 	ctx := &Context{Fn: f, Tier: tier, Log: c.Log, Cov: c.Cov, Env: env, Hook: c.Hook}
-
-	if c.Log != nil {
-		c.Log.Emitf(profile.FlagPrintCompilation, "%4d %s  %s::%s (%d nodes)",
-			env.DeoptCount(fn.Key()), tier, fn.Class, fn.Name, f.Body.CountNodes())
+	var capture *captureEmitter
+	var coverRec []string
+	trigBase := 0
+	if useCache {
+		capture = &captureEmitter{next: c.Log}
+		ctx.Log = capture
+		ctx.coverRec = &coverRec
+		if ch != nil {
+			trigBase = len(ch.TriggeredIDs())
+		}
 	}
+
+	ctx.Emitf(profile.FlagPrintCompilation, "%4d %s  %s::%s (%d nodes)",
+		env.DeoptCount(fn.Key()), tier, fn.Class, fn.Name, f.Body.CountNodes())
 
 	var passErr error
 	if tier == vm.TierC1 {
@@ -69,6 +111,9 @@ func (c *Compiler) Compile(fn *bytecode.Function, tier vm.Tier, env vm.Env) (vm.
 		passErr = c.runC2(ctx)
 	}
 	if passErr != nil {
+		// Failed compilations (compiler crashes) are never cached: the
+		// hook's crash path re-fires identically on every recompile, so
+		// skipping them keeps cache hits exactly equivalent to misses.
 		return nil, passErr
 	}
 
@@ -83,8 +128,15 @@ func (c *Compiler) Compile(fn *bytecode.Function, tier vm.Tier, env vm.Env) (vm.
 	if c.OnCompiled != nil {
 		c.OnCompiled(ctx)
 	}
-	if c.Log != nil {
-		c.Log.Emitf(profile.FlagPrintAssembly, "  # {method} %s::%s tier=%s compiled", fn.Class, fn.Name, tier)
+	ctx.Emitf(profile.FlagPrintAssembly, "  # {method} %s::%s tier=%s compiled", fn.Class, fn.Name, tier)
+
+	if useCache {
+		var trig []string
+		if ch != nil {
+			ids := ch.TriggeredIDs()
+			trig = append([]string(nil), ids[trigBase:]...)
+		}
+		c.Cache.put(key, &cacheEntry{fn: f, lines: capture.lines, cover: coverRec, trig: trig, ctx: ctx})
 	}
 	return &Compiled{
 		F:   f,
@@ -94,6 +146,37 @@ func (c *Compiler) Compile(fn *bytecode.Function, tier vm.Tier, env vm.Env) (vm.
 
 		trapLimit: c.Opt.TrapLimit,
 	}, nil
+}
+
+// replay re-applies a cached compilation's side effects — profile lines
+// (re-gated by the current recorder), coverage regions, bug-trigger
+// state transitions, and the OnCompiled observation — and wraps the
+// shared optimized IR in a fresh Compiled carrying this execution's
+// runtime state (trap counters, env).
+func (c *Compiler) replay(e *cacheEntry, env vm.Env, ch CacheableHook) vm.CompiledMethod {
+	for _, l := range e.lines {
+		c.Log.AppendLine(l.flag, l.behaviors, l.text)
+	}
+	for _, name := range e.cover {
+		c.Cov.Hit(name)
+	}
+	if ch != nil && len(e.trig) > 0 {
+		ch.ReplayTriggered(e.trig)
+	}
+	if c.OnCompiled != nil {
+		ctx := *e.ctx
+		ctx.Env = env
+		ctx.Log = c.Log
+		c.OnCompiled(&ctx)
+	}
+	return &Compiled{
+		F:   e.fn,
+		Env: env,
+		Log: c.Log,
+		Cov: &covSink{hit: func(name string) { c.Cov.Hit(name) }},
+
+		trapLimit: c.Opt.TrapLimit,
+	}
 }
 
 // runC1 is the client-compiler pipeline: fast, conservative.

@@ -7,6 +7,9 @@ package jvm
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
+	"strconv"
 
 	"repro/internal/buginject"
 	"repro/internal/bytecode"
@@ -87,6 +90,18 @@ type Options struct {
 	// containment tests use it to inject panicking passes; production
 	// runs leave it nil.
 	CompileHook jit.Hook
+	// StructuredOBV selects the fast profile path: passes maintain the
+	// behavior counters directly and no log text is ever built, so
+	// ExecResult.Log stays empty and ExecResult.OBV comes from the
+	// counters. Equivalence with the regex-over-log reference oracle is
+	// pinned by TestStructuredOBVMatchesExtract.
+	StructuredOBV bool
+	// CompileCache, when non-nil, reuses method compilations across
+	// executions — and across differential targets, since the cache key
+	// covers the program, method, tier, pipeline options, armed bug
+	// state, and deopt count. Ignored when CompileHook is set (arbitrary
+	// hooks cannot be fingerprinted).
+	CompileCache *jit.Cache
 }
 
 // ExecResult is one program execution on one spec.
@@ -127,6 +142,9 @@ func Run(p *lang.Program, spec Spec, opt Options) (*ExecResult, error) {
 	}
 
 	rec := profile.NewRecorder(opt.Flags)
+	if opt.StructuredOBV {
+		rec = profile.NewCounterRecorder(opt.Flags)
+	}
 	cov := opt.Coverage
 	if cov == nil {
 		cov = coverage.NewTracker()
@@ -156,22 +174,40 @@ func Run(p *lang.Program, spec Spec, opt Options) (*ExecResult, error) {
 			comp.Opt.TrapLimit = 3
 		}
 		comp.OnCompiled = func(*jit.Context) { compiled++ }
+		if opt.CompileCache != nil && opt.CompileHook == nil {
+			comp.Cache = opt.CompileCache
+			comp.CacheSalt = programFingerprint(p)
+		}
 		cfg.JIT = comp
 	}
 
 	res := vm.NewMachine(img, cfg).Run()
-	logText := rec.Text()
 	out := &ExecResult{
 		Spec:     spec,
 		Result:   res,
-		Log:      logText,
-		OBV:      profile.ExtractOBV(logText),
 		Compiled: compiled,
+	}
+	if opt.StructuredOBV {
+		out.OBV = rec.OBV()
+	} else if rec.Len() > 0 {
+		// Executions with no flags enabled (differential re-runs) emit no
+		// lines; skip both the log join and the 19-rule regex scan.
+		out.Log = rec.Text()
+		out.OBV = profile.ExtractOBV(out.Log)
 	}
 	if inj != nil {
 		out.Triggered = inj.Triggered
 	}
 	return out, nil
+}
+
+// programFingerprint hashes the program's canonical source rendering —
+// the compile cache's identity for "same program". Computed once per
+// execution, only when a cache is attached.
+func programFingerprint(p *lang.Program) string {
+	h := fnv.New64a()
+	io.WriteString(h, lang.Format(p))
+	return strconv.FormatUint(h.Sum64(), 16)
 }
 
 // RunSource parses src and runs it (convenience for tools and examples).

@@ -57,3 +57,14 @@ func NoFlags() FlagSet { return FlagSet{} }
 
 // Enabled reports whether f is on.
 func (fs FlagSet) Enabled(f Flag) bool { return fs[f] }
+
+// Any reports whether at least one flag is enabled. Executions with no
+// flags enabled skip log assembly and OBV extraction entirely.
+func (fs FlagSet) Any() bool {
+	for _, on := range fs {
+		if on {
+			return true
+		}
+	}
+	return false
+}

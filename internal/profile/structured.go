@@ -1,0 +1,50 @@
+package profile
+
+// Per-emission-site behavior sets for the structured OBV fast path.
+//
+// Each variable names one line shape a pass emits and lists every rule
+// in Rules whose pattern matches the rendered text — the fast path
+// mirrors the paper's §3.4 rule table rather than replacing it, and the
+// regex-over-log path stays the reference oracle. Two shapes match two
+// rules at once: the nested-lock elimination line contains both
+// "++++ Eliminated: 1 Lock" and "Lock (nested)", and the synchronized-
+// callee inline line contains both "inline (hot)" and "monitors
+// rewired". TestLineBehaviorsMatchRules pins every set against sample
+// renderings, so a rule edit that changes a match set fails loudly.
+var (
+	LineInline         = []Behavior{BInline}
+	LineInlineSync     = []Behavior{BInline, BInlineSync}
+	LineUnroll         = []Behavior{BUnroll}
+	LinePeel           = []Behavior{BPeel}
+	LineUnswitch       = []Behavior{BUnswitch}
+	LinePreMainPost    = []Behavior{BPreMainPost}
+	LineLockElim       = []Behavior{BLockElim}
+	LineNestedLockElim = []Behavior{BLockElim, BNestedLockElim}
+	LineLockCoarsen    = []Behavior{BLockCoarsen}
+	LineEscapeNone     = []Behavior{BEscapeNone}
+	LineEscapeArg      = []Behavior{BEscapeArg}
+	LineScalarReplace  = []Behavior{BScalarReplace}
+	LineAutoboxElim    = []Behavior{BAutoboxElim}
+	LineRedundantStore = []Behavior{BRedundantStore}
+	LineAlgebraic      = []Behavior{BAlgebraic}
+	LineGVN            = []Behavior{BGVN}
+	LineDCE            = []Behavior{BDCE}
+	LineUncommonTrap   = []Behavior{BUncommonTrap}
+	LineDeoptRecompile = []Behavior{BDeoptRecompile}
+)
+
+// MatchBehaviors returns the behaviors whose rules match text under the
+// given flag, in rule-table order. The structured.go line sets must
+// agree with this for every rendered line; the tests enforce it.
+func MatchBehaviors(flag Flag, text string) []Behavior {
+	var out []Behavior
+	for _, r := range Rules {
+		if r.Flag != flag {
+			continue
+		}
+		if r.re.MatchString(text) {
+			out = append(out, r.Behavior)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestLineBehaviorsMatchRules pins every structured Line* set against
+// sample renderings of its emission sites: the behaviors a pass counts
+// directly on the fast path must be exactly the rules the reference
+// regex oracle would match on the rendered line. Editing a rule pattern
+// or a pass's line format without updating the other fails here.
+func TestLineBehaviorsMatchRules(t *testing.T) {
+	cases := []struct {
+		name    string
+		flag    Flag
+		set     []Behavior
+		samples []string
+	}{
+		{"inline", FlagPrintInlining, LineInline,
+			[]string{"@ 1 Foo::work (12 nodes)   inline (hot)"}},
+		{"inline-sync", FlagPrintInlining, LineInlineSync,
+			[]string{"@ 2 Foo::sync   inline (hot) monitors rewired"}},
+		{"unroll", FlagTraceLoopOpts, LineUnroll,
+			[]string{"Unroll 8(16)", "Unroll 4"}},
+		{"peel", FlagTraceLoopOpts, LinePeel,
+			[]string{"Peel  Foo.work trip=3"}},
+		{"unswitch", FlagTraceLoopOpts, LineUnswitch,
+			[]string{"Unswitch  Foo.work"}},
+		{"pre-main-post", FlagTraceLoopOpts, LinePreMainPost,
+			[]string{"PreMainPost Foo.work"}},
+		{"lock-elim", FlagPrintEliminateLocks, LineLockElim,
+			[]string{"++++ Eliminated: 2 Lock"}},
+		{"nested-lock-elim", FlagPrintEliminateLocks, LineNestedLockElim,
+			[]string{"++++ Eliminated: 1 Lock (nested)"}},
+		{"lock-coarsen", FlagPrintLockCoarsening, LineLockCoarsen,
+			[]string{"Coarsened 2 locks on this in Foo.work"}},
+		{"escape-none", FlagPrintEscapeAnalysis, LineEscapeNone,
+			[]string{"obj is NoEscape"}},
+		{"escape-arg", FlagPrintEscapeAnalysis, LineEscapeArg,
+			[]string{"arg is ArgEscape"}},
+		{"scalar-replace", FlagPrintEliminateAllocations, LineScalarReplace,
+			[]string{"Scalar replaced allocation p (Point)"}},
+		{"autobox", FlagTraceAutoBoxElimination, LineAutoboxElim,
+			[]string{"Eliminated autobox Integer.valueOf in Foo.work", "Eliminated autobox local b in Foo.work"}},
+		{"redundant-store", FlagTraceRedundantStores, LineRedundantStore,
+			[]string{"Removed redundant store to x in Foo.work", "Removed redundant store to o.f in Foo.work"}},
+		{"algebraic", FlagTraceAlgebraicOpts, LineAlgebraic,
+			[]string{"AlgebraicSimplify: x*1 in Foo.work"}},
+		{"gvn", FlagPrintGVN, LineGVN,
+			[]string{"GVN hit: add(a,b) subsumed by t1 in Foo.work"}},
+		{"dce", FlagTraceDeadCode, LineDCE,
+			[]string{"DCE: removed dead branch in Foo.work"}},
+		{"uncommon-trap", FlagTraceDeoptimization, LineUncommonTrap,
+			[]string{"Uncommon trap occurred in Foo.work reason=trap"}},
+		{"deopt-recompile", FlagTraceDeoptimization, LineDeoptRecompile,
+			[]string{"Deoptimization: recompile Foo.work (count 2)"}},
+	}
+	covered := map[Behavior]bool{}
+	for _, c := range cases {
+		for _, b := range c.set {
+			covered[b] = true
+		}
+		for _, s := range c.samples {
+			if got := MatchBehaviors(c.flag, s); !reflect.DeepEqual(got, c.set) {
+				t.Errorf("%s: MatchBehaviors(%q) = %v, want %v", c.name, s, got, c.set)
+			}
+		}
+	}
+	for b := 0; b < NumBehaviors; b++ {
+		if !covered[Behavior(b)] {
+			t.Errorf("behavior %s has no structured line set under test", Behavior(b))
+		}
+	}
+}
+
+// TestCounterRecorderMatchesRecorder drives an identical emission stream
+// through the full recorder and the counter recorder: the fast counters
+// must equal both the full recorder's counters and the reference regex
+// extraction over the rendered text, and the counter recorder must keep
+// no text at all.
+func TestCounterRecorderMatchesRecorder(t *testing.T) {
+	for _, fs := range []FlagSet{DefaultFlags(), {FlagTraceLoopOpts: true, FlagPrintInlining: true}, NoFlags()} {
+		full := NewRecorder(fs)
+		fast := NewCounterRecorder(fs)
+		emit := func(flag Flag, set []Behavior, format string, args ...any) {
+			full.EmitBehaviorf(flag, set, format, args...)
+			fast.EmitBehaviorf(flag, set, format, args...)
+		}
+		emit(FlagTraceLoopOpts, LineUnroll, "Unroll %d(%d)", 8, 16)
+		emit(FlagTraceLoopOpts, LinePeel, "Peel  %s trip=%d", "Foo.work", 3)
+		emit(FlagPrintInlining, LineInline, "@ %d %s::%s (%d nodes)   inline (hot)", 1, "Foo", "work", 12)
+		emit(FlagPrintInlining, LineInlineSync, "@ %d %s::%s   inline (hot) monitors rewired", 2, "Foo", "sync")
+		emit(FlagPrintEliminateLocks, LineNestedLockElim, "++++ Eliminated: 1 Lock (nested)")
+		emit(FlagTraceDeoptimization, LineUncommonTrap, "Uncommon trap occurred in %s reason=%s", "Foo.work", "trap")
+		// Rule-free diagnostic noise must not perturb either path.
+		full.Emitf(FlagPrintCompilation, "    1    3    Foo::work (hot)")
+		fast.Emitf(FlagPrintCompilation, "    1    3    Foo::work (hot)")
+
+		ref := ExtractOBV(full.Text())
+		if full.OBV() != ref {
+			t.Errorf("flags %v: full recorder OBV %v != ExtractOBV %v", fs, full.OBV(), ref)
+		}
+		if fast.OBV() != ref {
+			t.Errorf("flags %v: counter recorder OBV %v != ExtractOBV %v", fs, fast.OBV(), ref)
+		}
+		if fast.Len() != 0 || fast.Text() != "" {
+			t.Errorf("flags %v: counter recorder retained %d lines of text", fs, fast.Len())
+		}
+	}
+}
