@@ -12,7 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/exec"
 	"repro/internal/experiments"
 )
 
@@ -26,9 +28,19 @@ func main() {
 	seedFlag := flag.Int64("seed", 1, "campaign random seed")
 	benchJSON := flag.String("bench-json", "", "measure campaign throughput (sequential vs parallel vs legacy OBV) and write the JSON report here")
 	benchWorkers := flag.Int("bench-workers", 4, "worker count for the parallel leg of -bench-json")
+	backend := flag.String("backend", "inprocess", "execution backend: inprocess or subprocess (one minijvm child per execution)")
+	minijvmPath := flag.String("minijvm", "", "minijvm binary for -backend subprocess (default: $MINIJVM, then $PATH)")
+	childTimeout := flag.Duration("child-timeout", 10*time.Second, "per-execution watchdog for -backend subprocess (0 = no watchdog)")
 	flag.Parse()
 
+	executor, err := exec.FromFlags(*backend, *minijvmPath, *childTimeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
 	budget := experiments.DefaultBudget()
+	budget.Executor = executor
 	if *budgetFlag > 0 {
 		budget.Executions = *budgetFlag
 	}

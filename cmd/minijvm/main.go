@@ -6,6 +6,21 @@
 //	minijvm -jvm openjdk-17 -flags PrintInlining,TraceLoopOpts prog.mj
 //	minijvm -jvm openj9-11 -xcomp -disasm prog.mj
 //	minijvm -interp prog.mj        # pure interpreter (reference output)
+//	minijvm -exec-json < req.json  # machine-readable execution server
+//
+// Exit codes are distinct per failure domain so drivers can classify
+// without parsing output:
+//
+//	0  success (all builds agree, in -diff mode)
+//	1  program-level fatal error (unreadable file, parse/type error)
+//	2  usage error (also the Go runtime's uncaught-panic status)
+//	3  simulated JVM crash (the crash-oracle outcome)
+//	4  differential inconsistency (the miscompilation-oracle outcome)
+//
+// In -exec-json mode one execution request is read from stdin and the
+// outcome — including crashes, timeouts, and heap exhaustion — is
+// written to stdout as versioned JSON (see internal/exec); only an
+// unusable request exits non-zero.
 package main
 
 import (
@@ -16,9 +31,20 @@ import (
 
 	"repro/internal/buginject"
 	"repro/internal/bytecode"
+	"repro/internal/exec"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 	"repro/internal/profile"
+)
+
+// Exit codes (see the package comment). exitUsage doubles as the Go
+// runtime's own uncaught-panic status; the exec-json parent
+// disambiguates via the "panic:" marker on stderr.
+const (
+	exitFatal        = 1
+	exitUsage        = 2
+	exitCrash        = 3
+	exitInconsistent = 4
 )
 
 func main() {
@@ -32,11 +58,24 @@ func main() {
 	showOBV := flag.Bool("obv", false, "print the extracted optimization behavior vector")
 	diff := flag.Bool("diff", false, "differential mode: run on every simulated build and compare outputs")
 	compileOnly := flag.String("compileonly", "", "JIT-compile only this method (Class.method)")
+	execJSON := flag.Bool("exec-json", false, "read one execution request (JSON) from stdin, write the outcome to stdout")
 	flag.Parse()
+
+	if *execJSON {
+		// Machine-readable mode: the request carries spec, source, and
+		// options; every other flag is ignored. Substrate panics are NOT
+		// recovered — an escaped panic is exactly the signal the parent's
+		// process-level containment classifies.
+		if err := exec.Serve(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "minijvm:", err)
+			os.Exit(exec.ExitRequestError)
+		}
+		return
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: minijvm [flags] <file.mj>")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -50,7 +89,7 @@ func main() {
 		fatal(err)
 	}
 
-	spec, err := parseSpec(*jvmFlag)
+	spec, err := jvm.ParseSpec(*jvmFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -107,7 +146,7 @@ func main() {
 		fmt.Println(res.OBV)
 	}
 	if res.Crashed() {
-		os.Exit(1)
+		os.Exit(exitCrash)
 	}
 }
 
@@ -130,42 +169,12 @@ func runDiff(prog *lang.Program, opt jvm.Options) {
 		for _, b := range d.TriggeredBugs() {
 			fmt.Printf("  triggered: %s (%s, %s)\n", b.ID, b.Impl, b.Component)
 		}
-		os.Exit(1)
+		os.Exit(exitInconsistent)
 	}
 	fmt.Println("all builds agree")
 }
 
-func parseSpec(s string) (jvm.Spec, error) {
-	impl := buginject.HotSpot
-	rest := s
-	switch {
-	case strings.HasPrefix(s, "openjdk-"):
-		rest = strings.TrimPrefix(s, "openjdk-")
-	case strings.HasPrefix(s, "openj9-"):
-		impl = buginject.OpenJ9
-		rest = strings.TrimPrefix(s, "openj9-")
-	default:
-		return jvm.Spec{}, fmt.Errorf("unknown JVM %q", s)
-	}
-	v := 0
-	switch rest {
-	case "8":
-		v = 8
-	case "11":
-		v = 11
-	case "17":
-		v = 17
-	case "21":
-		v = 21
-	case "mainline", "23":
-		v = 23
-	default:
-		return jvm.Spec{}, fmt.Errorf("unknown version %q", rest)
-	}
-	return jvm.Spec{Impl: impl, Version: v}, nil
-}
-
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "minijvm:", err)
-	os.Exit(1)
+	os.Exit(exitFatal)
 }

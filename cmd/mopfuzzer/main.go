@@ -8,6 +8,9 @@
 //
 //	# reduce a bug-triggering case before reporting
 //	mopfuzzer -jdk openjdk-17 -case seed.mj -reduce
+//
+//	# run every execution in an isolated minijvm child process
+//	mopfuzzer -jdk openjdk-17 -backend subprocess -minijvm ./minijvm
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"repro/internal/buginject"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/jvm"
 	"repro/internal/lang"
@@ -47,13 +51,21 @@ func main() {
 	quarantineDir := flag.String("quarantine-dir", "", "persist pathological mutants (panic/hang/heap-exhaustion triggers) here")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel seed-task workers (1 = sequential; results are identical either way)")
 	fastOBV := flag.Bool("fast-obv", true, "structured OBV fast path (count behaviors in the JIT instead of regex-scanning profile logs)")
+	backend := flag.String("backend", "inprocess", "execution backend: inprocess (shared failure domain, fastest) or subprocess (one minijvm child per execution)")
+	minijvmPath := flag.String("minijvm", "", "minijvm binary for -backend subprocess (default: $MINIJVM, then $PATH)")
+	childTimeout := flag.Duration("child-timeout", 10*time.Second, "per-execution watchdog for -backend subprocess (0 = no watchdog)")
 	flag.Parse()
 
-	spec, err := parseSpec(*jdk)
+	spec, err := jvm.ParseSpec(*jdk)
+	if err != nil {
+		fatal(err)
+	}
+	executor, err := exec.FromFlags(*backend, *minijvmPath, *childTimeout)
 	if err != nil {
 		fatal(err)
 	}
 	cfg := core.DefaultConfig(spec)
+	cfg.Executor = executor
 	cfg.MaxIterations = *iters
 	cfg.Guided = *guide
 	cfg.FixedMP = *fixedMP
@@ -88,12 +100,13 @@ func main() {
 
 	pool := corpus.DefaultPool(*seeds, *seed)
 	res, err := core.RunCampaignContext(ctx, core.CampaignConfig{
-		Seeds:   pool,
-		Budget:  *budget,
-		Targets: []jvm.Spec{spec},
-		Fuzz:    cfg,
-		Seed:    *seed,
-		Workers: *workers,
+		Seeds:    pool,
+		Budget:   *budget,
+		Targets:  []jvm.Spec{spec},
+		Fuzz:     cfg,
+		Seed:     *seed,
+		Workers:  *workers,
+		Executor: executor,
 	}, hcfg)
 	if err != nil {
 		fatal(err)
@@ -117,7 +130,7 @@ func main() {
 		fmt.Printf("  [%6d exec] %-14s %-26s %s (%s, via %s oracle)\n",
 			f.AtExecution, f.Bug.ID, f.Bug.Component, f.Bug.Kind, f.Target.Name(), f.Oracle)
 		if *doReduce && f.Program != nil {
-			reduced := reduceFinding(f.Program, f.Bug, f.Target)
+			reduced := reduceFinding(executor, f.Program, f.Bug, f.Target)
 			fmt.Printf("           reduced %d -> %d statements\n", reduced.StmtsBefore, reduced.StmtsAfter)
 			if *dumpMutant {
 				fmt.Println(indent(lang.Format(reduced.Program)))
@@ -137,6 +150,10 @@ func main() {
 	}
 	if res.SkippedQuarantined > 0 {
 		fmt.Printf("  %d task(s) skipped (quarantined seeds)\n", res.SkippedQuarantined)
+	}
+	if res.CheckpointErrors > 0 {
+		fmt.Fprintf(os.Stderr, "mopfuzzer: warning: %d checkpoint write(s) failed (last: %s) — -resume may replay completed work\n",
+			res.CheckpointErrors, res.LastCheckpointError)
 	}
 	if res.Interrupted && *checkpoint != "" {
 		fmt.Printf("campaign: checkpoint flushed to %s — continue with -resume %s\n", *checkpoint, *checkpoint)
@@ -172,7 +189,7 @@ func fuzzOne(path string, cfg core.Config, doReduce, dump bool) {
 	for _, fd := range res.Findings {
 		fmt.Printf("finding: %s in %s via %s oracle\n", fd.Bug.ID, fd.Bug.Component, fd.Oracle)
 		if doReduce {
-			reduced := reduceFinding(res.Final, fd.Bug, cfg.Target)
+			reduced := reduceFinding(cfg.Executor, res.Final, fd.Bug, cfg.Target)
 			fmt.Printf("reduced %d -> %d statements in %d rounds\n",
 				reduced.StmtsBefore, reduced.StmtsAfter, reduced.Rounds)
 			if dump {
@@ -188,15 +205,17 @@ func fuzzOne(path string, cfg core.Config, doReduce, dump bool) {
 }
 
 // reduceFinding shrinks a mutant while the specific bug keeps firing on
-// any of the differential targets.
-func reduceFinding(p *lang.Program, bug *buginject.Bug, target jvm.Spec) *reduce.Result {
+// any of the differential targets. Candidate re-executions go through
+// the campaign's executor, so -backend subprocess isolates the
+// reducer's probes exactly like the fuzzing loop's.
+func reduceFinding(ex exec.Executor, p *lang.Program, bug *buginject.Bug, target jvm.Spec) *reduce.Result {
 	keep := func(cand *lang.Program) bool {
 		specs := []jvm.Spec{target}
 		if !bug.In(target.Version) || bug.Impl != implOf(target) {
 			specs = jvm.AllSpecs()
 		}
 		for _, spec := range specs {
-			r, err := jvm.Run(lang.CloneProgram(cand), spec, jvm.Options{ForceCompile: true, MaxSteps: 2_000_000})
+			r, err := exec.Or(ex).Execute(context.Background(), lang.CloneProgram(cand), spec, jvm.Options{ForceCompile: true, MaxSteps: 2_000_000})
 			if err != nil {
 				continue
 			}
@@ -218,33 +237,6 @@ func implOf(s jvm.Spec) buginject.Impl { return s.Impl }
 
 func indent(s string) string {
 	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ")
-}
-
-func parseSpec(s string) (jvm.Spec, error) {
-	impl := buginject.HotSpot
-	rest := s
-	switch {
-	case strings.HasPrefix(s, "openjdk-"):
-		rest = strings.TrimPrefix(s, "openjdk-")
-	case strings.HasPrefix(s, "openj9-"):
-		impl = buginject.OpenJ9
-		rest = strings.TrimPrefix(s, "openj9-")
-	default:
-		return jvm.Spec{}, fmt.Errorf("unknown JVM %q", s)
-	}
-	switch rest {
-	case "8":
-		return jvm.Spec{Impl: impl, Version: 8}, nil
-	case "11":
-		return jvm.Spec{Impl: impl, Version: 11}, nil
-	case "17":
-		return jvm.Spec{Impl: impl, Version: 17}, nil
-	case "21":
-		return jvm.Spec{Impl: impl, Version: 21}, nil
-	case "mainline", "23":
-		return jvm.Spec{Impl: impl, Version: 23}, nil
-	}
-	return jvm.Spec{}, fmt.Errorf("unknown version %q", rest)
 }
 
 func fatal(err error) {

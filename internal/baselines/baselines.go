@@ -7,15 +7,24 @@
 package baselines
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/buginject"
 	"repro/internal/core"
 	"repro/internal/coverage"
+	"repro/internal/exec"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 	"repro/internal/profile"
 )
+
+// ExecutorSetter is implemented by every baseline tool: the experiment
+// harness uses it to route all target executions through a configured
+// backend (in-process by default, subprocess under -backend).
+type ExecutorSetter interface {
+	SetExecutor(ex exec.Executor)
+}
 
 // Tool is a fuzzing strategy the experiment harness can drive
 // seed-by-seed. seedIdx perturbs the tool's RNG per seed.
@@ -59,6 +68,9 @@ func NewMopFuzzerR(target jvm.Spec, cov *coverage.Tracker) *MopFuzzerTool {
 
 func (t *MopFuzzerTool) Name() string { return t.Label }
 
+// SetExecutor implements ExecutorSetter.
+func (t *MopFuzzerTool) SetExecutor(ex exec.Executor) { t.Cfg.Executor = ex }
+
 func (t *MopFuzzerTool) FuzzSeed(name string, seed *lang.Program, seedIdx int64) (*core.FuzzResult, error) {
 	cfg := t.Cfg
 	cfg.Seed = seedIdx
@@ -80,6 +92,7 @@ type JITFuzzTool struct {
 	MaxSteps    int64
 	DiffSpecs   []jvm.Spec
 	DisableBugs bool
+	Executor    exec.Executor // nil = in-process
 }
 
 // NewJITFuzz builds the baseline with the paper's defaults.
@@ -94,6 +107,9 @@ func NewJITFuzz(target jvm.Spec, cov *coverage.Tracker) *JITFuzzTool {
 }
 
 func (t *JITFuzzTool) Name() string { return "JITFuzz" }
+
+// SetExecutor implements ExecutorSetter.
+func (t *JITFuzzTool) SetExecutor(ex exec.Executor) { t.Executor = ex }
 
 // jitfuzzMutators are the strategy's six mutators, built from the same
 // mutation library so the comparison isolates *strategy*, not mutation
@@ -134,7 +150,7 @@ func (t *JITFuzzTool) FuzzSeed(name string, seed *lang.Program, seedIdx int64) (
 		if t.DisableBugs {
 			opt.Bugs = []*buginject.Bug{}
 		}
-		return jvm.Run(p, t.Target, opt)
+		return exec.Or(t.Executor).Execute(context.Background(), p, t.Target, opt)
 	}
 	parentExec, err := run(lang.CloneProgram(parent))
 	if err != nil {
@@ -168,38 +184,38 @@ func (t *JITFuzzTool) FuzzSeed(name string, seed *lang.Program, seedIdx int64) (
 		if lang.CountStmts(child) > 400 {
 			continue // same growth cap as the core fuzzer
 		}
-		exec, err := run(lang.CloneProgram(child))
+		ex, err := run(lang.CloneProgram(child))
 		if err != nil {
 			continue
 		}
 		res.Executions++
 		res.MutatorSeq = append(res.MutatorSeq, m.Name())
 		rec := core.IterationRecord{
-			Iter: iter, Mutator: m.Name(), OBV: exec.OBV,
-			DeltaSeed: profile.Delta(res.SeedOBV, exec.OBV),
+			Iter: iter, Mutator: m.Name(), OBV: ex.OBV,
+			DeltaSeed: profile.Delta(res.SeedOBV, ex.OBV),
 		}
 		res.Records = append(res.Records, rec)
-		if exec.Crashed() {
-			recordToolCrash(res, exec, iter)
+		if ex.Crashed() {
+			recordToolCrash(res, ex, iter)
 			res.Final = child
-			res.FinalOBV = exec.OBV
+			res.FinalOBV = ex.OBV
 			res.FinalDelta = rec.DeltaSeed
 			return res, nil
 		}
 		// Coverage-guided acceptance: keep the mutant only when it
 		// covered new VM code.
-		if exec.Result.TimedOut {
+		if ex.Result.TimedOut {
 			continue
 		}
 		if cov.Hits() > parentCov || rng.Intn(16) == 0 {
 			parent = child
 			parentCov = cov.Hits()
-			res.FinalOBV = exec.OBV
+			res.FinalOBV = ex.OBV
 		}
 	}
 	res.Final = parent
 	res.FinalDelta = profile.Delta(res.SeedOBV, res.FinalOBV)
-	diffFinal(res, parent, t.DiffSpecs, t.MaxSteps, compileOnly)
+	diffFinal(res, t.Executor, parent, t.DiffSpecs, t.MaxSteps, compileOnly)
 	return res, nil
 }
 
@@ -215,6 +231,7 @@ type ArtemisTool struct {
 	MaxSteps    int64
 	DiffSpecs   []jvm.Spec
 	DisableBugs bool
+	Executor    exec.Executor // nil = in-process
 }
 
 // NewArtemis builds the baseline.
@@ -223,6 +240,9 @@ func NewArtemis(target jvm.Spec, cov *coverage.Tracker) *ArtemisTool {
 }
 
 func (t *ArtemisTool) Name() string { return "Artemis" }
+
+// SetExecutor implements ExecutorSetter.
+func (t *ArtemisTool) SetExecutor(ex exec.Executor) { t.Executor = ex }
 
 func (t *ArtemisTool) FuzzSeed(name string, seed *lang.Program, seedIdx int64) (*core.FuzzResult, error) {
 	rng := rand.New(rand.NewSource(seedIdx))
@@ -243,7 +263,7 @@ func (t *ArtemisTool) FuzzSeed(name string, seed *lang.Program, seedIdx int64) (
 		if t.DisableBugs {
 			opt.Bugs = []*buginject.Bug{}
 		}
-		return jvm.Run(p, t.Target, opt)
+		return exec.Or(t.Executor).Execute(context.Background(), p, t.Target, opt)
 	}
 	seedExec, err := run(lang.CloneProgram(child))
 	if err != nil {
@@ -292,22 +312,22 @@ func (t *ArtemisTool) FuzzSeed(name string, seed *lang.Program, seedIdx int64) (
 		res.MutatorSeq = append(res.MutatorSeq, m.Name())
 	}
 
-	exec, err := run(lang.CloneProgram(child))
+	finalExec, err := run(lang.CloneProgram(child))
 	if err != nil {
 		return nil, err
 	}
 	res.Executions++
 	res.Final = child
-	res.FinalOBV = exec.OBV
-	res.FinalDelta = profile.Delta(res.SeedOBV, exec.OBV)
+	res.FinalOBV = finalExec.OBV
+	res.FinalDelta = profile.Delta(res.SeedOBV, finalExec.OBV)
 	res.Records = append(res.Records, core.IterationRecord{
-		Iter: 1, Mutator: "artemis-template", OBV: exec.OBV, DeltaSeed: res.FinalDelta,
+		Iter: 1, Mutator: "artemis-template", OBV: finalExec.OBV, DeltaSeed: res.FinalDelta,
 	})
-	if exec.Crashed() {
-		recordToolCrash(res, exec, 1)
+	if finalExec.Crashed() {
+		recordToolCrash(res, finalExec, 1)
 		return res, nil
 	}
-	diffFinal(res, child, t.DiffSpecs, t.MaxSteps, compileOnly)
+	diffFinal(res, t.Executor, child, t.DiffSpecs, t.MaxSteps, compileOnly)
 	return res, nil
 }
 
@@ -448,11 +468,11 @@ func recordToolCrash(res *core.FuzzResult, exec *jvm.ExecResult, iter int) {
 	}
 }
 
-func diffFinal(res *core.FuzzResult, p *lang.Program, specs []jvm.Spec, maxSteps int64, compileOnly string) {
+func diffFinal(res *core.FuzzResult, ex exec.Executor, p *lang.Program, specs []jvm.Spec, maxSteps int64, compileOnly string) {
 	if len(specs) == 0 {
 		return
 	}
-	diff, err := jvm.RunDifferential(p, specs, jvm.Options{
+	diff, err := exec.Or(ex).ExecuteDifferential(context.Background(), p, specs, jvm.Options{
 		ForceCompile: true, MaxSteps: maxSteps, CompileOnly: compileOnly,
 	})
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/buginject"
 	"repro/internal/corpus"
+	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/jit"
 	"repro/internal/jvm"
@@ -29,6 +30,12 @@ type CampaignConfig struct {
 	// cursor-ordered merge reconstructs the sequential result
 	// byte-identically (see internal/core/parallel.go).
 	Workers int
+	// Executor selects the execution backend for every fuzzing and
+	// differential run in the campaign. Nil keeps the in-process default
+	// (byte-identical results, pinned by the determinism tests); a
+	// subprocess executor gives each target execution its own process so
+	// substrate deaths become classified harness faults.
+	Executor exec.Executor
 }
 
 // Finding is one campaign-level bug detection.
@@ -71,6 +78,12 @@ type CampaignResult struct {
 	// SkippedQuarantined counts task runs skipped because the seed was
 	// already quarantined.
 	SkippedQuarantined int
+	// CheckpointErrors counts checkpoint writes that failed; the
+	// campaign keeps running (the next flush retries), but silent
+	// persistence loss would make -resume lie, so failures are surfaced
+	// here with the most recent message in LastCheckpointError.
+	CheckpointErrors    int
+	LastCheckpointError string
 	// Interrupted marks a partial result (SIGINT/SIGTERM or context
 	// cancellation); Resumed marks a run restored from a checkpoint.
 	Interrupted bool
@@ -188,9 +201,13 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 		if hcfg.CheckpointPath == "" {
 			return
 		}
-		// Checkpoint failures must not kill the campaign; the next
-		// flush retries with fresh state.
-		_ = saveCampaign(hcfg.CheckpointPath, sup, res, seen, weights, cursor, roundProgressed)
+		// Checkpoint failures must not kill the campaign — the next
+		// flush retries with fresh state — but they must not be silent
+		// either: count them and keep the last message for the report.
+		if err := saveCampaign(hcfg.CheckpointPath, sup, res, seen, weights, cursor, roundProgressed); err != nil {
+			res.CheckpointErrors++
+			res.LastCheckpointError = err.Error()
+		}
 	}
 
 	// Campaign-scoped hot-path caches. The parse cache makes each seed
@@ -203,6 +220,12 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 		cfg.Fuzz.CompileCache = jit.NewCache(0)
 	}
 	parsed := corpus.NewParseCache()
+
+	// The campaign-level backend choice propagates to every per-seed
+	// fuzzer unless the fuzz config already pins its own.
+	if cfg.Executor != nil && cfg.Fuzz.Executor == nil {
+		cfg.Fuzz.Executor = cfg.Executor
+	}
 
 	// mkTask builds the task at a cursor position. Everything a task
 	// needs — seed, round, target, RNG seed — derives from the cursor
@@ -219,9 +242,9 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 			SeedName: seed.Name,
 			Round:    round,
 			Source:   seed.Source,
-			Run: func(context.Context) (any, error) {
+			Run: func(tctx context.Context) (any, error) {
 				f := NewFuzzer(fcfg)
-				return f.FuzzSeed(seed.Name, parsed.Parse(seed))
+				return f.FuzzSeedContext(tctx, seed.Name, parsed.Parse(seed))
 			},
 		}
 	}
@@ -443,7 +466,18 @@ func restoreCampaign(ck *harness.Checkpoint, sup *harness.Supervisor, res *Campa
 			Harness:     fs.Harness,
 		}
 		if fs.Program != "" {
-			if p, err := lang.Parse(fs.Program); err == nil {
+			p, err := lang.Parse(fs.Program)
+			if err != nil {
+				// The snapshotted program no longer parses (corrupt
+				// checkpoint, grammar drift). The finding itself is still
+				// valid — restore it without the program, but say so
+				// instead of silently dropping the reproducer.
+				res.SeedErrors = append(res.SeedErrors, SeedError{
+					SeedName: fs.SeedName,
+					Round:    -1, // resume-time, not a fuzzing round
+					Err:      fmt.Sprintf("resume: snapshotted program for finding %s did not re-parse: %v", fs.BugID, err),
+				})
+			} else {
 				f.Program = p
 			}
 		}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/buginject"
+	"repro/internal/corpus"
+	"repro/internal/harness"
+	"repro/internal/jvm"
+)
+
+// TestCampaignCountsCheckpointWriteFailures: a checkpoint path that can
+// never be written (missing parent directory) must not kill the
+// campaign, but each failed flush must be counted and the last error
+// surfaced — not silently dropped.
+func TestCampaignCountsCheckpointWriteFailures(t *testing.T) {
+	cfg := DefaultConfig(jvm.Spec{Impl: buginject.HotSpot, Version: 17})
+	cfg.DiffSpecs = nil
+	res, err := RunCampaignContext(context.Background(), CampaignConfig{
+		Seeds:  corpus.DefaultPool(2, 3),
+		Budget: 30,
+		Fuzz:   cfg,
+		Seed:   3,
+	}, harness.Config{
+		CheckpointPath: filepath.Join(t.TempDir(), "no-such-dir", "ck.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executions < 30 {
+		t.Errorf("campaign stopped early: %d executions", res.Executions)
+	}
+	if res.CheckpointErrors == 0 {
+		t.Fatal("checkpoint write failures were not counted")
+	}
+	if res.LastCheckpointError == "" {
+		t.Error("LastCheckpointError empty")
+	}
+}
+
+func TestCampaignCheckpointErrorsZeroOnHealthyPath(t *testing.T) {
+	cfg := DefaultConfig(jvm.Spec{Impl: buginject.HotSpot, Version: 17})
+	cfg.DiffSpecs = nil
+	res, err := RunCampaignContext(context.Background(), CampaignConfig{
+		Seeds:  corpus.DefaultPool(2, 3),
+		Budget: 30,
+		Fuzz:   cfg,
+		Seed:   3,
+	}, harness.Config{
+		CheckpointPath: filepath.Join(t.TempDir(), "ck.json"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CheckpointErrors != 0 {
+		t.Errorf("CheckpointErrors = %d (last: %s), want 0", res.CheckpointErrors, res.LastCheckpointError)
+	}
+}
+
+// TestResumeNotesUnparseableSnapshotProgram: a finding whose
+// snapshotted reproducer no longer parses must still be restored (sans
+// program) with a resume-time SeedError note, instead of the program
+// being dropped silently.
+func TestResumeNotesUnparseableSnapshotProgram(t *testing.T) {
+	bug := buginject.Catalog[0]
+	st := campaignState{
+		TaskCursor: 4,
+		Executions: 200,
+		Findings: []findingSnapshot{{
+			BugID:         bug.ID,
+			Oracle:        "crash",
+			SeedName:      "Seed0",
+			TargetImpl:    string(bug.Impl),
+			TargetVersion: 17,
+			AtExecution:   120,
+			Program:       "class Broken {", // does not re-parse
+		}},
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	ck := &harness.Checkpoint{TaskCursor: 4, Executions: 200, State: raw}
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig(jvm.Spec{Impl: buginject.HotSpot, Version: 17})
+	cfg.DiffSpecs = nil
+	res, err := RunCampaignContext(context.Background(), CampaignConfig{
+		Seeds:  corpus.DefaultPool(2, 3),
+		Budget: 100, // already exhausted by the restored executions
+		Fuzz:   cfg,
+		Seed:   3,
+	}, harness.Config{ResumePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("finding was dropped: %d findings", len(res.Findings))
+	}
+	if res.Findings[0].Program != nil {
+		t.Error("unparseable program should restore as nil")
+	}
+	found := false
+	for _, se := range res.SeedErrors {
+		if se.Round == -1 && strings.Contains(se.Err, "did not re-parse") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no resume-time note about the unparseable program: %+v", res.SeedErrors)
+	}
+}

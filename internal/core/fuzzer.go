@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/buginject"
 	"repro/internal/coverage"
+	"repro/internal/exec"
+	"repro/internal/harness"
 	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/lang"
@@ -51,6 +54,12 @@ type Config struct {
 	// attach one cache across all seeds, rounds, and differential
 	// targets). A cache hit is byte-equivalent to recompiling.
 	CompileCache *jit.Cache
+	// Executor selects the execution backend. Nil runs in-process
+	// (byte-identical to calling jvm.Run, the deterministic default); a
+	// subprocess executor isolates every target execution in a child
+	// process whose death is classified by the harness instead of
+	// killing the fuzzer.
+	Executor exec.Executor
 }
 
 // DefaultConfig returns the paper's configuration against the given
@@ -70,10 +79,10 @@ func DefaultConfig(target jvm.Spec) Config {
 // IterationRecord captures one fuzzing iteration for analysis
 // (Figure 1's curve is plotted from these).
 type IterationRecord struct {
-	Iter       int
-	Mutator    string
-	Delta      float64 // Δ(parent, child), Formula 2
-	DeltaSeed  float64 // Δ(seed, child) — Figure 1's y-axis
+	Iter          int
+	Mutator       string
+	Delta         float64 // Δ(parent, child), Formula 2
+	DeltaSeed     float64 // Δ(seed, child) — Figure 1's y-axis
 	OBV           profile.OBV
 	Weight        float64 // mutator's weight after the update
 	CrashBugID    string  // non-empty when this mutant crashed the JVM
@@ -240,8 +249,9 @@ func (f *Fuzzer) selectByWeight(ms []Mutator, ws []float64) Mutator {
 	return ms[len(ms)-1]
 }
 
-// execute runs the program on the fuzzing target with flags enabled.
-func (f *Fuzzer) execute(p *lang.Program) (*jvm.ExecResult, error) {
+// execute runs the program on the fuzzing target with flags enabled,
+// through the configured execution backend.
+func (f *Fuzzer) execute(ctx context.Context, p *lang.Program) (*jvm.ExecResult, error) {
 	opt := jvm.Options{
 		Flags:         f.Cfg.Flags,
 		ForceCompile:  true,
@@ -256,12 +266,20 @@ func (f *Fuzzer) execute(p *lang.Program) (*jvm.ExecResult, error) {
 	if f.Cfg.DisableBugs {
 		opt.Bugs = []*buginject.Bug{}
 	}
-	return jvm.Run(p, f.Cfg.Target, opt)
+	return exec.Or(f.Cfg.Executor).Execute(ctx, p, f.Cfg.Target, opt)
 }
 
 // FuzzSeed runs Algorithm 1 on one seed program and returns the result.
 // The seed is not modified.
 func (f *Fuzzer) FuzzSeed(name string, seed *lang.Program) (*FuzzResult, error) {
+	return f.FuzzSeedContext(context.Background(), name, seed)
+}
+
+// FuzzSeedContext is FuzzSeed with a context threaded to the execution
+// backend: an out-of-process backend uses it to bound and kill child
+// processes (the in-process backend ignores it, keeping the default
+// path byte-identical).
+func (f *Fuzzer) FuzzSeedContext(ctx context.Context, name string, seed *lang.Program) (*FuzzResult, error) {
 	res := &FuzzResult{SeedName: name}
 	// Snapshot the final weight table on every exit path (checkpoints
 	// persist it as the per-seed guidance state).
@@ -288,7 +306,7 @@ func (f *Fuzzer) FuzzSeed(name string, seed *lang.Program) (*FuzzResult, error) 
 	f.compileOnly = mpLoc.Class.Name + "." + mpLoc.Method.Name
 
 	// Execute the seed for its baseline profile data (line 3).
-	parentExec, err := f.execute(lang.CloneProgram(parent))
+	parentExec, err := f.execute(ctx, lang.CloneProgram(parent))
 	if err != nil {
 		return nil, err
 	}
@@ -350,8 +368,15 @@ func (f *Fuzzer) FuzzSeed(name string, seed *lang.Program) (*FuzzResult, error) 
 			continue
 		}
 
-		childExec, err := f.execute(lang.CloneProgram(child))
+		childExec, err := f.execute(ctx, lang.CloneProgram(child))
 		if err != nil {
+			// A backend fault (the child process died under this mutant)
+			// is a first-class crash-oracle artifact, not a skipped
+			// iteration: propagate it so the harness classifies the death
+			// and quarantines the trigger.
+			if harness.AsFault(err) != nil {
+				return nil, err
+			}
 			res.Records = append(res.Records, IterationRecord{Iter: iter, Mutator: m.Name(), Skipped: true})
 			continue
 		}
@@ -409,7 +434,7 @@ func (f *Fuzzer) FuzzSeed(name string, seed *lang.Program) (*FuzzResult, error) 
 
 	// Differential testing of the final mutant c* (Algorithm 1 line 20).
 	if len(f.Cfg.DiffSpecs) > 0 {
-		diff, err := jvm.RunDifferential(parent, f.Cfg.DiffSpecs, jvm.Options{
+		diff, err := exec.Or(f.Cfg.Executor).ExecuteDifferential(ctx, parent, f.Cfg.DiffSpecs, jvm.Options{
 			ForceCompile: true,
 			MaxSteps:     f.Cfg.MaxSteps,
 			MaxHeapUnits: f.Cfg.MaxHeapUnits,

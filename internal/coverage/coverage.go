@@ -5,7 +5,10 @@
 // its region; coverage is the line-weighted fraction of marked regions.
 package coverage
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Component is one of the JVM's four instrumented components.
 type Component string
@@ -59,6 +62,23 @@ func (t *Tracker) Hits() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.hits)
+}
+
+// Names returns the hit region names in sorted order — the wire
+// encoding the out-of-process execution backend ships back to the
+// parent, which replays them with Hit.
+func (t *Tracker) Names() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]string, 0, len(t.hits))
+	for k := range t.hits {
+		out = append(out, k)
+	}
+	t.mu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Covered reports whether the named region was hit.

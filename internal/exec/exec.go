@@ -1,0 +1,70 @@
+// Package exec is the pluggable execution-backend layer: everything
+// that runs a program on a simulated JVM goes through an Executor, so
+// the fuzzer, campaign engine, differential oracle, and reducer no
+// longer care whether the target lives in this address space or in a
+// child process. Two backends ship:
+//
+//   - InProcess wraps jvm.Run / jvm.RunDifferential directly. It is the
+//     zero-configuration default and is byte-identical to calling the
+//     jvm package, so every experiment table and determinism test pins
+//     it.
+//   - Subprocess shells each execution out to a `minijvm -exec-json`
+//     child, giving OS-level fault isolation: a panic, hang, or runaway
+//     allocation in the substrate kills only the child, and the exit
+//     status is classified into the harness.FaultClass taxonomy.
+//
+// The split mirrors the paper's setup — MopFuzzer drives external JVM
+// processes whose deaths ARE the crash oracle — and is the seam for the
+// roadmap's sharded/remote backends and real-JVM adapters.
+package exec
+
+import (
+	"context"
+
+	"repro/internal/jvm"
+	"repro/internal/lang"
+)
+
+// Executor runs programs on simulated JVM targets. Implementations must
+// be safe for concurrent use: the parallel campaign engine calls Execute
+// from several workers.
+type Executor interface {
+	// Execute runs p on one spec. Program-level errors (unparseable,
+	// ill-typed) return an error; JVM-level outcomes (crash, exception,
+	// timeout, heap exhaustion) are inside the ExecResult. Backend-level
+	// failures — the target process dying — return an error carrying a
+	// harness.Faulter so the supervisor can classify them.
+	Execute(ctx context.Context, p *lang.Program, spec jvm.Spec, opt jvm.Options) (*jvm.ExecResult, error)
+	// ExecuteDifferential runs p on every spec and groups the outputs —
+	// the paper's miscompilation oracle.
+	ExecuteDifferential(ctx context.Context, p *lang.Program, specs []jvm.Spec, opt jvm.Options) (*jvm.Differential, error)
+}
+
+// InProcess executes on the simulated JVM inside this address space —
+// the deterministic default. The context is advisory: in-process runs
+// are bounded by the VM's step and heap fuel, and wall-clock containment
+// is the harness watchdog's job, so Execute deliberately performs no
+// cancellation checks (keeping results byte-identical to jvm.Run).
+type InProcess struct{}
+
+// Execute implements Executor via jvm.Run.
+func (InProcess) Execute(_ context.Context, p *lang.Program, spec jvm.Spec, opt jvm.Options) (*jvm.ExecResult, error) {
+	return jvm.Run(p, spec, opt)
+}
+
+// ExecuteDifferential implements Executor via jvm.RunDifferential.
+func (InProcess) ExecuteDifferential(_ context.Context, p *lang.Program, specs []jvm.Spec, opt jvm.Options) (*jvm.Differential, error) {
+	return jvm.RunDifferential(p, specs, opt)
+}
+
+// Default is the executor used when none is configured.
+var Default Executor = InProcess{}
+
+// Or returns ex when non-nil and the in-process default otherwise — the
+// idiom every layer with an optional Executor field uses.
+func Or(ex Executor) Executor {
+	if ex != nil {
+		return ex
+	}
+	return Default
+}

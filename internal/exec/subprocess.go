@@ -1,0 +1,269 @@
+package exec
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	osexec "os/exec"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+)
+
+// Subprocess executes every program in a fresh `minijvm -exec-json`
+// child process. The fuzzer and the system under test stop sharing a
+// failure domain: a substrate panic, an unbounded hang, or a runaway
+// allocation kills only the child, and the parent classifies the death
+// into the harness.FaultClass taxonomy. Each execution pays a process
+// spawn, so this backend trades throughput for isolation — the paper's
+// actual deployment shape, where targets are external JVM binaries.
+type Subprocess struct {
+	// Path is the minijvm binary.
+	Path string
+	// Timeout is the per-execution wall-clock watchdog; when it expires
+	// the child is killed and the execution classified FaultTimeout.
+	// Zero relies on the caller's context alone.
+	Timeout time.Duration
+	// InjectFault is forwarded as Request.Inject on every execution — a
+	// harness-test seam ("panic" or "hang"); production leaves it empty.
+	InjectFault string
+
+	execs       atomic.Int64
+	faults      atomic.Int64
+	childMicros atomic.Int64
+}
+
+// NewSubprocess returns a subprocess backend driving the given minijvm
+// binary.
+func NewSubprocess(path string) *Subprocess { return &Subprocess{Path: path} }
+
+// FindMinijvm resolves the minijvm binary: an explicit path wins, then
+// the MINIJVM environment variable, then $PATH lookup.
+func FindMinijvm(explicit string) (string, error) {
+	if explicit != "" {
+		if _, err := os.Stat(explicit); err != nil {
+			return "", fmt.Errorf("exec: minijvm binary: %w", err)
+		}
+		return explicit, nil
+	}
+	if p := os.Getenv("MINIJVM"); p != "" {
+		if _, err := os.Stat(p); err != nil {
+			return "", fmt.Errorf("exec: $MINIJVM: %w", err)
+		}
+		return p, nil
+	}
+	p, err := osexec.LookPath("minijvm")
+	if err != nil {
+		return "", fmt.Errorf("exec: minijvm not found (build it with `go build ./cmd/minijvm` and pass -minijvm or set $MINIJVM): %w", err)
+	}
+	return p, nil
+}
+
+// FromFlags resolves the shared -backend/-minijvm/-child-timeout CLI
+// surface: "" or "inprocess" selects the nil (in-process, byte-identical
+// default) executor; "subprocess" locates the minijvm binary and builds
+// a watchdogged Subprocess backend.
+func FromFlags(backend, minijvmPath string, childTimeout time.Duration) (Executor, error) {
+	switch backend {
+	case "", "inprocess":
+		return nil, nil
+	case "subprocess":
+		path, err := FindMinijvm(minijvmPath)
+		if err != nil {
+			return nil, err
+		}
+		sub := NewSubprocess(path)
+		sub.Timeout = childTimeout
+		return sub, nil
+	default:
+		return nil, fmt.Errorf("unknown -backend %q (want inprocess or subprocess)", backend)
+	}
+}
+
+// Stats is a snapshot of the backend's counters.
+type Stats struct {
+	Executions  int64 // child processes spawned
+	Faults      int64 // executions classified as backend faults
+	ChildMicros int64 // cumulative child-reported wall time
+}
+
+// Stats returns the counters accumulated so far.
+func (s *Subprocess) Stats() Stats {
+	return Stats{
+		Executions:  s.execs.Load(),
+		Faults:      s.faults.Load(),
+		ChildMicros: s.childMicros.Load(),
+	}
+}
+
+// Execute implements Executor by spawning one child per execution.
+func (s *Subprocess) Execute(ctx context.Context, p *lang.Program, spec jvm.Spec, opt jvm.Options) (*jvm.ExecResult, error) {
+	req, err := NewRequest(p, spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	req.Inject = s.InjectFault
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("exec: encode request: %w", err)
+	}
+
+	tctx := ctx
+	if s.Timeout > 0 {
+		var cancel context.CancelFunc
+		tctx, cancel = context.WithTimeout(ctx, s.Timeout)
+		defer cancel()
+	}
+	cmd := osexec.CommandContext(tctx, s.Path, "-exec-json")
+	cmd.Stdin = bytes.NewReader(payload)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+
+	s.execs.Add(1)
+	runErr := cmd.Run()
+	if runErr != nil {
+		err := s.classify(ctx, tctx, runErr, stderr.String())
+		if _, ok := err.(*BackendFault); ok {
+			s.faults.Add(1)
+		}
+		return nil, err
+	}
+
+	var resp Response
+	if err := json.Unmarshal(stdout.Bytes(), &resp); err != nil {
+		s.faults.Add(1)
+		return nil, &BackendFault{
+			Class:   harness.FaultHarness,
+			Message: fmt.Sprintf("minijvm child wrote malformed response: %v", err),
+			Stderr:  stderr.String(),
+		}
+	}
+	if resp.Version != WireVersion {
+		return nil, fmt.Errorf("exec: minijvm child speaks wire version %d, want %d (rebuild the binary)", resp.Version, WireVersion)
+	}
+	s.childMicros.Add(resp.Timings.TotalMicros)
+	if resp.Error != "" {
+		// In-band program-level rejection: surface the exact jvm.Run
+		// error text so both backends report identical seed errors.
+		return nil, errors.New(resp.Error)
+	}
+	if resp.Result == nil {
+		return nil, fmt.Errorf("exec: minijvm child sent neither result nor error")
+	}
+	res, err := decodeRun(resp.Result, spec)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Coverage != nil {
+		for _, name := range resp.Result.CoverageHits {
+			opt.Coverage.Hit(name)
+		}
+	}
+	return res, nil
+}
+
+// ExecuteDifferential implements Executor: one child per spec, grouped
+// exactly like jvm.RunDifferential.
+func (s *Subprocess) ExecuteDifferential(ctx context.Context, p *lang.Program, specs []jvm.Spec, opt jvm.Options) (*jvm.Differential, error) {
+	d := &jvm.Differential{Groups: map[string][]jvm.Spec{}}
+	for _, spec := range specs {
+		r, err := s.Execute(ctx, p, spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		d.Results = append(d.Results, r)
+		key := r.Result.OutputString()
+		d.Groups[key] = append(d.Groups[key], spec)
+	}
+	return d, nil
+}
+
+// classify maps a dead child to the fault taxonomy. Precedence: parent
+// shutdown is nobody's fault; a watchdog kill is FaultTimeout; a Go
+// panic (ExitPanic, "panic:" on stderr) is FaultHarness with the
+// component blamed from the child's stack; ExitRequestError is an
+// ordinary error (the request, not the target, was bad); anything else
+// — unexpected status, signal death — is FaultHarness.
+func (s *Subprocess) classify(ctx, tctx context.Context, runErr error, stderr string) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if tctx.Err() == context.DeadlineExceeded {
+		return &BackendFault{
+			Class:   harness.FaultTimeout,
+			Message: fmt.Sprintf("minijvm child exceeded the %s wall-clock deadline and was killed", s.Timeout),
+			Stderr:  stderr,
+		}
+	}
+	var ee *osexec.ExitError
+	if !errors.As(runErr, &ee) {
+		return fmt.Errorf("exec: spawn minijvm: %w", runErr)
+	}
+	code := ee.ExitCode()
+	for _, marker := range []string{"panic:", "fatal error:"} {
+		i := strings.Index(stderr, marker)
+		if i < 0 {
+			continue
+		}
+		msg := stderr[i:]
+		if nl := strings.IndexByte(msg, '\n'); nl >= 0 {
+			msg = msg[:nl]
+		}
+		return &BackendFault{
+			Class:     harness.FaultHarness,
+			Component: harness.ComponentFromStack(stderr),
+			Message:   fmt.Sprintf("minijvm child died: %s", strings.TrimSpace(msg)),
+			ExitCode:  code,
+			Stderr:    stderr,
+		}
+	}
+	if code == ExitRequestError {
+		return fmt.Errorf("exec: minijvm rejected the request: %s", strings.TrimSpace(stderr))
+	}
+	what := fmt.Sprintf("exited with status %d", code)
+	if code < 0 {
+		what = "was killed by a signal"
+	}
+	return &BackendFault{
+		Class:    harness.FaultHarness,
+		Message:  fmt.Sprintf("minijvm child %s: %s", what, strings.TrimSpace(stderr)),
+		ExitCode: code,
+		Stderr:   stderr,
+	}
+}
+
+// BackendFault is a child-process death classified into the harness
+// taxonomy. It implements harness.Faulter, so a supervised task
+// surfacing it is recorded as a first-class fault — process-level
+// containment composing with the supervisor's panic containment.
+type BackendFault struct {
+	Class     harness.FaultClass
+	Component string
+	Message   string
+	ExitCode  int
+	Stderr    string
+}
+
+// Error implements error.
+func (f *BackendFault) Error() string {
+	return fmt.Sprintf("exec: %s: %s", f.Class, f.Message)
+}
+
+// HarnessFault implements harness.Faulter. The child's stderr (which
+// holds the goroutine stack for panics) travels as the fault's stack.
+func (f *BackendFault) HarnessFault() *harness.Fault {
+	return &harness.Fault{
+		Class:     f.Class,
+		Component: f.Component,
+		Message:   f.Message,
+		Stack:     f.Stderr,
+	}
+}

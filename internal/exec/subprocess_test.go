@@ -1,0 +1,378 @@
+package exec_test
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/buginject"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/exec"
+	"repro/internal/harness"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+)
+
+// minijvmPath is the -exec-json binary built by TestMain (or supplied
+// via $MINIJVM). Empty means subprocess tests skip.
+var minijvmPath string
+
+// TestMain builds cmd/minijvm once for every subprocess test. -short
+// skips the build (and with it every test that needs the binary), so
+// unit-test runs stay fast.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if !testing.Short() {
+		if p := os.Getenv("MINIJVM"); p != "" {
+			minijvmPath = p
+		} else {
+			dir, err := os.MkdirTemp("", "minijvm")
+			if err == nil {
+				bin := filepath.Join(dir, "minijvm")
+				out, err := osexec.Command("go", "build", "-o", bin, "repro/cmd/minijvm").CombinedOutput()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "exec_test: building minijvm failed, subprocess tests will skip: %v\n%s", err, out)
+				} else {
+					minijvmPath = bin
+				}
+				defer os.RemoveAll(dir)
+			}
+		}
+	}
+	os.Exit(m.Run())
+}
+
+func subprocessBackend(t *testing.T) *exec.Subprocess {
+	t.Helper()
+	if minijvmPath == "" {
+		t.Skip("minijvm binary unavailable (-short or build failure)")
+	}
+	sub := exec.NewSubprocess(minijvmPath)
+	sub.Timeout = 30 * time.Second
+	return sub
+}
+
+func hotspot17() jvm.Spec { return jvm.Spec{Impl: buginject.HotSpot, Version: 17} }
+
+// TestSubprocessMatchesInProcess is the executor-equivalence table
+// test: for a spread of programs and options, the subprocess backend
+// must reproduce the in-process ExecResult exactly.
+func TestSubprocessMatchesInProcess(t *testing.T) {
+	sub := subprocessBackend(t)
+	seeds := corpus.DefaultPool(4, 3)
+	for _, tc := range []struct {
+		name string
+		opt  jvm.Options
+	}{
+		{"xcomp", jvm.Options{ForceCompile: true, MaxSteps: 2_000_000}},
+		{"structured-obv", jvm.Options{ForceCompile: true, StructuredOBV: true}},
+		{"interp", jvm.Options{PureInterpreter: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				p, err := lang.Parse(seed.Source)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wantErr := exec.InProcess{}.Execute(context.Background(), lang.CloneProgram(p), hotspot17(), tc.opt)
+				got, gotErr := sub.Execute(context.Background(), p, hotspot17(), tc.opt)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s: error mismatch: %v vs %v", seed.Name, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					if wantErr.Error() != gotErr.Error() {
+						t.Fatalf("%s: error text diverged: %q vs %q", seed.Name, wantErr, gotErr)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: backends diverged\n got: %+v\nwant: %+v", seed.Name, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSubprocessDifferentialMatchesInProcess(t *testing.T) {
+	sub := subprocessBackend(t)
+	seed := corpus.DefaultPool(1, 9)[0]
+	p, err := lang.Parse(seed.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := jvm.Options{ForceCompile: true, MaxSteps: 2_000_000}
+	want, err := exec.InProcess{}.ExecuteDifferential(context.Background(), lang.CloneProgram(p), jvm.AllSpecs(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sub.ExecuteDifferential(context.Background(), p, jvm.AllSpecs(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Groups, want.Groups) {
+		t.Errorf("groups diverged: %v vs %v", got.Groups, want.Groups)
+	}
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("result counts diverged: %d vs %d", len(got.Results), len(want.Results))
+	}
+	for i := range got.Results {
+		if !reflect.DeepEqual(got.Results[i], want.Results[i]) {
+			t.Errorf("result %d (%s) diverged", i, want.Results[i].Spec.Name())
+		}
+	}
+}
+
+// TestSubprocessCampaignEquivalence runs the same campaign on both
+// backends and requires identical findings, deltas, and execution
+// counts — the acceptance criterion for the backend refactor.
+func TestSubprocessCampaignEquivalence(t *testing.T) {
+	sub := subprocessBackend(t)
+	campaign := func(ex exec.Executor) *core.CampaignResult {
+		cfg := core.DefaultConfig(hotspot17())
+		cfg.DiffSpecs = nil
+		res, err := core.RunCampaignContext(context.Background(), core.CampaignConfig{
+			Seeds:    corpus.DefaultPool(3, 5),
+			Budget:   150,
+			Fuzz:     cfg,
+			Seed:     5,
+			Executor: ex,
+		}, harness.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := campaign(nil) // in-process default
+	got := campaign(sub)
+
+	if got.Executions != want.Executions || got.SeedsFuzzed != want.SeedsFuzzed {
+		t.Errorf("campaign shape diverged: %d/%d executions, %d/%d seeds",
+			got.Executions, want.Executions, got.SeedsFuzzed, want.SeedsFuzzed)
+	}
+	if !reflect.DeepEqual(got.FinalDeltas, want.FinalDeltas) {
+		t.Errorf("FinalDeltas diverged: %v vs %v", got.FinalDeltas, want.FinalDeltas)
+	}
+	if len(got.Findings) != len(want.Findings) {
+		t.Fatalf("finding counts diverged: %d vs %d", len(got.Findings), len(want.Findings))
+	}
+	for i := range got.Findings {
+		g, w := got.Findings[i], want.Findings[i]
+		if g.Bug.ID != w.Bug.ID || g.Oracle != w.Oracle || g.SeedName != w.SeedName || g.AtExecution != w.AtExecution {
+			t.Errorf("finding %d diverged: %+v vs %+v", i, g, w)
+		}
+	}
+	if st := sub.Stats(); st.Executions == 0 {
+		t.Error("subprocess backend recorded no executions — campaign did not go through it")
+	}
+}
+
+func TestSubprocessClassifiesChildPanic(t *testing.T) {
+	sub := subprocessBackend(t)
+	sub.InjectFault = "panic"
+	_, err := sub.Execute(context.Background(), wireTestProg(t), hotspot17(), jvm.Options{})
+	var bf *exec.BackendFault
+	if !errors.As(err, &bf) {
+		t.Fatalf("want BackendFault, got %v", err)
+	}
+	if bf.Class != harness.FaultHarness {
+		t.Errorf("class = %s, want %s", bf.Class, harness.FaultHarness)
+	}
+	if f := harness.AsFault(err); f == nil || f.Stack == "" {
+		t.Errorf("fault must carry the child's stderr as its stack, got %+v", f)
+	}
+	if sub.Stats().Faults != 1 {
+		t.Errorf("fault counter = %d, want 1", sub.Stats().Faults)
+	}
+}
+
+func TestSubprocessClassifiesChildHang(t *testing.T) {
+	sub := subprocessBackend(t)
+	sub.InjectFault = "hang"
+	sub.Timeout = 300 * time.Millisecond
+	start := time.Now()
+	_, err := sub.Execute(context.Background(), wireTestProg(t), hotspot17(), jvm.Options{})
+	var bf *exec.BackendFault
+	if !errors.As(err, &bf) {
+		t.Fatalf("want BackendFault, got %v", err)
+	}
+	if bf.Class != harness.FaultTimeout {
+		t.Errorf("class = %s, want %s", bf.Class, harness.FaultTimeout)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("watchdog took %s to fire", elapsed)
+	}
+}
+
+func TestSubprocessParentCancellationIsNotAFault(t *testing.T) {
+	sub := subprocessBackend(t)
+	sub.InjectFault = "hang"
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(100 * time.Millisecond); cancel() }()
+	_, err := sub.Execute(ctx, wireTestProg(t), hotspot17(), jvm.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if harness.AsFault(err) != nil {
+		t.Error("parent shutdown must not be classified as a fault")
+	}
+}
+
+// TestCampaignSurvivesBackendFault pins process-level containment: a
+// child that panics on every execution becomes per-seed harness faults;
+// the campaign itself finishes cleanly.
+func TestCampaignSurvivesBackendFault(t *testing.T) {
+	sub := subprocessBackend(t)
+	sub.InjectFault = "panic"
+	cfg := core.DefaultConfig(hotspot17())
+	cfg.DiffSpecs = nil
+	res, err := core.RunCampaignContext(context.Background(), core.CampaignConfig{
+		Seeds:    corpus.DefaultPool(2, 1),
+		Budget:   50,
+		Fuzz:     cfg,
+		Seed:     1,
+		Executor: sub,
+	}, harness.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) == 0 {
+		t.Fatal("no faults recorded — backend deaths were swallowed")
+	}
+	for _, f := range res.Faults {
+		if f.SeedName == "" {
+			t.Errorf("fault missing seed attribution: %+v", f)
+		}
+	}
+	if res.Executions != 0 || len(res.Findings) != 0 {
+		t.Errorf("faulting backend must not produce results: %d execs, %d findings", res.Executions, len(res.Findings))
+	}
+}
+
+// crashSrc deterministically fires JDK-8312744 on openjdk-17 (pinned by
+// the jvm package's TestVersionedBugArming).
+const crashSrc = `
+class T {
+  int f;
+  static void main() {
+    T t = new T();
+    long total = 0;
+    for (int i = 0; i < 1500; i += 1) { total = total + t.foo(i); }
+    print(total);
+  }
+  int foo(int i) {
+    int acc = 0;
+    for (int k = 0; k < 4; k += 1) {
+      synchronized (this) { acc = acc + k + i; }
+    }
+    synchronized (this) { acc = acc + this.f; }
+    return acc;
+  }
+}`
+
+// TestSubprocessCrashRoundTrip: a simulated JVM crash is a result, not
+// a backend fault — it must cross the wire intact.
+func TestSubprocessCrashRoundTrip(t *testing.T) {
+	sub := subprocessBackend(t)
+	p, err := lang.Parse(crashSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := jvm.Options{ForceCompile: true}
+	want, err := exec.InProcess{}.Execute(context.Background(), lang.CloneProgram(p), hotspot17(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Crashed() {
+		t.Fatal("reproducer no longer crashes in-process")
+	}
+	got, err := sub.Execute(context.Background(), p, hotspot17(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("crash result diverged\n got: %+v\nwant: %+v", got.Result.Crash, want.Result.Crash)
+	}
+	if sub.Stats().Faults != 0 {
+		t.Error("a simulated crash must not count as a backend fault")
+	}
+}
+
+// TestMinijvmExitCodes pins the CLI's per-failure-domain exit codes
+// (0 ok, 1 fatal, 2 usage, 3 simulated crash).
+func TestMinijvmExitCodes(t *testing.T) {
+	if minijvmPath == "" {
+		t.Skip("minijvm binary unavailable (-short or build failure)")
+	}
+	dir := t.TempDir()
+	okFile := filepath.Join(dir, "ok.mj")
+	if err := os.WriteFile(okFile, []byte("class T { static void main() { print(1); } }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	crashFile := filepath.Join(dir, "crash.mj")
+	if err := os.WriteFile(crashFile, []byte(crashSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badFile := filepath.Join(dir, "bad.mj")
+	if err := os.WriteFile(badFile, []byte("class Broken {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"ok", []string{"-log=false", okFile}, 0},
+		{"usage-no-args", nil, 2},
+		{"usage-extra-args", []string{okFile, okFile}, 2},
+		{"fatal-unreadable", []string{filepath.Join(dir, "missing.mj")}, 1},
+		{"fatal-parse-error", []string{badFile}, 1},
+		{"crash", []string{"-jvm", "openjdk-17", "-log=false", crashFile}, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := osexec.Command(minijvmPath, tc.args...).Run()
+			code := 0
+			var ee *osexec.ExitError
+			if errors.As(err, &ee) {
+				code = ee.ExitCode()
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			if code != tc.code {
+				t.Errorf("exit code = %d, want %d", code, tc.code)
+			}
+		})
+	}
+
+	// -exec-json with an unusable request exits ExitRequestError.
+	cmd := osexec.Command(minijvmPath, "-exec-json")
+	cmd.Stdin = strings.NewReader("not json")
+	err := cmd.Run()
+	var ee *osexec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != exec.ExitRequestError {
+		t.Errorf("exec-json garbage request: %v, want exit %d", err, exec.ExitRequestError)
+	}
+}
+
+func wireTestProg(t *testing.T) *lang.Program {
+	t.Helper()
+	p, err := lang.Parse(`
+class T {
+  static void main() {
+    print(1);
+  }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

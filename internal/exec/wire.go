@@ -1,0 +1,312 @@
+package exec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/buginject"
+	"repro/internal/coverage"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// WireVersion is the -exec-json protocol version. Both sides send it and
+// reject a mismatch, so a stale minijvm binary fails loudly instead of
+// silently misreporting results.
+const WireVersion = 1
+
+// Child exit codes for `minijvm -exec-json`. JVM-level outcomes (crash,
+// timeout, heap exhaustion) and program-level rejections are in-band —
+// the child still exits ExitOK with a Response describing them. Only
+// harness-level failures reach the exit status:
+//
+//	ExitOK           response written
+//	ExitRequestError request unusable (malformed JSON, bad version)
+//	ExitPanic        a Go panic escaped the substrate (the runtime's own
+//	                 status for an uncaught panic; "panic:" + stack on
+//	                 stderr) — classified FaultHarness by the parent
+//
+// A child killed by the parent's watchdog has no exit code of its own
+// (signal death) and is classified FaultTimeout.
+const (
+	ExitOK           = 0
+	ExitRequestError = 1
+	ExitPanic        = 2 // Go runtime convention, listed for the classifier
+)
+
+// Request is one execution order sent to the child on stdin.
+type Request struct {
+	Version int            `json:"version"`
+	Spec    string         `json:"spec"` // jvm.Spec.Name form, e.g. "openjdk-17"
+	Source  string         `json:"source"`
+	Options RequestOptions `json:"options"`
+	// Inject is a harness-test seam: "panic" makes the child panic after
+	// decoding the request, "hang" makes it block forever — the
+	// subprocess analogues of the in-process CompileHook fault injector,
+	// used to pin exit-status classification. Production parents never
+	// set it.
+	Inject string `json:"inject,omitempty"`
+}
+
+// RequestOptions is the serializable subset of jvm.Options. CompileHook
+// (an arbitrary function) cannot cross the process boundary and
+// CompileCache is child-local, so neither appears here.
+type RequestOptions struct {
+	Flags           []string `json:"flags,omitempty"` // profile.FlagSet.Names encoding
+	ForceCompile    bool     `json:"force_compile,omitempty"`
+	CompileOnly     string   `json:"compile_only,omitempty"`
+	MaxSteps        int64    `json:"max_steps,omitempty"`
+	MaxHeapUnits    int64    `json:"max_heap_units,omitempty"`
+	PureInterpreter bool     `json:"pure_interpreter,omitempty"`
+	StructuredOBV   bool     `json:"structured_obv,omitempty"`
+	// Coverage asks the child to report which VM regions the run hit;
+	// the parent merges them into its tracker.
+	Coverage bool `json:"coverage,omitempty"`
+	// BugsOverride + BugIDs mirror jvm.Options.Bugs, whose nil/empty
+	// distinction matters: nil keeps the spec's armed set, an empty
+	// override disarms every bug (the DisableBugs ablation).
+	BugsOverride bool     `json:"bugs_override,omitempty"`
+	BugIDs       []string `json:"bug_ids,omitempty"`
+}
+
+// Response is the child's answer on stdout.
+type Response struct {
+	Version int `json:"version"`
+	// Error reports a program-level rejection (parse/type/verify), the
+	// in-band equivalent of jvm.Run returning an error. Exclusive with
+	// Result.
+	Error   string   `json:"error,omitempty"`
+	Result  *WireRun `json:"result,omitempty"`
+	Timings Timings  `json:"timings"`
+}
+
+// Timings carries the child's own wall-clock measurements, informational
+// only (never part of result comparison).
+type Timings struct {
+	TotalMicros int64 `json:"total_micros"`
+}
+
+// WireCrash is the serialized vm.Crash.
+type WireCrash struct {
+	BugID     string `json:"bug_id"`
+	Component string `json:"component"`
+	Message   string `json:"message"`
+	FnKey     string `json:"fn_key"`
+}
+
+// WireRun is the serialized execution outcome: vm.Result plus the
+// jvm.ExecResult envelope (log, OBV, triggered bugs, compilations).
+type WireRun struct {
+	Output        []string       `json:"output,omitempty"`
+	ExceptionCode *int64         `json:"exception_code,omitempty"`
+	Crash         *WireCrash     `json:"crash,omitempty"`
+	TimedOut      bool           `json:"timed_out,omitempty"`
+	HeapExhausted bool           `json:"heap_exhausted,omitempty"`
+	MonitorLeaks  int            `json:"monitor_leaks,omitempty"`
+	Steps         int64          `json:"steps"`
+	GCCycles      int            `json:"gc_cycles"`
+	AllocCount    int            `json:"alloc_count"`
+	Tiers         map[string]int `json:"tiers,omitempty"`
+	Deopts        int            `json:"deopts"`
+
+	Log          string   `json:"log,omitempty"`
+	OBV          []int64  `json:"obv"`
+	Triggered    []string `json:"triggered,omitempty"` // bug catalog IDs, in trigger order
+	Compiled     int      `json:"compiled"`
+	CoverageHits []string `json:"coverage_hits,omitempty"`
+}
+
+// NewRequest builds the wire request for one execution. It fails when
+// the options carry state that cannot cross the process boundary.
+func NewRequest(p *lang.Program, spec jvm.Spec, opt jvm.Options) (*Request, error) {
+	if opt.CompileHook != nil {
+		return nil, fmt.Errorf("exec: CompileHook cannot be serialized to a subprocess backend; use InProcess")
+	}
+	req := &Request{
+		Version: WireVersion,
+		Spec:    spec.Name(),
+		Source:  lang.Format(p),
+		Options: RequestOptions{
+			Flags:           opt.Flags.Names(),
+			ForceCompile:    opt.ForceCompile,
+			CompileOnly:     opt.CompileOnly,
+			MaxSteps:        opt.MaxSteps,
+			MaxHeapUnits:    opt.MaxHeapUnits,
+			PureInterpreter: opt.PureInterpreter,
+			StructuredOBV:   opt.StructuredOBV,
+			Coverage:        opt.Coverage != nil,
+		},
+	}
+	if opt.Bugs != nil {
+		req.Options.BugsOverride = true
+		for _, b := range opt.Bugs {
+			req.Options.BugIDs = append(req.Options.BugIDs, b.ID)
+		}
+	}
+	return req, nil
+}
+
+// Run executes the request against the in-process substrate — the child
+// side of the protocol. Program-level errors become Response.Error;
+// injected faults escape deliberately (that is their point).
+func (r *Request) Run() *Response {
+	start := time.Now()
+	resp := &Response{Version: WireVersion}
+	fail := func(err error) *Response {
+		resp.Error = err.Error()
+		resp.Timings.TotalMicros = time.Since(start).Microseconds()
+		return resp
+	}
+	if r.Version != WireVersion {
+		return fail(fmt.Errorf("exec: wire version %d, child speaks %d", r.Version, WireVersion))
+	}
+	switch r.Inject {
+	case "":
+	case "panic":
+		panic("exec: injected fault (panic)")
+	case "hang":
+		for { // block until the parent's watchdog kills us (a bare
+			time.Sleep(time.Hour) // select{} would trip the deadlock detector)
+		}
+	default:
+		return fail(fmt.Errorf("exec: unknown fault injection %q", r.Inject))
+	}
+	spec, err := jvm.ParseSpec(r.Spec)
+	if err != nil {
+		return fail(err)
+	}
+	p, err := lang.Parse(r.Source)
+	if err != nil {
+		return fail(err)
+	}
+	opt := jvm.Options{
+		Flags:           profile.FlagSetFromNames(r.Options.Flags),
+		ForceCompile:    r.Options.ForceCompile,
+		CompileOnly:     r.Options.CompileOnly,
+		MaxSteps:        r.Options.MaxSteps,
+		MaxHeapUnits:    r.Options.MaxHeapUnits,
+		PureInterpreter: r.Options.PureInterpreter,
+		StructuredOBV:   r.Options.StructuredOBV,
+	}
+	if r.Options.BugsOverride {
+		opt.Bugs = []*buginject.Bug{}
+		for _, id := range r.Options.BugIDs {
+			b := buginject.ByID(id)
+			if b == nil {
+				return fail(fmt.Errorf("exec: unknown bug %q in override (catalog skew)", id))
+			}
+			opt.Bugs = append(opt.Bugs, b)
+		}
+	}
+	if r.Options.Coverage {
+		opt.Coverage = coverage.NewTracker()
+	}
+	res, err := jvm.Run(p, spec, opt)
+	if err != nil {
+		return fail(err)
+	}
+	resp.Result = encodeRun(res)
+	resp.Result.CoverageHits = opt.Coverage.Names()
+	resp.Timings.TotalMicros = time.Since(start).Microseconds()
+	return resp
+}
+
+// Serve handles one -exec-json round on the given streams: decode a
+// Request, run it, encode the Response. A returned error means the
+// request itself was unusable (the child exits ExitRequestError);
+// execution problems are in-band in the Response.
+func Serve(in io.Reader, out io.Writer) error {
+	var req Request
+	if err := json.NewDecoder(in).Decode(&req); err != nil {
+		return fmt.Errorf("exec: decode request: %w", err)
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(req.Run())
+}
+
+// encodeRun serializes an in-process execution outcome.
+func encodeRun(res *jvm.ExecResult) *WireRun {
+	r := res.Result
+	w := &WireRun{
+		Output:        r.Output,
+		TimedOut:      r.TimedOut,
+		HeapExhausted: r.HeapExhausted,
+		MonitorLeaks:  r.MonitorLeaks,
+		Steps:         r.Steps,
+		GCCycles:      r.GCCycles,
+		AllocCount:    r.AllocCount,
+		Deopts:        r.Deopts,
+		Log:           res.Log,
+		OBV:           res.OBV.Slice(),
+		Compiled:      res.Compiled,
+	}
+	if r.Exception != nil {
+		code := r.Exception.Code
+		w.ExceptionCode = &code
+	}
+	if r.Crash != nil {
+		w.Crash = &WireCrash{BugID: r.Crash.BugID, Component: r.Crash.Component, Message: r.Crash.Message, FnKey: r.Crash.FnKey}
+	}
+	if len(r.Tiers) > 0 {
+		w.Tiers = map[string]int{}
+		for k, t := range r.Tiers {
+			w.Tiers[k] = int(t)
+		}
+	}
+	for _, b := range res.Triggered {
+		w.Triggered = append(w.Triggered, b.ID)
+	}
+	return w
+}
+
+// decodeRun reconstructs the parent-side ExecResult. Triggered bugs are
+// re-resolved from the catalog (both processes run the same build, so an
+// unknown ID means binary skew and is an error, not a silent drop).
+func decodeRun(w *WireRun, spec jvm.Spec) (*jvm.ExecResult, error) {
+	obv, err := profile.OBVFromSlice(w.OBV)
+	if err != nil {
+		return nil, err
+	}
+	r := &vm.Result{
+		Output:        w.Output,
+		TimedOut:      w.TimedOut,
+		HeapExhausted: w.HeapExhausted,
+		MonitorLeaks:  w.MonitorLeaks,
+		Steps:         w.Steps,
+		GCCycles:      w.GCCycles,
+		AllocCount:    w.AllocCount,
+		Deopts:        w.Deopts,
+	}
+	if w.ExceptionCode != nil {
+		r.Exception = &vm.Thrown{Code: *w.ExceptionCode}
+	}
+	if w.Crash != nil {
+		r.Crash = &vm.Crash{BugID: w.Crash.BugID, Component: w.Crash.Component, Message: w.Crash.Message, FnKey: w.Crash.FnKey}
+	}
+	// The machine always materializes Tiers, so reconstruct a non-nil
+	// map even when no method tiered up (keeps the decoded result
+	// DeepEqual to the in-process one).
+	r.Tiers = map[string]vm.Tier{}
+	for k, t := range w.Tiers {
+		r.Tiers[k] = vm.Tier(t)
+	}
+	res := &jvm.ExecResult{
+		Spec:     spec,
+		Result:   r,
+		Log:      w.Log,
+		OBV:      obv,
+		Compiled: w.Compiled,
+	}
+	for _, id := range w.Triggered {
+		b := buginject.ByID(id)
+		if b == nil {
+			return nil, fmt.Errorf("exec: child reported unknown bug %q (catalog skew)", id)
+		}
+		res.Triggered = append(res.Triggered, b)
+	}
+	return res, nil
+}

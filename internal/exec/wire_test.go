@@ -1,0 +1,184 @@
+package exec
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/buginject"
+	"repro/internal/coverage"
+	"repro/internal/jit"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+	"repro/internal/profile"
+)
+
+const wireSrc = `
+class Wire {
+  static void main() {
+    long t = 0;
+    for (int i = 0; i < 400; i += 1) {
+      t = t + Wire.work(i);
+    }
+    print(t);
+  }
+  static int work(int x) {
+    int y = x * 3 + 1;
+    if (y > 100) {
+      y = y - x;
+    }
+    return y;
+  }
+}
+`
+
+func wireProg(t *testing.T) *lang.Program {
+	t.Helper()
+	p, err := lang.Parse(wireSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestWireRoundTrip pins the tentpole's core invariant: an execution
+// that crosses the wire (request encode -> child Run -> response encode
+// -> parent decode) reconstructs the exact ExecResult jvm.Run produces
+// in-process.
+func TestWireRoundTrip(t *testing.T) {
+	spec := jvm.Spec{Impl: buginject.HotSpot, Version: 17}
+	for _, opt := range []jvm.Options{
+		{ForceCompile: true, MaxSteps: 1_000_000},
+		{ForceCompile: true, Flags: profile.DefaultFlags()},
+		{ForceCompile: true, StructuredOBV: true},
+		{PureInterpreter: true},
+		{ForceCompile: true, Bugs: []*buginject.Bug{}}, // DisableBugs ablation
+		{ForceCompile: true, CompileOnly: "Wire.work"},
+	} {
+		p := wireProg(t)
+		want, err := jvm.Run(lang.CloneProgram(p), spec, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		req, err := NewRequest(p, spec, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Force a real JSON round trip, exactly what the subprocess does.
+		var in, out bytes.Buffer
+		if err := json.NewEncoder(&in).Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		if err := Serve(&in, &out); err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := json.NewDecoder(&out).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Error != "" {
+			t.Fatalf("in-band error: %s", resp.Error)
+		}
+		got, err := decodeRun(resp.Result, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("opt %+v: wire round trip diverged\n got: %+v\nwant: %+v", opt, got, want)
+		}
+	}
+}
+
+func TestWireCoverageHits(t *testing.T) {
+	spec := jvm.Spec{Impl: buginject.HotSpot, Version: 17}
+	direct := coverage.NewTracker()
+	if _, err := jvm.Run(wireProg(t), spec, jvm.Options{ForceCompile: true, Coverage: direct}); err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := NewRequest(wireProg(t), spec, jvm.Options{ForceCompile: true, Coverage: coverage.NewTracker()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := req.Run()
+	if resp.Error != "" {
+		t.Fatalf("in-band error: %s", resp.Error)
+	}
+	if !reflect.DeepEqual(resp.Result.CoverageHits, direct.Names()) {
+		t.Errorf("coverage hits diverged: %v vs %v", resp.Result.CoverageHits, direct.Names())
+	}
+	if len(resp.Result.CoverageHits) == 0 {
+		t.Error("expected nonzero coverage")
+	}
+}
+
+func TestWireProgramErrorInBand(t *testing.T) {
+	spec := jvm.Spec{Impl: buginject.HotSpot, Version: 17}
+	req := &Request{Version: WireVersion, Spec: spec.Name(), Source: "class Broken {"}
+	resp := req.Run()
+	if resp.Error == "" || resp.Result != nil {
+		t.Fatalf("want in-band parse error, got %+v", resp)
+	}
+	// The in-process backend must report the identical message, so seed
+	// errors are backend-independent.
+	_, err := lang.Parse("class Broken {")
+	if err == nil || resp.Error != err.Error() {
+		t.Errorf("error text diverged: %q vs %v", resp.Error, err)
+	}
+}
+
+func TestWireVersionMismatch(t *testing.T) {
+	resp := (&Request{Version: WireVersion + 7}).Run()
+	if resp.Error == "" || !strings.Contains(resp.Error, "wire version") {
+		t.Errorf("want version-mismatch error, got %+v", resp)
+	}
+}
+
+func TestWireUnknownInjection(t *testing.T) {
+	resp := (&Request{Version: WireVersion, Inject: "zap"}).Run()
+	if resp.Error == "" || !strings.Contains(resp.Error, "unknown fault injection") {
+		t.Errorf("want injection error, got %+v", resp)
+	}
+}
+
+type nopHook struct{}
+
+func (nopHook) Observe(*jit.Context, jit.Event) error { return nil }
+
+func TestNewRequestRejectsCompileHook(t *testing.T) {
+	_, err := NewRequest(wireProg(t), jvm.Reference(), jvm.Options{CompileHook: nopHook{}})
+	if err == nil || !strings.Contains(err.Error(), "CompileHook") {
+		t.Errorf("want CompileHook rejection, got %v", err)
+	}
+}
+
+func TestOBVSliceRoundTrip(t *testing.T) {
+	var o profile.OBV
+	for i := range o {
+		o[i] = int64(i * 7)
+	}
+	back, err := profile.OBVFromSlice(o.Slice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != o {
+		t.Errorf("round trip: %v != %v", back, o)
+	}
+	if _, err := profile.OBVFromSlice(make([]int64, len(o)+1)); err == nil {
+		t.Error("want length-mismatch error (taxonomy skew)")
+	}
+}
+
+func TestFlagSetNamesRoundTrip(t *testing.T) {
+	fs := profile.DefaultFlags()
+	back := profile.FlagSetFromNames(fs.Names())
+	if !reflect.DeepEqual(back, fs) {
+		t.Errorf("round trip: %v != %v", back, fs)
+	}
+	if profile.FlagSetFromNames(nil) != nil {
+		t.Error("empty names must decode to nil (preserves Options.Flags nil-ness)")
+	}
+}

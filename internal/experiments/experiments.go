@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/coverage"
+	"repro/internal/exec"
 	"repro/internal/jvm"
 )
 
@@ -25,6 +26,19 @@ type Budget struct {
 	Executions int
 	Seeds      int
 	Seed       int64
+	// Executor is the execution backend every tool runs through
+	// (nil = in-process; results are identical either way).
+	Executor exec.Executor
+}
+
+// withExecutor applies the budget's backend to tools that support one.
+func (b Budget) withExecutor(tool baselines.Tool) baselines.Tool {
+	if b.Executor != nil {
+		if s, ok := tool.(baselines.ExecutorSetter); ok {
+			s.SetExecutor(b.Executor)
+		}
+	}
+	return tool
 }
 
 // DefaultBudget finishes in tens of seconds on a laptop.
@@ -47,6 +61,7 @@ type toolRun struct {
 // runTool drives a baselines.Tool over the shared seed pool until the
 // execution budget is exhausted.
 func runTool(tool baselines.Tool, seeds []corpus.Seed, budget Budget) *toolRun {
+	tool = budget.withExecutor(tool)
 	run := &toolRun{Name: tool.Name()}
 	seen := map[string]bool{}
 	idx := int64(0)

@@ -30,7 +30,7 @@ func Recall(w io.Writer, budget Budget) {
 				break
 			}
 			idx++
-			tool := baselines.NewMopFuzzer(targets[(int(idx)+i)%len(targets)], nil)
+			tool := budget.withExecutor(baselines.NewMopFuzzer(targets[(int(idx)+i)%len(targets)], nil))
 			fr, err := tool.FuzzSeed(seed.Name, parsed.Parse(seed), budget.Seed*104729+idx)
 			if err != nil {
 				continue

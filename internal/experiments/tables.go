@@ -134,7 +134,7 @@ func Table5(w io.Writer, budget Budget) {
 				break
 			}
 			idx++
-			tool := baselines.NewMopFuzzer(targets[(int(idx)+i)%len(targets)], nil)
+			tool := budget.withExecutor(baselines.NewMopFuzzer(targets[(int(idx)+i)%len(targets)], nil))
 			fr, err := tool.FuzzSeed(seed.Name, parsed.Parse(seed), budget.Seed*7919+idx)
 			if err != nil {
 				continue

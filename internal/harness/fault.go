@@ -10,6 +10,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
@@ -106,6 +107,27 @@ func (f *Fault) orNone() string {
 		return "<none>"
 	}
 	return f.QuarantinePath
+}
+
+// Faulter lets an error value carry a pre-classified harness fault
+// across an API boundary. Execution backends use it for process-level
+// containment: when an out-of-process child dies (panic, watchdog kill,
+// signal), the backend returns an error implementing Faulter and the
+// supervisor converts it into a first-class Fault — the same treatment
+// an in-process panic gets from recover() — instead of recording an
+// ordinary task error.
+type Faulter interface {
+	HarnessFault() *Fault
+}
+
+// AsFault extracts a pre-classified fault from anywhere in err's chain,
+// or returns nil when the error is an ordinary one.
+func AsFault(err error) *Fault {
+	var f Faulter
+	if errors.As(err, &f) {
+		return f.HarnessFault()
+	}
+	return nil
 }
 
 // FaultContext is the slice of supervision state attached to ordinary

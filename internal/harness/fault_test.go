@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// carriedFault is a minimal Faulter-carrying error, the shape the exec
+// package's BackendFault uses for process-level containment.
+type carriedFault struct{ f *Fault }
+
+func (e *carriedFault) Error() string        { return "child died" }
+func (e *carriedFault) HarnessFault() *Fault { return e.f }
+
+func TestAsFault(t *testing.T) {
+	want := &Fault{Class: FaultTimeout, Message: "watchdog"}
+	err := fmt.Errorf("task: %w", &carriedFault{f: want})
+	if got := AsFault(err); got != want {
+		t.Errorf("AsFault through a wrap = %v, want %v", got, want)
+	}
+	if AsFault(errors.New("plain")) != nil {
+		t.Error("plain errors must not convert to faults")
+	}
+	if AsFault(nil) != nil {
+		t.Error("nil error must not convert to a fault")
+	}
+}
+
+// TestSupervisorAdoptsCarriedFault: a task returning a Faulter error is
+// recorded as a classified fault — not a task error — with the task's
+// identity attached, exactly like a recovered panic.
+func TestSupervisorAdoptsCarriedFault(t *testing.T) {
+	sup, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sup.Do(context.Background(), Task{
+		ID:       "seedX",
+		SeedName: "seedX",
+		Round:    3,
+		Run: func(context.Context) (any, error) {
+			return nil, &carriedFault{f: &Fault{Class: FaultHarness, Message: "child killed"}}
+		},
+	})
+	if out.Err != nil {
+		t.Fatalf("carried fault leaked as task error: %v", out.Err)
+	}
+	if out.Fault == nil {
+		t.Fatal("fault not adopted")
+	}
+	if out.Fault.Class != FaultHarness || out.Fault.SeedName != "seedX" || out.Fault.Round != 3 {
+		t.Errorf("fault missing classification or task identity: %+v", out.Fault)
+	}
+}

@@ -193,7 +193,12 @@ func (s *Supervisor) attempt(ctx context.Context, t Task) *Outcome {
 }
 
 // contained invokes the task body with recover() converting any Go
-// panic in the substrate into a classified harness fault.
+// panic in the substrate into a classified harness fault. Errors that
+// carry a pre-classified fault (Faulter — an out-of-process execution
+// backend reporting a dead child) get the same first-class treatment:
+// the fault is adopted, stamped with the task identity, and the error
+// consumed, so process-level containment composes with panic
+// containment.
 func (s *Supervisor) contained(ctx context.Context, t Task, out *Outcome) (v any, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -211,7 +216,18 @@ func (s *Supervisor) contained(ctx context.Context, t Task, out *Outcome) (v any
 			v, err = nil, nil
 		}
 	}()
-	return t.Run(ctx)
+	v, err = t.Run(ctx)
+	if err != nil {
+		if f := AsFault(err); f != nil {
+			f.TaskID, f.SeedName, f.Round = t.ID, t.SeedName, t.Round
+			if f.Source == "" {
+				f.Source = t.Source
+			}
+			out.Fault = f
+			v, err = nil, nil
+		}
+	}
+	return v, err
 }
 
 func (s *Supervisor) sleep(d time.Duration) {

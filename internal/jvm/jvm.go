@@ -10,6 +10,7 @@ import (
 	"hash/fnv"
 	"io"
 	"strconv"
+	"strings"
 
 	"repro/internal/buginject"
 	"repro/internal/bytecode"
@@ -62,6 +63,31 @@ func AllSpecs() []Spec {
 // Reference is the spec differential runs treat as the primary target
 // (latest HotSpot mainline).
 func Reference() Spec { return Spec{buginject.HotSpot, 23} }
+
+// ParseSpec parses a JDK build string as rendered by Spec.Name —
+// "openjdk-17", "openj9-11", "openjdk-mainline" — the format the CLIs
+// and the execution-backend wire protocol use.
+func ParseSpec(s string) (Spec, error) {
+	impl := buginject.HotSpot
+	rest := s
+	switch {
+	case strings.HasPrefix(s, "openjdk-"):
+		rest = strings.TrimPrefix(s, "openjdk-")
+	case strings.HasPrefix(s, "openj9-"):
+		impl = buginject.OpenJ9
+		rest = strings.TrimPrefix(s, "openj9-")
+	default:
+		return Spec{}, fmt.Errorf("jvm: unknown JVM %q", s)
+	}
+	switch rest {
+	case "8", "11", "17", "21":
+		v, _ := strconv.Atoi(rest)
+		return Spec{Impl: impl, Version: v}, nil
+	case "mainline", "23":
+		return Spec{Impl: impl, Version: 23}, nil
+	}
+	return Spec{}, fmt.Errorf("jvm: unknown version %q", rest)
+}
 
 // Options tunes one execution.
 type Options struct {

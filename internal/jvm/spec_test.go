@@ -1,0 +1,30 @@
+package jvm
+
+import "testing"
+
+// TestParseSpecRoundTrip: ParseSpec inverts Spec.Name for every build,
+// which is what the exec wire protocol relies on to ship specs as
+// strings.
+func TestParseSpecRoundTrip(t *testing.T) {
+	for _, spec := range AllSpecs() {
+		got, err := ParseSpec(spec.Name())
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", spec.Name(), err)
+			continue
+		}
+		if got != spec {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", spec.Name(), got, spec)
+		}
+	}
+}
+
+func TestParseSpecForms(t *testing.T) {
+	if s, err := ParseSpec("openjdk-mainline"); err != nil || s.Version != 23 {
+		t.Errorf("mainline: %+v, %v", s, err)
+	}
+	for _, bad := range []string{"", "jdk-17", "openjdk-7", "openj9-", "openjdk-17extra"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q): want error", bad)
+		}
+	}
+}

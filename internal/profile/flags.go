@@ -1,5 +1,7 @@
 package profile
 
+import "sort"
+
 // Flag names a diagnostic VM flag (the -XX:+Print... / -XX:+Trace...
 // family). Each flag gates a family of log lines; §2.2 of the paper.
 type Flag string
@@ -57,6 +59,43 @@ func NoFlags() FlagSet { return FlagSet{} }
 
 // Enabled reports whether f is on.
 func (fs FlagSet) Enabled(f Flag) bool { return fs[f] }
+
+// Names returns the enabled flags as strings in the canonical AllFlags
+// order — the stable wire encoding used by the out-of-process execution
+// backend. Flags outside the canonical 15 are appended alphabetically so
+// no enabled flag is ever dropped.
+func (fs FlagSet) Names() []string {
+	var out []string
+	canonical := map[Flag]bool{}
+	for _, f := range AllFlags() {
+		canonical[f] = true
+		if fs[f] {
+			out = append(out, string(f))
+		}
+	}
+	var extra []string
+	for f, on := range fs {
+		if on && !canonical[f] {
+			extra = append(extra, string(f))
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// FlagSetFromNames rebuilds a FlagSet from a Names encoding. It is the
+// decode half of the wire protocol: FlagSetFromNames(fs.Names()) enables
+// exactly the flags fs enables.
+func FlagSetFromNames(names []string) FlagSet {
+	if len(names) == 0 {
+		return nil
+	}
+	fs := FlagSet{}
+	for _, n := range names {
+		fs[Flag(n)] = true
+	}
+	return fs
+}
 
 // Any reports whether at least one flag is enabled. Executions with no
 // flags enabled skip log assembly and OBV extraction entirely.

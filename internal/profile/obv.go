@@ -66,6 +66,26 @@ func ExtractOBV(logText string) OBV {
 	return v
 }
 
+// Slice returns the counts as a slice — the wire encoding used by the
+// out-of-process execution backend.
+func (v OBV) Slice() []int64 {
+	out := make([]int64, NumBehaviors)
+	copy(out, v[:])
+	return out
+}
+
+// OBVFromSlice is the decode half of Slice. A length mismatch means the
+// two sides disagree on the behavior taxonomy (wire-version skew) and is
+// reported as an error rather than silently truncated.
+func OBVFromSlice(s []int64) (OBV, error) {
+	var v OBV
+	if len(s) != NumBehaviors {
+		return v, fmt.Errorf("profile: OBV length %d, want %d (behavior-taxonomy skew)", len(s), NumBehaviors)
+	}
+	copy(v[:], s)
+	return v, nil
+}
+
 // Add returns the element-wise sum.
 func (v OBV) Add(w OBV) OBV {
 	for i := range v {
