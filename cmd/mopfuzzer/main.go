@@ -11,6 +11,9 @@
 //
 //	# run every execution in an isolated minijvm child process
 //	mopfuzzer -jdk openjdk-17 -backend subprocess -minijvm ./minijvm
+//
+//	# deduplicate + minimize findings into a persistent triage store
+//	mopfuzzer -jdk openjdk-17 -seeds 20 -budget 2000 -triage-dir ./bugs -report report.json
 package main
 
 import (
@@ -22,7 +25,6 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/buginject"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/exec"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/jvm"
 	"repro/internal/lang"
 	"repro/internal/reduce"
+	"repro/internal/triage"
 )
 
 func main() {
@@ -54,6 +57,8 @@ func main() {
 	backend := flag.String("backend", "inprocess", "execution backend: inprocess (shared failure domain, fastest) or subprocess (one minijvm child per execution)")
 	minijvmPath := flag.String("minijvm", "", "minijvm binary for -backend subprocess (default: $MINIJVM, then $PATH)")
 	childTimeout := flag.Duration("child-timeout", 10*time.Second, "per-execution watchdog for -backend subprocess (0 = no watchdog)")
+	triageDir := flag.String("triage-dir", "", "deduplicate findings by root-cause signature, reduce each new one once, and persist the corpus in this store directory")
+	reportPath := flag.String("report", "", "write a JSON triage report to this file after the campaign (requires -triage-dir)")
 	flag.Parse()
 
 	spec, err := jvm.ParseSpec(*jdk)
@@ -98,8 +103,28 @@ func main() {
 		hcfg.CheckpointPath = hcfg.ResumePath
 	}
 
+	// The triage pipeline is strictly additive: without -triage-dir no
+	// worker exists, OnFinding stays nil, and campaign output is
+	// byte-identical to previous releases.
+	if *reportPath != "" && *triageDir == "" {
+		fatal(fmt.Errorf("-report requires -triage-dir"))
+	}
+	var tstore *triage.Store
+	var tworker *triage.Worker
+	if *triageDir != "" {
+		tstore, err = triage.Open(*triageDir)
+		if err != nil {
+			fatal(err)
+		}
+		tworker, err = triage.NewWorker(triage.WorkerConfig{Store: tstore, Executor: executor})
+		if err != nil {
+			fatal(err)
+		}
+		tworker.Start(ctx)
+	}
+
 	pool := corpus.DefaultPool(*seeds, *seed)
-	res, err := core.RunCampaignContext(ctx, core.CampaignConfig{
+	ccfg := core.CampaignConfig{
 		Seeds:    pool,
 		Budget:   *budget,
 		Targets:  []jvm.Spec{spec},
@@ -107,7 +132,11 @@ func main() {
 		Seed:     *seed,
 		Workers:  *workers,
 		Executor: executor,
-	}, hcfg)
+	}
+	if tworker != nil {
+		ccfg.OnFinding = func(f core.Finding) { tworker.Submit(f) }
+	}
+	res, err := core.RunCampaignContext(ctx, ccfg, hcfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -130,7 +159,8 @@ func main() {
 		fmt.Printf("  [%6d exec] %-14s %-26s %s (%s, via %s oracle)\n",
 			f.AtExecution, f.Bug.ID, f.Bug.Component, f.Bug.Kind, f.Target.Name(), f.Oracle)
 		if *doReduce && f.Program != nil {
-			reduced := reduceFinding(executor, f.Program, f.Bug, f.Target)
+			pipe := &reduce.Pipeline{Executor: executor}
+			reduced := pipe.ReduceFinding(context.Background(), f.Program, f.Bug, f.Target)
 			fmt.Printf("           reduced %d -> %d statements\n", reduced.StmtsBefore, reduced.StmtsAfter)
 			if *dumpMutant {
 				fmt.Println(indent(lang.Format(reduced.Program)))
@@ -150,6 +180,31 @@ func main() {
 	}
 	if res.SkippedQuarantined > 0 {
 		fmt.Printf("  %d task(s) skipped (quarantined seeds)\n", res.SkippedQuarantined)
+	}
+	if tworker != nil {
+		// Drain the triage queue (reductions may still be running), then
+		// report what the store now holds.
+		if err := tworker.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mopfuzzer: triage store flush:", err)
+		}
+		st := tworker.Stats()
+		fmt.Printf("triage: %d finding(s) -> %d new signature(s), %d duplicate(s), %d reduced, %d quarantined (store: %s)\n",
+			st.Received, st.Novel, st.Duplicates, st.Reduced, st.Quarantined, tstore.Dir())
+		rep := triage.BuildReport(tstore)
+		fmt.Print(rep.Text())
+		if *reportPath != "" {
+			data, err := rep.JSON()
+			if err == nil {
+				err = os.WriteFile(*reportPath, data, 0o644)
+			}
+			if err != nil {
+				fatal(fmt.Errorf("writing triage report: %w", err))
+			}
+			fmt.Printf("triage: JSON report written to %s\n", *reportPath)
+		}
+		if err := tstore.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mopfuzzer: triage store close:", err)
+		}
 	}
 	if res.CheckpointErrors > 0 {
 		fmt.Fprintf(os.Stderr, "mopfuzzer: warning: %d checkpoint write(s) failed (last: %s) — -resume may replay completed work\n",
@@ -189,7 +244,8 @@ func fuzzOne(path string, cfg core.Config, doReduce, dump bool) {
 	for _, fd := range res.Findings {
 		fmt.Printf("finding: %s in %s via %s oracle\n", fd.Bug.ID, fd.Bug.Component, fd.Oracle)
 		if doReduce {
-			reduced := reduceFinding(cfg.Executor, res.Final, fd.Bug, cfg.Target)
+			pipe := &reduce.Pipeline{Executor: cfg.Executor}
+			reduced := pipe.ReduceFinding(context.Background(), res.Final, fd.Bug, cfg.Target)
 			fmt.Printf("reduced %d -> %d statements in %d rounds\n",
 				reduced.StmtsBefore, reduced.StmtsAfter, reduced.Rounds)
 			if dump {
@@ -203,37 +259,6 @@ func fuzzOne(path string, cfg core.Config, doReduce, dump bool) {
 		fmt.Println(indent(lang.Format(res.Final)))
 	}
 }
-
-// reduceFinding shrinks a mutant while the specific bug keeps firing on
-// any of the differential targets. Candidate re-executions go through
-// the campaign's executor, so -backend subprocess isolates the
-// reducer's probes exactly like the fuzzing loop's.
-func reduceFinding(ex exec.Executor, p *lang.Program, bug *buginject.Bug, target jvm.Spec) *reduce.Result {
-	keep := func(cand *lang.Program) bool {
-		specs := []jvm.Spec{target}
-		if !bug.In(target.Version) || bug.Impl != implOf(target) {
-			specs = jvm.AllSpecs()
-		}
-		for _, spec := range specs {
-			r, err := exec.Or(ex).Execute(context.Background(), lang.CloneProgram(cand), spec, jvm.Options{ForceCompile: true, MaxSteps: 2_000_000})
-			if err != nil {
-				continue
-			}
-			if r.Result.Crash != nil && r.Result.Crash.BugID == bug.ID {
-				return true
-			}
-			for _, t := range r.Triggered {
-				if t.ID == bug.ID {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	return reduce.Reduce(p, keep, reduce.Options{})
-}
-
-func implOf(s jvm.Spec) buginject.Impl { return s.Impl }
 
 func indent(s string) string {
 	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ")

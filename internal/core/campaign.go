@@ -13,6 +13,7 @@ import (
 	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/lang"
+	"repro/internal/profile"
 )
 
 // CampaignConfig drives a multi-seed fuzzing campaign. Budget is the
@@ -36,6 +37,14 @@ type CampaignConfig struct {
 	// subprocess executor gives each target execution its own process so
 	// substrate deaths become classified harness faults.
 	Executor exec.Executor
+	// OnFinding, when non-nil, observes every detected finding occurrence
+	// as it is merged — including repeat occurrences of bugs already in
+	// Findings, which the campaign-level dedup suppresses from the result.
+	// Calls happen on the campaign goroutine in cursor order (identical
+	// under -workers), so a triage consumer sees a deterministic stream.
+	// Findings restored from a checkpoint are not re-fired: a persistent
+	// consumer already saw them in the interrupted run.
+	OnFinding func(Finding)
 }
 
 // Finding is one campaign-level bug detection.
@@ -51,6 +60,20 @@ type Finding struct {
 	// quarantine path) when the finding came through the supervised
 	// path; hs_err reports are annotated with it.
 	Harness *harness.FaultContext
+	// Provenance: where and how deep in the campaign the bug surfaced.
+	// Cursor is the global task cursor (seed, round, target, and RNG seed
+	// all derive from it), Round the corpus round, and ChainLen the
+	// mutation-chain length at detection.
+	Cursor   int
+	Round    int
+	ChainLen int
+	// OBV is the final mutant's optimization-behavior vector — the
+	// profile behaviors active at failure, which triage reports render as
+	// the finding's OBV fingerprint.
+	OBV profile.OBV
+	// Divergence is the first diverging target pair for differential
+	// findings (nil for crash findings).
+	Divergence *jvm.Divergence
 }
 
 // SeedError records a seed the fuzzer rejected (parse/shape problems),
@@ -300,15 +323,14 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 				res.Faults = append(res.Faults, reportHeapExhaustion(sup, seed, taskKey, round, fr))
 			}
 			for _, fd := range fr.Findings {
-				if fd.Bug == nil || seen[fd.Bug.ID] {
+				if fd.Bug == nil {
 					continue
 				}
-				seen[fd.Bug.ID] = true
 				class := harness.FaultCrash
 				if fd.Oracle == "differential" {
 					class = harness.FaultMiscompile
 				}
-				res.Findings = append(res.Findings, Finding{
+				f := Finding{
 					Bug:         fd.Bug,
 					Oracle:      fd.Oracle,
 					SeedName:    seed.Name,
@@ -317,7 +339,23 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 					Mutators:    fd.Mutators,
 					Program:     fr.Final,
 					Harness:     &harness.FaultContext{Class: class, Retries: out.Retries},
-				})
+					Cursor:      cursor,
+					Round:       round,
+					ChainLen:    len(fd.Mutators),
+					OBV:         fr.FinalOBV,
+					Divergence:  fd.Divergence,
+				}
+				// Every occurrence streams to the triage hook — duplicates
+				// of an already-seen bug are exactly what a triage layer
+				// counts — while the campaign result keeps only the first.
+				if cfg.OnFinding != nil {
+					cfg.OnFinding(f)
+				}
+				if seen[fd.Bug.ID] {
+					continue
+				}
+				seen[fd.Bug.ID] = true
+				res.Findings = append(res.Findings, f)
 			}
 		}
 		cursor++
@@ -372,7 +410,9 @@ type campaignState struct {
 }
 
 // findingSnapshot is the JSON form of a Finding: bugs by catalog ID,
-// programs as source text, both re-resolved on restore.
+// programs as source text, both re-resolved on restore. Checkpoint
+// format v2 added the provenance block (cursor, round, chain length),
+// the OBV, and the divergence site.
 type findingSnapshot struct {
 	BugID         string                `json:"bug_id"`
 	Oracle        string                `json:"oracle"`
@@ -383,6 +423,19 @@ type findingSnapshot struct {
 	Mutators      []string              `json:"mutators,omitempty"`
 	Program       string                `json:"program,omitempty"`
 	Harness       *harness.FaultContext `json:"harness,omitempty"`
+	Cursor        int                   `json:"cursor,omitempty"`
+	Round         int                   `json:"round,omitempty"`
+	ChainLen      int                   `json:"chain_len,omitempty"`
+	OBV           []int64               `json:"obv,omitempty"`
+	Divergence    *divergenceSnapshot   `json:"divergence,omitempty"`
+}
+
+// divergenceSnapshot serializes a jvm.Divergence by spec name, the same
+// rendering the wire protocol and CLIs use.
+type divergenceSnapshot struct {
+	Modal     string `json:"modal"`
+	Divergent string `json:"divergent"`
+	Index     int    `json:"index"`
 }
 
 func saveCampaign(path string, sup *harness.Supervisor, res *CampaignResult,
@@ -412,6 +465,19 @@ func saveCampaign(path string, sup *harness.Supervisor, res *CampaignResult,
 			AtExecution:   f.AtExecution,
 			Mutators:      f.Mutators,
 			Harness:       f.Harness,
+			Cursor:        f.Cursor,
+			Round:         f.Round,
+			ChainLen:      f.ChainLen,
+		}
+		if f.OBV.Total() > 0 {
+			fs.OBV = f.OBV.Slice()
+		}
+		if f.Divergence != nil {
+			fs.Divergence = &divergenceSnapshot{
+				Modal:     f.Divergence.Modal.Name(),
+				Divergent: f.Divergence.Divergent.Name(),
+				Index:     f.Divergence.Index,
+			}
 		}
 		if f.Program != nil {
 			fs.Program = lang.Format(f.Program)
@@ -464,6 +530,27 @@ func restoreCampaign(ck *harness.Checkpoint, sup *harness.Supervisor, res *Campa
 			AtExecution: fs.AtExecution,
 			Mutators:    fs.Mutators,
 			Harness:     fs.Harness,
+			Cursor:      fs.Cursor,
+			Round:       fs.Round,
+			ChainLen:    fs.ChainLen,
+		}
+		if fs.OBV != nil {
+			obv, err := profile.OBVFromSlice(fs.OBV)
+			if err != nil {
+				return fmt.Errorf("core: resume: finding %s OBV: %w", fs.BugID, err)
+			}
+			f.OBV = obv
+		}
+		if fs.Divergence != nil {
+			modal, err := jvm.ParseSpec(fs.Divergence.Modal)
+			if err != nil {
+				return fmt.Errorf("core: resume: finding %s divergence: %w", fs.BugID, err)
+			}
+			divergent, err := jvm.ParseSpec(fs.Divergence.Divergent)
+			if err != nil {
+				return fmt.Errorf("core: resume: finding %s divergence: %w", fs.BugID, err)
+			}
+			f.Divergence = &jvm.Divergence{Modal: modal, Divergent: divergent, Index: fs.Divergence.Index}
 		}
 		if fs.Program != "" {
 			p, err := lang.Parse(fs.Program)

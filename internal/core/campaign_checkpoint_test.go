@@ -117,3 +117,145 @@ func TestResumeNotesUnparseableSnapshotProgram(t *testing.T) {
 		t.Errorf("no resume-time note about the unparseable program: %+v", res.SeedErrors)
 	}
 }
+
+// crashingSeedSrc triggers JDK-8312744 (lock coarsening over unrolled
+// sync regions) on the reference VM without any mutation, so a campaign
+// over it records a crash finding deterministically.
+const crashingSeedSrc = `
+class T {
+  int f;
+  static void main() {
+    T t = new T();
+    t.f = 3;
+    long total = 0;
+    for (int i = 0; i < 1500; i += 1) {
+      total = total + t.foo(i);
+    }
+    print(total);
+  }
+  int foo(int i) {
+    int acc = 0;
+    for (int k = 0; k < 4; k += 1) {
+      synchronized (this) {
+        acc = acc + k + i;
+      }
+    }
+    synchronized (this) {
+      acc = acc + this.f;
+    }
+    return acc;
+  }
+}
+`
+
+// TestCheckpointFindingProvenanceRoundTrip: the v2 snapshot fields —
+// cursor, round, chain length, OBV, divergence — must survive a
+// save/resume cycle bit-for-bit.
+func TestCheckpointFindingProvenanceRoundTrip(t *testing.T) {
+	target := jvm.Reference()
+	cfg := DefaultConfig(target)
+	cfg.DiffSpecs = nil
+	path := filepath.Join(t.TempDir(), "ck.json")
+	ccfg := CampaignConfig{
+		Seeds:   []corpus.Seed{{Name: "crasher", Source: crashingSeedSrc}},
+		Budget:  3,
+		Targets: []jvm.Spec{target},
+		Fuzz:    cfg,
+		Seed:    7,
+	}
+	res, err := RunCampaignContext(context.Background(), ccfg, harness.Config{CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("the crashing seed produced no finding")
+	}
+	orig := res.Findings[0]
+	if orig.OBV.Total() == 0 {
+		t.Fatal("finding recorded no OBV (flags should be on during fuzzing)")
+	}
+
+	res2, err := RunCampaignContext(context.Background(), CampaignConfig{
+		Seeds:   ccfg.Seeds,
+		Budget:  res.Executions, // already exhausted: restore only
+		Targets: ccfg.Targets,
+		Fuzz:    cfg,
+		Seed:    7,
+	}, harness.Config{ResumePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Resumed || len(res2.Findings) != len(res.Findings) {
+		t.Fatalf("resume lost findings: %d vs %d", len(res2.Findings), len(res.Findings))
+	}
+	got := res2.Findings[0]
+	if got.Cursor != orig.Cursor || got.Round != orig.Round || got.ChainLen != orig.ChainLen {
+		t.Errorf("provenance drifted: got cursor=%d round=%d chain=%d, want cursor=%d round=%d chain=%d",
+			got.Cursor, got.Round, got.ChainLen, orig.Cursor, orig.Round, orig.ChainLen)
+	}
+	if got.OBV != orig.OBV {
+		t.Errorf("OBV drifted:\n got %v\nwant %v", got.OBV, orig.OBV)
+	}
+	if got.ChainLen != len(orig.Mutators) {
+		t.Errorf("ChainLen = %d, want len(Mutators) = %d", got.ChainLen, len(orig.Mutators))
+	}
+}
+
+// TestCheckpointDivergenceRoundTrip: a differential finding's divergence
+// site is restored spec-for-spec from the v2 snapshot.
+func TestCheckpointDivergenceRoundTrip(t *testing.T) {
+	bug := buginject.Catalog[0]
+	st := campaignState{
+		TaskCursor: 2,
+		Executions: 50,
+		Findings: []findingSnapshot{{
+			BugID:         bug.ID,
+			Oracle:        "differential",
+			SeedName:      "Seed0",
+			TargetImpl:    string(bug.Impl),
+			TargetVersion: 17,
+			AtExecution:   40,
+			Cursor:        1,
+			Round:         0,
+			ChainLen:      4,
+			OBV:           []int64{3, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+			Divergence:    &divergenceSnapshot{Modal: "openjdk-8", Divergent: "openjdk-21", Index: 3},
+		}},
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	ck := &harness.Checkpoint{TaskCursor: 2, Executions: 50, State: raw}
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig(jvm.Spec{Impl: buginject.HotSpot, Version: 17})
+	cfg.DiffSpecs = nil
+	res, err := RunCampaignContext(context.Background(), CampaignConfig{
+		Seeds:  corpus.DefaultPool(2, 3),
+		Budget: 50,
+		Fuzz:   cfg,
+		Seed:   3,
+	}, harness.Config{ResumePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings = %d, want 1", len(res.Findings))
+	}
+	f := res.Findings[0]
+	if f.Divergence == nil {
+		t.Fatal("divergence dropped on resume")
+	}
+	want := jvm.Divergence{Modal: jvm.Spec{Impl: buginject.HotSpot, Version: 8},
+		Divergent: jvm.Spec{Impl: buginject.HotSpot, Version: 21}, Index: 3}
+	if *f.Divergence != want {
+		t.Errorf("divergence = %+v, want %+v", *f.Divergence, want)
+	}
+	if f.ChainLen != 4 || f.Cursor != 1 || f.OBV[0] != 3 {
+		t.Errorf("provenance = cursor %d chain %d obv[0] %d, want 1/4/3", f.Cursor, f.ChainLen, f.OBV[0])
+	}
+}

@@ -96,6 +96,10 @@ type BugFinding struct {
 	Oracle    string // "crash" or "differential"
 	Iteration int    // mutation count when detected
 	Mutators  []string
+	// Divergence records the first diverging target pair for
+	// differential findings (nil for crash findings) — the divergence
+	// site triage signatures key unattributed miscompiles on.
+	Divergence *jvm.Divergence
 }
 
 // FuzzResult is the outcome of fuzzing one seed.
@@ -450,10 +454,12 @@ func (f *Fuzzer) FuzzSeedContext(ctx context.Context, name string, seed *lang.Pr
 		if crash := diff.AnyCrash(); crash != nil {
 			f.recordCrash(res, crash, f.Cfg.MaxIterations)
 		} else if diff.Inconsistent() {
+			div := diff.FirstDivergence()
 			for _, b := range diff.DivergentBugs() {
 				res.Findings = append(res.Findings, BugFinding{
 					Bug: b, Oracle: "differential", Iteration: f.Cfg.MaxIterations,
-					Mutators: append([]string(nil), res.MutatorSeq...),
+					Mutators:   append([]string(nil), res.MutatorSeq...),
+					Divergence: div,
 				})
 			}
 		}

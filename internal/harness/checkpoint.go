@@ -7,8 +7,10 @@ import (
 )
 
 // checkpointVersion guards the snapshot schema; a mismatched version is
-// rejected rather than silently misread.
-const checkpointVersion = 1
+// rejected rather than silently misread. v2 added finding provenance
+// (cursor, round, mutation-chain length), the final-mutant OBV, and the
+// divergence site to the campaign's finding snapshots.
+const checkpointVersion = 2
 
 // Checkpoint is a campaign snapshot. The harness owns the envelope
 // (task cursor, execution count, quarantine index); the campaign owns

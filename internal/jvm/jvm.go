@@ -273,6 +273,48 @@ func RunDifferential(p *lang.Program, specs []Spec, opt Options) (*Differential,
 // Inconsistent reports whether the specs disagree on the output.
 func (d *Differential) Inconsistent() bool { return len(d.Groups) > 1 }
 
+// Divergence pinpoints a differential inconsistency: the spec carrying
+// the modal (majority) output, the first spec in run order whose output
+// differs from it, and that spec's index in Results. Triage signatures
+// use the pair and index as the divergence site of a miscompilation.
+type Divergence struct {
+	Modal     Spec `json:"modal"`
+	Divergent Spec `json:"divergent"`
+	Index     int  `json:"index"`
+}
+
+// FirstDivergence locates the first diverging result, or nil when all
+// specs agree. Unlike iterating Groups (a map), it scans Results in run
+// order, so the answer is deterministic: the modal output is the most
+// common one with ties broken by first appearance, and the divergent
+// spec is the earliest result whose output differs from it.
+func (d *Differential) FirstDivergence() *Divergence {
+	if !d.Inconsistent() {
+		return nil
+	}
+	counts := map[string]int{}
+	for _, r := range d.Results {
+		counts[r.Result.OutputString()]++
+	}
+	modal, best := "", -1
+	for _, r := range d.Results {
+		if out := r.Result.OutputString(); counts[out] > best {
+			best, modal = counts[out], out
+		}
+	}
+	div := &Divergence{Index: -1}
+	for i, r := range d.Results {
+		if r.Result.OutputString() == modal {
+			if div.Modal == (Spec{}) {
+				div.Modal = r.Spec
+			}
+		} else if div.Index < 0 {
+			div.Divergent, div.Index = r.Spec, i
+		}
+	}
+	return div
+}
+
 // AnyCrash returns the first crashing result, or nil.
 func (d *Differential) AnyCrash() *ExecResult {
 	for _, r := range d.Results {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/coverage"
 	"repro/internal/lang"
 	"repro/internal/profile"
+	"repro/internal/vm"
 )
 
 func TestSpecNames(t *testing.T) {
@@ -215,5 +216,53 @@ func TestOpenJ9TuningDiffers(t *testing.T) {
 	if hs.Result.OutputString() != j9.Result.OutputString() {
 		t.Errorf("impls disagree on a clean program:\n%s\nvs\n%s",
 			hs.Result.OutputString(), j9.Result.OutputString())
+	}
+}
+
+func TestFirstDivergence(t *testing.T) {
+	mk := func(spec Spec, out string) *ExecResult {
+		return &ExecResult{Spec: spec, Result: &vm.Result{Output: []string{out}}}
+	}
+	d := &Differential{Groups: map[string][]Spec{}}
+	for _, r := range []*ExecResult{
+		mk(Spec{buginject.HotSpot, 8}, "42"),
+		mk(Spec{buginject.HotSpot, 17}, "42"),
+		mk(Spec{buginject.HotSpot, 21}, "41"),
+		mk(Spec{buginject.HotSpot, 23}, "42"),
+	} {
+		d.Results = append(d.Results, r)
+		key := r.Result.OutputString()
+		d.Groups[key] = append(d.Groups[key], r.Spec)
+	}
+	div := d.FirstDivergence()
+	if div == nil {
+		t.Fatal("inconsistent differential reported no divergence")
+	}
+	if div.Modal != (Spec{buginject.HotSpot, 8}) {
+		t.Errorf("modal = %v, want first modal-output spec", div.Modal)
+	}
+	if div.Divergent != (Spec{buginject.HotSpot, 21}) || div.Index != 2 {
+		t.Errorf("divergent = %v #%d, want openjdk-21 #2", div.Divergent, div.Index)
+	}
+
+	// Consistent results yield nil.
+	c := &Differential{Groups: map[string][]Spec{"42": {{buginject.HotSpot, 8}}}}
+	if c.FirstDivergence() != nil {
+		t.Error("consistent differential reported a divergence")
+	}
+}
+
+func TestFirstDivergenceModalTieBreak(t *testing.T) {
+	// 1-vs-1 tie: the first result's output is modal, the second diverges.
+	mk := func(spec Spec, out string) *ExecResult {
+		return &ExecResult{Spec: spec, Result: &vm.Result{Output: []string{out}}}
+	}
+	d := &Differential{Groups: map[string][]Spec{
+		"a": {{buginject.HotSpot, 8}}, "b": {{buginject.HotSpot, 17}},
+	}}
+	d.Results = []*ExecResult{mk(Spec{buginject.HotSpot, 8}, "a"), mk(Spec{buginject.HotSpot, 17}, "b")}
+	div := d.FirstDivergence()
+	if div == nil || div.Modal != (Spec{buginject.HotSpot, 8}) || div.Index != 1 {
+		t.Errorf("tie-break divergence = %+v, want modal=openjdk-8 index=1", div)
 	}
 }

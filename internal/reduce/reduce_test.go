@@ -146,3 +146,75 @@ class T {
 			res.StmtsAfter, lang.Format(res.Program))
 	}
 }
+
+func TestReduceAlreadyMinimal(t *testing.T) {
+	p := lang.MustParse(`class T { static void main() { print(1); } }`)
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	keep := func(cand *lang.Program) bool {
+		r, err := jvm.Run(lang.CloneProgram(cand), jvm.Reference(), jvm.Options{PureInterpreter: true})
+		if err != nil {
+			return false
+		}
+		for _, line := range r.Result.Output {
+			if line == "1" {
+				return true
+			}
+		}
+		return false
+	}
+	res := Reduce(p, keep, Options{})
+	if res.StmtsAfter != res.StmtsBefore {
+		t.Errorf("minimal program changed size: %d -> %d", res.StmtsBefore, res.StmtsAfter)
+	}
+	if !keep(res.Program) {
+		t.Error("minimal program no longer satisfies the predicate")
+	}
+}
+
+func TestReduceAcceptAllTerminatesAndShrinks(t *testing.T) {
+	// A predicate that accepts every candidate is the degenerate
+	// worst case: reduction must still reach a fixed point (it deletes
+	// everything deletable) instead of spinning.
+	p := lang.MustParse(crashSrc)
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	res := Reduce(p, func(*lang.Program) bool { return true }, Options{})
+	if res.StmtsAfter >= res.StmtsBefore {
+		t.Errorf("accept-all predicate did not shrink: %d -> %d", res.StmtsBefore, res.StmtsAfter)
+	}
+	if res.StmtsAfter != 0 {
+		t.Errorf("accept-all should delete every statement, %d left:\n%s",
+			res.StmtsAfter, lang.Format(res.Program))
+	}
+	if err := lang.Check(lang.CloneProgram(res.Program)); err != nil {
+		t.Errorf("reduced program is ill-formed: %v", err)
+	}
+}
+
+func TestReduceFlappingPredicateTerminates(t *testing.T) {
+	// A predicate that flips on every call (a flaky oracle) must not
+	// livelock the fixed-point loop: rounds are bounded, so Reduce
+	// returns a well-formed program in bounded work.
+	p := lang.MustParse(crashSrc)
+	if err := lang.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	flap := func(*lang.Program) bool {
+		n++
+		return n%2 == 0
+	}
+	res := Reduce(p, flap, Options{})
+	if res.StmtsAfter > res.StmtsBefore {
+		t.Errorf("flaky predicate grew the program: %d -> %d", res.StmtsBefore, res.StmtsAfter)
+	}
+	if res.Rounds > 8 {
+		t.Errorf("rounds = %d, want <= default bound 8", res.Rounds)
+	}
+	if err := lang.Check(lang.CloneProgram(res.Program)); err != nil {
+		t.Errorf("reduced program is ill-formed: %v", err)
+	}
+}

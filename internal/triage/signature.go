@@ -1,0 +1,100 @@
+// Package triage turns raw campaign findings into a deduplicated,
+// minimized, persistent bug corpus — the paper's "test-case reduction
+// and manual triage" step, made first-class. Three pieces compose:
+//
+//   - Signature: a deterministic root-cause key over a finding's
+//     failure domain, blamed component, catalog bug ID, and divergence
+//     site, so equal root causes collide across seeds, mutation chains,
+//     campaign runs, and execution backends.
+//   - Store: a crash-safe on-disk findings database (append-only JSONL
+//     plus a rebuildable index) supporting open/append/compact/merge,
+//     so repeated and resumed campaigns accumulate one corpus.
+//   - Worker: an async, bounded, fault-contained pipeline that consumes
+//     findings as the campaign merges them, dedups against the store,
+//     and runs reduction exactly once per new signature under a
+//     harness watchdog — a panicking or hanging reduction quarantines
+//     that finding without stopping the campaign.
+//
+// The signature design follows the directed bug-localization line of
+// work (Lim & Debray): optimization-pass blame plus the divergence site
+// is a stable per-bug key for JIT defects.
+package triage
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/profile"
+)
+
+// Signature is the deduplication key for one root cause. Two findings
+// with equal keys are treated as the same bug regardless of which seed,
+// mutation chain, campaign run, or execution backend surfaced them.
+type Signature struct {
+	// Domain is the failure domain: "crash" (the crash oracle fired) or
+	// "differential" (the cross-build output comparison diverged).
+	Domain string `json:"domain"`
+	// BugID is the injected catalog bug, when the oracle attributed one.
+	// It subsumes the divergence site: a catalog ID names the root cause
+	// exactly, so Key ignores the (possibly seed-dependent) site fields.
+	BugID string `json:"bug_id,omitempty"`
+	// Component is the blamed JIT pass/component — the catalog bug's
+	// component when attributed, otherwise the dominant profile behavior
+	// active at failure (the best unattributed blame available).
+	Component string `json:"component,omitempty"`
+	// DivergentPair and DivergenceIndex locate the divergence site of a
+	// differential finding: the modal~divergent spec pair and the index
+	// of the first diverging target. They identify unattributed
+	// divergences and annotate attributed ones.
+	DivergentPair   string `json:"divergent_pair,omitempty"`
+	DivergenceIndex int    `json:"divergence_index,omitempty"`
+}
+
+// Compute derives the signature of a campaign finding.
+func Compute(f *core.Finding) Signature {
+	sig := Signature{Domain: f.Oracle}
+	if sig.Domain == "" {
+		sig.Domain = "crash"
+	}
+	if f.Bug != nil {
+		sig.BugID = f.Bug.ID
+		sig.Component = f.Bug.Component
+	} else {
+		sig.Component = dominantBehavior(f.OBV)
+	}
+	if f.Divergence != nil {
+		sig.DivergentPair = f.Divergence.Modal.Name() + "~" + f.Divergence.Divergent.Name()
+		sig.DivergenceIndex = f.Divergence.Index
+	}
+	return sig
+}
+
+// Key renders the stable deduplication key. Attributed findings key on
+// (domain, catalog ID, component): the catalog ID is the root cause, so
+// reaching the same bug from different seeds or backends collides, and
+// distinct catalog bugs never do. Unattributed findings fall back to
+// the divergence site, the only root-cause evidence available.
+func (s Signature) Key() string {
+	if s.BugID != "" {
+		return s.Domain + "|" + s.BugID + "|" + s.Component
+	}
+	if s.DivergentPair != "" {
+		return fmt.Sprintf("%s|%s|%s#%d", s.Domain, s.Component, s.DivergentPair, s.DivergenceIndex)
+	}
+	return s.Domain + "|" + s.Component
+}
+
+// dominantBehavior names the most frequent optimization behavior in the
+// failure's OBV — the pass to blame when no catalog bug is attributed.
+func dominantBehavior(obv profile.OBV) string {
+	best, idx := int64(0), -1
+	for i, c := range obv {
+		if c > best {
+			best, idx = c, i
+		}
+	}
+	if idx < 0 {
+		return "unknown"
+	}
+	return profile.Behavior(idx).String()
+}

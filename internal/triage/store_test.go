@@ -1,0 +1,283 @@
+package triage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sigFor(id string) Signature {
+	return Signature{Domain: "crash", BugID: id, Component: "c2-loopopts"}
+}
+
+func occAt(seed string, exec int) Occurrence {
+	return Occurrence{SeedName: seed, Target: "openjdk-17", AtExecution: exec, Time: 42}
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreObserveDedups(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	defer s.Close()
+	novel, err := s.Observe(sigFor("JDK-1"), occAt("s1", 10), "class A {}", 5, nil)
+	if err != nil || !novel {
+		t.Fatalf("first sighting: novel=%v err=%v", novel, err)
+	}
+	novel, err = s.Observe(sigFor("JDK-1"), occAt("s2", 20), "class B {}", 9, nil)
+	if err != nil || novel {
+		t.Fatalf("second sighting: novel=%v err=%v", novel, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	e := s.Get(sigFor("JDK-1").Key())
+	if e.Count != 2 || e.First.SeedName != "s1" || e.Last.SeedName != "s2" {
+		t.Errorf("aggregation wrong: %+v", e)
+	}
+	if e.Raw != "class A {}" || e.RawStmts != 5 {
+		t.Errorf("raw reproducer must come from the first sighting: %+v", e)
+	}
+}
+
+func TestStoreReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if _, err := s.Observe(sigFor("JDK-1"), occAt("s1", 10), "class A {}", 5, []int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(sigFor("JDK-2"), occAt("s1", 11), "class B {}", 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reduced(sigFor("JDK-1").Key(), "class A' {}", 2, 3, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine(sigFor("JDK-2").Key(), "harness-fault: boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir)
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", r.Len())
+	}
+	e1 := r.Get(sigFor("JDK-1").Key())
+	if e1.Min != "class A' {}" || e1.MinStmts != 2 || e1.ReduceRounds != 3 || e1.ReduceProbes != 40 {
+		t.Errorf("reduction lost on reopen: %+v", e1)
+	}
+	if e2 := r.Get(sigFor("JDK-2").Key()); e2.Quarantine != "harness-fault: boom" {
+		t.Errorf("quarantine note lost on reopen: %+v", e2)
+	}
+	// First-seen order survives.
+	ents := r.Entries()
+	if ents[0].Sig.BugID != "JDK-1" || ents[1].Sig.BugID != "JDK-2" {
+		t.Errorf("entry order drifted: %s, %s", ents[0].Sig.BugID, ents[1].Sig.BugID)
+	}
+}
+
+// TestStoreRebuildsWithoutIndex: deleting (or corrupting) index.json
+// must be invisible — the log is the source of truth.
+func TestStoreRebuildsWithoutIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if _, err := s.Observe(sigFor("JDK-1"), occAt("s1", 10), "class A {}", 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, indexFile)); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir)
+	defer r.Close()
+	if r.Len() != 1 || r.Get(sigFor("JDK-1").Key()) == nil {
+		t.Fatal("log replay without index lost the entry")
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, indexFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2 := mustOpen(t, dir)
+	defer r2.Close()
+	if r2.Len() != 1 {
+		t.Fatal("corrupt index was not rebuilt from the log")
+	}
+}
+
+// TestStoreStaleIndexIgnored: an index left behind by a crashed process
+// (record count != log) must be ignored in favor of a log replay.
+func TestStoreStaleIndexIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if _, err := s.Observe(sigFor("JDK-1"), occAt("s1", 10), "class A {}", 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // index now says 1 record
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	if _, err := s2.Observe(sigFor("JDK-2"), occAt("s2", 20), "class B {}", 6, nil); err != nil {
+		t.Fatal(err)
+	}
+	s2.f.Close() // crash: log has 2 records, index still says 1
+
+	r := mustOpen(t, dir)
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("stale index won over the log: Len = %d, want 2", r.Len())
+	}
+}
+
+// TestStoreToleratesTruncatedTail: a crash mid-append leaves a partial
+// trailing line; everything before it must load.
+func TestStoreToleratesTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if _, err := s.Observe(sigFor("JDK-1"), occAt("s1", 10), "class A {}", 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, dataFile)
+	if err := os.WriteFile(logPath, append(mustRead(t, logPath), []byte(`{"v":1,"kind":"sigh`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir)
+	if r.Len() != 1 {
+		t.Fatalf("truncated tail lost intact records: Len = %d, want 1", r.Len())
+	}
+	// The partial line was trimmed, so new appends land cleanly and the
+	// next open replays without error.
+	if _, err := r.Observe(sigFor("JDK-2"), occAt("s2", 20), "class B {}", 6, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := mustOpen(t, dir)
+	defer r2.Close()
+	if r2.Len() != 2 {
+		t.Fatalf("append after crash recovery corrupted the log: Len = %d, want 2", r2.Len())
+	}
+}
+
+// TestStoreRejectsVersionSkew: records from a future store format fail
+// loudly instead of being misread.
+func TestStoreRejectsVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, dataFile),
+		[]byte(`{"v":99,"kind":"entry","entry":{"key":"k"}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version skew not rejected: %v", err)
+	}
+}
+
+func TestStoreCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := s.Observe(sigFor("JDK-1"), occAt("s1", i), "class A {}", 5, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Reduced(sigFor("JDK-1").Key(), "class A' {}", 2, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	before := len(mustRead(t, filepath.Join(dir, dataFile)))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := len(mustRead(t, filepath.Join(dir, dataFile)))
+	if after >= before {
+		t.Errorf("compact did not shrink the log: %d -> %d bytes", before, after)
+	}
+	e := s.Get(sigFor("JDK-1").Key())
+	if e.Count != 50 || e.Min != "class A' {}" {
+		t.Errorf("compact changed observable state: %+v", e)
+	}
+	// Appends still work post-compact, and a reopen replays cleanly.
+	if _, err := s.Observe(sigFor("JDK-2"), occAt("s2", 99), "class B {}", 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir)
+	defer r.Close()
+	if r.Len() != 2 || r.Get(sigFor("JDK-1").Key()).Count != 50 {
+		t.Fatal("post-compact reopen lost state")
+	}
+}
+
+func TestStoreMerge(t *testing.T) {
+	a := mustOpen(t, t.TempDir())
+	defer a.Close()
+	b := mustOpen(t, t.TempDir())
+	defer b.Close()
+	if _, err := a.Observe(sigFor("JDK-1"), occAt("s1", 10), "class A {}", 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Observe(sigFor("JDK-1"), occAt("s9", 90), "class A9 {}", 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reduced(sigFor("JDK-1").Key(), "class A' {}", 2, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Observe(sigFor("JDK-2"), occAt("s9", 91), "class B {}", 6, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	added, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 {
+		t.Errorf("added = %d, want 1 (JDK-2 only)", added)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("merged Len = %d, want 2", a.Len())
+	}
+	e1 := a.Get(sigFor("JDK-1").Key())
+	if e1.Count != 2 {
+		t.Errorf("merged count = %d, want 2", e1.Count)
+	}
+	if e1.Min != "class A' {}" {
+		t.Errorf("merge did not adopt the other store's minimized reproducer: %+v", e1)
+	}
+	if e1.Raw != "class A {}" {
+		t.Errorf("merge overwrote the destination's raw reproducer: %+v", e1)
+	}
+	e2 := a.Get(sigFor("JDK-2").Key())
+	if e2 == nil || e2.Raw != "class B {}" {
+		t.Errorf("novel entry not merged whole: %+v", e2)
+	}
+	// Merging again adds nothing new.
+	added, err = a.Merge(b)
+	if err != nil || added != 0 {
+		t.Errorf("re-merge: added=%d err=%v, want 0/nil", added, err)
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -1,0 +1,285 @@
+package triage
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/buginject"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/harness"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+)
+
+// crasherFinding builds a real campaign-shaped finding whose program
+// deterministically triggers JDK-8312744 on the reference VM.
+func crasherFinding(t *testing.T, seedName string) core.Finding {
+	t.Helper()
+	bug := buginject.ByID("JDK-8312744")
+	if bug == nil {
+		t.Fatal("JDK-8312744 missing from the catalog")
+	}
+	prog, err := lang.Parse(crasherA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Finding{
+		Bug:      bug,
+		Oracle:   "crash",
+		SeedName: seedName,
+		Target:   jvm.Reference(),
+		Program:  prog,
+		Round:    1,
+	}
+}
+
+func newTestWorker(t *testing.T, cfg WorkerConfig) (*Worker, *Store) {
+	t.Helper()
+	if cfg.Store == nil {
+		cfg.Store = mustOpen(t, t.TempDir())
+		t.Cleanup(func() { cfg.Store.Close() })
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return 42 }
+	}
+	w, err := NewWorker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, cfg.Store
+}
+
+// TestWorkerDedupsAndReducesOnce: duplicate findings dedup against the
+// store, and the reduction pipeline runs exactly once per novel
+// signature.
+func TestWorkerDedupsAndReducesOnce(t *testing.T) {
+	w, store := newTestWorker(t, WorkerConfig{})
+	w.Start(context.Background())
+	f := crasherFinding(t, "seedA")
+	for i := 0; i < 3; i++ {
+		if !w.Submit(f) {
+			t.Fatal("submit rejected while open")
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Received != 3 || st.Novel != 1 || st.Duplicates != 2 || st.Reduced != 1 {
+		t.Fatalf("stats = %+v, want received 3 / novel 1 / dup 2 / reduced 1", st)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store has %d entries, want 1", store.Len())
+	}
+	e := store.Entries()[0]
+	if e.Count != 3 {
+		t.Errorf("occurrence count = %d, want 3", e.Count)
+	}
+	if e.Min == "" || e.MinStmts >= e.RawStmts {
+		t.Errorf("reduction missing or non-shrinking: min %d stmts vs raw %d", e.MinStmts, e.RawStmts)
+	}
+	// The minimized reproducer still triggers the bug.
+	mp, err := lang.Parse(e.Min)
+	if err != nil {
+		t.Fatalf("minimized program does not parse: %v", err)
+	}
+	r, err := jvm.Run(mp, jvm.Reference(), jvm.Options{ForceCompile: true, MaxSteps: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Result.Crash == nil || r.Result.Crash.BugID != "JDK-8312744" {
+		t.Error("minimized reproducer no longer crashes with the catalog bug")
+	}
+}
+
+// panicExec panics on every probe — a stand-in for a reduction that
+// takes down the substrate.
+type panicExec struct{}
+
+func (panicExec) Execute(context.Context, *lang.Program, jvm.Spec, jvm.Options) (*jvm.ExecResult, error) {
+	panic("substrate exploded during reduction probe")
+}
+
+func (panicExec) ExecuteDifferential(context.Context, *lang.Program, []jvm.Spec, jvm.Options) (*jvm.Differential, error) {
+	panic("substrate exploded during reduction probe")
+}
+
+// hangExec blocks until the context dies — a reduction probe that hangs.
+type hangExec struct{}
+
+func (hangExec) Execute(ctx context.Context, _ *lang.Program, _ jvm.Spec, _ jvm.Options) (*jvm.ExecResult, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (hangExec) ExecuteDifferential(ctx context.Context, _ *lang.Program, _ []jvm.Spec, _ jvm.Options) (*jvm.Differential, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestWorkerQuarantinesPanickingReduction: a reduction that panics is
+// contained — the entry is quarantined with its raw reproducer kept and
+// the worker keeps consuming findings.
+func TestWorkerQuarantinesPanickingReduction(t *testing.T) {
+	w, store := newTestWorker(t, WorkerConfig{Executor: panicExec{}})
+	w.Start(context.Background())
+	w.Submit(crasherFinding(t, "seedA"))
+	// A second, differently-signatured finding must still be processed.
+	f2 := crasherFinding(t, "seedB")
+	f2.Bug = buginject.ByID("JDK-8301001")
+	if f2.Bug == nil {
+		t.Fatal("JDK-8301001 missing from the catalog")
+	}
+	w.Submit(f2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Novel != 2 || st.Quarantined != 2 || st.Reduced != 0 {
+		t.Fatalf("stats = %+v, want novel 2 / quarantined 2 / reduced 0", st)
+	}
+	for _, e := range store.Entries() {
+		if e.Quarantine == "" {
+			t.Errorf("entry %s not quarantined", e.Key)
+		}
+		if e.Raw == "" {
+			t.Errorf("entry %s lost its raw reproducer", e.Key)
+		}
+		if e.Min != "" {
+			t.Errorf("entry %s claims a minimized reproducer from a panicking pipeline", e.Key)
+		}
+	}
+}
+
+// TestWorkerQuarantinesHangingReduction: the watchdog reclaims a hung
+// reduction; the cancelled probe context drains the abandoned goroutine
+// and the finding is quarantined as a timeout.
+func TestWorkerQuarantinesHangingReduction(t *testing.T) {
+	w, store := newTestWorker(t, WorkerConfig{
+		Executor:      hangExec{},
+		ReduceTimeout: 100 * time.Millisecond,
+	})
+	w.Start(context.Background())
+	w.Submit(crasherFinding(t, "seedA"))
+	done := make(chan error, 1)
+	go func() { done <- w.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker wedged on a hanging reduction")
+	}
+	if st := w.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined", st)
+	}
+	e := store.Entries()[0]
+	if e.Quarantine == "" || e.Raw == "" {
+		t.Errorf("hang quarantine malformed: %+v", e)
+	}
+}
+
+// TestWorkerDropsAfterClose: Submit on a closed worker reports the drop
+// instead of panicking or blocking.
+func TestWorkerDropsAfterClose(t *testing.T) {
+	w, _ := newTestWorker(t, WorkerConfig{})
+	w.Start(context.Background())
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Submit(crasherFinding(t, "late")) {
+		t.Fatal("submit accepted after close")
+	}
+	if st := w.Stats(); st.Dropped != 1 {
+		t.Errorf("stats = %+v, want 1 dropped", st)
+	}
+}
+
+// runTriagedCampaign fuzzes the two crasher seeds with findings flowing
+// through a triage worker into the store at dir, returning the worker
+// stats.
+func runTriagedCampaign(t *testing.T, dir string) Stats {
+	t.Helper()
+	store := mustOpen(t, dir)
+	w, err := NewWorker(WorkerConfig{Store: store, Now: func() int64 { return 42 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	w.Start(ctx)
+	target := jvm.Reference()
+	cfg := core.DefaultConfig(target)
+	cfg.DiffSpecs = nil
+	cfg.MaxIterations = 2
+	res, err := core.RunCampaignContext(ctx, core.CampaignConfig{
+		Seeds: []corpus.Seed{
+			{Name: "crasherA", Source: crasherA},
+			{Name: "crasherB", Source: crasherB},
+		},
+		Budget:    20,
+		Targets:   []jvm.Spec{target},
+		Fuzz:      cfg,
+		Seed:      7,
+		OnFinding: func(f core.Finding) { w.Submit(f) },
+	}, harness.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("campaign produced no findings")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return w.Stats()
+}
+
+// TestWorkerCampaignIntegration: a real campaign triaged end-to-end
+// yields one store entry per distinct catalog bug, minimized no larger
+// than raw; re-running the identical campaign against the same store
+// adds zero entries.
+func TestWorkerCampaignIntegration(t *testing.T) {
+	dir := t.TempDir()
+	st1 := runTriagedCampaign(t, dir)
+	store := mustOpen(t, dir)
+	n := store.Len()
+	if n == 0 {
+		t.Fatal("no entries triaged")
+	}
+	bugIDs := map[string]bool{}
+	for _, e := range store.Entries() {
+		bugIDs[e.Sig.BugID] = true
+		min := e.MinStmts
+		if e.Min == "" {
+			min = e.RawStmts
+		}
+		if min > e.RawStmts {
+			t.Errorf("entry %s grew under reduction: %d -> %d stmts", e.Key, e.RawStmts, min)
+		}
+	}
+	if len(bugIDs) != n {
+		t.Errorf("%d entries for %d distinct catalog bugs — dedup failed", n, len(bugIDs))
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := runTriagedCampaign(t, dir)
+	if st2.Novel != 0 {
+		t.Errorf("identical rerun found %d novel signatures, want 0", st2.Novel)
+	}
+	if st2.Received != st1.Received {
+		t.Errorf("rerun submitted %d findings vs %d — campaign not deterministic", st2.Received, st1.Received)
+	}
+	store2 := mustOpen(t, dir)
+	defer store2.Close()
+	if store2.Len() != n {
+		t.Errorf("rerun grew the store: %d -> %d entries", n, store2.Len())
+	}
+}
