@@ -1,0 +1,83 @@
+// Command mopfuzzd is the fuzzing-as-a-service daemon: a job scheduler
+// dispatching MOP-guided campaigns onto a bounded runner pool, an HTTP
+// JSON API for submitting jobs and streaming findings, Prometheus-style
+// live metrics, and graceful drain — SIGTERM stops accepting jobs,
+// checkpoints running campaigns, flushes triage stores, and exits so a
+// restart resumes every in-flight job from disk.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "HTTP listen address")
+	stateDir := flag.String("state-dir", "mopfuzzd-state", "persistent state directory (jobs, checkpoints, triage stores)")
+	runners := flag.Int("runners", 1, "max concurrently running campaigns")
+	backend := flag.String("backend", "inprocess", "default execution backend: inprocess or subprocess")
+	minijvm := flag.String("minijvm", "", "path to the minijvm binary (subprocess backend)")
+	childTimeout := flag.Duration("child-timeout", 10*time.Second, "wall-clock timeout per subprocess execution")
+	execTimeout := flag.Duration("exec-timeout", 0, "wall-clock watchdog per seed task (0 = step fuel only)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "min executions between campaign checkpoints (<=0 = every task)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "mopfuzzd: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "mopfuzzd: ", log.LstdFlags)
+
+	sched, err := service.NewScheduler(service.Config{
+		Dir:             *stateDir,
+		Runners:         *runners,
+		Backend:         *backend,
+		MinijvmPath:     *minijvm,
+		ChildTimeout:    *childTimeout,
+		ExecTimeout:     *execTimeout,
+		CheckpointEvery: *checkpointEvery,
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("open state dir %s: %v", *stateDir, err)
+	}
+
+	// SIGINT/SIGTERM cancels the context: the drain signal.
+	ctx, stop := harness.ShutdownContext(context.Background())
+	defer stop()
+
+	sched.Start(ctx)
+
+	srv := &http.Server{Addr: *listen, Handler: service.NewServer(sched).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("listening on %s (state %s, %d runner(s), backend %s)", *listen, *stateDir, *runners, *backend)
+
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutdown signal: draining (no new jobs; checkpointing running campaigns)")
+	case err := <-errc:
+		logger.Fatalf("http server: %v", err)
+	}
+
+	// Drain: every runner flushes a final campaign checkpoint and closes
+	// its triage store before Wait returns; a restarted daemon re-queues
+	// the interrupted jobs and resumes them from those checkpoints.
+	sched.Wait()
+	logger.Printf("drain complete: all campaigns checkpointed, triage stores flushed")
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -59,11 +60,14 @@ func cmdReport(args []string) {
 	rep := triage.BuildReport(s)
 	var payload []byte
 	if *asJSON {
-		data, err := rep.JSON()
-		if err != nil {
+		// WriteJSON is the same serialization the service daemon's
+		// /jobs/{id}/findings endpoint emits, so CLI and API share one
+		// machine format.
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
 			fatal(err)
 		}
-		payload = append(data, '\n')
+		payload = buf.Bytes()
 	} else {
 		payload = []byte(rep.Text())
 	}

@@ -45,6 +45,35 @@ type CampaignConfig struct {
 	// Findings restored from a checkpoint are not re-fired: a persistent
 	// consumer already saw them in the interrupted run.
 	OnFinding func(Finding)
+	// OnProgress, when non-nil, observes an incremental campaign snapshot
+	// after every merged task, on the campaign goroutine in cursor order
+	// (identical under -workers). Long-running consumers — the service
+	// daemon's job views and /metrics endpoint — read live state from
+	// these instead of waiting for the final CampaignResult. State
+	// restored from a checkpoint is not re-fired; the first snapshot of a
+	// resumed run already carries the restored cumulative totals.
+	OnProgress func(Progress)
+}
+
+// Progress is one incremental campaign snapshot: the cumulative totals
+// after merging the task at Cursor, plus the per-task observations
+// (final-mutant delta, fault) that cumulative counters can't recover.
+type Progress struct {
+	Cursor             int // task just merged
+	Executions         int // cumulative, including restored checkpoint state
+	SeedsFuzzed        int
+	Findings           int // deduplicated campaign findings so far
+	Faults             int
+	SeedErrors         int
+	SkippedQuarantined int
+	// Delta is the just-merged task's Δ(seed OBV, final-mutant OBV);
+	// HasDelta marks whether the task produced one (skipped, faulted,
+	// and errored tasks do not).
+	Delta    float64
+	HasDelta bool
+	// Fault is the fault merged by this task, when any (contained panic,
+	// watchdog timeout, heap exhaustion).
+	Fault *harness.Fault
 }
 
 // Finding is one campaign-level bug detection.
@@ -296,11 +325,16 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 
 		out := eng.do(cursor)
 
+		var taskDelta float64
+		var taskHasDelta bool
+		var taskFault *harness.Fault
+
 		switch {
 		case out.Skipped:
 			res.SkippedQuarantined++
 		case out.Fault != nil:
 			res.Faults = append(res.Faults, out.Fault)
+			taskFault = out.Fault
 		case out.Err != nil:
 			if ctx.Err() != nil {
 				// Shutdown raced the task; leave the cursor on it so a
@@ -316,11 +350,13 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 			res.Executions += fr.Executions
 			res.SeedsFuzzed++
 			res.FinalDeltas = append(res.FinalDeltas, fr.FinalDelta)
+			taskDelta, taskHasDelta = fr.FinalDelta, true
 			if fr.Weights != nil {
 				weights[taskKey] = fr.Weights
 			}
 			if fr.HeapExhaustions > 0 {
-				res.Faults = append(res.Faults, reportHeapExhaustion(sup, seed, taskKey, round, fr))
+				taskFault = reportHeapExhaustion(sup, seed, taskKey, round, fr)
+				res.Faults = append(res.Faults, taskFault)
 			}
 			for _, fd := range fr.Findings {
 				if fd.Bug == nil {
@@ -357,6 +393,20 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 				seen[fd.Bug.ID] = true
 				res.Findings = append(res.Findings, f)
 			}
+		}
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(Progress{
+				Cursor:             cursor,
+				Executions:         res.Executions,
+				SeedsFuzzed:        res.SeedsFuzzed,
+				Findings:           len(res.Findings),
+				Faults:             len(res.Faults),
+				SeedErrors:         len(res.SeedErrors),
+				SkippedQuarantined: res.SkippedQuarantined,
+				Delta:              taskDelta,
+				HasDelta:           taskHasDelta,
+				Fault:              taskFault,
+			})
 		}
 		cursor++
 		if hcfg.CheckpointPath != "" &&

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/buginject"
+	"repro/internal/corpus"
+	"repro/internal/harness"
+	"repro/internal/jvm"
+)
+
+// TestCampaignProgressSnapshots pins the OnProgress contract: one
+// snapshot per merged task in cursor order, cumulative totals that end
+// exactly at the final result, and per-task deltas that reconstruct
+// FinalDeltas.
+func TestCampaignProgressSnapshots(t *testing.T) {
+	ccfg := CampaignConfig{
+		Seeds:   corpus.DefaultPool(3, 11),
+		Budget:  150,
+		Targets: []jvm.Spec{{Impl: buginject.HotSpot, Version: 17}},
+		Fuzz:    testCampaignCfg(11),
+		Seed:    11,
+	}
+	var snaps []Progress
+	ccfg.OnProgress = func(p Progress) { snaps = append(snaps, p) }
+	res, err := RunCampaignContext(context.Background(), ccfg, harness.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots fired")
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Cursor != snaps[i-1].Cursor+1 {
+			t.Fatalf("snapshot cursors not consecutive: %d then %d", snaps[i-1].Cursor, snaps[i].Cursor)
+		}
+		if snaps[i].Executions < snaps[i-1].Executions {
+			t.Fatalf("executions regressed: %d then %d", snaps[i-1].Executions, snaps[i].Executions)
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.Executions != res.Executions || last.SeedsFuzzed != res.SeedsFuzzed ||
+		last.Findings != len(res.Findings) || last.Faults != len(res.Faults) ||
+		last.SeedErrors != len(res.SeedErrors) || last.SkippedQuarantined != res.SkippedQuarantined {
+		t.Errorf("final snapshot %+v does not match result (exec %d seeds %d findings %d faults %d)",
+			last, res.Executions, res.SeedsFuzzed, len(res.Findings), len(res.Faults))
+	}
+	var deltas []float64
+	for _, p := range snaps {
+		if p.HasDelta {
+			deltas = append(deltas, p.Delta)
+		}
+	}
+	if len(deltas) != len(res.FinalDeltas) {
+		t.Fatalf("%d delta-bearing snapshots, result has %d FinalDeltas", len(deltas), len(res.FinalDeltas))
+	}
+	for i := range deltas {
+		if deltas[i] != res.FinalDeltas[i] {
+			t.Errorf("delta[%d] = %v, want %v", i, deltas[i], res.FinalDeltas[i])
+		}
+	}
+
+	// The snapshot stream is deterministic under -workers: same tasks,
+	// same cursor order, same totals.
+	var parSnaps []Progress
+	pcfg := ccfg
+	pcfg.Workers = 3
+	pcfg.OnProgress = func(p Progress) { parSnaps = append(parSnaps, p) }
+	pres, err := RunCampaignContext(context.Background(), pcfg, harness.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCampaignsEqual(t, res, pres)
+	if len(parSnaps) != len(snaps) {
+		t.Fatalf("parallel run fired %d snapshots, sequential %d", len(parSnaps), len(snaps))
+	}
+	for i := range snaps {
+		a, b := snaps[i], parSnaps[i]
+		if (a.Fault == nil) != (b.Fault == nil) {
+			t.Errorf("snapshot[%d] fault presence differs under -workers", i)
+		}
+		a.Fault, b.Fault = nil, nil // pointers differ across runs; compare values only
+		if a != b {
+			t.Errorf("snapshot[%d] differs under -workers:\n seq %+v\n par %+v", i, snaps[i], parSnaps[i])
+		}
+	}
+}
+
+// TestCampaignProgressReportsFaults pins the per-task fault attachment:
+// a panicking JIT pass surfaces as a snapshot with a harness fault.
+func TestCampaignProgressReportsFaults(t *testing.T) {
+	fcfg := testCampaignCfg(12)
+	fcfg.CompileHook = panicOnClass{class: "Boom"}
+	ccfg := CampaignConfig{
+		Seeds:   append(corpus.DefaultPool(2, 12), boomSeed),
+		Budget:  150,
+		Targets: []jvm.Spec{{Impl: buginject.HotSpot, Version: 17}},
+		Fuzz:    fcfg,
+		Seed:    12,
+	}
+	var faults int
+	ccfg.OnProgress = func(p Progress) {
+		if p.Fault != nil {
+			faults++
+			if p.Fault.Class != harness.FaultHarness {
+				t.Errorf("fault class = %s, want harness-fault", p.Fault.Class)
+			}
+		}
+	}
+	res, err := RunCampaignContext(context.Background(), ccfg, harness.Config{QuarantineDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults == 0 {
+		t.Fatal("no fault-bearing snapshot fired")
+	}
+	if counts := res.FaultCounts(); counts[harness.FaultHarness] == 0 {
+		t.Fatal("result recorded no harness fault (test premise broken)")
+	}
+}

@@ -18,12 +18,26 @@ type Seed struct {
 	Source string
 }
 
-// Parse returns the seed's program (panics on malformed generated source,
-// which the generator's tests rule out).
-func (s Seed) Parse() *lang.Program {
+// TryParse parses the seed's source, returning an error for malformed
+// input. It is the entry point for user-supplied seeds (service job
+// submissions, files handed to CLIs), where a bad program must surface
+// as a rejection the caller can report — a 400 response, not a daemon
+// fault.
+func (s Seed) TryParse() (*lang.Program, error) {
 	p, err := lang.Parse(s.Source)
 	if err != nil {
-		panic(fmt.Sprintf("corpus: seed %s: %v", s.Name, err))
+		return nil, fmt.Errorf("corpus: seed %s: %v", s.Name, err)
+	}
+	return p, nil
+}
+
+// Parse returns the seed's program (panics on malformed generated source,
+// which the generator's tests rule out). Generated-corpus paths keep this
+// convenience; anything parsing untrusted source goes through TryParse.
+func (s Seed) Parse() *lang.Program {
+	p, err := s.TryParse()
+	if err != nil {
+		panic(err.Error())
 	}
 	return p
 }

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/jvm"
@@ -59,6 +60,34 @@ func TestAllSeedsParseCheckAndRun(t *testing.T) {
 				seed.Name, ref.Result.OutputString(), opt.Result.OutputString())
 		}
 	}
+}
+
+func TestTryParse(t *testing.T) {
+	good := Seed{Name: "Good", Source: "class G { static void main() { print(1); } }"}
+	if _, err := good.TryParse(); err != nil {
+		t.Fatalf("TryParse(valid) = %v", err)
+	}
+	bad := Seed{Name: "Bad", Source: "class {"}
+	_, err := bad.TryParse()
+	if err == nil {
+		t.Fatal("TryParse accepted a malformed program")
+	}
+	// The error names the seed, so a service can blame the submission.
+	if got := err.Error(); !strings.Contains(got, "Bad") {
+		t.Errorf("TryParse error %q does not name the seed", got)
+	}
+	// Parse delegates: same failure surfaces as the historical panic,
+	// with the TryParse error as its message.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Parse(malformed) did not panic")
+		}
+		if msg, ok := r.(string); !ok || msg != err.Error() {
+			t.Errorf("Parse panic = %v, want TryParse error %q", r, err)
+		}
+	}()
+	bad.Parse()
 }
 
 func TestMotivatingSeedShape(t *testing.T) {

@@ -1,0 +1,382 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/jvm"
+	"repro/internal/triage"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState string
+
+// Job states. Queued and running are live; interrupted means a daemon
+// drain checkpointed the campaign mid-flight (a restart re-queues it
+// with resume); the rest are terminal.
+const (
+	StateQueued      JobState = "queued"
+	StateRunning     JobState = "running"
+	StateInterrupted JobState = "interrupted"
+	StateDone        JobState = "done"
+	StateFailed      JobState = "failed"
+	StateCancelled   JobState = "cancelled"
+)
+
+// States lists every job state in a fixed order, so the /metrics gauge
+// emits a series per state even at zero.
+func States() []JobState {
+	return []JobState{StateQueued, StateRunning, StateInterrupted, StateDone, StateFailed, StateCancelled}
+}
+
+// Terminal reports whether the state is final (no further transitions).
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// SeedSpec is one user-supplied seed program in a job submission.
+type SeedSpec struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// JobSpec is a job submission: the seed corpus plus the campaign knobs
+// a CLI invocation would pass as flags. The zero value of every field
+// gets the mopfuzzer default, so `{"budget": 500}` is a valid job.
+type JobSpec struct {
+	// Name is a free-form label for humans; it does not identify the job.
+	Name string `json:"name,omitempty"`
+	// Targets are jvm.Spec names (e.g. "openjdk-17"), cycled per seed
+	// task exactly like mopfuzzer -jdk. Default: openjdk-17.
+	Targets []string `json:"targets,omitempty"`
+	// SeedCount generates that many corpus seeds from Seed; user seeds in
+	// Seeds are appended after them. Default 8 when Seeds is empty.
+	SeedCount int        `json:"seed_count,omitempty"`
+	Seeds     []SeedSpec `json:"seeds,omitempty"`
+	// Budget is the total execution budget (default 1000).
+	Budget int `json:"budget,omitempty"`
+	// Iterations is MAX Iterations per seed (default 50).
+	Iterations int   `json:"iterations,omitempty"`
+	Seed       int64 `json:"seed,omitempty"` // RNG seed (default 1)
+	// Workers shards seed tasks inside the campaign (default 1;
+	// results are byte-identical either way).
+	Workers int `json:"workers,omitempty"`
+	// Backend pins the execution backend ("inprocess" or "subprocess");
+	// empty inherits the daemon's default.
+	Backend string `json:"backend,omitempty"`
+	// Extended enables the alternative evoking-mutator implementations.
+	Extended bool `json:"extended,omitempty"`
+	// HeapLimit caps per-execution heap allocation in units (0 = VM
+	// default, <0 = uncapped), mirroring mopfuzzer -heap-limit.
+	HeapLimit int64 `json:"heap_limit,omitempty"`
+}
+
+// Validate normalizes a submission in place (applying CLI defaults) and
+// rejects anything that would fault the daemon at run time: unknown
+// target specs, unknown backends, negative budgets, and — via
+// corpus.Seed.TryParse — malformed user seed programs, so a bad
+// submission is an API error, not a campaign fault.
+func (s *JobSpec) Validate() error {
+	if s.Budget < 0 {
+		return fmt.Errorf("budget must be positive")
+	}
+	if s.Budget == 0 {
+		s.Budget = 1000
+	}
+	if s.Iterations < 0 {
+		return fmt.Errorf("iterations must be positive")
+	}
+	if s.Iterations == 0 {
+		s.Iterations = 50
+	}
+	if s.SeedCount < 0 {
+		return fmt.Errorf("seed_count must be non-negative")
+	}
+	if s.SeedCount == 0 && len(s.Seeds) == 0 {
+		s.SeedCount = 8
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("workers must be non-negative")
+	}
+	if len(s.Targets) == 0 {
+		s.Targets = []string{"openjdk-17"}
+	}
+	for _, t := range s.Targets {
+		if _, err := jvm.ParseSpec(t); err != nil {
+			return fmt.Errorf("target %q: %v", t, err)
+		}
+	}
+	switch s.Backend {
+	case "", "inprocess", "subprocess":
+	default:
+		return fmt.Errorf("unknown backend %q (want inprocess or subprocess)", s.Backend)
+	}
+	for i := range s.Seeds {
+		if s.Seeds[i].Name == "" {
+			s.Seeds[i].Name = fmt.Sprintf("User%04d", i+1)
+		}
+		if err := validateSeed(s.Seeds[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateSeed checks one user-supplied seed program.
+func validateSeed(sd SeedSpec) error {
+	if sd.Source == "" {
+		return fmt.Errorf("seed %s: empty source", sd.Name)
+	}
+	if _, err := (corpus.Seed{Name: sd.Name, Source: sd.Source}).TryParse(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// pool materializes the job's seed corpus: the generated pool first,
+// then user seeds in submission order. Every seed here has already
+// passed Validate, so campaign-side Parse cannot fault on them.
+func (s *JobSpec) pool() []corpus.Seed {
+	out := corpus.DefaultPool(s.SeedCount, s.Seed)
+	for _, sd := range s.Seeds {
+		out = append(out, corpus.Seed{Name: sd.Name, Source: sd.Source})
+	}
+	return out
+}
+
+// specs parses the validated target names.
+func (s *JobSpec) specs() []jvm.Spec {
+	out := make([]jvm.Spec, 0, len(s.Targets))
+	for _, t := range s.Targets {
+		spec, err := jvm.ParseSpec(t)
+		if err != nil {
+			panic(fmt.Sprintf("service: unvalidated target %q: %v", t, err)) // Validate ran first
+		}
+		out = append(out, spec)
+	}
+	return out
+}
+
+// FindingSummary is one campaign finding in a job result — the
+// provenance fields without the full reproducer (the triage store keeps
+// those).
+type FindingSummary struct {
+	BugID       string `json:"bug_id"`
+	Component   string `json:"component"`
+	Kind        string `json:"kind,omitempty"`
+	Oracle      string `json:"oracle"`
+	SeedName    string `json:"seed_name"`
+	Target      string `json:"target"`
+	AtExecution int    `json:"at_execution"`
+	Cursor      int    `json:"cursor"`
+	Round       int    `json:"round"`
+	ChainLen    int    `json:"chain_len"`
+}
+
+// ResultSummary is the deterministic digest of a finished campaign: it
+// contains no wall-clock state, so an interrupted-and-resumed job must
+// produce byte-identical JSON to an uninterrupted one (test-pinned).
+type ResultSummary struct {
+	Executions         int              `json:"executions"`
+	SeedsFuzzed        int              `json:"seeds_fuzzed"`
+	UniqueBugs         int              `json:"unique_bugs"`
+	Findings           []FindingSummary `json:"findings"`
+	FaultsByClass      map[string]int   `json:"faults_by_class,omitempty"`
+	SeedErrors         int              `json:"seed_errors,omitempty"`
+	SkippedQuarantined int              `json:"skipped_quarantined,omitempty"`
+	MedianDelta        float64          `json:"median_delta"`
+}
+
+// Summarize digests a campaign result for the job record.
+func Summarize(res *core.CampaignResult) *ResultSummary {
+	sum := &ResultSummary{
+		Executions:         res.Executions,
+		SeedsFuzzed:        res.SeedsFuzzed,
+		UniqueBugs:         len(res.Findings),
+		Findings:           []FindingSummary{},
+		SeedErrors:         len(res.SeedErrors),
+		SkippedQuarantined: res.SkippedQuarantined,
+		MedianDelta:        res.MedianDelta(),
+	}
+	for i := range res.Findings {
+		sum.Findings = append(sum.Findings, summarizeFinding(&res.Findings[i]))
+	}
+	if len(res.Faults) > 0 {
+		sum.FaultsByClass = map[string]int{}
+		for _, f := range res.Faults {
+			sum.FaultsByClass[string(f.Class)]++
+		}
+	}
+	return sum
+}
+
+func summarizeFinding(f *core.Finding) FindingSummary {
+	fs := FindingSummary{
+		Oracle:      f.Oracle,
+		SeedName:    f.SeedName,
+		Target:      f.Target.Name(),
+		AtExecution: f.AtExecution,
+		Cursor:      f.Cursor,
+		Round:       f.Round,
+		ChainLen:    f.ChainLen,
+	}
+	if f.Bug != nil {
+		fs.BugID, fs.Component, fs.Kind = f.Bug.ID, f.Bug.Component, f.Bug.Kind.String()
+	}
+	return fs
+}
+
+// TriageStats is the persisted slice of triage.Stats, accumulated
+// across a job's run segments (each resume adds its segment's counts).
+type TriageStats struct {
+	Received    int `json:"received"`
+	Novel       int `json:"novel"`
+	Duplicates  int `json:"duplicates"`
+	Reduced     int `json:"reduced"`
+	Quarantined int `json:"quarantined"`
+	Errors      int `json:"errors,omitempty"`
+}
+
+func (t *TriageStats) add(s triage.Stats) {
+	t.Received += s.Received
+	t.Novel += s.Novel
+	t.Duplicates += s.Duplicates
+	t.Reduced += s.Reduced
+	t.Quarantined += s.Quarantined
+	t.Errors += s.Errors
+}
+
+// jobVersion guards the persisted job record schema; a record with
+// another version is rejected rather than silently misread, mirroring
+// the harness checkpoint and triage store versioning.
+const jobVersion = 1
+
+// jobRecord is the on-disk (and wire) form of a job: everything needed
+// to re-queue, resume, and report it across daemon restarts.
+type jobRecord struct {
+	Version int      `json:"version"`
+	ID      string   `json:"id"`
+	Spec    JobSpec  `json:"spec"`
+	State   JobState `json:"state"`
+	// Created/Started/Finished are Unix timestamps; Started is the first
+	// run segment's start, preserved across resumes.
+	Created  int64 `json:"created,omitempty"`
+	Started  int64 `json:"started,omitempty"`
+	Finished int64 `json:"finished,omitempty"`
+	// Resumes counts run segments that restored a checkpoint.
+	Resumes int            `json:"resumes,omitempty"`
+	Error   string         `json:"error,omitempty"`
+	Result  *ResultSummary `json:"result,omitempty"`
+	Triage  *TriageStats   `json:"triage,omitempty"`
+}
+
+// ProgressView is the live slice of a running job exposed by the API.
+type ProgressView struct {
+	Cursor             int `json:"cursor"`
+	Executions         int `json:"executions"`
+	Budget             int `json:"budget"`
+	SeedsFuzzed        int `json:"seeds_fuzzed"`
+	Findings           int `json:"findings"`
+	Faults             int `json:"faults"`
+	SeedErrors         int `json:"seed_errors,omitempty"`
+	SkippedQuarantined int `json:"skipped_quarantined,omitempty"`
+}
+
+// JobView is the API rendering of a job: the persisted record plus, for
+// running jobs, the latest progress snapshot.
+type JobView struct {
+	ID       string         `json:"id"`
+	Spec     JobSpec        `json:"spec"`
+	State    JobState       `json:"state"`
+	Created  int64          `json:"created,omitempty"`
+	Started  int64          `json:"started,omitempty"`
+	Finished int64          `json:"finished,omitempty"`
+	Resumes  int            `json:"resumes,omitempty"`
+	Error    string         `json:"error,omitempty"`
+	Result   *ResultSummary `json:"result,omitempty"`
+	Triage   *TriageStats   `json:"triage,omitempty"`
+	Progress *ProgressView  `json:"progress,omitempty"`
+}
+
+// Job is one scheduled campaign with its runtime state. All access goes
+// through the mutex: the scheduler's runner goroutine, the HTTP
+// handlers, and the campaign's progress callback all touch it.
+type Job struct {
+	mu  sync.Mutex
+	rec jobRecord
+	dir string
+
+	// Runtime, valid only while running.
+	cancel      context.CancelFunc
+	cancelAsked bool
+	hasProgress bool
+	progress    core.Progress
+	tstore      *triage.Store
+	tworker     *triage.Worker
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.ID
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec.State
+}
+
+// Spec returns a copy of the job's (normalized) submission.
+func (j *Job) Spec() JobSpec {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return copySpec(j.rec.Spec)
+}
+
+// View renders the job for the API.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:       j.rec.ID,
+		Spec:     copySpec(j.rec.Spec),
+		State:    j.rec.State,
+		Created:  j.rec.Created,
+		Started:  j.rec.Started,
+		Finished: j.rec.Finished,
+		Resumes:  j.rec.Resumes,
+		Error:    j.rec.Error,
+		Result:   j.rec.Result,
+		Triage:   j.rec.Triage,
+	}
+	if j.rec.State == StateRunning && j.hasProgress {
+		v.Progress = &ProgressView{
+			Cursor:             j.progress.Cursor,
+			Executions:         j.progress.Executions,
+			Budget:             j.rec.Spec.Budget,
+			SeedsFuzzed:        j.progress.SeedsFuzzed,
+			Findings:           j.progress.Findings,
+			Faults:             j.progress.Faults,
+			SeedErrors:         j.progress.SeedErrors,
+			SkippedQuarantined: j.progress.SkippedQuarantined,
+		}
+	}
+	return v
+}
+
+func copySpec(s JobSpec) JobSpec {
+	cp := s
+	cp.Targets = append([]string(nil), s.Targets...)
+	cp.Seeds = append([]SeedSpec(nil), s.Seeds...)
+	return cp
+}
+

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// deltaBuckets are the upper bounds of the OBV-increment histogram —
+// Δ(seed OBV, final-mutant OBV) per fuzzed seed, the paper's Figure 3/4
+// distribution observed live. Values are behavior-count increments, so
+// small integers dominate; the top bucket catches optimization-storm
+// mutants.
+var deltaBuckets = []float64{0, 1, 2, 5, 10, 25, 50, 100, 250}
+
+// knownFaultClasses fixes the fault-count series emitted even at zero,
+// so dashboards and the CI smoke assertions can rely on their presence.
+var knownFaultClasses = []harness.FaultClass{
+	harness.FaultCrash,
+	harness.FaultMiscompile,
+	harness.FaultTimeout,
+	harness.FaultHeapExhausted,
+	harness.FaultHarness,
+}
+
+// Metrics aggregates daemon-wide counters and renders them in the
+// Prometheus text exposition format. It is hand-rolled — the daemon
+// takes no dependency on a client library — and safe for concurrent
+// use: campaign progress callbacks feed it while /metrics scrapes it.
+type Metrics struct {
+	now   func() time.Time
+	start time.Time
+
+	mu           sync.Mutex
+	executions   int64
+	findings     int64
+	faults       map[string]int64
+	deltaCounts  []int64 // per-bucket (non-cumulative) counts; index len(deltaBuckets) is +Inf
+	deltaSum     float64
+	deltaObs     int64
+	jobsAccepted int64
+}
+
+// NewMetrics builds a registry. now is the clock seam (nil = wall
+// clock); the construction instant anchors uptime and executions/sec.
+func NewMetrics(now func() time.Time) *Metrics {
+	if now == nil {
+		now = time.Now
+	}
+	m := &Metrics{
+		now:         now,
+		start:       now(),
+		faults:      map[string]int64{},
+		deltaCounts: make([]int64, len(deltaBuckets)+1),
+	}
+	for _, c := range knownFaultClasses {
+		m.faults[string(c)] = 0
+	}
+	return m
+}
+
+// AddExecutions accounts n more target executions.
+func (m *Metrics) AddExecutions(n int) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.executions += int64(n)
+	m.mu.Unlock()
+}
+
+// AddFinding accounts one finding occurrence streamed by a campaign.
+func (m *Metrics) AddFinding() {
+	m.mu.Lock()
+	m.findings++
+	m.mu.Unlock()
+}
+
+// AddFault accounts one classified harness fault.
+func (m *Metrics) AddFault(class string) {
+	m.mu.Lock()
+	m.faults[class]++
+	m.mu.Unlock()
+}
+
+// AddJobAccepted accounts one accepted job submission.
+func (m *Metrics) AddJobAccepted() {
+	m.mu.Lock()
+	m.jobsAccepted++
+	m.mu.Unlock()
+}
+
+// ObserveDelta records one seed task's OBV increment in the histogram.
+func (m *Metrics) ObserveDelta(d float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deltaSum += d
+	m.deltaObs++
+	for i, le := range deltaBuckets {
+		if d <= le {
+			m.deltaCounts[i]++
+			return
+		}
+	}
+	m.deltaCounts[len(deltaBuckets)]++
+}
+
+// Executions returns the cumulative execution count.
+func (m *Metrics) Executions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.executions
+}
+
+// Render writes the Prometheus text format. The caller supplies the
+// scrape-time gauges the registry does not own: jobs by state and the
+// aggregated triage stats.
+func (m *Metrics) Render(w io.Writer, jobs map[JobState]int, tr TriageStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_jobs Jobs by lifecycle state.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_jobs gauge")
+	for _, st := range States() {
+		fmt.Fprintf(w, "mopfuzzd_jobs{state=%q} %d\n", string(st), jobs[st])
+	}
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_jobs_accepted_total Job submissions accepted.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_jobs_accepted_total counter")
+	fmt.Fprintf(w, "mopfuzzd_jobs_accepted_total %d\n", m.jobsAccepted)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_executions_total Target executions across all jobs.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_executions_total counter")
+	fmt.Fprintf(w, "mopfuzzd_executions_total %d\n", m.executions)
+
+	up := m.now().Sub(m.start).Seconds()
+	rate := 0.0
+	if up > 0 {
+		rate = float64(m.executions) / up
+	}
+	fmt.Fprintln(w, "# HELP mopfuzzd_executions_per_second Mean execution throughput since daemon start.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_executions_per_second gauge")
+	fmt.Fprintf(w, "mopfuzzd_executions_per_second %g\n", rate)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_findings_total Finding occurrences streamed by campaigns (pre-dedup).")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_findings_total counter")
+	fmt.Fprintf(w, "mopfuzzd_findings_total %d\n", m.findings)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_faults_total Harness faults by class.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_faults_total counter")
+	classes := make([]string, 0, len(m.faults))
+	for c := range m.faults {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Fprintf(w, "mopfuzzd_faults_total{class=%q} %d\n", c, m.faults[c])
+	}
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_obv_delta OBV increment per fuzzed seed (Δ seed vs final mutant).")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_obv_delta histogram")
+	cum := int64(0)
+	for i, le := range deltaBuckets {
+		cum += m.deltaCounts[i]
+		fmt.Fprintf(w, "mopfuzzd_obv_delta_bucket{le=%q} %d\n", trimFloat(le), cum)
+	}
+	cum += m.deltaCounts[len(deltaBuckets)]
+	fmt.Fprintf(w, "mopfuzzd_obv_delta_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "mopfuzzd_obv_delta_sum %g\n", m.deltaSum)
+	fmt.Fprintf(w, "mopfuzzd_obv_delta_count %d\n", m.deltaObs)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_triage_findings_total Findings consumed by triage workers.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_triage_findings_total counter")
+	fmt.Fprintf(w, "mopfuzzd_triage_findings_total %d\n", tr.Received)
+	fmt.Fprintln(w, "# HELP mopfuzzd_triage_signatures_total Novel root-cause signatures stored.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_triage_signatures_total counter")
+	fmt.Fprintf(w, "mopfuzzd_triage_signatures_total %d\n", tr.Novel)
+	fmt.Fprintln(w, "# HELP mopfuzzd_triage_dedup_hits_total Findings deduplicated against existing signatures.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_triage_dedup_hits_total counter")
+	fmt.Fprintf(w, "mopfuzzd_triage_dedup_hits_total %d\n", tr.Duplicates)
+	ratio := 0.0
+	if tr.Received > 0 {
+		ratio = float64(tr.Duplicates) / float64(tr.Received)
+	}
+	fmt.Fprintln(w, "# HELP mopfuzzd_triage_dedup_hit_ratio Fraction of findings deduplicated.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_triage_dedup_hit_ratio gauge")
+	fmt.Fprintf(w, "mopfuzzd_triage_dedup_hit_ratio %g\n", ratio)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_uptime_seconds Seconds since daemon start.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_uptime_seconds gauge")
+	fmt.Fprintf(w, "mopfuzzd_uptime_seconds %g\n", up)
+}
+
+// trimFloat renders a bucket bound without a trailing ".0" — the
+// Prometheus convention ("5", not "5.0"; "0.5" keeps its fraction).
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

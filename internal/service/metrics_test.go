@@ -1,0 +1,85 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when told, pinning rate/uptime math.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func renderMetrics(m *Metrics, jobs map[JobState]int, tr TriageStats) string {
+	var sb strings.Builder
+	m.Render(&sb, jobs, tr)
+	return sb.String()
+}
+
+func wantLine(t *testing.T, out, line string) {
+	t.Helper()
+	if !strings.Contains(out, line+"\n") {
+		t.Errorf("metrics output missing %q\n---\n%s", line, out)
+	}
+}
+
+func TestMetricsRender(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	m := NewMetrics(clock.now)
+
+	m.AddExecutions(40)
+	m.AddExecutions(10)
+	m.AddExecutions(0) // ignored
+	m.AddFinding()
+	m.AddFinding()
+	m.AddFault("crash")
+	m.AddFault("crash")
+	m.AddFault("timeout")
+	m.AddJobAccepted()
+	for _, d := range []float64{0, 1, 3, 100, 1e6} {
+		m.ObserveDelta(d)
+	}
+	clock.advance(10 * time.Second)
+
+	out := renderMetrics(m, map[JobState]int{StateDone: 2, StateRunning: 1},
+		TriageStats{Received: 10, Novel: 3, Duplicates: 7})
+
+	wantLine(t, out, `mopfuzzd_jobs{state="done"} 2`)
+	wantLine(t, out, `mopfuzzd_jobs{state="running"} 1`)
+	wantLine(t, out, `mopfuzzd_jobs{state="queued"} 0`) // zero states still emitted
+	wantLine(t, out, `mopfuzzd_jobs_accepted_total 1`)
+	wantLine(t, out, `mopfuzzd_executions_total 50`)
+	wantLine(t, out, `mopfuzzd_executions_per_second 5`)
+	wantLine(t, out, `mopfuzzd_findings_total 2`)
+	wantLine(t, out, `mopfuzzd_faults_total{class="crash"} 2`)
+	wantLine(t, out, `mopfuzzd_faults_total{class="timeout"} 1`)
+	// Every known class appears even at zero, so dashboards can rely on
+	// the series existing.
+	wantLine(t, out, `mopfuzzd_faults_total{class="miscompile"} 0`)
+	wantLine(t, out, `mopfuzzd_faults_total{class="heap-exhausted"} 0`)
+	wantLine(t, out, `mopfuzzd_faults_total{class="harness-fault"} 0`)
+	// Histogram buckets are cumulative.
+	wantLine(t, out, `mopfuzzd_obv_delta_bucket{le="0"} 1`)
+	wantLine(t, out, `mopfuzzd_obv_delta_bucket{le="1"} 2`)
+	wantLine(t, out, `mopfuzzd_obv_delta_bucket{le="5"} 3`)
+	wantLine(t, out, `mopfuzzd_obv_delta_bucket{le="100"} 4`)
+	wantLine(t, out, `mopfuzzd_obv_delta_bucket{le="+Inf"} 5`)
+	wantLine(t, out, `mopfuzzd_obv_delta_count 5`)
+	wantLine(t, out, `mopfuzzd_triage_findings_total 10`)
+	wantLine(t, out, `mopfuzzd_triage_signatures_total 3`)
+	wantLine(t, out, `mopfuzzd_triage_dedup_hits_total 7`)
+	wantLine(t, out, `mopfuzzd_triage_dedup_hit_ratio 0.7`)
+	wantLine(t, out, `mopfuzzd_uptime_seconds 10`)
+}
+
+func TestMetricsZeroSafe(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	m := NewMetrics(clock.now)
+	// Zero uptime and zero triage volume must not divide by zero.
+	out := renderMetrics(m, nil, TriageStats{})
+	wantLine(t, out, `mopfuzzd_executions_per_second 0`)
+	wantLine(t, out, `mopfuzzd_triage_dedup_hit_ratio 0`)
+	wantLine(t, out, `mopfuzzd_obv_delta_bucket{le="+Inf"} 0`)
+}

@@ -1,0 +1,578 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/harness"
+	"repro/internal/triage"
+)
+
+// Errors the HTTP layer maps to status codes.
+var (
+	// ErrDraining rejects submissions while the daemon is shutting down.
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrUnknownJob names a job ID with no record.
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrNotQueued rejects mutations of a job that already started.
+	ErrNotQueued = errors.New("service: job is not queued")
+	// ErrTerminal rejects cancellation of a finished job.
+	ErrTerminal = errors.New("service: job already finished")
+)
+
+// Config tunes the scheduler (one per daemon).
+type Config struct {
+	// Dir is the persistent state directory (job records, campaign
+	// checkpoints, triage stores, quarantines).
+	Dir string
+	// Runners bounds concurrently running campaigns (default 1).
+	Runners int
+	// Backend is the default execution backend for jobs that do not pin
+	// one ("" = inprocess); MinijvmPath/ChildTimeout configure the
+	// subprocess backend exactly like the mopfuzzer flags.
+	Backend      string
+	MinijvmPath  string
+	ChildTimeout time.Duration
+	// ExecTimeout arms the harness wall-clock watchdog per seed task
+	// (0 = step fuel only).
+	ExecTimeout time.Duration
+	// CheckpointEvery is the minimum executions between campaign
+	// snapshots (<=0 snapshots after every task — the drain-safest and
+	// default setting).
+	CheckpointEvery int
+	// Now is the clock seam (nil = wall clock). Timestamps on job
+	// records and triage occurrences derive from it.
+	Now func() time.Time
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+	// OnTask, when set, observes (jobID, tasks done) after every
+	// supervised campaign task — the deterministic-interruption test
+	// seam, mirroring harness.Config.OnTask.
+	OnTask func(jobID string, done int)
+}
+
+// Scheduler owns the daemon's job lifecycle: submissions queue, a
+// bounded runner pool dispatches them onto RunCampaignContext under the
+// fault-isolating harness, per-job checkpoints make a daemon restart
+// resume in-flight jobs from disk, and per-job triage stores
+// deduplicate and minimize the findings the API serves.
+type Scheduler struct {
+	cfg     Config
+	store   *JobStore
+	metrics *Metrics
+	broker  *Broker
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	jobs    map[string]*Job
+	order   []string // submission order
+	queue   []string
+	nextID  int
+	started bool
+	ctx     context.Context
+
+	wg sync.WaitGroup
+
+	// reportMu serializes triage-store opens/closes per daemon, so a
+	// /findings read of a finished job never races a runner opening the
+	// same store (triage.Open trims partial trailing records, which must
+	// not happen under a live writer).
+	reportMu sync.Mutex
+}
+
+// NewScheduler opens the state directory, loads every persisted job,
+// and re-queues the ones a previous daemon left queued or in flight —
+// those resume from their campaign checkpoints when Start runs them.
+func NewScheduler(cfg Config) (*Scheduler, error) {
+	if cfg.Runners <= 0 {
+		cfg.Runners = 1
+	}
+	if cfg.ChildTimeout == 0 {
+		cfg.ChildTimeout = 10 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	store, err := OpenJobStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := store.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		store:   store,
+		metrics: NewMetrics(cfg.Now),
+		broker:  NewBroker(),
+		jobs:    map[string]*Job{},
+		nextID:  NextID(recs),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for _, rec := range recs {
+		j := &Job{rec: *rec, dir: store.JobDir(rec.ID)}
+		switch rec.State {
+		case StateRunning, StateInterrupted:
+			// The previous daemon drained (or died) mid-run; the campaign
+			// checkpoint on disk carries the partial state, so the job goes
+			// back on the queue and resumes exactly where it stopped.
+			j.rec.State = StateQueued
+			if err := store.Save(&j.rec); err != nil {
+				return nil, err
+			}
+			s.queue = append(s.queue, rec.ID)
+			s.logf("job %s: re-queued for resume (was %s)", rec.ID, rec.State)
+		case StateQueued:
+			s.queue = append(s.queue, rec.ID)
+		}
+		s.jobs[rec.ID] = j
+		s.order = append(s.order, rec.ID)
+	}
+	return s, nil
+}
+
+// Store exposes the underlying job store (paths for tests and tools).
+func (s *Scheduler) Store() *JobStore { return s.store }
+
+// Metrics exposes the daemon metrics registry.
+func (s *Scheduler) Metrics() *Metrics { return s.metrics }
+
+// Broker exposes the live event broker.
+func (s *Scheduler) Broker() *Broker { return s.broker }
+
+// Start launches the runner pool. Cancelling ctx is the drain signal:
+// runners stop picking up queued jobs, running campaigns flush a final
+// checkpoint and return interrupted, and Wait unblocks once every
+// runner has exited.
+func (s *Scheduler) Start(ctx context.Context) {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.ctx = ctx
+	n := s.cfg.Runners
+	s.mu.Unlock()
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.runner(ctx)
+	}
+	go func() {
+		<-ctx.Done()
+		s.cond.Broadcast() // wake idle runners so they exit
+	}()
+}
+
+// Wait blocks until every runner has stopped (drain complete: all
+// running campaigns checkpointed and their triage stores flushed).
+func (s *Scheduler) Wait() { s.wg.Wait() }
+
+// Draining reports whether the scheduler has begun shutting down.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
+// Submit validates a job spec, persists the job, and queues it.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx != nil && s.ctx.Err() != nil {
+		return nil, ErrDraining
+	}
+	id := FormatID(s.nextID)
+	j := &Job{
+		rec: jobRecord{ID: id, Spec: spec, State: StateQueued, Created: s.cfg.Now().Unix()},
+		dir: s.store.JobDir(id),
+	}
+	if err := s.store.Save(&j.rec); err != nil {
+		return nil, err
+	}
+	s.nextID++
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queue = append(s.queue, id)
+	s.metrics.AddJobAccepted()
+	s.cond.Signal()
+	return j, nil
+}
+
+// Get returns the job with the given ID, or nil.
+func (s *Scheduler) Get(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// JobsInOrder returns every job in submission order.
+func (s *Scheduler) JobsInOrder() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job goes terminal immediately, a running
+// one has its campaign context cancelled (the runner marks it cancelled
+// after the final checkpoint flush). Cancelling a finished job returns
+// ErrTerminal.
+func (s *Scheduler) Cancel(id string) (*Job, error) {
+	j := s.Get(id)
+	if j == nil {
+		return nil, ErrUnknownJob
+	}
+	j.mu.Lock()
+	switch j.rec.State {
+	case StateQueued:
+		j.rec.State = StateCancelled
+		j.rec.Finished = s.cfg.Now().Unix()
+		rec := j.rec
+		j.mu.Unlock()
+		if err := s.store.Save(&rec); err != nil {
+			return nil, err
+		}
+		s.broker.Publish(id, Event{Type: "state", State: StateCancelled})
+		return j, nil
+	case StateRunning, StateInterrupted:
+		j.cancelAsked = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return j, nil
+	default:
+		st := j.rec.State
+		j.mu.Unlock()
+		return nil, fmt.Errorf("%w (state %s)", ErrTerminal, st)
+	}
+}
+
+// AddSeeds appends user seed programs to a queued job. Seeds are
+// validated with corpus.Seed.TryParse, so a malformed program is an
+// error here, never a campaign fault. A job that has started (or has
+// checkpointed state awaiting resume) rejects the mutation: changing
+// the seed pool would break resume determinism.
+func (s *Scheduler) AddSeeds(id string, seeds []SeedSpec) (*Job, error) {
+	j := s.Get(id)
+	if j == nil {
+		return nil, ErrUnknownJob
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rec.State != StateQueued {
+		return nil, fmt.Errorf("%w (state %s)", ErrNotQueued, j.rec.State)
+	}
+	if s.store.HasCheckpoint(id) {
+		return nil, fmt.Errorf("%w (job has checkpointed state awaiting resume)", ErrNotQueued)
+	}
+	base := len(j.rec.Spec.Seeds)
+	for i := range seeds {
+		if seeds[i].Name == "" {
+			seeds[i].Name = fmt.Sprintf("User%04d", base+i+1)
+		}
+		if err := validateSeed(seeds[i]); err != nil {
+			return nil, err
+		}
+	}
+	j.rec.Spec.Seeds = append(j.rec.Spec.Seeds, seeds...)
+	if err := s.store.Save(&j.rec); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Report renders the job's triage findings — the same triage.Report
+// (and serialization) that `triage report -json` emits. Running jobs
+// read through the live store; finished ones open the store on demand.
+func (s *Scheduler) Report(id string) (*triage.Report, error) {
+	j := s.Get(id)
+	if j == nil {
+		return nil, ErrUnknownJob
+	}
+	j.mu.Lock()
+	live := j.tstore
+	j.mu.Unlock()
+	if live != nil {
+		return triage.BuildReport(live), nil
+	}
+	s.reportMu.Lock()
+	defer s.reportMu.Unlock()
+	// Re-check under reportMu: the job may have started in the window,
+	// and a live writer must never race our open/close.
+	j.mu.Lock()
+	live = j.tstore
+	j.mu.Unlock()
+	if live != nil {
+		return triage.BuildReport(live), nil
+	}
+	store, err := triage.Open(s.store.TriageDir(id))
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	return triage.BuildReport(store), nil
+}
+
+// RenderMetrics writes the /metrics payload: registry counters plus the
+// scrape-time gauges (jobs by state, aggregated triage stats — persisted
+// segments of finished jobs plus live worker counters).
+func (s *Scheduler) RenderMetrics(w io.Writer) {
+	counts := map[JobState]int{}
+	var tr TriageStats
+	for _, j := range s.JobsInOrder() {
+		j.mu.Lock()
+		counts[j.rec.State]++
+		if j.rec.Triage != nil {
+			tr.Received += j.rec.Triage.Received
+			tr.Novel += j.rec.Triage.Novel
+			tr.Duplicates += j.rec.Triage.Duplicates
+			tr.Reduced += j.rec.Triage.Reduced
+			tr.Quarantined += j.rec.Triage.Quarantined
+			tr.Errors += j.rec.Triage.Errors
+		}
+		w8 := j.tworker
+		j.mu.Unlock()
+		if w8 != nil {
+			tr.add(w8.Stats())
+		}
+	}
+	s.metrics.Render(w, counts, tr)
+}
+
+// runner is one worker of the bounded pool.
+func (s *Scheduler) runner(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && ctx.Err() == nil {
+			s.cond.Wait()
+		}
+		if ctx.Err() != nil {
+			s.mu.Unlock()
+			return
+		}
+		id := s.queue[0]
+		s.queue = s.queue[1:]
+		j := s.jobs[id]
+		s.mu.Unlock()
+		if j == nil || j.State() != StateQueued {
+			continue // cancelled while queued
+		}
+		s.runJob(ctx, j)
+	}
+}
+
+// executorFor builds the execution backend a job runs on.
+func (s *Scheduler) executorFor(spec JobSpec) (exec.Executor, error) {
+	backend := spec.Backend
+	if backend == "" {
+		backend = s.cfg.Backend
+	}
+	return exec.FromFlags(backend, s.cfg.MinijvmPath, s.cfg.ChildTimeout)
+}
+
+// runJob executes one job end to end: mark running (bumping the resume
+// count when a checkpoint exists), attach the triage pipeline, run the
+// campaign under the harness with per-task checkpointing, then settle
+// the final state. Cancellation of ctx (drain) or the job's own context
+// (DELETE) interrupts the campaign between tasks; the final checkpoint
+// is already flushed by the time RunCampaignContext returns.
+func (s *Scheduler) runJob(ctx context.Context, j *Job) {
+	id := j.ID()
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	spec := j.Spec()
+	resuming := s.store.HasCheckpoint(id)
+
+	executor, err := s.executorFor(spec)
+	if err != nil {
+		s.finishJob(j, nil, err, triage.Stats{})
+		return
+	}
+
+	j.mu.Lock()
+	j.rec.State = StateRunning
+	if j.rec.Started == 0 {
+		j.rec.Started = s.cfg.Now().Unix()
+	}
+	if resuming {
+		j.rec.Resumes++
+	}
+	j.cancel = cancel
+	j.cancelAsked = false
+	j.hasProgress = false
+	rec := j.rec
+	j.mu.Unlock()
+	if err := s.store.Save(&rec); err != nil {
+		s.logf("job %s: persist running state: %v", id, err)
+	}
+	s.broker.Publish(id, Event{Type: "state", State: StateRunning})
+	s.logf("job %s: running (budget %d, %d generated + %d user seeds, resumes %d)",
+		id, spec.Budget, spec.SeedCount, len(spec.Seeds), rec.Resumes)
+
+	s.reportMu.Lock()
+	tstore, err := triage.Open(s.store.TriageDir(id))
+	if err != nil {
+		s.reportMu.Unlock()
+		s.finishJob(j, nil, err, triage.Stats{})
+		return
+	}
+	tworker, err := triage.NewWorker(triage.WorkerConfig{
+		Store:    tstore,
+		Executor: executor,
+		Now:      func() int64 { return s.cfg.Now().Unix() },
+	})
+	if err != nil {
+		tstore.Close()
+		s.reportMu.Unlock()
+		s.finishJob(j, nil, err, triage.Stats{})
+		return
+	}
+	j.mu.Lock()
+	j.tstore, j.tworker = tstore, tworker
+	j.mu.Unlock()
+	s.reportMu.Unlock()
+	tworker.Start(jctx)
+
+	targets := spec.specs()
+	fcfg := core.DefaultConfig(targets[0])
+	fcfg.MaxIterations = spec.Iterations
+	fcfg.Seed = spec.Seed
+	fcfg.ExtendedMutators = spec.Extended
+	fcfg.MaxHeapUnits = spec.HeapLimit
+	fcfg.StructuredOBV = true
+	fcfg.Executor = executor
+	ccfg := core.CampaignConfig{
+		Seeds:    spec.pool(),
+		Budget:   spec.Budget,
+		Targets:  targets,
+		Fuzz:     fcfg,
+		Seed:     spec.Seed,
+		Workers:  spec.Workers,
+		Executor: executor,
+	}
+
+	ckpt := s.store.CheckpointPath(id)
+	hcfg := harness.Config{
+		CheckpointPath:  ckpt,
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		ExecTimeout:     s.cfg.ExecTimeout,
+		QuarantineDir:   s.store.QuarantineDir(id),
+		MaxRetries:      2,
+		Backoff:         100 * time.Millisecond,
+	}
+	if s.cfg.OnTask != nil {
+		hcfg.OnTask = func(done int) { s.cfg.OnTask(id, done) }
+	}
+	lastExec := 0
+	if resuming {
+		hcfg.ResumePath = ckpt
+		if ck, err := harness.LoadCheckpoint(ckpt); err == nil {
+			// Restored executions are prior work, not new throughput.
+			lastExec = ck.Executions
+		}
+	}
+	// Both hooks run on the campaign goroutine in cursor order, so the
+	// metric stream and the SSE stream are deterministic per job.
+	ccfg.OnProgress = func(p core.Progress) {
+		s.metrics.AddExecutions(p.Executions - lastExec)
+		lastExec = p.Executions
+		if p.HasDelta {
+			s.metrics.ObserveDelta(p.Delta)
+		}
+		if p.Fault != nil {
+			s.metrics.AddFault(string(p.Fault.Class))
+		}
+		j.mu.Lock()
+		j.progress, j.hasProgress = p, true
+		j.mu.Unlock()
+	}
+	ccfg.OnFinding = func(f core.Finding) {
+		s.metrics.AddFinding()
+		tworker.Submit(f)
+		fs := summarizeFinding(&f)
+		s.broker.Publish(id, Event{Type: "finding", Finding: &fs})
+	}
+
+	res, runErr := core.RunCampaignContext(jctx, ccfg, hcfg)
+
+	// Drain the triage queue (reductions may still be running), then
+	// release the store before settling the job state.
+	if err := tworker.Close(); err != nil {
+		s.logf("job %s: triage flush: %v", id, err)
+	}
+	stats := tworker.Stats()
+	s.reportMu.Lock()
+	j.mu.Lock()
+	j.tstore, j.tworker = nil, nil
+	j.mu.Unlock()
+	if err := tstore.Close(); err != nil {
+		s.logf("job %s: triage store close: %v", id, err)
+	}
+	s.reportMu.Unlock()
+
+	s.finishJob(j, res, runErr, stats)
+}
+
+// finishJob settles the job's post-run state and persists it.
+func (s *Scheduler) finishJob(j *Job, res *core.CampaignResult, runErr error, stats triage.Stats) {
+	id := j.ID()
+	j.mu.Lock()
+	if j.rec.Triage == nil {
+		j.rec.Triage = &TriageStats{}
+	}
+	j.rec.Triage.add(stats)
+	var state JobState
+	switch {
+	case runErr != nil:
+		state = StateFailed
+		j.rec.Error = runErr.Error()
+		j.rec.Finished = s.cfg.Now().Unix()
+	case res.Interrupted && j.cancelAsked:
+		state = StateCancelled
+		j.rec.Finished = s.cfg.Now().Unix()
+	case res.Interrupted:
+		// Drain: the final checkpoint is on disk; the next daemon
+		// re-queues the job and resumes it from there.
+		state = StateInterrupted
+	default:
+		state = StateDone
+		j.rec.Result = Summarize(res)
+		j.rec.Finished = s.cfg.Now().Unix()
+		if res.CheckpointErrors > 0 {
+			s.logf("job %s: %d checkpoint write(s) failed (last: %s)", id, res.CheckpointErrors, res.LastCheckpointError)
+		}
+	}
+	j.rec.State = state
+	j.cancel = nil
+	rec := j.rec
+	j.mu.Unlock()
+	if err := s.store.Save(&rec); err != nil {
+		s.logf("job %s: persist final state: %v", id, err)
+	}
+	s.broker.Publish(id, Event{Type: "state", State: state})
+	s.logf("job %s: %s", id, state)
+}
+
+func (s *Scheduler) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

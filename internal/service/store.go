@@ -1,0 +1,150 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// JobStore persists job records under a state directory:
+//
+//	<dir>/jobs/<id>/job.json         versioned job record
+//	<dir>/jobs/<id>/checkpoint.json  harness campaign checkpoint
+//	<dir>/jobs/<id>/triage/          per-job triage store
+//	<dir>/jobs/<id>/quarantine/      pathological mutants
+//
+// Records are written atomically (temp file + rename), so a daemon
+// killed mid-write leaves the previous record intact; the campaign
+// checkpoint machinery gives the same guarantee for run state, which is
+// what makes restart-resume safe.
+type JobStore struct {
+	dir string
+}
+
+// OpenJobStore opens (creating if needed) the store rooted at dir.
+func OpenJobStore(dir string) (*JobStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("service: open job store: %w", err)
+	}
+	return &JobStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *JobStore) Dir() string { return st.dir }
+
+// JobDir returns the directory owning one job's artifacts.
+func (st *JobStore) JobDir(id string) string { return filepath.Join(st.dir, "jobs", id) }
+
+// CheckpointPath returns the job's campaign checkpoint file.
+func (st *JobStore) CheckpointPath(id string) string {
+	return filepath.Join(st.JobDir(id), "checkpoint.json")
+}
+
+// TriageDir returns the job's triage store directory.
+func (st *JobStore) TriageDir(id string) string { return filepath.Join(st.JobDir(id), "triage") }
+
+// QuarantineDir returns the job's quarantine directory.
+func (st *JobStore) QuarantineDir(id string) string {
+	return filepath.Join(st.JobDir(id), "quarantine")
+}
+
+// Save persists a job record atomically.
+func (st *JobStore) Save(rec *jobRecord) error {
+	rec.Version = jobVersion
+	if rec.ID == "" {
+		return fmt.Errorf("service: save job: empty id")
+	}
+	if err := os.MkdirAll(st.JobDir(rec.ID), 0o755); err != nil {
+		return fmt.Errorf("service: save job %s: %w", rec.ID, err)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: encode job %s: %w", rec.ID, err)
+	}
+	path := filepath.Join(st.JobDir(rec.ID), "job.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("service: write job %s: %w", rec.ID, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("service: write job %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// Load reads and validates one job record.
+func (st *JobStore) Load(id string) (*jobRecord, error) {
+	data, err := os.ReadFile(filepath.Join(st.JobDir(id), "job.json"))
+	if err != nil {
+		return nil, fmt.Errorf("service: load job %s: %w", id, err)
+	}
+	var rec jobRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("service: decode job %s: %w", id, err)
+	}
+	if rec.Version != jobVersion {
+		return nil, fmt.Errorf("service: job %s record version %d, want %d", id, rec.Version, jobVersion)
+	}
+	if rec.ID != id {
+		return nil, fmt.Errorf("service: job record in %s names id %q", id, rec.ID)
+	}
+	return &rec, nil
+}
+
+// LoadAll reads every job record, sorted by ID (submission order, since
+// IDs are a zero-padded sequence).
+func (st *JobStore) LoadAll() ([]*jobRecord, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("service: scan job store: %w", err)
+	}
+	var out []*jobRecord
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rec, err := st.Load(e.Name())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out, nil
+}
+
+// NextID returns the first unused sequence ID after the given records.
+func NextID(recs []*jobRecord) int {
+	next := 1
+	for _, r := range recs {
+		if n, ok := seqOf(r.ID); ok && n >= next {
+			next = n + 1
+		}
+	}
+	return next
+}
+
+// FormatID renders a sequence number as a job ID ("job-0001").
+func FormatID(n int) string { return fmt.Sprintf("job-%04d", n) }
+
+func seqOf(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// HasCheckpoint reports whether a campaign checkpoint exists for id.
+func (st *JobStore) HasCheckpoint(id string) bool {
+	_, err := os.Stat(st.CheckpointPath(id))
+	return err == nil
+}

@@ -1,0 +1,68 @@
+package service
+
+import "sync"
+
+// Event is one live notification on a job's finding stream.
+type Event struct {
+	// Type is "finding" for a streamed finding occurrence or "state" for
+	// a job lifecycle transition.
+	Type  string `json:"type"`
+	JobID string `json:"job_id"`
+	Seq   int    `json:"seq"`
+	// Finding is set for "finding" events.
+	Finding *FindingSummary `json:"finding,omitempty"`
+	// State is set for "state" events.
+	State JobState `json:"state,omitempty"`
+}
+
+// Broker fans live job events out to stream subscribers (SSE clients
+// and long-pollers). Publishing never blocks — a subscriber that falls
+// behind its buffer misses events rather than stalling the campaign
+// goroutine; the persistent triage store remains the source of truth,
+// and the stream is a live tail, not a durable log.
+type Broker struct {
+	mu   sync.Mutex
+	subs map[string]map[chan Event]struct{}
+	seq  map[string]int
+}
+
+// NewBroker builds an empty broker.
+func NewBroker() *Broker {
+	return &Broker{subs: map[string]map[chan Event]struct{}{}, seq: map[string]int{}}
+}
+
+// Subscribe registers a buffered event channel for one job. The cancel
+// func unregisters it; the channel is never closed by the broker, so
+// receivers select against their own context.
+func (b *Broker) Subscribe(jobID string) (<-chan Event, func()) {
+	ch := make(chan Event, 64)
+	b.mu.Lock()
+	if b.subs[jobID] == nil {
+		b.subs[jobID] = map[chan Event]struct{}{}
+	}
+	b.subs[jobID][ch] = struct{}{}
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		delete(b.subs[jobID], ch)
+		if len(b.subs[jobID]) == 0 {
+			delete(b.subs, jobID)
+		}
+		b.mu.Unlock()
+	}
+}
+
+// Publish stamps and delivers an event to every subscriber of the job,
+// dropping it for subscribers whose buffers are full.
+func (b *Broker) Publish(jobID string, ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq[jobID]++
+	ev.JobID, ev.Seq = jobID, b.seq[jobID]
+	for ch := range b.subs[jobID] {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than block the campaign
+		}
+	}
+}

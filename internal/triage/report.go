@@ -3,6 +3,7 @@ package triage
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/profile"
@@ -95,6 +96,19 @@ func BuildReport(s *Store) *Report {
 // JSON renders the report for machines (CI assertions, dashboards).
 func (r *Report) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
+}
+
+// WriteJSON writes the canonical machine encoding — indented JSON plus a
+// trailing newline. It is the single serialization behind both
+// `triage report -json` and the service daemon's /jobs/{id}/findings
+// endpoint, so CLI consumers and API consumers parse one format.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
 }
 
 // Text renders the report for humans.
