@@ -4,6 +4,18 @@
 // live metrics, and graceful drain — SIGTERM stops accepting jobs,
 // checkpoints running campaigns, flushes triage stores, and exits so a
 // restart resumes every in-flight job from disk.
+//
+// Fleet modes scale it horizontally:
+//
+//	-mode coordinator  the full daemon plus the fleet endpoints
+//	                   (/fleet/enroll, /fleet/heartbeat, /fleet/complete);
+//	                   queued jobs are sharded across enrolled workers
+//	                   under time-bounded leases and fall back to the
+//	                   local runner pool when no worker is live.
+//	-mode worker       a campaign executor only: it enrolls with
+//	                   -coordinator, accepts one assignment at a time on
+//	                   /work, heartbeats checkpoint handoffs, and holds
+//	                   no job state of its own.
 package main
 
 import (
@@ -12,10 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/service"
 )
@@ -29,6 +43,14 @@ func main() {
 	childTimeout := flag.Duration("child-timeout", 10*time.Second, "wall-clock timeout per subprocess execution")
 	execTimeout := flag.Duration("exec-timeout", 0, "wall-clock watchdog per seed task (0 = step fuel only)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "min executions between campaign checkpoints (<=0 = every task)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "bound on the drain phase at shutdown (0 = wait for checkpoints indefinitely)")
+
+	mode := flag.String("mode", "", "fleet mode: empty (standalone), coordinator, or worker")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "coordinator: assignment lease duration")
+	heartbeatEvery := flag.Duration("heartbeat-every", 0, "coordinator: worker heartbeat cadence (0 = lease-ttl/3)")
+	coordinator := flag.String("coordinator", "", "worker: coordinator base URL (e.g. http://host:8080)")
+	workerID := flag.String("worker-id", "", "worker: unique fleet ID (default: host:port of -worker-addr)")
+	workerAddr := flag.String("worker-addr", "", "worker: base URL the coordinator reaches this worker at (default: http://<listen>)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "mopfuzzd: unexpected arguments: %v\n", flag.Args())
@@ -36,6 +58,31 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "mopfuzzd: ", log.LstdFlags)
+
+	// SIGINT/SIGTERM cancels the context: the drain signal.
+	ctx, stop := harness.ShutdownContext(context.Background())
+	defer stop()
+
+	switch *mode {
+	case "worker":
+		runWorker(ctx, logger, workerOpts{
+			listen:       *listen,
+			coordinator:  *coordinator,
+			id:           *workerID,
+			addr:         *workerAddr,
+			dir:          *stateDir,
+			backend:      *backend,
+			minijvm:      *minijvm,
+			childTimeout: *childTimeout,
+			drainTimeout: *drainTimeout,
+		})
+		return
+	case "", "coordinator":
+		// The full daemon below; coordinator mode adds the fleet layer.
+	default:
+		fmt.Fprintf(os.Stderr, "mopfuzzd: unknown -mode %q (want coordinator or worker)\n", *mode)
+		os.Exit(2)
+	}
 
 	sched, err := service.NewScheduler(service.Config{
 		Dir:             *stateDir,
@@ -51,13 +98,28 @@ func main() {
 		logger.Fatalf("open state dir %s: %v", *stateDir, err)
 	}
 
-	// SIGINT/SIGTERM cancels the context: the drain signal.
-	ctx, stop := harness.ShutdownContext(context.Background())
-	defer stop()
+	apiSrv := service.NewServer(sched)
+	mux := http.NewServeMux()
+	mux.Handle("/", apiSrv.Handler())
+	if *mode == "coordinator" {
+		coord := fleet.NewCoordinator(fleet.CoordinatorConfig{
+			Sched:          sched,
+			LeaseTTL:       *leaseTTL,
+			HeartbeatEvery: *heartbeatEvery,
+			Logf:           logger.Printf,
+		})
+		coord.Mount(mux)
+		sched.SetRemote(coord)
+		logger.Printf("fleet coordinator enabled (lease ttl %s)", *leaseTTL)
+	}
 
 	sched.Start(ctx)
 
-	srv := &http.Server{Addr: *listen, Handler: service.NewServer(sched).Handler()}
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Printf("listening on %s (state %s, %d runner(s), backend %s)", *listen, *stateDir, *runners, *backend)
@@ -72,8 +134,110 @@ func main() {
 	// Drain: every runner flushes a final campaign checkpoint and closes
 	// its triage store before Wait returns; a restarted daemon re-queues
 	// the interrupted jobs and resumes them from those checkpoints.
-	sched.Wait()
-	logger.Printf("drain complete: all campaigns checkpointed, triage stores flushed")
+	// -drain-timeout bounds the wait so a wedged campaign cannot hold the
+	// process hostage — the checkpoint machinery is crash-safe either way.
+	if waitBounded(sched.Wait, *drainTimeout) {
+		logger.Printf("drain complete: all campaigns checkpointed, triage stores flushed")
+	} else {
+		logger.Printf("drain timeout %s elapsed: exiting with campaigns still settling (checkpoints are crash-safe)", *drainTimeout)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+}
+
+// waitBounded runs wait, giving up after d (0 = no bound). Reports
+// whether wait finished.
+func waitBounded(wait func(), d time.Duration) bool {
+	if d <= 0 {
+		wait()
+		return true
+	}
+	done := make(chan struct{})
+	go func() { wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+type workerOpts struct {
+	listen       string
+	coordinator  string
+	id           string
+	addr         string
+	dir          string
+	backend      string
+	minijvm      string
+	childTimeout time.Duration
+	drainTimeout time.Duration
+}
+
+// runWorker is the -mode worker main loop.
+func runWorker(ctx context.Context, logger *log.Logger, o workerOpts) {
+	if o.coordinator == "" {
+		fmt.Fprintln(os.Stderr, "mopfuzzd: -mode worker requires -coordinator")
+		os.Exit(2)
+	}
+	if o.addr == "" {
+		host, port, err := net.SplitHostPort(o.listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mopfuzzd: cannot derive -worker-addr from -listen %q: %v\n", o.listen, err)
+			os.Exit(2)
+		}
+		if host == "" {
+			host = "127.0.0.1"
+		}
+		o.addr = fmt.Sprintf("http://%s", net.JoinHostPort(host, port))
+	}
+	if o.id == "" {
+		o.id = o.addr
+	}
+
+	worker, err := fleet.NewWorker(fleet.WorkerConfig{
+		ID:           o.id,
+		Coordinator:  o.coordinator,
+		Addr:         o.addr,
+		Dir:          o.dir,
+		Backend:      o.backend,
+		MinijvmPath:  o.minijvm,
+		ChildTimeout: o.childTimeout,
+		Logf:         logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("worker: %v", err)
+	}
+
+	mux := http.NewServeMux()
+	worker.Mount(mux)
+	srv := &http.Server{
+		Addr:              o.listen,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	worker.Start(ctx)
+	logger.Printf("worker %s listening on %s (coordinator %s, scratch %s)", o.id, o.listen, o.coordinator, o.dir)
+
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutdown signal: draining worker (running assignment completes as interrupted)")
+	case err := <-errc:
+		logger.Fatalf("http server: %v", err)
+	}
+
+	if waitBounded(worker.Wait, o.drainTimeout) {
+		logger.Printf("worker drained")
+	} else {
+		logger.Printf("drain timeout %s elapsed: exiting", o.drainTimeout)
+	}
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

@@ -57,6 +57,25 @@ func (InProcess) ExecuteDifferential(_ context.Context, p *lang.Program, specs [
 	return jvm.RunDifferential(p, specs, opt)
 }
 
+// Backends lists the recognized -backend names ("" is the in-process
+// default). Shared by every layer that validates a backend choice — the
+// CLI flags, the service JobSpec, and the fleet worker config.
+func Backends() []string { return []string{"inprocess", "subprocess"} }
+
+// ValidBackend reports whether name selects a known backend ("" counts:
+// it inherits the caller's default).
+func ValidBackend(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, b := range Backends() {
+		if name == b {
+			return true
+		}
+	}
+	return false
+}
+
 // Default is the executor used when none is configured.
 var Default Executor = InProcess{}
 

@@ -1,0 +1,499 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fleet/chaos"
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+// envOpts tunes a test fleet.
+type envOpts struct {
+	dir          string
+	workers      int
+	leaseTTL     time.Duration
+	hbEvery      time.Duration
+	coordClient  *http.Client
+	workerClient *http.Client
+}
+
+// env is one coordinator + N workers over real HTTP (httptest servers).
+type env struct {
+	t      *testing.T
+	sched  *service.Scheduler
+	coord  *Coordinator
+	wrkers []*Worker
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	onTask func(workerIdx int, job string, done int)
+}
+
+func newEnv(t *testing.T, o envOpts) *env {
+	t.Helper()
+	if o.dir == "" {
+		o.dir = t.TempDir()
+	}
+	if o.leaseTTL == 0 {
+		o.leaseTTL = 1500 * time.Millisecond
+	}
+	if o.hbEvery == 0 {
+		o.hbEvery = 100 * time.Millisecond
+	}
+	sched, err := service.NewScheduler(service.Config{Dir: o.dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &env{t: t, sched: sched}
+	e.coord = NewCoordinator(CoordinatorConfig{
+		Sched:          sched,
+		LeaseTTL:       o.leaseTTL,
+		HeartbeatEvery: o.hbEvery,
+		Backoff:        harness.Backoff{Base: 20 * time.Millisecond},
+		Client:         o.coordClient,
+		Logf:           t.Logf,
+	})
+	mux := http.NewServeMux()
+	e.coord.Mount(mux)
+	coordSrv := httptest.NewServer(mux)
+	t.Cleanup(coordSrv.Close)
+	sched.SetRemote(e.coord)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	e.cancel = cancel
+
+	for i := 0; i < o.workers; i++ {
+		idx := i
+		wmux := http.NewServeMux()
+		wsrv := httptest.NewServer(wmux)
+		t.Cleanup(wsrv.Close)
+		w, err := NewWorker(WorkerConfig{
+			ID:          fmt.Sprintf("w%d", i+1),
+			Coordinator: coordSrv.URL,
+			Addr:        wsrv.URL,
+			Dir:         t.TempDir(),
+			Backoff:     harness.Backoff{Base: 20 * time.Millisecond},
+			Client:      o.workerClient,
+			Logf:        t.Logf,
+			OnTask: func(job string, done int) {
+				e.mu.Lock()
+				f := e.onTask
+				e.mu.Unlock()
+				if f != nil {
+					f(idx, job, done)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Mount(wmux)
+		w.Start(ctx)
+		e.wrkers = append(e.wrkers, w)
+	}
+
+	sched.Start(ctx)
+	t.Cleanup(func() {
+		cancel()
+		sched.Wait()
+		for _, w := range e.wrkers {
+			w.Wait()
+		}
+	})
+	return e
+}
+
+// setOnTask installs the per-task chaos hook (fires on worker campaign
+// goroutines).
+func (e *env) setOnTask(f func(workerIdx int, job string, done int)) {
+	e.mu.Lock()
+	e.onTask = f
+	e.mu.Unlock()
+}
+
+// waitLive blocks until the coordinator sees n dispatchable workers.
+func (e *env) waitLive(n int) {
+	e.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if len(e.coord.dispatchable()) >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			e.t.Fatalf("never saw %d live workers", n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitView polls the job until pred holds.
+func waitView(t *testing.T, s *service.Scheduler, id string, timeout time.Duration, pred func(service.JobView) bool) service.JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		j := s.Get(id)
+		if j == nil {
+			t.Fatalf("job %s disappeared", id)
+		}
+		v := j.View()
+		if pred(v) {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s after %v", id, v.State, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitDone(t *testing.T, s *service.Scheduler, id string, timeout time.Duration) service.JobView {
+	t.Helper()
+	v := waitView(t, s, id, timeout, func(v service.JobView) bool { return v.State.Terminal() })
+	if v.State != service.StateDone {
+		t.Fatalf("job %s ended %s (error %q), want done", id, v.State, v.Error)
+	}
+	return v
+}
+
+// fleetSpec has enough tasks (3 seeds) that a mid-campaign kill leaves
+// real work for the successor.
+func fleetSpec() service.JobSpec { return service.JobSpec{SeedCount: 3, Budget: 150, Seed: 7} }
+
+// localBaseline runs the spec on a plain (fleet-less) scheduler and
+// returns its terminal view plus the triage report signature keys.
+func localBaseline(t *testing.T, spec service.JobSpec) (service.JobView, []string) {
+	t.Helper()
+	sched, err := service.NewScheduler(service.Config{Dir: t.TempDir(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sched.Start(ctx)
+	j, err := sched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, sched, j.ID(), 5*time.Minute)
+	keys := reportKeys(t, sched, j.ID())
+	cancel()
+	sched.Wait()
+	return v, keys
+}
+
+// resultJSON is the byte-identity projection (no wall-clock state).
+func resultJSON(t *testing.T, v service.JobView) []byte {
+	t.Helper()
+	if v.Result == nil {
+		t.Fatal("job has no result summary")
+	}
+	data, err := json.Marshal(v.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// reportKeys returns the job's deduplicated triage signature keys,
+// sorted.
+func reportKeys(t *testing.T, s *service.Scheduler, id string) []string {
+	t.Helper()
+	rep, err := s.Report(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(rep.Entries))
+	for _, e := range rep.Entries {
+		keys = append(keys, e.Key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func metricsText(s *service.Scheduler) string {
+	var buf bytes.Buffer
+	s.RenderMetrics(&buf)
+	return buf.String()
+}
+
+// metricValue extracts one sample line's value from rendered metrics.
+func metricValue(t *testing.T, text, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" ")
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, text)
+	return ""
+}
+
+// TestRemoteRunMatchesLocal pins the fleet's core guarantee: a job
+// sharded to a worker produces the same ResultSummary bytes as a local
+// run, and the same deduplicated findings.
+func TestRemoteRunMatchesLocal(t *testing.T) {
+	spec := fleetSpec()
+	want, wantKeys := localBaseline(t, spec)
+
+	e := newEnv(t, envOpts{workers: 1})
+	e.waitLive(1)
+	j, err := e.sched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, e.sched, j.ID(), 5*time.Minute)
+	if v.Worker != "w1" {
+		t.Errorf("job ran on %q, want w1 (remote)", v.Worker)
+	}
+	if got, wantB := resultJSON(t, v), resultJSON(t, want); !bytes.Equal(got, wantB) {
+		t.Errorf("remote result differs from local:\nremote %s\nlocal  %s", got, wantB)
+	}
+	if gotKeys := reportKeys(t, e.sched, j.ID()); !equalStrings(gotKeys, wantKeys) {
+		t.Errorf("remote findings %v, local %v", gotKeys, wantKeys)
+	}
+	text := metricsText(e.sched)
+	if metricValue(t, text, `mopfuzzd_fleet_remote_jobs_total{outcome="done"}`) != "1" {
+		t.Errorf("remote done counter != 1:\n%s", text)
+	}
+}
+
+// TestWorkerKilledMidTaskResumesOnOtherWorker is the chaos acceptance
+// criterion: SIGKILL a worker mid-campaign; the lease expires, the job
+// requeues, resumes on the other worker from the handed-off checkpoint,
+// and finishes with byte-identical results and no duplicate findings.
+func TestWorkerKilledMidTaskResumesOnOtherWorker(t *testing.T) {
+	spec := fleetSpec()
+	want, wantKeys := localBaseline(t, spec)
+
+	e := newEnv(t, envOpts{workers: 2, leaseTTL: 800 * time.Millisecond, hbEvery: 60 * time.Millisecond})
+	e.waitLive(2)
+	var once sync.Once
+	e.setOnTask(func(idx int, job string, done int) {
+		// Kill the first assignee after its third task: heartbeats for
+		// tasks 1-2 have already handed off a checkpoint.
+		if idx == 0 && done == 3 {
+			once.Do(e.wrkers[0].Kill)
+		}
+	})
+	j, err := e.sched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, e.sched, j.ID(), 5*time.Minute)
+
+	if v.Worker != "w2" {
+		t.Errorf("job finished on %q, want w2 (resumed after w1 died)", v.Worker)
+	}
+	if v.Requeues < 1 {
+		t.Errorf("requeues = %d, want >= 1", v.Requeues)
+	}
+	if v.Resumes < 1 {
+		t.Errorf("resumes = %d, want >= 1 (checkpoint handoff restore)", v.Resumes)
+	}
+	if got, wantB := resultJSON(t, v), resultJSON(t, want); !bytes.Equal(got, wantB) {
+		t.Errorf("resumed result differs from uninterrupted local run:\ngot  %s\nwant %s", got, wantB)
+	}
+	// Fleet-global dedup: the dead worker's partial upload plus the
+	// successor's full log must merge to exactly the local finding set.
+	if gotKeys := reportKeys(t, e.sched, j.ID()); !equalStrings(gotKeys, wantKeys) {
+		t.Errorf("findings after merge %v, want %v (no dups, none lost)", gotKeys, wantKeys)
+	}
+	text := metricsText(e.sched)
+	if metricValue(t, text, "mopfuzzd_requeues_total") == "0" {
+		t.Errorf("requeue counter not incremented:\n%s", text)
+	}
+	if metricValue(t, text, "mopfuzzd_fleet_leases_expired_total") == "0" {
+		t.Errorf("lease expiry counter not incremented:\n%s", text)
+	}
+}
+
+// TestZeroWorkersFallsBackToLocal pins graceful degradation: a
+// coordinator with no enrolled workers still completes jobs on the
+// local runner pool.
+func TestZeroWorkersFallsBackToLocal(t *testing.T) {
+	spec := fleetSpec()
+	e := newEnv(t, envOpts{workers: 0})
+	j, err := e.sched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, e.sched, j.ID(), 5*time.Minute)
+	if v.Worker != "" {
+		t.Errorf("worker = %q, want local run", v.Worker)
+	}
+	text := metricsText(e.sched)
+	if metricValue(t, text, `mopfuzzd_fleet_remote_jobs_total{outcome="declined"}`) != "1" {
+		t.Errorf("declined counter != 1:\n%s", text)
+	}
+}
+
+// TestHeartbeatPartitionRequeues drops every heartbeat: the lease must
+// expire and the job must still finish (requeued, then completed
+// locally since the worker stays busy with the orphaned run).
+func TestHeartbeatPartitionRequeues(t *testing.T) {
+	ct := &chaos.Transport{}
+	ct.Drop("/fleet/heartbeat", true)
+	spec := fleetSpec()
+	e := newEnv(t, envOpts{
+		workers:      1,
+		leaseTTL:     600 * time.Millisecond,
+		hbEvery:      60 * time.Millisecond,
+		workerClient: &http.Client{Transport: ct, Timeout: 10 * time.Second},
+	})
+	e.waitLive(1)
+	j, err := e.sched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, e.sched, j.ID(), 5*time.Minute)
+	if v.Requeues < 1 {
+		t.Errorf("requeues = %d, want >= 1 (partitioned worker forfeits lease)", v.Requeues)
+	}
+	if ct.Injected() == 0 {
+		t.Error("chaos transport never dropped a heartbeat")
+	}
+}
+
+// TestCorruptCheckpointUploadRejected corrupts one checkpoint handoff
+// in flight: the coordinator must reject it (checksum mismatch), keep
+// the previous snapshot, and the campaign must still finish correctly.
+func TestCorruptCheckpointUploadRejected(t *testing.T) {
+	spec := fleetSpec()
+	want, _ := localBaseline(t, spec)
+
+	ct := &chaos.Transport{}
+	ct.CorruptNextCheckpoints(1)
+	e := newEnv(t, envOpts{
+		workers:      1,
+		workerClient: &http.Client{Transport: ct, Timeout: 10 * time.Second},
+	})
+	e.waitLive(1)
+	j, err := e.sched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, e.sched, j.ID(), 5*time.Minute)
+	if ct.Corrupted() != 1 {
+		t.Fatalf("chaos corrupted %d checkpoint uploads, want 1", ct.Corrupted())
+	}
+	text := metricsText(e.sched)
+	if metricValue(t, text, "mopfuzzd_fleet_checkpoint_rejects_total") != "1" {
+		t.Errorf("checkpoint reject counter != 1:\n%s", text)
+	}
+	if got, wantB := resultJSON(t, v), resultJSON(t, want); !bytes.Equal(got, wantB) {
+		t.Errorf("result after corrupt upload differs:\ngot  %s\nwant %s", got, wantB)
+	}
+}
+
+// TestTransientDispatchErrorsRetried fails the first two assignment
+// RPCs: harness retry must carry the dispatch through on the third.
+func TestTransientDispatchErrorsRetried(t *testing.T) {
+	ct := &chaos.Transport{}
+	e := newEnv(t, envOpts{
+		workers:     1,
+		coordClient: &http.Client{Transport: ct, Timeout: 10 * time.Second},
+	})
+	e.waitLive(1)
+	ct.FailNext("/work", 2)
+	j, err := e.sched.Submit(fleetSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, e.sched, j.ID(), 5*time.Minute)
+	if v.Worker != "w1" {
+		t.Errorf("job ran on %q, want w1 despite transient dispatch failures", v.Worker)
+	}
+	if ct.Injected() != 2 {
+		t.Errorf("chaos injected %d failures, want 2", ct.Injected())
+	}
+	text := metricsText(e.sched)
+	if metricValue(t, text, "mopfuzzd_fleet_dispatch_retries_total") != "2" {
+		t.Errorf("dispatch retry counter != 2:\n%s", text)
+	}
+}
+
+// TestBreakerCutsOffDeadWorker enrolls a worker address that refuses
+// every connection: after Threshold failed dispatches its breaker must
+// open, later jobs must skip the RPC entirely, and everything still
+// completes locally.
+func TestBreakerCutsOffDeadWorker(t *testing.T) {
+	e := newEnv(t, envOpts{workers: 0})
+	// Enroll a phantom worker by hand: a live registry entry whose
+	// address refuses every connection (an unroutable localhost port).
+	e.coord.mu.Lock()
+	e.coord.workers["phantom"] = &workerState{
+		id:       "phantom",
+		addr:     "http://127.0.0.1:1",
+		lastSeen: time.Now().Add(24 * time.Hour), // stays "live" all test
+		breaker: &harness.Breaker{
+			Threshold: 2,
+			Cooldown:  time.Hour,
+			OnOpen:    e.coord.metrics.breakerOpened,
+		},
+	}
+	e.coord.mu.Unlock()
+
+	spec := service.JobSpec{SeedCount: 2, Budget: 60, Seed: 3}
+	for i := 0; i < 3; i++ {
+		j, err := e.sched.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := waitDone(t, e.sched, j.ID(), 5*time.Minute)
+		if v.Worker != "" {
+			t.Errorf("job %d ran on %q, want local fallback", i, v.Worker)
+		}
+	}
+	text := metricsText(e.sched)
+	if metricValue(t, text, "mopfuzzd_fleet_breaker_open_total") != "1" {
+		t.Errorf("breaker open counter != 1:\n%s", text)
+	}
+	if metricValue(t, text, "mopfuzzd_fleet_dispatch_failures_total") != "2" {
+		t.Errorf("dispatch failures != 2 (third job must skip the open breaker):\n%s", text)
+	}
+}
+
+// TestWireVersionMismatchRejected pins the versioned-protocol contract.
+func TestWireVersionMismatchRejected(t *testing.T) {
+	e := newEnv(t, envOpts{workers: 0})
+	mux := http.NewServeMux()
+	e.coord.Mount(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	body, _ := json.Marshal(EnrollRequest{Version: WireVersion + 1, Worker: "wx", Addr: "http://x"})
+	resp, err := http.Post(srv.URL+"/fleet/enroll", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("version-skewed enroll: status %d, want 400", resp.StatusCode)
+	}
+	if len(e.coord.dispatchable()) != 0 {
+		t.Error("version-skewed worker was enrolled")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// fleetMetrics aggregates coordinator-side counters. The scheduler's
+// RenderMetrics appends the coordinator's series to /metrics via the
+// RenderMetrics hook, so one scrape covers the whole fleet.
+type fleetMetrics struct {
+	enrolls          int64
+	leasesGranted    int64
+	leasesExpired    int64
+	heartbeats       int64
+	handoffs         int64
+	handoffRejects   int64
+	dispatchRetries  int64
+	dispatchFailures int64
+	breakerOpens     int64
+
+	mu       sync.Mutex
+	outcomes map[string]int64 // remote job outcomes by label
+}
+
+func (m *fleetMetrics) add(counter *int64) { atomic.AddInt64(counter, 1) }
+
+func (m *fleetMetrics) breakerOpened() { atomic.AddInt64(&m.breakerOpens, 1) }
+
+func (m *fleetMetrics) outcome(label string) {
+	m.mu.Lock()
+	if m.outcomes == nil {
+		m.outcomes = map[string]int64{}
+	}
+	m.outcomes[label]++
+	m.mu.Unlock()
+}
+
+// knownOutcomes fixes the outcome series emitted even at zero, so the
+// CI fleet-smoke assertions can rely on their presence.
+var knownOutcomes = []string{"declined", "done", "failed", "interrupted", "requeued"}
+
+// RenderMetrics writes the coordinator's Prometheus series. The
+// receiver is the Coordinator (not fleetMetrics) because the
+// worker-liveness gauges come from the registry, not the counters.
+func (c *Coordinator) RenderMetrics(w io.Writer) {
+	now := c.cfg.Now()
+	live, dead := 0, 0
+	type wexec struct {
+		id    string
+		execs int64
+	}
+	var execs []wexec
+	c.mu.Lock()
+	for _, ws := range c.workers {
+		if now.Sub(ws.lastSeen) > c.cfg.LeaseTTL {
+			dead++
+		} else {
+			live++
+		}
+		execs = append(execs, wexec{ws.id, ws.executions})
+	}
+	leases := len(c.leases)
+	c.mu.Unlock()
+	sort.Slice(execs, func(i, k int) bool { return execs[i].id < execs[k].id })
+
+	m := &c.metrics
+	fmt.Fprintln(w, "# HELP mopfuzzd_fleet_workers Enrolled workers by liveness.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_fleet_workers gauge")
+	fmt.Fprintf(w, "mopfuzzd_fleet_workers{state=\"live\"} %d\n", live)
+	fmt.Fprintf(w, "mopfuzzd_fleet_workers{state=\"dead\"} %d\n", dead)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_fleet_leases Assignments currently leased to workers.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_fleet_leases gauge")
+	fmt.Fprintf(w, "mopfuzzd_fleet_leases %d\n", leases)
+
+	counter := func(name, help string, v *int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, atomic.LoadInt64(v))
+	}
+	counter("mopfuzzd_fleet_enrolls_total", "Worker enrollments (including liveness re-enrolls).", &m.enrolls)
+	counter("mopfuzzd_fleet_leases_granted_total", "Assignments accepted by workers.", &m.leasesGranted)
+	counter("mopfuzzd_fleet_leases_expired_total", "Leases forfeited to missing heartbeats.", &m.leasesExpired)
+	counter("mopfuzzd_fleet_heartbeats_total", "Lease renewals received.", &m.heartbeats)
+	counter("mopfuzzd_fleet_checkpoint_handoffs_total", "Checkpoint uploads verified and landed.", &m.handoffs)
+	counter("mopfuzzd_fleet_checkpoint_rejects_total", "Checkpoint uploads rejected (checksum or decode failure).", &m.handoffRejects)
+	counter("mopfuzzd_fleet_dispatch_retries_total", "Worker RPC attempts retried after transient failures.", &m.dispatchRetries)
+	counter("mopfuzzd_fleet_dispatch_failures_total", "Assignment dispatches that exhausted retries.", &m.dispatchFailures)
+	counter("mopfuzzd_fleet_breaker_open_total", "Per-worker circuit breakers tripped open.", &m.breakerOpens)
+
+	m.mu.Lock()
+	outs := map[string]int64{}
+	for _, k := range knownOutcomes {
+		outs[k] = m.outcomes[k]
+	}
+	for k, v := range m.outcomes {
+		outs[k] = v
+	}
+	m.mu.Unlock()
+	keys := make([]string, 0, len(outs))
+	for k := range outs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintln(w, "# HELP mopfuzzd_fleet_remote_jobs_total Remote assignment outcomes.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_fleet_remote_jobs_total counter")
+	for _, k := range keys {
+		fmt.Fprintf(w, "mopfuzzd_fleet_remote_jobs_total{outcome=%q} %d\n", k, outs[k])
+	}
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_fleet_worker_executions_total Executions reported per worker.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_fleet_worker_executions_total counter")
+	for _, we := range execs {
+		fmt.Fprintf(w, "mopfuzzd_fleet_worker_executions_total{worker=%q} %d\n", we.id, we.execs)
+	}
+}

@@ -1,0 +1,514 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/harness"
+	"repro/internal/service"
+	"repro/internal/triage"
+)
+
+// WorkerConfig tunes a fleet worker daemon.
+type WorkerConfig struct {
+	// ID uniquely names this worker in the fleet.
+	ID string
+	// Coordinator is the coordinator daemon's base URL.
+	Coordinator string
+	// Addr is the base URL the coordinator reaches this worker's /work
+	// endpoint at (the advertised address).
+	Addr string
+	// Dir is the worker's scratch directory: per-assignment checkpoint,
+	// triage store, and quarantine live under it.
+	Dir string
+	// Backend / MinijvmPath / ChildTimeout configure the execution
+	// backend exactly like the standalone daemon flags. A job spec that
+	// pins a backend overrides Backend.
+	Backend      string
+	MinijvmPath  string
+	ChildTimeout time.Duration
+	// RPCAttempts bounds tries per coordinator RPC (default 3).
+	RPCAttempts int
+	// Backoff schedules RPC retries (zero value → jittered default).
+	Backoff harness.Backoff
+	// Client issues coordinator RPCs; nil gets a 10s-timeout default.
+	Client *http.Client
+	// Now is the clock seam (nil = wall clock).
+	Now func() time.Time
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+	// OnTask, when set, observes (jobID, tasks done) after every
+	// campaign task — the chaos/test seam, mirroring service.Config.
+	OnTask func(jobID string, done int)
+}
+
+// Worker is a fleet worker daemon: it enrolls with the coordinator,
+// accepts one assignment at a time on /work, runs the campaign with
+// per-task heartbeat handoffs, and settles it with a completion RPC.
+type Worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+
+	mu        sync.Mutex
+	ctx       context.Context
+	started   bool
+	killed    bool
+	busy      string // job ID currently running, "" when idle
+	hbEvery   time.Duration
+	cancelRun context.CancelFunc
+	abandoned bool
+	lastExecs int // latest campaign execution count, for heartbeats
+
+	hbMu sync.Mutex // serializes heartbeat sends (per-task vs ticker)
+
+	wg sync.WaitGroup
+}
+
+// NewWorker builds a worker daemon.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID == "" || cfg.Coordinator == "" || cfg.Addr == "" || cfg.Dir == "" {
+		return nil, errors.New("fleet: worker needs ID, Coordinator, Addr, and Dir")
+	}
+	if !exec.ValidBackend(cfg.Backend) {
+		return nil, fmt.Errorf("fleet: unknown backend %q", cfg.Backend)
+	}
+	if cfg.RPCAttempts <= 0 {
+		cfg.RPCAttempts = 3
+	}
+	if cfg.Backoff == (harness.Backoff{}) {
+		cfg.Backoff = harness.Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5}
+	}
+	if cfg.ChildTimeout == 0 {
+		cfg.ChildTimeout = 10 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: worker scratch dir: %w", err)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Worker{cfg: cfg, client: client, hbEvery: 5 * time.Second}, nil
+}
+
+// Mount registers the worker's endpoints on its mux.
+func (w *Worker) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("POST /work", w.handleWork)
+	mux.HandleFunc("GET /healthz", w.handleHealthz)
+}
+
+// Start launches the enrollment/liveness loop. Cancelling ctx drains
+// the worker: the running campaign (if any) checkpoints, completes as
+// interrupted, and Wait unblocks.
+func (w *Worker) Start(ctx context.Context) {
+	w.mu.Lock()
+	if w.started {
+		w.mu.Unlock()
+		return
+	}
+	w.started = true
+	w.ctx = ctx
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go w.enrollLoop(ctx)
+}
+
+// Wait blocks until the enrollment loop and any running assignment
+// have finished.
+func (w *Worker) Wait() { w.wg.Wait() }
+
+// Kill simulates abrupt worker death for chaos tests: the campaign is
+// aborted, no completion or further heartbeat is sent, and /work stops
+// accepting. From the coordinator's point of view the worker simply
+// goes silent — exactly like a SIGKILL — and the lease must expire.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	w.killed = true
+	cancel := w.cancelRun
+	w.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	w.logf("worker %s: killed", w.cfg.ID)
+}
+
+func (w *Worker) isKilled() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.killed
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// enrollLoop announces the worker and keeps re-announcing every
+// heartbeat interval — the idle-liveness ping the coordinator's
+// dispatchable() check relies on.
+func (w *Worker) enrollLoop(ctx context.Context) {
+	defer w.wg.Done()
+	for {
+		if ctx.Err() != nil || w.isKilled() {
+			return
+		}
+		var resp EnrollResponse
+		err := w.post(ctx, "/fleet/enroll", EnrollRequest{
+			Version: WireVersion,
+			Worker:  w.cfg.ID,
+			Addr:    w.cfg.Addr,
+		}, &resp)
+		interval := w.hbEvery
+		if err != nil {
+			w.logf("worker %s: enroll: %v", w.cfg.ID, err)
+		} else if hb := time.Duration(resp.HeartbeatEveryMS) * time.Millisecond; hb > 0 {
+			w.mu.Lock()
+			w.hbEvery = hb
+			w.mu.Unlock()
+			interval = hb
+		}
+		t := time.NewTimer(interval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	busy := w.busy
+	killed := w.killed
+	w.mu.Unlock()
+	if killed {
+		httpErr(rw, http.StatusServiceUnavailable, errors.New("killed"))
+		return
+	}
+	writeWire(rw, map[string]any{"status": "ok", "worker": w.cfg.ID, "busy": busy})
+}
+
+// handleWork accepts (or refuses) one assignment.
+func (w *Worker) handleWork(rw http.ResponseWriter, r *http.Request) {
+	var asg Assignment
+	if err := decodeBody(rw, r, &asg); err != nil {
+		return
+	}
+	if err := CheckVersion(asg.Version); err != nil {
+		writeWire(rw, AssignResponse{Version: WireVersion, Reason: err.Error()})
+		return
+	}
+	if w.isKilled() {
+		httpErr(rw, http.StatusServiceUnavailable, errors.New("killed"))
+		return
+	}
+	if len(asg.Checkpoint) > 0 && Checksum(asg.Checkpoint) != asg.CheckpointSum {
+		writeWire(rw, AssignResponse{Version: WireVersion, Reason: "checkpoint checksum mismatch"})
+		return
+	}
+	spec := asg.Spec
+	if err := spec.Validate(); err != nil {
+		writeWire(rw, AssignResponse{Version: WireVersion, Reason: fmt.Sprintf("spec: %v", err)})
+		return
+	}
+	asg.Spec = spec
+
+	w.mu.Lock()
+	if w.busy != "" {
+		w.mu.Unlock()
+		httpErr(rw, http.StatusConflict, fmt.Errorf("busy with %s", w.busy))
+		return
+	}
+	ctx := w.ctx
+	if ctx == nil || ctx.Err() != nil {
+		w.mu.Unlock()
+		httpErr(rw, http.StatusServiceUnavailable, errors.New("not started or draining"))
+		return
+	}
+	w.busy = asg.Job
+	w.abandoned = false
+	w.mu.Unlock()
+
+	if err := w.stageAssignment(asg); err != nil {
+		w.mu.Lock()
+		w.busy = ""
+		w.mu.Unlock()
+		writeWire(rw, AssignResponse{Version: WireVersion, Reason: err.Error()})
+		return
+	}
+	w.wg.Add(1)
+	go w.run(ctx, asg)
+	w.logf("worker %s: accepted %s (lease %s)", w.cfg.ID, asg.Job, asg.Lease)
+	writeWire(rw, AssignResponse{Version: WireVersion, Accepted: true})
+}
+
+// jobDir / ckptPath / triageDir locate one assignment's scratch state.
+func (w *Worker) jobDir(job string) string    { return filepath.Join(w.cfg.Dir, job) }
+func (w *Worker) ckptPath(job string) string  { return filepath.Join(w.jobDir(job), "checkpoint.json") }
+func (w *Worker) triageDir(job string) string { return filepath.Join(w.jobDir(job), "triage") }
+
+// stageAssignment prepares the scratch directory, landing the resume
+// checkpoint when the assignment carries one. Prior scratch state for
+// the same job is discarded — the coordinator's copy is authoritative.
+func (w *Worker) stageAssignment(asg Assignment) error {
+	dir := w.jobDir(asg.Job)
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("reset scratch: %v", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("scratch: %v", err)
+	}
+	if len(asg.Checkpoint) > 0 {
+		if _, err := harness.DecodeCheckpoint(asg.Checkpoint); err != nil {
+			return fmt.Errorf("resume checkpoint: %v", err)
+		}
+		if err := os.WriteFile(w.ckptPath(asg.Job), asg.Checkpoint, 0o644); err != nil {
+			return fmt.Errorf("stage checkpoint: %v", err)
+		}
+	}
+	return nil
+}
+
+// run executes one assignment end to end on the worker.
+func (w *Worker) run(ctx context.Context, asg Assignment) {
+	defer w.wg.Done()
+	id := asg.Job
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	w.mu.Lock()
+	w.cancelRun = cancel
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.cancelRun = nil
+		w.busy = ""
+		w.mu.Unlock()
+	}()
+
+	res, stats, runErr := w.campaign(jctx, asg)
+
+	if w.isKilled() {
+		return // dead workers tell no tales: the lease must expire
+	}
+	w.mu.Lock()
+	abandoned := w.abandoned
+	w.mu.Unlock()
+	if abandoned {
+		w.logf("worker %s: %s abandoned (lease superseded)", w.cfg.ID, id)
+		return
+	}
+
+	req := CompleteRequest{
+		Version: WireVersion,
+		Worker:  w.cfg.ID,
+		Job:     id,
+		Lease:   asg.Lease,
+		Stats:   stats,
+	}
+	switch {
+	case runErr != nil:
+		req.Error = runErr.Error()
+	case res.Interrupted:
+		req.Interrupted = true
+	default:
+		req.Summary = service.Summarize(res)
+	}
+	if res != nil {
+		req.Executions = res.Executions
+	}
+	if data, err := os.ReadFile(w.ckptPath(id)); err == nil {
+		req.Checkpoint = data
+		req.CheckpointSum = Checksum(data)
+	}
+	if data, err := os.ReadFile(filepath.Join(w.triageDir(id), "findings.jsonl")); err == nil {
+		req.TriageLog = data
+	}
+	var resp CompleteResponse
+	// Completion must survive a drain: the parent ctx may already be
+	// cancelled, but the coordinator still needs the final checkpoint.
+	cctx, cdone := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cdone()
+	if err := w.post(cctx, "/fleet/complete", req, &resp); err != nil {
+		w.logf("worker %s: complete %s: %v", w.cfg.ID, id, err)
+		return
+	}
+	if !resp.Accepted {
+		w.logf("worker %s: %s completion superseded (lease moved on)", w.cfg.ID, id)
+		return
+	}
+	w.logf("worker %s: completed %s (interrupted=%v err=%q)", w.cfg.ID, id, req.Interrupted, req.Error)
+}
+
+// campaign runs the assignment's campaign, mirroring the scheduler's
+// local runJob so a handoff between the two stays byte-identical: the
+// same JobSpec.Campaign constructor, the same harness knobs.
+func (w *Worker) campaign(jctx context.Context, asg Assignment) (*core.CampaignResult, triage.Stats, error) {
+	id := asg.Job
+	spec := asg.Spec
+	backend := spec.Backend
+	if backend == "" {
+		backend = w.cfg.Backend
+	}
+	executor, err := exec.FromFlags(backend, w.cfg.MinijvmPath, w.cfg.ChildTimeout)
+	if err != nil {
+		return nil, triage.Stats{}, err
+	}
+	tstore, err := triage.Open(w.triageDir(id))
+	if err != nil {
+		return nil, triage.Stats{}, err
+	}
+	tworker, err := triage.NewWorker(triage.WorkerConfig{
+		Store:    tstore,
+		Executor: executor,
+		Now:      func() int64 { return w.cfg.Now().Unix() },
+	})
+	if err != nil {
+		tstore.Close()
+		return nil, triage.Stats{}, err
+	}
+	tworker.Start(jctx)
+
+	w.mu.Lock()
+	w.lastExecs = 0 // fresh campaign: do not leak the previous job's count
+	w.mu.Unlock()
+	ccfg := spec.Campaign(executor)
+	ccfg.OnProgress = func(p core.Progress) {
+		// Executions snapshot for heartbeats; progress callbacks run on
+		// the campaign goroutine, heartbeat reads on the ticker's.
+		w.mu.Lock()
+		w.lastExecs = p.Executions
+		w.mu.Unlock()
+	}
+	ccfg.OnFinding = func(f core.Finding) { tworker.Submit(f) }
+
+	hcfg := harness.Config{
+		CheckpointPath:  w.ckptPath(id),
+		CheckpointEvery: asg.CheckpointEvery,
+		ExecTimeout:     time.Duration(asg.ExecTimeoutMS) * time.Millisecond,
+		QuarantineDir:   filepath.Join(w.jobDir(id), "quarantine"),
+		MaxRetries:      2,
+		Backoff:         100 * time.Millisecond,
+	}
+	if len(asg.Checkpoint) > 0 {
+		hcfg.ResumePath = w.ckptPath(id)
+	}
+	hcfg.OnTask = func(done int) {
+		if w.cfg.OnTask != nil {
+			w.cfg.OnTask(id, done)
+		}
+		// Per-task heartbeat: deterministic handoff cadence in cursor
+		// order, independent of wall clock.
+		w.heartbeat(jctx, asg)
+	}
+
+	// Wall-clock heartbeats keep the lease alive through long tasks.
+	hbStop := make(chan struct{})
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		every := time.Duration(asg.HeartbeatEveryMS) * time.Millisecond
+		if every <= 0 {
+			every = 5 * time.Second
+		}
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-jctx.Done():
+				return
+			case <-t.C:
+				w.heartbeat(jctx, asg)
+			}
+		}
+	}()
+
+	res, runErr := core.RunCampaignContext(jctx, ccfg, hcfg)
+	close(hbStop)
+
+	if err := tworker.Close(); err != nil {
+		w.logf("worker %s: %s triage flush: %v", w.cfg.ID, id, err)
+	}
+	stats := tworker.Stats()
+	if err := tstore.Close(); err != nil {
+		w.logf("worker %s: %s triage store close: %v", w.cfg.ID, id, err)
+	}
+	return res, stats, runErr
+}
+
+// heartbeat renews the lease, uploading the latest checkpoint and
+// triage log. Send failures are logged, not retried into the campaign's
+// critical path beyond the RPC retry budget — a persistently
+// unreachable coordinator means the lease expires, which is the design.
+func (w *Worker) heartbeat(ctx context.Context, asg Assignment) {
+	if w.isKilled() || ctx.Err() != nil {
+		return
+	}
+	w.hbMu.Lock()
+	defer w.hbMu.Unlock()
+	w.mu.Lock()
+	execs := w.lastExecs
+	w.mu.Unlock()
+	hb := Heartbeat{
+		Version:    WireVersion,
+		Worker:     w.cfg.ID,
+		Job:        asg.Job,
+		Lease:      asg.Lease,
+		Executions: execs,
+	}
+	if data, err := os.ReadFile(w.ckptPath(asg.Job)); err == nil {
+		hb.Checkpoint = data
+		hb.CheckpointSum = Checksum(data)
+	}
+	if data, err := os.ReadFile(filepath.Join(w.triageDir(asg.Job), "findings.jsonl")); err == nil {
+		hb.TriageLog = data
+	}
+	var resp HeartbeatResponse
+	if err := w.post(ctx, "/fleet/heartbeat", hb, &resp); err != nil {
+		if ctx.Err() == nil {
+			w.logf("worker %s: heartbeat %s: %v", w.cfg.ID, asg.Job, err)
+		}
+		return
+	}
+	switch {
+	case resp.Unknown:
+		w.mu.Lock()
+		w.abandoned = true
+		cancel := w.cancelRun
+		w.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	case resp.Cancel:
+		w.mu.Lock()
+		cancel := w.cancelRun
+		w.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	}
+}
+
+// post sends one coordinator RPC with the worker's retry policy.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	return harness.Retry(ctx, harness.RetryConfig{
+		Attempts: w.cfg.RPCAttempts,
+		Backoff:  w.cfg.Backoff,
+	}, func(ctx context.Context) error {
+		return postJSON(ctx, w.client, w.cfg.Coordinator+path, in, out)
+	})
+}

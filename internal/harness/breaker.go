@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit's position.
+type BreakerState string
+
+// Breaker states: closed passes calls, open rejects them, half-open
+// admits a single probe after the cooldown.
+const (
+	BreakerClosed   BreakerState = "closed"
+	BreakerOpen     BreakerState = "open"
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Breaker is a per-dependency circuit breaker: Threshold consecutive
+// failures open the circuit, rejecting calls for Cooldown; after the
+// cooldown one probe is admitted (half-open) and its outcome closes or
+// re-opens the circuit. The fleet coordinator keeps one per worker so a
+// dead or flapping worker stops absorbing dispatch attempts (and their
+// retry budgets) instead of stalling every queued job behind it.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the circuit
+	// (default 3).
+	Threshold int
+	// Cooldown is how long the circuit stays open before admitting a
+	// probe (default 30s).
+	Cooldown time.Duration
+	// Now is the clock seam (nil = wall clock).
+	Now func() time.Time
+	// OnOpen, when set, observes each closed→open transition (metrics).
+	OnOpen func()
+
+	mu       sync.Mutex
+	failures int
+	state    BreakerState
+	openedAt time.Time
+	probing  bool
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 3
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 30 * time.Second
+	}
+	return b.Cooldown
+}
+
+// Allow reports whether a call may proceed. In the open state it
+// returns false until the cooldown elapses, then admits exactly one
+// probe (half-open) until that probe settles via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false // one probe at a time
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// Success reports a completed call; it closes the circuit.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.state = BreakerClosed
+	b.probing = false
+}
+
+// Failure reports a failed call; enough consecutive ones (or a failed
+// half-open probe) open the circuit.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	wasOpen := b.state == BreakerOpen
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold() {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		if !wasOpen && b.OnOpen != nil {
+			b.OnOpen()
+		}
+	}
+}
+
+// State returns the circuit's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == "" {
+		return BreakerClosed
+	}
+	return b.state
+}

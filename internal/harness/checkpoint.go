@@ -47,6 +47,13 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: checkpoint read: %w", err)
 	}
+	return DecodeCheckpoint(data)
+}
+
+// DecodeCheckpoint validates a serialized snapshot — the same checks
+// LoadCheckpoint applies, reusable for snapshots that arrive over the
+// wire (fleet checkpoint handoff) instead of from a file.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	var c Checkpoint
 	if err := json.Unmarshal(data, &c); err != nil {
 		return nil, fmt.Errorf("harness: checkpoint decode: %w", err)

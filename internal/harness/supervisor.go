@@ -25,6 +25,15 @@ type Config struct {
 	// Backoff is the base delay between transient retries, doubled per
 	// attempt. Zero retries immediately.
 	Backoff time.Duration
+	// BackoffJitter in (0, 1] randomizes each retry delay (equal-jitter:
+	// the floor stays at (1-Jitter)·delay). Zero — the default — keeps
+	// the historical deterministic schedule, so existing campaigns and
+	// their tests are unchanged.
+	BackoffJitter float64
+	// BackoffSeed seeds the jitter source when BackoffJitter is set;
+	// 0 uses a process-global seeded source. Tests pin it for
+	// reproducible schedules.
+	BackoffSeed int64
 	// IsTransient classifies task errors as retryable. Nil means no
 	// error is transient.
 	IsTransient func(error) bool
@@ -71,6 +80,7 @@ type Outcome struct {
 type Supervisor struct {
 	Cfg       Config
 	Q         *Quarantine
+	backoff   *Backoff
 	tasksDone int
 }
 
@@ -80,7 +90,11 @@ func New(cfg Config) (*Supervisor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Supervisor{Cfg: cfg, Q: q}, nil
+	b := &Backoff{Base: cfg.Backoff, Jitter: cfg.BackoffJitter}
+	if cfg.BackoffJitter > 0 && cfg.BackoffSeed != 0 {
+		b.Rand = NewJitterSource(cfg.BackoffSeed)
+	}
+	return &Supervisor{Cfg: cfg, Q: q, backoff: b}, nil
 }
 
 // Do runs one task under supervision. Quarantined tasks are skipped
@@ -108,7 +122,7 @@ func (s *Supervisor) Attempt(ctx context.Context, t Task) *Outcome {
 		if out.Err != nil && out.Fault == nil &&
 			s.Cfg.IsTransient != nil && s.Cfg.IsTransient(out.Err) &&
 			attempt < s.Cfg.MaxRetries {
-			s.sleep(s.Cfg.Backoff << uint(attempt))
+			s.sleep(s.backoff.Delay(attempt))
 			continue
 		}
 		break

@@ -9,6 +9,12 @@ import (
 	"time"
 )
 
+// maxBodyBytes caps job-spec and seed-upload request bodies. Seeds are
+// source text of small synthetic programs; 8 MiB is orders of magnitude
+// above any legitimate submission, so larger bodies are hostile or
+// broken clients and get 413 instead of unbounded buffering.
+const maxBodyBytes = 8 << 20
+
 // Server is the daemon's HTTP JSON API over one scheduler:
 //
 //	POST   /jobs               submit a job (503 while draining)
@@ -43,10 +49,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %v", err))
+		writeDecodeErr(w, fmt.Errorf("decode job spec: %v", err), err)
 		return
 	}
 	j, err := s.sched.Submit(spec)
@@ -96,10 +102,10 @@ func (s *Server) addSeeds(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Seeds []SeedSpec `json:"seeds"`
 	}
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&body); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode seeds: %v", err))
+		writeDecodeErr(w, fmt.Errorf("decode seeds: %v", err), err)
 		return
 	}
 	if len(body.Seeds) == 0 {
@@ -252,4 +258,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeDecodeErr maps a body-decode failure to a status: an oversized
+// body (MaxBytesReader tripped) is 413, anything else 400.
+func writeDecodeErr(w http.ResponseWriter, wrapped, cause error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(cause, &tooBig) {
+		writeErr(w, http.StatusRequestEntityTooLarge, wrapped)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, wrapped)
 }

@@ -3,10 +3,12 @@ package service
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/exec"
 	"repro/internal/jvm"
 	"repro/internal/triage"
 )
@@ -16,7 +18,9 @@ type JobState string
 
 // Job states. Queued and running are live; interrupted means a daemon
 // drain checkpointed the campaign mid-flight (a restart re-queues it
-// with resume); the rest are terminal.
+// with resume); quarantined means a restart found the job's persisted
+// run state (its campaign checkpoint) corrupt and set the job aside
+// rather than failing daemon startup; the rest are terminal.
 const (
 	StateQueued      JobState = "queued"
 	StateRunning     JobState = "running"
@@ -24,17 +28,18 @@ const (
 	StateDone        JobState = "done"
 	StateFailed      JobState = "failed"
 	StateCancelled   JobState = "cancelled"
+	StateQuarantined JobState = "quarantined"
 )
 
 // States lists every job state in a fixed order, so the /metrics gauge
 // emits a series per state even at zero.
 func States() []JobState {
-	return []JobState{StateQueued, StateRunning, StateInterrupted, StateDone, StateFailed, StateCancelled}
+	return []JobState{StateQueued, StateRunning, StateInterrupted, StateDone, StateFailed, StateCancelled, StateQuarantined}
 }
 
 // Terminal reports whether the state is final (no further transitions).
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateQuarantined
 }
 
 // SeedSpec is one user-supplied seed program in a job submission.
@@ -112,10 +117,8 @@ func (s *JobSpec) Validate() error {
 			return fmt.Errorf("target %q: %v", t, err)
 		}
 	}
-	switch s.Backend {
-	case "", "inprocess", "subprocess":
-	default:
-		return fmt.Errorf("unknown backend %q (want inprocess or subprocess)", s.Backend)
+	if !exec.ValidBackend(s.Backend) {
+		return fmt.Errorf("unknown backend %q (want %s)", s.Backend, strings.Join(exec.Backends(), " or "))
 	}
 	for i := range s.Seeds {
 		if s.Seeds[i].Name == "" {
@@ -148,6 +151,32 @@ func (s *JobSpec) pool() []corpus.Seed {
 		out = append(out, corpus.Seed{Name: sd.Name, Source: sd.Source})
 	}
 	return out
+}
+
+// Campaign builds the campaign configuration a validated spec runs
+// under. Every execution site — the local runner pool and the fleet
+// worker — MUST go through this one constructor: the knobs it sets
+// decide the campaign's deterministic schedule, so two sites composing
+// them independently could drift and break the byte-identical-resume
+// guarantee across handoffs.
+func (s *JobSpec) Campaign(executor exec.Executor) core.CampaignConfig {
+	targets := s.specs()
+	fcfg := core.DefaultConfig(targets[0])
+	fcfg.MaxIterations = s.Iterations
+	fcfg.Seed = s.Seed
+	fcfg.ExtendedMutators = s.Extended
+	fcfg.MaxHeapUnits = s.HeapLimit
+	fcfg.StructuredOBV = true
+	fcfg.Executor = executor
+	return core.CampaignConfig{
+		Seeds:    s.pool(),
+		Budget:   s.Budget,
+		Targets:  targets,
+		Fuzz:     fcfg,
+		Seed:     s.Seed,
+		Workers:  s.Workers,
+		Executor: executor,
+	}
 }
 
 // specs parses the validated target names.
@@ -274,6 +303,12 @@ type jobRecord struct {
 	Error   string         `json:"error,omitempty"`
 	Result  *ResultSummary `json:"result,omitempty"`
 	Triage  *TriageStats   `json:"triage,omitempty"`
+	// Worker names the fleet worker the job last ran on ("" = this
+	// daemon's local runner pool).
+	Worker string `json:"worker,omitempty"`
+	// Requeues counts assignments that were lost and re-queued (lease
+	// expiry, worker death) — the fleet's recovery counter per job.
+	Requeues int `json:"requeues,omitempty"`
 }
 
 // ProgressView is the live slice of a running job exposed by the API.
@@ -301,6 +336,8 @@ type JobView struct {
 	Error    string         `json:"error,omitempty"`
 	Result   *ResultSummary `json:"result,omitempty"`
 	Triage   *TriageStats   `json:"triage,omitempty"`
+	Worker   string         `json:"worker,omitempty"`
+	Requeues int            `json:"requeues,omitempty"`
 	Progress *ProgressView  `json:"progress,omitempty"`
 }
 
@@ -357,6 +394,8 @@ func (j *Job) View() JobView {
 		Error:    j.rec.Error,
 		Result:   j.rec.Result,
 		Triage:   j.rec.Triage,
+		Worker:   j.rec.Worker,
+		Requeues: j.rec.Requeues,
 	}
 	if j.rec.State == StateRunning && j.hasProgress {
 		v.Progress = &ProgressView{

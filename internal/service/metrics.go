@@ -36,14 +36,16 @@ type Metrics struct {
 	now   func() time.Time
 	start time.Time
 
-	mu           sync.Mutex
-	executions   int64
-	findings     int64
-	faults       map[string]int64
-	deltaCounts  []int64 // per-bucket (non-cumulative) counts; index len(deltaBuckets) is +Inf
-	deltaSum     float64
-	deltaObs     int64
-	jobsAccepted int64
+	mu              sync.Mutex
+	executions      int64
+	findings        int64
+	faults          map[string]int64
+	deltaCounts     []int64 // per-bucket (non-cumulative) counts; index len(deltaBuckets) is +Inf
+	deltaSum        float64
+	deltaObs        int64
+	jobsAccepted    int64
+	requeues        int64
+	jobsQuarantined int64
 }
 
 // NewMetrics builds a registry. now is the clock seam (nil = wall
@@ -95,6 +97,29 @@ func (m *Metrics) AddJobAccepted() {
 	m.mu.Unlock()
 }
 
+// AddRequeue accounts one job put back on the queue after its
+// assignment was lost (fleet lease expiry, worker death).
+func (m *Metrics) AddRequeue() {
+	m.mu.Lock()
+	m.requeues++
+	m.mu.Unlock()
+}
+
+// Requeues returns the cumulative requeue count.
+func (m *Metrics) Requeues() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requeues
+}
+
+// AddJobQuarantined accounts one job record (or its checkpoint) found
+// corrupt at startup and set aside instead of failing the daemon.
+func (m *Metrics) AddJobQuarantined() {
+	m.mu.Lock()
+	m.jobsQuarantined++
+	m.mu.Unlock()
+}
+
 // ObserveDelta records one seed task's OBV increment in the histogram.
 func (m *Metrics) ObserveDelta(d float64) {
 	m.mu.Lock()
@@ -133,6 +158,14 @@ func (m *Metrics) Render(w io.Writer, jobs map[JobState]int, tr TriageStats) {
 	fmt.Fprintln(w, "# HELP mopfuzzd_jobs_accepted_total Job submissions accepted.")
 	fmt.Fprintln(w, "# TYPE mopfuzzd_jobs_accepted_total counter")
 	fmt.Fprintf(w, "mopfuzzd_jobs_accepted_total %d\n", m.jobsAccepted)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_requeues_total Jobs re-queued after a lost assignment (lease expiry, worker death).")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_requeues_total counter")
+	fmt.Fprintf(w, "mopfuzzd_requeues_total %d\n", m.requeues)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_jobs_quarantined_total Job records or checkpoints found corrupt at startup and set aside.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_jobs_quarantined_total counter")
+	fmt.Fprintf(w, "mopfuzzd_jobs_quarantined_total %d\n", m.jobsQuarantined)
 
 	fmt.Fprintln(w, "# HELP mopfuzzd_executions_total Target executions across all jobs.")
 	fmt.Fprintln(w, "# TYPE mopfuzzd_executions_total counter")

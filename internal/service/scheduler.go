@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -57,6 +59,41 @@ type Config struct {
 	OnTask func(jobID string, done int)
 }
 
+// RemoteRunner runs queued jobs somewhere other than the local runner
+// pool — the fleet coordinator's seam. The scheduler stays the single
+// owner of the job lifecycle; a remote runner only executes and
+// reports.
+type RemoteRunner interface {
+	// RunRemote executes the job on a remote worker, blocking until the
+	// job settles, the assignment is lost, or ctx is cancelled (daemon
+	// drain or DELETE — the runner should stop the worker best-effort
+	// and report Interrupted). It must call NoteRemoteStart once a
+	// worker accepts the assignment.
+	RunRemote(ctx context.Context, j *Job) RemoteOutcome
+}
+
+// RemoteOutcome is a remote runner's verdict on one assignment.
+type RemoteOutcome struct {
+	// Declined: no live worker could take the job — run it locally (the
+	// zero-workers graceful-degradation path).
+	Declined bool
+	// Requeue: the assignment was lost (lease expired, worker died)
+	// after any checkpoint handoff already landed on disk; the job goes
+	// back on the queue and resumes from that checkpoint.
+	Requeue bool
+	// Interrupted: the run stopped without finishing (drain or cancel);
+	// the scheduler settles it exactly like a local interrupted run.
+	Interrupted bool
+	// Summary is the finished campaign digest (nil unless done).
+	Summary *ResultSummary
+	// Stats is the worker-side triage segment for the job record.
+	Stats triage.Stats
+	// Err marks the job failed.
+	Err error
+	// Worker names the assignee, for logs.
+	Worker string
+}
+
 // Scheduler owns the daemon's job lifecycle: submissions queue, a
 // bounded runner pool dispatches them onto RunCampaignContext under the
 // fault-isolating harness, per-job checkpoints make a daemon restart
@@ -67,6 +104,7 @@ type Scheduler struct {
 	store   *JobStore
 	metrics *Metrics
 	broker  *Broker
+	remote  RemoteRunner // optional: fleet dispatch before local fallback
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -103,7 +141,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs, err := store.LoadAll()
+	recs, quarantined, err := store.LoadAll()
 	if err != nil {
 		return nil, err
 	}
@@ -116,13 +154,23 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		nextID:  NextID(recs),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	for _, id := range quarantined {
+		s.metrics.AddJobQuarantined()
+		s.logf("job %s: corrupt record quarantined to jobs-quarantined/ (startup continues)", id)
+	}
 	for _, rec := range recs {
 		j := &Job{rec: *rec, dir: store.JobDir(rec.ID)}
 		switch rec.State {
 		case StateRunning, StateInterrupted:
 			// The previous daemon drained (or died) mid-run; the campaign
 			// checkpoint on disk carries the partial state, so the job goes
-			// back on the queue and resumes exactly where it stopped.
+			// back on the queue and resumes exactly where it stopped. A
+			// checkpoint that no longer decodes would fail that resume on
+			// every restart, so quarantine the job instead of re-queueing
+			// it — and instead of failing daemon startup.
+			if bad := s.quarantineBadCheckpoint(j); bad {
+				break
+			}
 			j.rec.State = StateQueued
 			if err := store.Save(&j.rec); err != nil {
 				return nil, err
@@ -130,6 +178,9 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 			s.queue = append(s.queue, rec.ID)
 			s.logf("job %s: re-queued for resume (was %s)", rec.ID, rec.State)
 		case StateQueued:
+			if bad := s.quarantineBadCheckpoint(j); bad {
+				break
+			}
 			s.queue = append(s.queue, rec.ID)
 		}
 		s.jobs[rec.ID] = j
@@ -138,8 +189,52 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	return s, nil
 }
 
+// quarantineBadCheckpoint validates a restartable job's campaign
+// checkpoint. A corrupt or truncated snapshot moves to
+// checkpoint.json.corrupt and flips the job to StateQuarantined —
+// counted in /metrics — so startup proceeds and every healthy job still
+// resumes.
+func (s *Scheduler) quarantineBadCheckpoint(j *Job) bool {
+	id := j.rec.ID
+	if !s.store.HasCheckpoint(id) {
+		return false
+	}
+	if _, err := harness.LoadCheckpoint(s.store.CheckpointPath(id)); err == nil {
+		return false
+	} else {
+		if qerr := s.store.QuarantineCheckpoint(id); qerr != nil {
+			s.logf("job %s: set corrupt checkpoint aside: %v", id, qerr)
+		}
+		j.rec.State = StateQuarantined
+		j.rec.Error = fmt.Sprintf("corrupt campaign checkpoint at restart: %v", err)
+		j.rec.Finished = s.cfg.Now().Unix()
+		if serr := s.store.Save(&j.rec); serr != nil {
+			s.logf("job %s: persist quarantined state: %v", id, serr)
+		}
+		s.metrics.AddJobQuarantined()
+		s.logf("job %s: checkpoint corrupt, job quarantined (startup continues): %v", id, err)
+		return true
+	}
+}
+
+// SetRemote installs a remote runner (the fleet coordinator). Must be
+// called before Start.
+func (s *Scheduler) SetRemote(r RemoteRunner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.remote = r
+}
+
 // Store exposes the underlying job store (paths for tests and tools).
 func (s *Scheduler) Store() *JobStore { return s.store }
+
+// CheckpointEvery exposes the campaign snapshot cadence — fleet
+// assignments mirror it so remote runs match local ones.
+func (s *Scheduler) CheckpointEvery() int { return s.cfg.CheckpointEvery }
+
+// ExecTimeout exposes the per-task watchdog deadline, mirrored into
+// fleet assignments like CheckpointEvery.
+func (s *Scheduler) ExecTimeout() time.Duration { return s.cfg.ExecTimeout }
 
 // Metrics exposes the daemon metrics registry.
 func (s *Scheduler) Metrics() *Metrics { return s.metrics }
@@ -353,6 +448,12 @@ func (s *Scheduler) RenderMetrics(w io.Writer) {
 		}
 	}
 	s.metrics.Render(w, counts, tr)
+	s.mu.Lock()
+	remote := s.remote
+	s.mu.Unlock()
+	if fr, ok := remote.(interface{ RenderMetrics(io.Writer) }); ok {
+		fr.RenderMetrics(w)
+	}
 }
 
 // runner is one worker of the bounded pool.
@@ -374,8 +475,155 @@ func (s *Scheduler) runner(ctx context.Context) {
 		if j == nil || j.State() != StateQueued {
 			continue // cancelled while queued
 		}
-		s.runJob(ctx, j)
+		s.dispatch(ctx, j)
 	}
+}
+
+// dispatch routes one claimed job: to the remote runner when one is
+// installed and accepts it, to the local runner pool otherwise. The
+// local path is also the graceful-degradation fallback — a coordinator
+// with zero live workers still completes every job.
+func (s *Scheduler) dispatch(ctx context.Context, j *Job) {
+	s.mu.Lock()
+	remote := s.remote
+	s.mu.Unlock()
+	if remote == nil {
+		s.runJob(ctx, j)
+		return
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	j.mu.Lock()
+	j.cancel = cancel
+	j.cancelAsked = false
+	j.mu.Unlock()
+	out := remote.RunRemote(jctx, j)
+	switch {
+	case out.Declined:
+		s.logf("job %s: no live worker, running locally", j.ID())
+		s.runJob(ctx, j)
+	case out.Requeue:
+		s.requeue(j, out.Worker)
+	default:
+		s.settleRemote(j, out)
+	}
+}
+
+// requeue puts a job whose remote assignment was lost back on the
+// queue. The checkpoint the worker last handed off is already on disk,
+// so the next claim — remote or local — resumes from it.
+func (s *Scheduler) requeue(j *Job, worker string) {
+	id := j.ID()
+	j.mu.Lock()
+	j.rec.State = StateQueued
+	j.rec.Requeues++
+	j.cancel = nil
+	rec := j.rec
+	j.mu.Unlock()
+	if err := s.store.Save(&rec); err != nil {
+		s.logf("job %s: persist requeued state: %v", id, err)
+	}
+	s.metrics.AddRequeue()
+	s.broker.Publish(id, Event{Type: "state", State: StateQueued})
+	s.logf("job %s: assignment lost (worker %s), re-queued for resume (requeues %d)", id, worker, rec.Requeues)
+	s.mu.Lock()
+	s.queue = append(s.queue, id)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// settleRemote settles a job the remote runner finished, mirroring
+// finishJob's state machine for locally run campaigns.
+func (s *Scheduler) settleRemote(j *Job, out RemoteOutcome) {
+	id := j.ID()
+	j.mu.Lock()
+	if j.rec.Triage == nil {
+		j.rec.Triage = &TriageStats{}
+	}
+	j.rec.Triage.add(out.Stats)
+	var state JobState
+	switch {
+	case out.Err != nil:
+		state = StateFailed
+		j.rec.Error = out.Err.Error()
+		j.rec.Finished = s.cfg.Now().Unix()
+	case out.Interrupted && j.cancelAsked:
+		state = StateCancelled
+		j.rec.Finished = s.cfg.Now().Unix()
+	case out.Interrupted:
+		// Drain: the worker's last checkpoint handoff is on disk; the
+		// next daemon re-queues the job and resumes it from there.
+		state = StateInterrupted
+	default:
+		state = StateDone
+		j.rec.Result = out.Summary
+		j.rec.Finished = s.cfg.Now().Unix()
+	}
+	j.rec.State = state
+	j.cancel = nil
+	rec := j.rec
+	j.mu.Unlock()
+	if err := s.store.Save(&rec); err != nil {
+		s.logf("job %s: persist final state: %v", id, err)
+	}
+	s.broker.Publish(id, Event{Type: "state", State: state})
+	s.logf("job %s: %s (worker %s)", id, state, out.Worker)
+}
+
+// NoteRemoteStart records that a worker accepted the job's assignment:
+// the fleet-mode analogue of runJob's mark-running step.
+func (s *Scheduler) NoteRemoteStart(j *Job, worker string) {
+	id := j.ID()
+	j.mu.Lock()
+	j.rec.State = StateRunning
+	if j.rec.Started == 0 {
+		j.rec.Started = s.cfg.Now().Unix()
+	}
+	if s.store.HasCheckpoint(id) {
+		j.rec.Resumes++
+	}
+	j.rec.Worker = worker
+	rec := j.rec
+	j.mu.Unlock()
+	if err := s.store.Save(&rec); err != nil {
+		s.logf("job %s: persist running state: %v", id, err)
+	}
+	s.broker.Publish(id, Event{Type: "state", State: StateRunning})
+	s.logf("job %s: running on worker %s (resumes %d)", id, worker, rec.Resumes)
+}
+
+// MergeTriage folds a worker-uploaded triage log (findings.jsonl bytes)
+// into the job's persistent triage store. Signature dedup makes the
+// merge idempotent: re-uploading overlapping segments — a dead worker's
+// partial log followed by the finishing worker's full log — cannot
+// produce duplicate findings. Returns how many novel signatures the
+// merge added.
+func (s *Scheduler) MergeTriage(id string, log []byte) (added int, err error) {
+	tmp, err := os.MkdirTemp("", "mopfuzzd-triage-merge-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(tmp)
+	if err := os.WriteFile(filepath.Join(tmp, "findings.jsonl"), log, 0o644); err != nil {
+		return 0, err
+	}
+	src, err := triage.Open(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("service: decode uploaded triage log for %s: %w", id, err)
+	}
+	defer src.Close()
+
+	s.reportMu.Lock()
+	defer s.reportMu.Unlock()
+	// A live local store for this job would mean the scheduler itself is
+	// running the campaign; fleet uploads only happen for remote
+	// assignments, so opening on demand here is safe under reportMu.
+	dst, err := triage.Open(s.store.TriageDir(id))
+	if err != nil {
+		return 0, err
+	}
+	defer dst.Close()
+	return dst.Merge(src)
 }
 
 // executorFor builds the execution backend a job runs on.
@@ -451,23 +699,7 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 	s.reportMu.Unlock()
 	tworker.Start(jctx)
 
-	targets := spec.specs()
-	fcfg := core.DefaultConfig(targets[0])
-	fcfg.MaxIterations = spec.Iterations
-	fcfg.Seed = spec.Seed
-	fcfg.ExtendedMutators = spec.Extended
-	fcfg.MaxHeapUnits = spec.HeapLimit
-	fcfg.StructuredOBV = true
-	fcfg.Executor = executor
-	ccfg := core.CampaignConfig{
-		Seeds:    spec.pool(),
-		Budget:   spec.Budget,
-		Targets:  targets,
-		Fuzz:     fcfg,
-		Seed:     spec.Seed,
-		Workers:  spec.Workers,
-		Executor: executor,
-	}
+	ccfg := spec.Campaign(executor)
 
 	ckpt := s.store.CheckpointPath(id)
 	hcfg := harness.Config{

@@ -96,25 +96,58 @@ func (st *JobStore) Load(id string) (*jobRecord, error) {
 }
 
 // LoadAll reads every job record, sorted by ID (submission order, since
-// IDs are a zero-padded sequence).
-func (st *JobStore) LoadAll() ([]*jobRecord, error) {
+// IDs are a zero-padded sequence). A record that fails to load — a
+// corrupt or truncated job.json, a version mismatch — does not fail the
+// whole scan: its job directory is moved aside to
+// <dir>/jobs-quarantined/<id> (artifacts preserved for forensics) and
+// its ID is reported in quarantined, so one bad record cannot keep a
+// daemon restart from resuming every healthy job.
+func (st *JobStore) LoadAll() (recs []*jobRecord, quarantined []string, err error) {
 	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
 	if err != nil {
-		return nil, fmt.Errorf("service: scan job store: %w", err)
+		return nil, nil, fmt.Errorf("service: scan job store: %w", err)
 	}
-	var out []*jobRecord
 	for _, e := range entries {
 		if !e.IsDir() {
 			continue
 		}
 		rec, err := st.Load(e.Name())
 		if err != nil {
-			return nil, err
+			if qerr := st.quarantineJobDir(e.Name()); qerr != nil {
+				// Can't even move it aside: now startup must stop, or the
+				// same record would poison every restart.
+				return nil, nil, fmt.Errorf("service: quarantine job %s (%v): %w", e.Name(), err, qerr)
+			}
+			quarantined = append(quarantined, e.Name())
+			continue
 		}
-		out = append(out, rec)
+		recs = append(recs, rec)
 	}
-	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
-	return out, nil
+	sort.Slice(recs, func(i, k int) bool { return recs[i].ID < recs[k].ID })
+	sort.Strings(quarantined)
+	return recs, quarantined, nil
+}
+
+// quarantineJobDir moves a job's directory under jobs-quarantined/.
+func (st *JobStore) quarantineJobDir(id string) error {
+	qdir := filepath.Join(st.dir, "jobs-quarantined")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return err
+	}
+	dst := filepath.Join(qdir, id)
+	// A leftover from an earlier quarantine of the same ID must not block
+	// this one; the newest evidence wins.
+	_ = os.RemoveAll(dst)
+	return os.Rename(st.JobDir(id), dst)
+}
+
+// QuarantineCheckpoint sets a job's corrupt campaign checkpoint aside
+// as checkpoint.json.corrupt, so the record itself survives (marked
+// quarantined by the scheduler) and the bad snapshot is preserved for
+// inspection instead of being retried on every restart.
+func (st *JobStore) QuarantineCheckpoint(id string) error {
+	path := st.CheckpointPath(id)
+	return os.Rename(path, path+".corrupt")
 }
 
 // NextID returns the first unused sequence ID after the given records.

@@ -96,9 +96,23 @@ func TestJobRecordVersionMismatchRejected(t *testing.T) {
 	if _, err := st.Load(rec.ID); err == nil || !strings.Contains(err.Error(), "version 99") {
 		t.Errorf("Load of version-99 record: err = %v, want version rejection", err)
 	}
-	// LoadAll must surface the same rejection, not skip the record.
-	if _, err := st.LoadAll(); err == nil {
-		t.Error("LoadAll swallowed the version mismatch")
+	// LoadAll must not silently load the record — it quarantines the
+	// job directory and reports the ID, so startup survives.
+	recs, quarantined, err := st.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("LoadAll loaded %d records from a version-99 store, want 0", len(recs))
+	}
+	if len(quarantined) != 1 || quarantined[0] != rec.ID {
+		t.Errorf("LoadAll quarantined = %v, want [%s]", quarantined, rec.ID)
+	}
+	if _, err := os.Stat(st.JobDir(rec.ID)); !os.IsNotExist(err) {
+		t.Errorf("job dir still present after quarantine (stat err %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), "jobs-quarantined", rec.ID, "job.json")); err != nil {
+		t.Errorf("quarantined record not preserved: %v", err)
 	}
 }
 
