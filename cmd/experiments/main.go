@@ -26,18 +26,27 @@ func main() {
 	budgetFlag := flag.Int("budget", 0, "execution budget per tool (default per experiment)")
 	seedsFlag := flag.Int("seeds", 0, "seed pool size (default per experiment)")
 	seedFlag := flag.Int64("seed", 1, "campaign random seed")
-	benchJSON := flag.String("bench-json", "", "measure campaign throughput (sequential vs parallel vs legacy OBV) and write the JSON report here")
+	benchJSON := flag.String("bench-json", "", "measure campaign throughput (sequential vs parallel vs legacy OBV), the scaling matrix, and backend exec overhead; write the JSON report here")
 	benchWorkers := flag.Int("bench-workers", 4, "worker count for the parallel leg of -bench-json")
-	backend := flag.String("backend", "inprocess", "execution backend: inprocess or subprocess (one minijvm child per execution)")
-	minijvmPath := flag.String("minijvm", "", "minijvm binary for -backend subprocess (default: $MINIJVM, then $PATH)")
-	childTimeout := flag.Duration("child-timeout", 10*time.Second, "per-execution watchdog for -backend subprocess (0 = no watchdog)")
+	backend := flag.String("backend", "inprocess", "execution backend: inprocess, subprocess (one minijvm child per execution), or pool (warm children, batched protocol)")
+	minijvmPath := flag.String("minijvm", "", "minijvm binary for -backend subprocess/pool (default: $MINIJVM, then $PATH)")
+	childTimeout := flag.Duration("child-timeout", 10*time.Second, "per-execution watchdog for -backend subprocess/pool (0 = no watchdog)")
+	poolChildren := flag.Int("pool-children", 0, "max warm children for -backend pool (0 = GOMAXPROCS)")
+	poolRecycle := flag.Int64("pool-recycle-after", 0, "recycle a pool child after this many executions (0 = default 512)")
+	poolMaxHeapMB := flag.Uint64("pool-max-heap-mb", 0, "recycle a pool child whose self-reported heap reaches this many MiB (0 = default 256)")
 	flag.Parse()
 
-	executor, err := exec.FromFlags(*backend, *minijvmPath, *childTimeout)
+	tuning := exec.PoolTuning{
+		Children:          *poolChildren,
+		RecycleAfter:      *poolRecycle,
+		MaxChildHeapBytes: *poolMaxHeapMB << 20,
+	}
+	executor, err := exec.FromFlags(*backend, *minijvmPath, *childTimeout, tuning)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	defer exec.CloseExecutor(executor)
 
 	budget := experiments.DefaultBudget()
 	budget.Executor = executor
@@ -128,7 +137,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		rep, err := experiments.WriteBenchJSON(f, budget, *benchWorkers)
+		rep, err := experiments.WriteBenchJSON(f, budget, *benchWorkers, experiments.BenchOptions{
+			MinijvmPath:  *minijvmPath,
+			ChildTimeout: *childTimeout,
+			Pool:         tuning,
+		})
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -137,6 +150,7 @@ func main() {
 		fmt.Fprintf(w, "bench: %.0f execs/sec sequential, %.0f execs/sec with %d workers (%.2fx), OBV extraction %.0f -> %.0f ns/op (%.1fx); report written to %s\n",
 			rep.SequentialExecsPerSec, rep.ParallelExecsPerSec, rep.Workers, rep.CampaignSpeedup,
 			rep.OBVRegexNsPerOp, rep.OBVStructuredNsPerOp, rep.OBVSpeedup, *benchJSON)
+		experiments.ScalingTable(w, rep)
 	}
 	if !ran {
 		flag.Usage()

@@ -26,9 +26,11 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/fleet"
 	"repro/internal/harness"
 	"repro/internal/service"
@@ -38,9 +40,13 @@ func main() {
 	listen := flag.String("listen", ":8080", "HTTP listen address")
 	stateDir := flag.String("state-dir", "mopfuzzd-state", "persistent state directory (jobs, checkpoints, triage stores)")
 	runners := flag.Int("runners", 1, "max concurrently running campaigns")
-	backend := flag.String("backend", "inprocess", "default execution backend: inprocess or subprocess")
-	minijvm := flag.String("minijvm", "", "path to the minijvm binary (subprocess backend)")
+	backend := flag.String("backend", "inprocess", "default execution backend: inprocess, subprocess, or pool")
+	minijvm := flag.String("minijvm", "", "path to the minijvm binary (subprocess/pool backends)")
 	childTimeout := flag.Duration("child-timeout", 10*time.Second, "wall-clock timeout per subprocess execution")
+	poolChildren := flag.Int("pool-children", 0, "pool backend: max warm children (0 = GOMAXPROCS)")
+	poolRecycleAfter := flag.Int64("pool-recycle-after", 0, "pool backend: recycle a child after this many executions (0 = default 512)")
+	poolMaxHeapMB := flag.Uint64("pool-max-heap-mb", 0, "pool backend: recycle a child whose self-reported heap reaches this many MiB (0 = default 256)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	execTimeout := flag.Duration("exec-timeout", 0, "wall-clock watchdog per seed task (0 = step fuel only)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "min executions between campaign checkpoints (<=0 = every task)")
 	drainTimeout := flag.Duration("drain-timeout", 0, "bound on the drain phase at shutdown (0 = wait for checkpoints indefinitely)")
@@ -59,6 +65,24 @@ func main() {
 
 	logger := log.New(os.Stderr, "mopfuzzd: ", log.LstdFlags)
 
+	pool := exec.PoolTuning{
+		Children:          *poolChildren,
+		RecycleAfter:      *poolRecycleAfter,
+		MaxChildHeapBytes: *poolMaxHeapMB << 20,
+	}
+
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on the
+		// default mux; serve it on its own listener so profiling never
+		// shares the API surface.
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
 	// SIGINT/SIGTERM cancels the context: the drain signal.
 	ctx, stop := harness.ShutdownContext(context.Background())
 	defer stop()
@@ -74,6 +98,7 @@ func main() {
 			backend:      *backend,
 			minijvm:      *minijvm,
 			childTimeout: *childTimeout,
+			pool:         pool,
 			drainTimeout: *drainTimeout,
 		})
 		return
@@ -90,6 +115,7 @@ func main() {
 		Backend:         *backend,
 		MinijvmPath:     *minijvm,
 		ChildTimeout:    *childTimeout,
+		Pool:            pool,
 		ExecTimeout:     *execTimeout,
 		CheckpointEvery: *checkpointEvery,
 		Logf:            logger.Printf,
@@ -175,6 +201,7 @@ type workerOpts struct {
 	backend      string
 	minijvm      string
 	childTimeout time.Duration
+	pool         exec.PoolTuning
 	drainTimeout time.Duration
 }
 
@@ -207,6 +234,7 @@ func runWorker(ctx context.Context, logger *log.Logger, o workerOpts) {
 		Backend:      o.backend,
 		MinijvmPath:  o.minijvm,
 		ChildTimeout: o.childTimeout,
+		Pool:         o.pool,
 		Logf:         logger.Printf,
 	})
 	if err != nil {

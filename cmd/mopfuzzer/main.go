@@ -12,6 +12,12 @@
 //	# run every execution in an isolated minijvm child process
 //	mopfuzzer -jdk openjdk-17 -backend subprocess -minijvm ./minijvm
 //
+//	# same isolation, but over a warm child pool with batched requests
+//	mopfuzzer -jdk openjdk-17 -backend pool -minijvm ./minijvm
+//
+//	# profile a campaign (feed the next perf PR)
+//	mopfuzzer -jdk openjdk-17 -budget 2000 -cpuprofile cpu.out -memprofile mem.out
+//
 //	# deduplicate + minimize findings into a persistent triage store
 //	mopfuzzer -jdk openjdk-17 -seeds 20 -budget 2000 -triage-dir ./bugs -report report.json
 package main
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,21 +61,59 @@ func main() {
 	quarantineDir := flag.String("quarantine-dir", "", "persist pathological mutants (panic/hang/heap-exhaustion triggers) here")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel seed-task workers (1 = sequential; results are identical either way)")
 	fastOBV := flag.Bool("fast-obv", true, "structured OBV fast path (count behaviors in the JIT instead of regex-scanning profile logs)")
-	backend := flag.String("backend", "inprocess", "execution backend: inprocess (shared failure domain, fastest) or subprocess (one minijvm child per execution)")
-	minijvmPath := flag.String("minijvm", "", "minijvm binary for -backend subprocess (default: $MINIJVM, then $PATH)")
-	childTimeout := flag.Duration("child-timeout", 10*time.Second, "per-execution watchdog for -backend subprocess (0 = no watchdog)")
+	backend := flag.String("backend", "inprocess", "execution backend: inprocess (shared failure domain, fastest), subprocess (one minijvm child per execution), or pool (warm serve-mode children, batched)")
+	minijvmPath := flag.String("minijvm", "", "minijvm binary for -backend subprocess/pool (default: $MINIJVM, then $PATH)")
+	childTimeout := flag.Duration("child-timeout", 10*time.Second, "per-execution watchdog for -backend subprocess/pool (0 = no watchdog)")
+	poolChildren := flag.Int("pool-children", 0, "max warm children for -backend pool (0 = GOMAXPROCS)")
+	poolRecycle := flag.Int64("pool-recycle-after", 0, "recycle a pool child after this many executions (0 = default 512)")
+	poolMaxHeapMB := flag.Uint64("pool-max-heap-mb", 0, "recycle a pool child whose self-reported heap reaches this many MiB (0 = default 256)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file for the whole run")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	triageDir := flag.String("triage-dir", "", "deduplicate findings by root-cause signature, reduce each new one once, and persist the corpus in this store directory")
 	reportPath := flag.String("report", "", "write a JSON triage report to this file after the campaign (requires -triage-dir)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mopfuzzer:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mopfuzzer:", err)
+			}
+		}()
+	}
 
 	spec, err := jvm.ParseSpec(*jdk)
 	if err != nil {
 		fatal(err)
 	}
-	executor, err := exec.FromFlags(*backend, *minijvmPath, *childTimeout)
+	executor, err := exec.FromFlags(*backend, *minijvmPath, *childTimeout, exec.PoolTuning{
+		Children:          *poolChildren,
+		RecycleAfter:      *poolRecycle,
+		MaxChildHeapBytes: *poolMaxHeapMB << 20,
+	})
 	if err != nil {
 		fatal(err)
 	}
+	defer exec.CloseExecutor(executor)
 	cfg := core.DefaultConfig(spec)
 	cfg.Executor = executor
 	cfg.MaxIterations = *iters

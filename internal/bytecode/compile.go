@@ -62,6 +62,7 @@ func compileMethod(p *lang.Program, cl *lang.Class, m *lang.Method) (*Function, 
 			Void:         m.Ret.Kind == lang.KindVoid,
 			Synchronized: m.Synchronized,
 			Source:       m,
+			key:          cl.Name + "." + m.Name,
 		},
 		intPool: map[int64]int32{},
 		strPool: map[string]int32{},

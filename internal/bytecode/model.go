@@ -65,10 +65,20 @@ type Function struct {
 	// Source is the method's tree form, retained for the JIT tiers
 	// (analogous to HotSpot retaining bytecode for recompilation).
 	Source *lang.Method
+
+	// key caches Key(). Compile fills it eagerly so concurrent readers
+	// never race on a lazy write; hand-built Functions fall back to
+	// concatenation.
+	key string
 }
 
 // Key returns "Class.Name", the image-wide function key.
-func (f *Function) Key() string { return f.Class + "." + f.Name }
+func (f *Function) Key() string {
+	if f.key != "" {
+		return f.key
+	}
+	return f.Class + "." + f.Name
+}
 
 // ClassFile is one compiled class.
 type ClassFile struct {

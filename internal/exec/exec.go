@@ -60,7 +60,7 @@ func (InProcess) ExecuteDifferential(_ context.Context, p *lang.Program, specs [
 // Backends lists the recognized -backend names ("" is the in-process
 // default). Shared by every layer that validates a backend choice — the
 // CLI flags, the service JobSpec, and the fleet worker config.
-func Backends() []string { return []string{"inprocess", "subprocess"} }
+func Backends() []string { return []string{"inprocess", "subprocess", "pool"} }
 
 // ValidBackend reports whether name selects a known backend ("" counts:
 // it inherits the caller's default).
@@ -86,4 +86,14 @@ func Or(ex Executor) Executor {
 		return ex
 	}
 	return Default
+}
+
+// CloseExecutor releases a backend's resources when it holds any — the
+// warm pool's children, for now. Safe on nil and on backends with
+// nothing to release.
+func CloseExecutor(ex Executor) {
+	type closer interface{ Close() error }
+	if c, ok := ex.(closer); ok {
+		c.Close()
+	}
 }

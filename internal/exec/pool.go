@@ -1,0 +1,527 @@
+package exec
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	osexec "os/exec"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+)
+
+// PoolConfig tunes the warm child pool.
+type PoolConfig struct {
+	// Path is the minijvm binary.
+	Path string
+	// Timeout is the per-execution wall-clock watchdog. A batch of N
+	// executions gets an N×Timeout deadline; when it expires the child
+	// is killed and the batch classified FaultTimeout. Zero relies on
+	// the caller's context alone.
+	Timeout time.Duration
+	// Children caps concurrently live children. Zero means GOMAXPROCS —
+	// one warm child per worker the parallel engine can keep busy.
+	Children int
+	// RecycleAfter retires a child after it has served this many
+	// executions (fresh one spawned on demand). Zero means 512.
+	RecycleAfter int64
+	// MaxChildHeapBytes retires a child whose self-reported Go heap
+	// (ChildTelemetry.HeapBytes) reaches this high-water mark. Zero
+	// means 256 MiB.
+	MaxChildHeapBytes uint64
+	// InjectFault is forwarded as Request.Inject on every execution — a
+	// harness-test seam ("panic", "hang", "die", "corrupt"); production
+	// leaves it empty.
+	InjectFault string
+}
+
+func (c *PoolConfig) children() int {
+	if c.Children > 0 {
+		return c.Children
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c *PoolConfig) recycleAfter() int64 {
+	if c.RecycleAfter > 0 {
+		return c.RecycleAfter
+	}
+	return 512
+}
+
+func (c *PoolConfig) maxHeap() uint64 {
+	if c.MaxChildHeapBytes > 0 {
+		return c.MaxChildHeapBytes
+	}
+	return 256 << 20
+}
+
+// Pool is the warm-child execution backend: a bounded set of persistent
+// `minijvm -exec-serve` children, each handling NDJSON batches of
+// executions over its lifetime instead of one execution per spawn. A
+// differential rides a single batch (one request per spec, one round
+// trip) where the Subprocess backend paid one spawn per spec.
+//
+// Children are recycled after RecycleAfter executions or when their
+// self-reported heap crosses MaxChildHeapBytes, so a leaky substrate
+// cannot bloat the fleet. A child dying or hanging mid-batch is
+// classified through the same BackendFault taxonomy as the Subprocess
+// backend; marker-less deaths (the SIGKILL shape) are retried once on a
+// fresh child before faulting, and only the in-flight batch is
+// affected. Results are byte-identical to the inprocess and subprocess
+// backends — the warm child's compile cache is transparent.
+//
+// Safe for concurrent use; children() batches proceed in parallel.
+type Pool struct {
+	cfg PoolConfig
+
+	// slots holds the pool's capacity: each token is either a warm idle
+	// child or nil (permission to spawn one). Acquiring blocks when all
+	// children are mid-batch, which is exactly the backpressure the
+	// parallel engine needs.
+	slots chan *poolChild
+
+	mu     sync.Mutex
+	closed bool
+	live   map[*poolChild]struct{}
+
+	execs         atomic.Int64
+	faults        atomic.Int64
+	childMicros   atomic.Int64
+	spawns        atomic.Int64
+	spawnsAvoided atomic.Int64
+	batches       atomic.Int64
+	recycledCount atomic.Int64
+	recycledMem   atomic.Int64
+	killed        atomic.Int64
+	retries       atomic.Int64
+}
+
+// NewPool returns a warm-pool backend driving the given minijvm binary.
+// Children spawn lazily on first use.
+func NewPool(cfg PoolConfig) *Pool {
+	p := &Pool{cfg: cfg, live: map[*poolChild]struct{}{}}
+	n := cfg.children()
+	p.slots = make(chan *poolChild, n)
+	for i := 0; i < n; i++ {
+		p.slots <- nil
+	}
+	return p
+}
+
+// Stats returns the counters accumulated so far.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Executions:      p.execs.Load(),
+		Faults:          p.faults.Load(),
+		ChildMicros:     p.childMicros.Load(),
+		Spawns:          p.spawns.Load(),
+		SpawnsAvoided:   p.spawnsAvoided.Load(),
+		Batches:         p.batches.Load(),
+		RecycledByCount: p.recycledCount.Load(),
+		RecycledByMem:   p.recycledMem.Load(),
+		Killed:          p.killed.Load(),
+		Retries:         p.retries.Load(),
+	}
+}
+
+// Pids lists the live children's PIDs — a test seam for kill-and-recycle
+// chaos (tests SIGKILL a real child mid-campaign and assert identical
+// results).
+func (p *Pool) Pids() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var pids []int
+	for c := range p.live {
+		pids = append(pids, c.hello.PID)
+	}
+	return pids
+}
+
+// Close kills every child and fails all future Executes. In-flight
+// batches finish (their slots are simply never restocked).
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	// Kill every idle child, restocking a nil for each token drained so
+	// capacity is conserved and any goroutine blocked on acquire wakes
+	// up to see the closed flag instead of waiting forever. Children
+	// held by in-flight batches are retired by their holders when they
+	// observe closed at restock time.
+	for i := 0; i < cap(p.slots); i++ {
+		select {
+		case c := <-p.slots:
+			if c != nil {
+				p.retire(c, true)
+			}
+			p.slots <- nil
+		default:
+		}
+	}
+	return nil
+}
+
+// Execute implements Executor: a batch of one.
+func (p *Pool) Execute(ctx context.Context, prog *lang.Program, spec jvm.Spec, opt jvm.Options) (*jvm.ExecResult, error) {
+	req, err := NewRequest(prog, spec, opt)
+	if err != nil {
+		return nil, err
+	}
+	req.Inject = p.cfg.InjectFault
+	resps, err := p.runBatch(ctx, []*Request{req})
+	if err != nil {
+		return nil, err
+	}
+	return handleResponse(resps[0], spec, opt)
+}
+
+// ExecuteDifferential implements Executor: the whole differential — one
+// request per spec — rides a single batch round trip on one warm child,
+// where the Subprocess backend spawned one child per spec.
+func (p *Pool) ExecuteDifferential(ctx context.Context, prog *lang.Program, specs []jvm.Spec, opt jvm.Options) (*jvm.Differential, error) {
+	reqs := make([]*Request, 0, len(specs))
+	for _, spec := range specs {
+		req, err := NewRequest(prog, spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		req.Inject = p.cfg.InjectFault
+		reqs = append(reqs, req)
+	}
+	resps, err := p.runBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	d := &jvm.Differential{Groups: map[string][]jvm.Spec{}}
+	for i, spec := range specs {
+		r, err := handleResponse(resps[i], spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		d.Results = append(d.Results, r)
+		key := r.Result.OutputString()
+		d.Groups[key] = append(d.Groups[key], spec)
+	}
+	return d, nil
+}
+
+// runBatch pushes one batch through a pooled child, retrying once on a
+// fresh child for marker-less deaths (SIGKILL shape, corrupt frames,
+// spawn races). Deterministic failures — deadline expiry, substrate
+// panics — are never retried, matching the Subprocess backend's
+// classification exactly.
+func (p *Pool) runBatch(ctx context.Context, reqs []*Request) ([]*Response, error) {
+	for attempt := 0; ; attempt++ {
+		resps, retryable, err := p.tryBatch(ctx, reqs)
+		if err == nil {
+			return resps, nil
+		}
+		if retryable && attempt == 0 && ctx.Err() == nil {
+			p.retries.Add(1)
+			continue
+		}
+		if _, ok := err.(*BackendFault); ok {
+			p.faults.Add(1)
+		}
+		return nil, err
+	}
+}
+
+// tryBatch is one attempt: acquire a slot, warm or spawn a child, do the
+// round trip, recycle or restock. The returned bool reports whether the
+// failure is retryable on a fresh child.
+func (p *Pool) tryBatch(ctx context.Context, reqs []*Request) ([]*Response, bool, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, false, errors.New("exec: pool is closed")
+	}
+	var c *poolChild
+	select {
+	case c = <-p.slots:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	p.mu.Lock()
+	closed = p.closed
+	p.mu.Unlock()
+	if closed {
+		if c != nil {
+			p.retire(c, true)
+		}
+		p.slots <- nil // keep other waiters unblocked; they'll see closed too
+		return nil, false, errors.New("exec: pool is closed")
+	}
+
+	spawned := false
+	if c == nil {
+		var err error
+		c, err = spawnChild(p.cfg.Path)
+		if err != nil {
+			p.slots <- nil
+			// Spawn failures are environmental (fd pressure, races with
+			// recycling) — worth one retry.
+			return nil, true, err
+		}
+		spawned = true
+		p.spawns.Add(1)
+		p.mu.Lock()
+		p.live[c] = struct{}{}
+		p.mu.Unlock()
+	}
+
+	deadline := time.Duration(0)
+	if p.cfg.Timeout > 0 {
+		deadline = p.cfg.Timeout * time.Duration(len(reqs))
+	}
+	resp, timedOut, err := c.roundTrip(ctx, deadline, &BatchRequest{Version: WireVersion, Requests: reqs})
+	if err != nil {
+		p.retire(c, true)
+		p.slots <- nil
+		classified := classifyServeFailure(ctx, timedOut, deadline, c, err)
+		var bf *BackendFault
+		retryable := errors.As(classified, &bf) && bf.Class == harness.FaultHarness && !bf.panicked
+		return nil, retryable, classified
+	}
+	if len(resp.Responses) != len(reqs) {
+		p.retire(c, true)
+		p.slots <- nil
+		return nil, true, &BackendFault{
+			Class:   harness.FaultHarness,
+			Message: fmt.Sprintf("minijvm child answered %d of %d batched executions", len(resp.Responses), len(reqs)),
+		}
+	}
+
+	p.execs.Add(int64(len(reqs)))
+	p.batches.Add(1)
+	avoided := int64(len(reqs))
+	if spawned {
+		avoided--
+	}
+	p.spawnsAvoided.Add(avoided)
+	for _, r := range resp.Responses {
+		p.childMicros.Add(r.Timings.TotalMicros)
+	}
+
+	// Recycle policy: telemetry decides whether this child goes back in
+	// the pool warm or retires. Either way a slot is restocked, so
+	// capacity is conserved.
+	switch {
+	case resp.Telemetry.Executions >= p.cfg.recycleAfter():
+		p.recycledCount.Add(1)
+		p.retire(c, false)
+		p.slots <- nil
+	case resp.Telemetry.HeapBytes >= p.cfg.maxHeap():
+		p.recycledMem.Add(1)
+		p.retire(c, false)
+		p.slots <- nil
+	default:
+		// Restock under the lock so a concurrent Close either sees this
+		// child in the channel (and kills it during its drain) or we see
+		// closed here and retire it ourselves — no leaked warm child.
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			p.retire(c, true)
+		} else {
+			p.slots <- c
+			p.mu.Unlock()
+		}
+	}
+	return resp.Responses, false, nil
+}
+
+// retire removes a child from the live set and shuts it down: gracefully
+// (close stdin, let the serve loop exit) for planned recycling, or by
+// force for failures and Close.
+func (p *Pool) retire(c *poolChild, force bool) {
+	p.mu.Lock()
+	delete(p.live, c)
+	p.mu.Unlock()
+	if c.shutdown(force) {
+		p.killed.Add(1)
+	}
+}
+
+// poolChild is one live `minijvm -exec-serve` process.
+type poolChild struct {
+	cmd    *osexec.Cmd
+	stdin  io.WriteCloser
+	out    *bufio.Reader
+	stderr *bytes.Buffer
+	hello  ServerHello
+
+	waitOnce sync.Once
+	waitErr  error
+}
+
+// spawnChild starts a serve-mode child and completes the hello
+// handshake, enforcing version-range overlap.
+func spawnChild(path string) (*poolChild, error) {
+	cmd := osexec.Command(path, "-exec-serve")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("exec: pool stdin: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("exec: pool stdout: %w", err)
+	}
+	c := &poolChild{cmd: cmd, stdin: stdin, out: bufio.NewReaderSize(stdout, 1<<20), stderr: &bytes.Buffer{}}
+	cmd.Stderr = c.stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("exec: spawn minijvm serve child: %w", err)
+	}
+	line, err := readLineTimeout(c.out, 30*time.Second)
+	if err != nil {
+		c.shutdown(true)
+		return nil, fmt.Errorf("exec: serve child hello: %w", err)
+	}
+	if err := json.Unmarshal(line, &c.hello); err != nil {
+		c.shutdown(true)
+		return nil, fmt.Errorf("exec: serve child hello: %w", err)
+	}
+	if !c.hello.Compatible() {
+		c.shutdown(true)
+		return nil, fmt.Errorf("exec: serve child speaks wire %d..%d, parent speaks %d..%d (rebuild the binary)",
+			c.hello.MinVersion, c.hello.Version, MinWireVersion, WireVersion)
+	}
+	return c, nil
+}
+
+// roundTrip writes one batch frame and reads one response frame,
+// enforcing the deadline by killing the child (which unblocks both pipe
+// operations). timedOut reports a deadline kill as opposed to a child
+// failure.
+func (c *poolChild) roundTrip(ctx context.Context, deadline time.Duration, batch *BatchRequest) (resp *BatchResponse, timedOut bool, err error) {
+	frame, err := json.Marshal(batch)
+	if err != nil {
+		return nil, false, fmt.Errorf("exec: encode batch: %w", err)
+	}
+	frame = append(frame, '\n')
+
+	type outcome struct {
+		resp *BatchResponse
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		if _, werr := c.stdin.Write(frame); werr != nil {
+			done <- outcome{err: fmt.Errorf("write batch: %w", werr)}
+			return
+		}
+		line, rerr := c.out.ReadBytes('\n')
+		if rerr != nil {
+			done <- outcome{err: fmt.Errorf("read batch response: %w", rerr)}
+			return
+		}
+		var br BatchResponse
+		if uerr := json.Unmarshal(line, &br); uerr != nil {
+			done <- outcome{err: fmt.Errorf("corrupt batch frame: %w", uerr)}
+			return
+		}
+		if br.Version < MinWireVersion || br.Version > WireVersion {
+			done <- outcome{err: fmt.Errorf("batch response wire version %d", br.Version)}
+			return
+		}
+		done <- outcome{resp: &br}
+	}()
+
+	var timer <-chan time.Time
+	if deadline > 0 {
+		t := time.NewTimer(deadline)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case o := <-done:
+		return o.resp, false, o.err
+	case <-timer:
+		c.cmd.Process.Kill()
+		<-done // join: the pipe ops unblock once the child dies
+		return nil, true, errors.New("batch deadline exceeded")
+	case <-ctx.Done():
+		c.cmd.Process.Kill()
+		<-done
+		return nil, false, ctx.Err()
+	}
+}
+
+// shutdown ends the child: force kills immediately; graceful closes
+// stdin so the serve loop exits on EOF, escalating to a kill if the
+// child lingers. Reports whether a kill was needed. Idempotent.
+func (c *poolChild) shutdown(force bool) (killed bool) {
+	c.stdin.Close()
+	if force {
+		c.cmd.Process.Kill()
+		killed = true
+		c.wait()
+		return killed
+	}
+	exited := make(chan struct{})
+	go func() { c.wait(); close(exited) }()
+	select {
+	case <-exited:
+	case <-time.After(5 * time.Second):
+		c.cmd.Process.Kill()
+		killed = true
+		<-exited
+	}
+	return killed
+}
+
+func (c *poolChild) wait() {
+	c.waitOnce.Do(func() { c.waitErr = c.cmd.Wait() })
+}
+
+// exitCode is the child's exit status; valid only after death.
+func (c *poolChild) exitCode() int {
+	c.wait()
+	var ee *osexec.ExitError
+	if errors.As(c.waitErr, &ee) {
+		return ee.ExitCode()
+	}
+	return 0
+}
+
+// stderrText snapshots the child's stderr; the buffer is only safe to
+// read after the process has been waited on.
+func (c *poolChild) stderrText() string {
+	c.wait()
+	return c.stderr.String()
+}
+
+// readLineTimeout reads one line with a wall-clock bound — used for the
+// hello handshake, before the per-batch deadline machinery applies.
+func readLineTimeout(r *bufio.Reader, d time.Duration) ([]byte, error) {
+	type res struct {
+		line []byte
+		err  error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		line, err := r.ReadBytes('\n')
+		ch <- res{line, err}
+	}()
+	select {
+	case x := <-ch:
+		return x.line, x.err
+	case <-time.After(d):
+		return nil, errors.New("timed out")
+	}
+}

@@ -35,9 +35,11 @@ type Subprocess struct {
 	// harness-test seam ("panic" or "hang"); production leaves it empty.
 	InjectFault string
 
-	execs       atomic.Int64
-	faults      atomic.Int64
-	childMicros atomic.Int64
+	execs         atomic.Int64
+	faults        atomic.Int64
+	childMicros   atomic.Int64
+	spawns        atomic.Int64
+	spawnsAvoided atomic.Int64
 }
 
 // NewSubprocess returns a subprocess backend driving the given minijvm
@@ -66,11 +68,22 @@ func FindMinijvm(explicit string) (string, error) {
 	return p, nil
 }
 
+// PoolTuning is the optional pool-shape subset of the CLI surface:
+// zero values keep PoolConfig defaults.
+type PoolTuning struct {
+	Children          int
+	RecycleAfter      int64
+	MaxChildHeapBytes uint64
+}
+
 // FromFlags resolves the shared -backend/-minijvm/-child-timeout CLI
 // surface: "" or "inprocess" selects the nil (in-process, byte-identical
 // default) executor; "subprocess" locates the minijvm binary and builds
-// a watchdogged Subprocess backend.
-func FromFlags(backend, minijvmPath string, childTimeout time.Duration) (Executor, error) {
+// a watchdogged Subprocess backend; "pool" builds the warm child pool
+// (shaped by the optional tuning — callers without pool flags omit it
+// and get the defaults). Callers should CloseExecutor the result when
+// done so pooled children don't outlive the campaign.
+func FromFlags(backend, minijvmPath string, childTimeout time.Duration, tuning ...PoolTuning) (Executor, error) {
 	switch backend {
 	case "", "inprocess":
 		return nil, nil
@@ -82,24 +95,57 @@ func FromFlags(backend, minijvmPath string, childTimeout time.Duration) (Executo
 		sub := NewSubprocess(path)
 		sub.Timeout = childTimeout
 		return sub, nil
+	case "pool":
+		path, err := FindMinijvm(minijvmPath)
+		if err != nil {
+			return nil, err
+		}
+		cfg := PoolConfig{Path: path, Timeout: childTimeout}
+		if len(tuning) > 0 {
+			cfg.Children = tuning[0].Children
+			cfg.RecycleAfter = tuning[0].RecycleAfter
+			cfg.MaxChildHeapBytes = tuning[0].MaxChildHeapBytes
+		}
+		return NewPool(cfg), nil
 	default:
-		return nil, fmt.Errorf("unknown -backend %q (want inprocess or subprocess)", backend)
+		return nil, fmt.Errorf("unknown -backend %q (want inprocess, subprocess, or pool)", backend)
 	}
 }
 
-// Stats is a snapshot of the backend's counters.
+// Stats is a snapshot of a backend's counters, shared by the Subprocess
+// and Pool backends (fields a backend doesn't track stay zero).
 type Stats struct {
-	Executions  int64 // child processes spawned
+	Executions  int64 // executions performed through the backend
 	Faults      int64 // executions classified as backend faults
 	ChildMicros int64 // cumulative child-reported wall time
+
+	Spawns        int64 // child processes actually spawned
+	SpawnsAvoided int64 // executions served without a fresh spawn
+	Batches       int64 // serve-mode round trips (pool only)
+
+	RecycledByCount int64 // children retired at the execution budget
+	RecycledByMem   int64 // children retired at the heap high-water mark
+	Killed          int64 // children force-killed (timeouts, failures, Close)
+	Retries         int64 // batches retried on a fresh child
+}
+
+// MeanBatch is the average executions per serve-mode round trip — the
+// amortization the bench report pins (>1 means batching is real).
+func (st Stats) MeanBatch() float64 {
+	if st.Batches == 0 {
+		return 0
+	}
+	return float64(st.Executions) / float64(st.Batches)
 }
 
 // Stats returns the counters accumulated so far.
 func (s *Subprocess) Stats() Stats {
 	return Stats{
-		Executions:  s.execs.Load(),
-		Faults:      s.faults.Load(),
-		ChildMicros: s.childMicros.Load(),
+		Executions:    s.execs.Load(),
+		Faults:        s.faults.Load(),
+		ChildMicros:   s.childMicros.Load(),
+		Spawns:        s.spawns.Load(),
+		SpawnsAvoided: s.spawnsAvoided.Load(),
 	}
 }
 
@@ -128,6 +174,7 @@ func (s *Subprocess) Execute(ctx context.Context, p *lang.Program, spec jvm.Spec
 	cmd.Stderr = &stderr
 
 	s.execs.Add(1)
+	s.spawns.Add(1)
 	runErr := cmd.Run()
 	if runErr != nil {
 		err := s.classify(ctx, tctx, runErr, stderr.String())
@@ -146,10 +193,18 @@ func (s *Subprocess) Execute(ctx context.Context, p *lang.Program, spec jvm.Spec
 			Stderr:  stderr.String(),
 		}
 	}
-	if resp.Version != WireVersion {
-		return nil, fmt.Errorf("exec: minijvm child speaks wire version %d, want %d (rebuild the binary)", resp.Version, WireVersion)
-	}
 	s.childMicros.Add(resp.Timings.TotalMicros)
+	return handleResponse(&resp, spec, opt)
+}
+
+// handleResponse turns one wire Response into the parent-side
+// ExecResult, shared by the Subprocess and Pool backends so every
+// in-band outcome — version skew, program rejection, coverage merge —
+// is interpreted identically.
+func handleResponse(resp *Response, spec jvm.Spec, opt jvm.Options) (*jvm.ExecResult, error) {
+	if resp.Version < MinWireVersion || resp.Version > WireVersion {
+		return nil, fmt.Errorf("exec: minijvm child speaks wire version %d, want %d..%d (rebuild the binary)", resp.Version, MinWireVersion, WireVersion)
+	}
 	if resp.Error != "" {
 		// In-band program-level rejection: surface the exact jvm.Run
 		// error text so both backends report identical seed errors.
@@ -170,12 +225,56 @@ func (s *Subprocess) Execute(ctx context.Context, p *lang.Program, spec jvm.Spec
 	return res, nil
 }
 
-// ExecuteDifferential implements Executor: one child per spec, grouped
-// exactly like jvm.RunDifferential.
+// ExecuteDifferential implements Executor: the whole differential runs
+// on ONE serve-mode child — a single spawn and a single batched round
+// trip — where this backend historically spawned one child per spec.
+// Grouping matches jvm.RunDifferential exactly.
 func (s *Subprocess) ExecuteDifferential(ctx context.Context, p *lang.Program, specs []jvm.Spec, opt jvm.Options) (*jvm.Differential, error) {
-	d := &jvm.Differential{Groups: map[string][]jvm.Spec{}}
+	reqs := make([]*Request, 0, len(specs))
 	for _, spec := range specs {
-		r, err := s.Execute(ctx, p, spec, opt)
+		req, err := NewRequest(p, spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		req.Inject = s.InjectFault
+		reqs = append(reqs, req)
+	}
+
+	s.spawns.Add(1)
+	c, err := spawnChild(s.Path)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Duration(0)
+	if s.Timeout > 0 {
+		deadline = s.Timeout * time.Duration(len(specs))
+	}
+	resp, timedOut, rtErr := c.roundTrip(ctx, deadline, &BatchRequest{Version: WireVersion, Requests: reqs})
+	if rtErr != nil {
+		c.shutdown(true)
+		err := classifyServeFailure(ctx, timedOut, deadline, c, rtErr)
+		if _, ok := err.(*BackendFault); ok {
+			s.faults.Add(1)
+		}
+		return nil, err
+	}
+	c.shutdown(false)
+	if len(resp.Responses) != len(reqs) {
+		s.faults.Add(1)
+		return nil, &BackendFault{
+			Class:   harness.FaultHarness,
+			Message: fmt.Sprintf("minijvm child answered %d of %d batched executions", len(resp.Responses), len(reqs)),
+		}
+	}
+	s.execs.Add(int64(len(specs)))
+	s.spawnsAvoided.Add(int64(len(specs)) - 1)
+	for _, r := range resp.Responses {
+		s.childMicros.Add(r.Timings.TotalMicros)
+	}
+
+	d := &jvm.Differential{Groups: map[string][]jvm.Spec{}}
+	for i, spec := range specs {
+		r, err := handleResponse(resp.Responses[i], spec, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -208,22 +307,9 @@ func (s *Subprocess) classify(ctx, tctx context.Context, runErr error, stderr st
 		return fmt.Errorf("exec: spawn minijvm: %w", runErr)
 	}
 	code := ee.ExitCode()
-	for _, marker := range []string{"panic:", "fatal error:"} {
-		i := strings.Index(stderr, marker)
-		if i < 0 {
-			continue
-		}
-		msg := stderr[i:]
-		if nl := strings.IndexByte(msg, '\n'); nl >= 0 {
-			msg = msg[:nl]
-		}
-		return &BackendFault{
-			Class:     harness.FaultHarness,
-			Component: harness.ComponentFromStack(stderr),
-			Message:   fmt.Sprintf("minijvm child died: %s", strings.TrimSpace(msg)),
-			ExitCode:  code,
-			Stderr:    stderr,
-		}
+	if bf := panicFault(stderr, code); bf != nil {
+		bf.Message = "minijvm child died: " + bf.Message
+		return bf
 	}
 	if code == ExitRequestError {
 		return fmt.Errorf("exec: minijvm rejected the request: %s", strings.TrimSpace(stderr))
@@ -240,6 +326,62 @@ func (s *Subprocess) classify(ctx, tctx context.Context, runErr error, stderr st
 	}
 }
 
+// panicFault classifies a dead child whose stderr carries a Go panic
+// marker, blaming the component from the child's stack. Returns nil for
+// marker-less deaths (signal kills, abrupt exits), which the pool treats
+// as retryable where a panic is deterministic and is not.
+func panicFault(stderr string, code int) *BackendFault {
+	for _, marker := range []string{"panic:", "fatal error:"} {
+		i := strings.Index(stderr, marker)
+		if i < 0 {
+			continue
+		}
+		msg := stderr[i:]
+		if nl := strings.IndexByte(msg, '\n'); nl >= 0 {
+			msg = msg[:nl]
+		}
+		return &BackendFault{
+			Class:     harness.FaultHarness,
+			Component: harness.ComponentFromStack(stderr),
+			Message:   strings.TrimSpace(msg),
+			ExitCode:  code,
+			Stderr:    stderr,
+			panicked:  true,
+		}
+	}
+	return nil
+}
+
+// classifyServeFailure maps a failed serve-mode round trip onto the
+// fault taxonomy, the batched analogue of Subprocess.classify with the
+// same precedence: caller cancellation is nobody's fault, a deadline
+// kill is FaultTimeout, a panic marker on stderr is FaultHarness with
+// component blame, and anything else — EOF, corrupt frame, signal death
+// — is a marker-less FaultHarness.
+func classifyServeFailure(ctx context.Context, timedOut bool, deadline time.Duration, c *poolChild, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if timedOut {
+		return &BackendFault{
+			Class:   harness.FaultTimeout,
+			Message: fmt.Sprintf("minijvm serve child (pid %d) exceeded the %s batch deadline and was killed", c.hello.PID, deadline),
+			Stderr:  c.stderrText(),
+		}
+	}
+	stderr := c.stderrText()
+	if bf := panicFault(stderr, c.exitCode()); bf != nil {
+		bf.Message = fmt.Sprintf("minijvm serve child (pid %d) died: %s", c.hello.PID, bf.Message)
+		return bf
+	}
+	return &BackendFault{
+		Class:    harness.FaultHarness,
+		Message:  fmt.Sprintf("minijvm serve child (pid %d) failed mid-batch: %v", c.hello.PID, err),
+		ExitCode: c.exitCode(),
+		Stderr:   stderr,
+	}
+}
+
 // BackendFault is a child-process death classified into the harness
 // taxonomy. It implements harness.Faulter, so a supervised task
 // surfacing it is recorded as a first-class fault — process-level
@@ -250,6 +392,12 @@ type BackendFault struct {
 	Message   string
 	ExitCode  int
 	Stderr    string
+
+	// panicked marks a death with a Go panic marker on stderr — a
+	// deterministic substrate failure the pool must not retry (it would
+	// just panic again), unlike the SIGKILL-shaped deaths it retries
+	// once on a fresh child.
+	panicked bool
 }
 
 // Error implements error.

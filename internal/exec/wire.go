@@ -4,20 +4,82 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/buginject"
 	"repro/internal/coverage"
+	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 	"repro/internal/profile"
 	"repro/internal/vm"
 )
 
+// injectedDeathCode is the exit status of the "die" injection: an
+// arbitrary non-reserved code with no stderr marker, so the parent's
+// classifier sees the same shape as an external SIGKILL/OOM death.
+const injectedDeathCode = 7
+
 // WireVersion is the -exec-json protocol version. Both sides send it and
 // reject a mismatch, so a stale minijvm binary fails loudly instead of
 // silently misreporting results.
-const WireVersion = 1
+//
+// Version history:
+//
+//	1  single-shot request/response (`minijvm -exec-json`)
+//	2  adds the long-lived serve mode (`minijvm -exec-serve`): a
+//	   ServerHello handshake, NDJSON-framed BatchRequest/BatchResponse
+//	   streams (N executions per round trip), child heap telemetry, and
+//	   the "die"/"corrupt" fault-injection modes
+//
+// Serve mode negotiates: the child's hello advertises [MinWireVersion,
+// WireVersion] and the parent proceeds only when its own range overlaps,
+// so a stale binary on either side fails at connect time, not mid-batch.
+const (
+	WireVersion    = 2
+	MinWireVersion = 1
+)
+
+// ServerHello is the first line a `minijvm -exec-serve` child writes on
+// stdout: the version range it speaks plus its pid (so parents can
+// report which child died without platform-specific process digging).
+type ServerHello struct {
+	Version    int `json:"version"`
+	MinVersion int `json:"min_version"`
+	PID        int `json:"pid"`
+}
+
+// Compatible reports whether the advertised range overlaps this build's.
+func (h *ServerHello) Compatible() bool {
+	return h.MinVersion <= WireVersion && h.Version >= MinWireVersion
+}
+
+// BatchRequest is one serve-mode round trip: N executions encoded as a
+// single NDJSON line. Batching amortizes the pipe round trip and lets a
+// whole differential (one request per spec) ride one frame.
+type BatchRequest struct {
+	Version  int        `json:"version"`
+	Requests []*Request `json:"requests"`
+}
+
+// BatchResponse answers a BatchRequest: Responses[i] corresponds to
+// Requests[i], and Telemetry carries the child's self-reported state so
+// the parent can recycle it before memory bloat matters.
+type BatchResponse struct {
+	Version   int            `json:"version"`
+	Responses []*Response    `json:"responses"`
+	Telemetry ChildTelemetry `json:"telemetry"`
+}
+
+// ChildTelemetry is the child's self-report after each batch:
+// cumulative executions served and the Go heap high-water proxy
+// (runtime.MemStats.HeapAlloc). Informational only — never part of
+// result comparison — but the pool's recycle policy reads it.
+type ChildTelemetry struct {
+	Executions int64  `json:"executions"`
+	HeapBytes  uint64 `json:"heap_bytes"`
+}
 
 // Child exit codes for `minijvm -exec-json`. JVM-level outcomes (crash,
 // timeout, heap exhaustion) and program-level rejections are in-band —
@@ -45,10 +107,12 @@ type Request struct {
 	Source  string         `json:"source"`
 	Options RequestOptions `json:"options"`
 	// Inject is a harness-test seam: "panic" makes the child panic after
-	// decoding the request, "hang" makes it block forever — the
-	// subprocess analogues of the in-process CompileHook fault injector,
-	// used to pin exit-status classification. Production parents never
-	// set it.
+	// decoding the request, "hang" makes it block forever, "die" makes
+	// it exit abruptly (the SIGKILL-shaped death, no panic marker), and
+	// "corrupt" makes a serve-mode child emit a garbage frame instead of
+	// the batch response — the subprocess analogues of the in-process
+	// CompileHook fault injector, used to pin fault classification.
+	// Production parents never set it.
 	Inject string `json:"inject,omitempty"`
 }
 
@@ -153,7 +217,14 @@ func NewRequest(p *lang.Program, spec jvm.Spec, opt jvm.Options) (*Request, erro
 // Run executes the request against the in-process substrate — the child
 // side of the protocol. Program-level errors become Response.Error;
 // injected faults escape deliberately (that is their point).
-func (r *Request) Run() *Response {
+func (r *Request) Run() *Response { return r.run(nil) }
+
+// run is Run with an optional child-local compile cache. Serve-mode
+// children thread one cache across every request they handle — legal
+// because the cache is transparent (a hit is byte-equivalent to
+// recompiling, pinned by TestCompileCacheTransparent) and the single
+// biggest amortization the warm pool buys.
+func (r *Request) run(cache *jit.Cache) *Response {
 	start := time.Now()
 	resp := &Response{Version: WireVersion}
 	fail := func(err error) *Response {
@@ -161,17 +232,22 @@ func (r *Request) Run() *Response {
 		resp.Timings.TotalMicros = time.Since(start).Microseconds()
 		return resp
 	}
-	if r.Version != WireVersion {
-		return fail(fmt.Errorf("exec: wire version %d, child speaks %d", r.Version, WireVersion))
+	if r.Version < MinWireVersion || r.Version > WireVersion {
+		return fail(fmt.Errorf("exec: wire version %d, child speaks %d..%d", r.Version, MinWireVersion, WireVersion))
 	}
+	// Answer in the requester's dialect: a v1 parent driving a newer
+	// child must see the version it pins.
+	resp.Version = r.Version
 	switch r.Inject {
-	case "":
+	case "", "corrupt": // "corrupt" is the serve loop's job (frame-level)
 	case "panic":
 		panic("exec: injected fault (panic)")
 	case "hang":
 		for { // block until the parent's watchdog kills us (a bare
 			time.Sleep(time.Hour) // select{} would trip the deadlock detector)
 		}
+	case "die":
+		os.Exit(injectedDeathCode) // abrupt, marker-less death: the SIGKILL shape
 	default:
 		return fail(fmt.Errorf("exec: unknown fault injection %q", r.Inject))
 	}
@@ -191,6 +267,7 @@ func (r *Request) Run() *Response {
 		MaxHeapUnits:    r.Options.MaxHeapUnits,
 		PureInterpreter: r.Options.PureInterpreter,
 		StructuredOBV:   r.Options.StructuredOBV,
+		CompileCache:    cache,
 	}
 	if r.Options.BugsOverride {
 		opt.Bugs = []*buginject.Bug{}

@@ -1,15 +1,20 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
 	"time"
 
+	"repro/internal/bytecode"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/jvm"
+	"repro/internal/lang"
 	"repro/internal/profile"
+	"repro/internal/vm"
 )
 
 // BenchReport is the machine-readable campaign-performance artifact
@@ -21,6 +26,10 @@ import (
 // regex-over-log extraction against the structured counter fast path
 // on identical emission streams.
 type BenchReport struct {
+	// SchemaVersion is 2: v1 fields are preserved verbatim; v2 adds the
+	// GOMAXPROCS×workers×backend scaling matrix, the child-backend
+	// exec-overhead legs, and the interpreter allocation pin.
+	SchemaVersion    int `json:"schema_version"`
 	BudgetExecutions int `json:"budget_executions"`
 	SeedPool         int `json:"seed_pool"`
 	Workers          int `json:"workers"`
@@ -40,6 +49,55 @@ type BenchReport struct {
 	OBVRegexNsPerOp      float64 `json:"obv_regex_ns_per_op"`
 	OBVStructuredNsPerOp float64 `json:"obv_structured_ns_per_op"`
 	OBVSpeedup           float64 `json:"obv_extraction_speedup"`
+
+	// ScalingMatrix sweeps GOMAXPROCS (= campaign workers) per backend
+	// over a reduced-budget campaign. NumCPU is recorded per row so a
+	// flat curve on a 1-core host is interpretable.
+	ScalingMatrix []ScalingRow `json:"scaling_matrix,omitempty"`
+
+	// Exec-overhead legs: the same light program driven through the
+	// cold-spawn subprocess backend and the warm child pool, single
+	// worker. The pool serves warm children with a live compile cache, so
+	// this isolates process-spawn + recompile overhead — the cost the
+	// pool exists to amortize. Zero values mean no minijvm binary was
+	// available to run the legs.
+	SubprocessExecsPerSec   float64 `json:"subprocess_execs_per_sec,omitempty"`
+	PoolExecsPerSec         float64 `json:"pool_execs_per_sec,omitempty"`
+	PoolVsSubprocessSpeedup float64 `json:"pool_vs_subprocess_speedup,omitempty"`
+	SubprocessSpawns        int64   `json:"subprocess_spawns,omitempty"`
+	PoolSpawns              int64   `json:"pool_spawns,omitempty"`
+	PoolSpawnsAvoided       int64   `json:"pool_spawns_avoided,omitempty"`
+	PoolBatches             int64   `json:"pool_batches,omitempty"`
+	PoolMeanBatch           float64 `json:"pool_mean_batch,omitempty"`
+
+	// InterpAllocsPerOp is the call-heavy interpreter workload's heap
+	// allocations per full run (the number the frame/arg freelists drive
+	// down; internal/vm's TestInterpreterAllocBudget pins its ceiling).
+	InterpAllocsPerOp float64 `json:"interp_allocs_per_op"`
+}
+
+// ScalingRow is one cell of the scaling matrix: a campaign at the given
+// GOMAXPROCS and worker count on one backend.
+type ScalingRow struct {
+	Backend     string  `json:"backend"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	Workers     int     `json:"workers"`
+	Secs        float64 `json:"secs"`
+	ExecsPerSec float64 `json:"execs_per_sec"`
+	// Speedup is relative to the same backend's GOMAXPROCS=1 row.
+	Speedup float64 `json:"speedup_vs_1"`
+}
+
+// BenchOptions configures the v2 legs that need a minijvm binary. The
+// zero value skips them (the matrix then covers inprocess only).
+type BenchOptions struct {
+	// MinijvmPath locates the child binary ("" = $MINIJVM, then $PATH).
+	MinijvmPath string
+	// ChildTimeout is the per-execution watchdog for child backends.
+	ChildTimeout time.Duration
+	// Pool shapes the warm pool used by the pool legs.
+	Pool exec.PoolTuning
 }
 
 // benchCampaignConfig is the shared workload: the standard corpus pool
@@ -64,6 +122,207 @@ func timeCampaign(budget Budget, structured bool, workers int) (int, float64) {
 	start := time.Now()
 	res := core.RunCampaign(benchCampaignConfig(budget, structured, workers))
 	return res.Executions, time.Since(start).Seconds()
+}
+
+// scalingMatrix sweeps GOMAXPROCS = workers ∈ {1,2,4,8} per backend on a
+// reduced-budget campaign. The pool backend appears only when opts
+// resolves a minijvm binary; its pool is sized to the row's worker count
+// so children scale with parallelism.
+func scalingMatrix(budget Budget, opts BenchOptions) []ScalingRow {
+	row := budget
+	row.Executions = budget.Executions / 3
+	if row.Executions < 60 {
+		row.Executions = 60
+	}
+
+	backends := []string{"inprocess"}
+	if _, err := exec.FindMinijvm(opts.MinijvmPath); err == nil {
+		backends = append(backends, "pool")
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var rows []ScalingRow
+	for _, backend := range backends {
+		var base float64
+		for _, gmp := range []int{1, 2, 4, 8} {
+			runtime.GOMAXPROCS(gmp)
+			tuning := opts.Pool
+			if tuning.Children == 0 {
+				tuning.Children = gmp
+			}
+			executor, err := exec.FromFlags(backend, opts.MinijvmPath, opts.ChildTimeout, tuning)
+			if err != nil {
+				continue
+			}
+			cfg := benchCampaignConfig(row, true, gmp)
+			cfg.Executor = executor
+			start := time.Now()
+			res := core.RunCampaign(cfg)
+			secs := time.Since(start).Seconds()
+			exec.CloseExecutor(executor)
+
+			r := ScalingRow{
+				Backend:     backend,
+				GoMaxProcs:  gmp,
+				NumCPU:      runtime.NumCPU(),
+				Workers:     gmp,
+				Secs:        secs,
+				ExecsPerSec: float64(res.Executions) / secs,
+			}
+			if base == 0 {
+				base = r.ExecsPerSec
+			}
+			r.Speedup = r.ExecsPerSec / base
+			rows = append(rows, r)
+		}
+	}
+	return rows
+}
+
+// overheadSrc is the exec-overhead workload: light enough that process
+// spawn and recompilation dominate a cold child's execution cost.
+const overheadSrc = `class B {
+  static void main() {
+    int s = 0;
+    for (int i = 0; i < 50; i += 1) { s = s + i; }
+    print(s);
+  }
+}`
+
+// benchExecOverhead drives overheadSrc through the cold-spawn subprocess
+// backend and the warm pool (single worker): N single executions each,
+// then N/4 full differentials through the pool so batch amortization
+// (mean batch > 1, spawns avoided) shows up in the pool counters.
+func benchExecOverhead(r *BenchReport, opts BenchOptions) error {
+	path, err := exec.FindMinijvm(opts.MinijvmPath)
+	if err != nil {
+		return err
+	}
+	prog, err := lang.Parse(overheadSrc)
+	if err != nil {
+		return err
+	}
+	if err := lang.Check(prog); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	ref := jvm.Reference()
+	specs := jvm.AllSpecs()
+	const singles = 40
+
+	sub := exec.NewSubprocess(path)
+	sub.Timeout = opts.ChildTimeout
+	start := time.Now()
+	for i := 0; i < singles; i++ {
+		if _, err := sub.Execute(ctx, prog, ref, jvm.Options{}); err != nil {
+			return err
+		}
+	}
+	r.SubprocessExecsPerSec = singles / time.Since(start).Seconds()
+	r.SubprocessSpawns = sub.Stats().Spawns
+
+	tuning := opts.Pool
+	if tuning.Children == 0 {
+		tuning.Children = 1
+	}
+	pool := exec.NewPool(exec.PoolConfig{
+		Path:              path,
+		Timeout:           opts.ChildTimeout,
+		Children:          tuning.Children,
+		RecycleAfter:      tuning.RecycleAfter,
+		MaxChildHeapBytes: tuning.MaxChildHeapBytes,
+	})
+	defer pool.Close()
+	// One warm-up execution so the pool leg times warm children, not the
+	// first spawn — the steady state a campaign runs in.
+	if _, err := pool.Execute(ctx, prog, ref, jvm.Options{}); err != nil {
+		return err
+	}
+	start = time.Now()
+	for i := 0; i < singles; i++ {
+		if _, err := pool.Execute(ctx, prog, ref, jvm.Options{}); err != nil {
+			return err
+		}
+	}
+	r.PoolExecsPerSec = singles / time.Since(start).Seconds()
+	for i := 0; i < singles/4; i++ {
+		if _, err := pool.ExecuteDifferential(ctx, prog, specs, jvm.Options{}); err != nil {
+			return err
+		}
+	}
+	st := pool.Stats()
+	r.PoolSpawns = st.Spawns
+	r.PoolSpawnsAvoided = st.SpawnsAvoided
+	r.PoolBatches = st.Batches
+	r.PoolMeanBatch = st.MeanBatch()
+	if r.SubprocessExecsPerSec > 0 {
+		r.PoolVsSubprocessSpeedup = r.PoolExecsPerSec / r.SubprocessExecsPerSec
+	}
+	return nil
+}
+
+// allocWorkloadSrc mirrors internal/vm's call-heavy allocation workload:
+// nested calls, argument passing, and enough heap churn to trigger GC
+// root scans.
+const allocWorkloadSrc = `
+class T {
+  int f;
+  static void main() {
+    T t = new T();
+    long total = 0;
+    for (int i = 0; i < 400; i += 1) {
+      total = total + t.outer(i, i + 1);
+    }
+    print(total);
+  }
+  int outer(int a, int b) {
+    return this.inner(a) + this.inner(b);
+  }
+  int inner(int x) {
+    int acc = 0;
+    for (int k = 0; k < 3; k += 1) { acc = acc + x + k; }
+    return acc;
+  }
+}`
+
+// benchInterpAllocs measures heap allocations per full interpreter run
+// of the call-heavy workload (a hand-rolled AllocsPerRun: Mallocs delta
+// over a fixed iteration count).
+func benchInterpAllocs() (float64, error) {
+	p, err := lang.Parse(allocWorkloadSrc)
+	if err != nil {
+		return 0, err
+	}
+	if err := lang.Check(p); err != nil {
+		return 0, err
+	}
+	img, err := bytecode.Compile(p)
+	if err != nil {
+		return 0, err
+	}
+	run := func() error {
+		res := vm.NewMachine(img, vm.Config{}).Run()
+		if res.Crash != nil || res.Exception != nil {
+			return fmt.Errorf("experiments: alloc workload failed: %+v", res)
+		}
+		return nil
+	}
+	if err := run(); err != nil { // warm-up: lazy init off the measured path
+		return 0, err
+	}
+	const iters = 10
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		if err := run(); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / iters, nil
 }
 
 // benchOBVExtraction times one representative emission stream — every
@@ -111,12 +370,14 @@ func benchOBVExtraction() (regexNs, structuredNs float64) {
 }
 
 // BenchCampaign measures campaign throughput (sequential vs parallel vs
-// legacy-OBV) and OBV extraction cost, returning the report.
-func BenchCampaign(budget Budget, workers int) *BenchReport {
+// legacy-OBV), the scaling matrix, the child-backend exec-overhead legs,
+// OBV extraction cost, and the interpreter allocation pin.
+func BenchCampaign(budget Budget, workers int, opts BenchOptions) *BenchReport {
 	if workers <= 0 {
 		workers = 4
 	}
 	r := &BenchReport{
+		SchemaVersion:    2,
 		BudgetExecutions: budget.Executions,
 		SeedPool:         budget.Seeds,
 		Workers:          workers,
@@ -144,16 +405,51 @@ func BenchCampaign(budget Budget, workers int) *BenchReport {
 
 	r.OBVRegexNsPerOp, r.OBVStructuredNsPerOp = benchOBVExtraction()
 	r.OBVSpeedup = r.OBVRegexNsPerOp / r.OBVStructuredNsPerOp
+
+	r.ScalingMatrix = scalingMatrix(budget, opts)
+	// The overhead legs need a minijvm binary; without one the fields
+	// stay zero (omitted from the JSON) and the matrix covers inprocess
+	// only.
+	_ = benchExecOverhead(r, opts)
+	if allocs, err := benchInterpAllocs(); err == nil {
+		r.InterpAllocsPerOp = allocs
+	}
 	return r
 }
 
 // WriteBenchJSON runs BenchCampaign and writes the indented JSON report.
-func WriteBenchJSON(w io.Writer, budget Budget, workers int) (*BenchReport, error) {
-	r := BenchCampaign(budget, workers)
+func WriteBenchJSON(w io.Writer, budget Budget, workers int, opts BenchOptions) (*BenchReport, error) {
+	r := BenchCampaign(budget, workers, opts)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(r); err != nil {
 		return nil, fmt.Errorf("experiments: bench report: %w", err)
 	}
 	return r, nil
+}
+
+// ScalingTable renders the v2 legs human-readably — the scaling matrix,
+// the exec-overhead comparison, and the allocation pin — for
+// experiments_output.txt alongside the JSON artifact.
+func ScalingTable(w io.Writer, r *BenchReport) {
+	fmt.Fprintf(w, "Scaling matrix (campaign throughput; host: %d CPU(s)):\n", r.NumCPU)
+	if len(r.ScalingMatrix) == 0 {
+		fmt.Fprintln(w, "  (not run)")
+	} else {
+		fmt.Fprintf(w, "  %-10s  %10s  %7s  %9s  %7s\n", "backend", "gomaxprocs", "workers", "execs/sec", "speedup")
+		for _, row := range r.ScalingMatrix {
+			fmt.Fprintf(w, "  %-10s  %10d  %7d  %9.1f  %6.2fx\n",
+				row.Backend, row.GoMaxProcs, row.Workers, row.ExecsPerSec, row.Speedup)
+		}
+	}
+	fmt.Fprintln(w, "Exec overhead (light program, single worker):")
+	if r.SubprocessExecsPerSec == 0 && r.PoolExecsPerSec == 0 {
+		fmt.Fprintln(w, "  (skipped: no minijvm binary)")
+	} else {
+		fmt.Fprintf(w, "  subprocess  %8.1f execs/sec  (%d spawns: one cold child per execution)\n",
+			r.SubprocessExecsPerSec, r.SubprocessSpawns)
+		fmt.Fprintf(w, "  pool        %8.1f execs/sec  (%.1fx; %d spawns, %d avoided, mean batch %.1f over %d round trips)\n",
+			r.PoolExecsPerSec, r.PoolVsSubprocessSpeedup, r.PoolSpawns, r.PoolSpawnsAvoided, r.PoolMeanBatch, r.PoolBatches)
+	}
+	fmt.Fprintf(w, "Interpreter: %.0f allocs per call-heavy workload run\n", r.InterpAllocsPerOp)
 }

@@ -35,6 +35,9 @@ type WorkerConfig struct {
 	Backend      string
 	MinijvmPath  string
 	ChildTimeout time.Duration
+	// Pool tunes the warm-child pool when Backend (or a job spec) picks
+	// the pool backend; the zero value means library defaults.
+	Pool exec.PoolTuning
 	// RPCAttempts bounds tries per coordinator RPC (default 3).
 	RPCAttempts int
 	// Backoff schedules RPC retries (zero value → jittered default).
@@ -362,10 +365,11 @@ func (w *Worker) campaign(jctx context.Context, asg Assignment) (*core.CampaignR
 	if backend == "" {
 		backend = w.cfg.Backend
 	}
-	executor, err := exec.FromFlags(backend, w.cfg.MinijvmPath, w.cfg.ChildTimeout)
+	executor, err := exec.FromFlags(backend, w.cfg.MinijvmPath, w.cfg.ChildTimeout, w.cfg.Pool)
 	if err != nil {
 		return nil, triage.Stats{}, err
 	}
+	defer exec.CloseExecutor(executor)
 	tstore, err := triage.Open(w.triageDir(id))
 	if err != nil {
 		return nil, triage.Stats{}, err

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/harness"
 )
 
@@ -227,6 +228,52 @@ func (m *Metrics) Render(w io.Writer, jobs map[JobState]int, tr TriageStats) {
 	fmt.Fprintln(w, "# HELP mopfuzzd_uptime_seconds Seconds since daemon start.")
 	fmt.Fprintln(w, "# TYPE mopfuzzd_uptime_seconds gauge")
 	fmt.Fprintf(w, "mopfuzzd_uptime_seconds %g\n", up)
+}
+
+// RenderExecPool writes the warm-child-pool series. Always emitted —
+// zeros before any pooled job runs — so dashboards and smoke assertions
+// can rely on their presence.
+func RenderExecPool(w io.Writer, st exec.Stats, live int) {
+	fmt.Fprintln(w, "# HELP mopfuzzd_execpool_children_live Warm minijvm children currently pooled.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_execpool_children_live gauge")
+	fmt.Fprintf(w, "mopfuzzd_execpool_children_live %d\n", live)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_execpool_executions_total Executions served by the pool.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_execpool_executions_total counter")
+	fmt.Fprintf(w, "mopfuzzd_execpool_executions_total %d\n", st.Executions)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_execpool_batches_total Serve-mode round trips (N executions each).")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_execpool_batches_total counter")
+	fmt.Fprintf(w, "mopfuzzd_execpool_batches_total %d\n", st.Batches)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_execpool_mean_batch_size Mean executions per round trip (>1 means batching amortizes).")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_execpool_mean_batch_size gauge")
+	fmt.Fprintf(w, "mopfuzzd_execpool_mean_batch_size %g\n", st.MeanBatch())
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_execpool_spawns_total Child processes spawned by the pool.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_execpool_spawns_total counter")
+	fmt.Fprintf(w, "mopfuzzd_execpool_spawns_total %d\n", st.Spawns)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_execpool_spawns_avoided_total Executions served without a fresh spawn.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_execpool_spawns_avoided_total counter")
+	fmt.Fprintf(w, "mopfuzzd_execpool_spawns_avoided_total %d\n", st.SpawnsAvoided)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_execpool_recycled_total Children retired by recycle policy.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_execpool_recycled_total counter")
+	fmt.Fprintf(w, "mopfuzzd_execpool_recycled_total{reason=\"executions\"} %d\n", st.RecycledByCount)
+	fmt.Fprintf(w, "mopfuzzd_execpool_recycled_total{reason=\"memory\"} %d\n", st.RecycledByMem)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_execpool_killed_total Children force-killed (timeouts, failures, drain).")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_execpool_killed_total counter")
+	fmt.Fprintf(w, "mopfuzzd_execpool_killed_total %d\n", st.Killed)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_execpool_retries_total Batches retried on a fresh child after a marker-less death.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_execpool_retries_total counter")
+	fmt.Fprintf(w, "mopfuzzd_execpool_retries_total %d\n", st.Retries)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_execpool_faults_total Pool executions classified as backend faults.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_execpool_faults_total counter")
+	fmt.Fprintf(w, "mopfuzzd_execpool_faults_total %d\n", st.Faults)
 }
 
 // trimFloat renders a bucket bound without a trailing ".0" — the

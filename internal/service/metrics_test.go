@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/exec"
 )
 
 // fakeClock advances only when told, pinning rate/uptime math.
@@ -72,6 +74,40 @@ func TestMetricsRender(t *testing.T) {
 	wantLine(t, out, `mopfuzzd_triage_dedup_hits_total 7`)
 	wantLine(t, out, `mopfuzzd_triage_dedup_hit_ratio 0.7`)
 	wantLine(t, out, `mopfuzzd_uptime_seconds 10`)
+}
+
+func TestRenderExecPool(t *testing.T) {
+	var sb strings.Builder
+	RenderExecPool(&sb, exec.Stats{
+		Executions:      40,
+		Batches:         8,
+		Spawns:          3,
+		SpawnsAvoided:   37,
+		RecycledByCount: 2,
+		RecycledByMem:   1,
+		Killed:          4,
+		Retries:         1,
+		Faults:          1,
+	}, 2)
+	out := sb.String()
+	wantLine(t, out, `mopfuzzd_execpool_children_live 2`)
+	wantLine(t, out, `mopfuzzd_execpool_executions_total 40`)
+	wantLine(t, out, `mopfuzzd_execpool_batches_total 8`)
+	wantLine(t, out, `mopfuzzd_execpool_mean_batch_size 5`)
+	wantLine(t, out, `mopfuzzd_execpool_spawns_total 3`)
+	wantLine(t, out, `mopfuzzd_execpool_spawns_avoided_total 37`)
+	wantLine(t, out, `mopfuzzd_execpool_recycled_total{reason="executions"} 2`)
+	wantLine(t, out, `mopfuzzd_execpool_recycled_total{reason="memory"} 1`)
+	wantLine(t, out, `mopfuzzd_execpool_killed_total 4`)
+	wantLine(t, out, `mopfuzzd_execpool_retries_total 1`)
+	wantLine(t, out, `mopfuzzd_execpool_faults_total 1`)
+
+	// Without a pool the series still exist at zero.
+	sb.Reset()
+	RenderExecPool(&sb, exec.Stats{}, 0)
+	out = sb.String()
+	wantLine(t, out, `mopfuzzd_execpool_children_live 0`)
+	wantLine(t, out, `mopfuzzd_execpool_mean_batch_size 0`)
 }
 
 func TestMetricsZeroSafe(t *testing.T) {

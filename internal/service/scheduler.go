@@ -37,10 +37,15 @@ type Config struct {
 	Runners int
 	// Backend is the default execution backend for jobs that do not pin
 	// one ("" = inprocess); MinijvmPath/ChildTimeout configure the
-	// subprocess backend exactly like the mopfuzzer flags.
+	// subprocess and pool backends exactly like the mopfuzzer flags.
 	Backend      string
 	MinijvmPath  string
 	ChildTimeout time.Duration
+	// Pool shapes the shared warm child pool used by jobs on the "pool"
+	// backend (zero values = exec.PoolConfig defaults). All pooled jobs
+	// share one daemon-wide pool so warm children amortize across jobs;
+	// it is closed when the scheduler drains.
+	Pool exec.PoolTuning
 	// ExecTimeout arms the harness wall-clock watchdog per seed task
 	// (0 = step fuel only).
 	ExecTimeout time.Duration
@@ -116,6 +121,11 @@ type Scheduler struct {
 	ctx     context.Context
 
 	wg sync.WaitGroup
+
+	// poolMu guards the lazily-created daemon-wide warm child pool
+	// shared by every job on the "pool" backend.
+	poolMu   sync.Mutex
+	execPool *exec.Pool
 
 	// reportMu serializes triage-store opens/closes per daemon, so a
 	// /findings read of a finished job never races a runner opening the
@@ -268,7 +278,17 @@ func (s *Scheduler) Start(ctx context.Context) {
 
 // Wait blocks until every runner has stopped (drain complete: all
 // running campaigns checkpointed and their triage stores flushed).
-func (s *Scheduler) Wait() { s.wg.Wait() }
+func (s *Scheduler) Wait() {
+	s.wg.Wait()
+	// Runners are done: kill the warm children so a drained daemon
+	// leaves no minijvm processes behind.
+	s.poolMu.Lock()
+	p := s.execPool
+	s.poolMu.Unlock()
+	if p != nil {
+		p.Close()
+	}
+}
 
 // Draining reports whether the scheduler has begun shutting down.
 func (s *Scheduler) Draining() bool {
@@ -448,6 +468,8 @@ func (s *Scheduler) RenderMetrics(w io.Writer) {
 		}
 	}
 	s.metrics.Render(w, counts, tr)
+	st, live := s.poolStats()
+	RenderExecPool(w, st, live)
 	s.mu.Lock()
 	remote := s.remote
 	s.mu.Unlock()
@@ -626,13 +648,47 @@ func (s *Scheduler) MergeTriage(id string, log []byte) (added int, err error) {
 	return dst.Merge(src)
 }
 
-// executorFor builds the execution backend a job runs on.
+// executorFor builds the execution backend a job runs on. Jobs on the
+// "pool" backend share one daemon-wide warm pool, so children (and
+// their compile caches) stay hot across jobs instead of respawning per
+// campaign.
 func (s *Scheduler) executorFor(spec JobSpec) (exec.Executor, error) {
 	backend := spec.Backend
 	if backend == "" {
 		backend = s.cfg.Backend
 	}
+	if backend == "pool" {
+		return s.sharedPool()
+	}
 	return exec.FromFlags(backend, s.cfg.MinijvmPath, s.cfg.ChildTimeout)
+}
+
+// sharedPool lazily builds the daemon-wide pool.
+func (s *Scheduler) sharedPool() (*exec.Pool, error) {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if s.execPool != nil {
+		return s.execPool, nil
+	}
+	ex, err := exec.FromFlags("pool", s.cfg.MinijvmPath, s.cfg.ChildTimeout, s.cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	s.execPool = ex.(*exec.Pool)
+	return s.execPool, nil
+}
+
+// poolStats snapshots the shared pool's counters and live-children
+// count for /metrics; zeros when no pooled job has run yet, so the
+// execpool series always exist.
+func (s *Scheduler) poolStats() (exec.Stats, int) {
+	s.poolMu.Lock()
+	p := s.execPool
+	s.poolMu.Unlock()
+	if p == nil {
+		return exec.Stats{}, 0
+	}
+	return p.Stats(), len(p.Pids())
 }
 
 // runJob executes one job end to end: mark running (bumping the resume

@@ -10,10 +10,13 @@ import (
 // semantics: the JIT tiers must agree with it on every program (that
 // agreement is the miscompilation oracle).
 func (m *Machine) interpret(fn *bytecode.Function, args []Value) (Value, error) {
-	f := &frame{fn: fn, locals: make([]Value, fn.NLocals)}
+	f := newFrame(fn)
 	copy(f.locals, args)
 	m.frames = append(m.frames, f)
-	defer func() { m.frames = m.frames[:len(m.frames)-1] }()
+	defer func() {
+		m.frames = m.frames[:len(m.frames)-1]
+		freeFrame(f)
+	}()
 
 	prof := m.Profile(fn.Key())
 	code := fn.Code
@@ -281,7 +284,7 @@ func (m *Machine) interpret(fn *bytecode.Function, args []Value) (Value, error) 
 		case bytecode.Invoke, bytecode.InvokeReflect:
 			ref := fn.Methods[ins.A]
 			nArgs := ref.NArgs
-			callArgs := make([]Value, nArgs)
+			callArgs := m.getArgs(nArgs)
 			for i := nArgs - 1; i >= 0; i-- {
 				callArgs[i] = pop()
 			}
@@ -294,11 +297,13 @@ func (m *Machine) interpret(fn *bytecode.Function, args []Value) (Value, error) 
 				// Reflection pays lookup overhead: extra fuel.
 				for i := 0; i < 8; i++ {
 					if err := m.Step(); err != nil {
+						m.putArgs(callArgs)
 						return Value{}, err
 					}
 				}
 			}
 			ret, err := m.Call(ref, recv, callArgs)
+			m.putArgs(callArgs)
 			if err != nil {
 				if thr, ok := err.(*Thrown); ok {
 					if h := raise(thr); h >= 0 {

@@ -3,6 +3,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/bytecode"
 )
@@ -139,6 +140,9 @@ type Machine struct {
 
 	heldMonitors int
 	frames       []*frame
+
+	argBufs  [][]Value // LIFO freelist of call-argument buffers
+	rootsBuf []Value   // reused GC root scratch
 }
 
 type frame struct {
@@ -146,6 +150,66 @@ type frame struct {
 	locals []Value
 	stack  []Value
 	mons   []monEntry
+}
+
+// framePool recycles interpreter frames across calls (and across
+// machines — campaign workers each run millions of calls, and a frame
+// plus its locals slice used to be two heap allocations per call).
+// Frames are strictly LIFO per machine, so a frame returned in
+// interpret's epilogue is never referenced again: m.frames has already
+// popped it and GC root scans only walk live frames.
+var framePool = sync.Pool{New: func() any { return &frame{} }}
+
+// newFrame returns a cleared frame with locals sized for fn. Reused
+// locals are zeroed up to NLocals (the old make([]Value, n) semantics);
+// the stack and monitor slices keep their capacity, length zero.
+func newFrame(fn *bytecode.Function) *frame {
+	f := framePool.Get().(*frame)
+	f.fn = fn
+	if cap(f.locals) < fn.NLocals {
+		f.locals = make([]Value, fn.NLocals)
+	} else {
+		f.locals = f.locals[:fn.NLocals]
+		clear(f.locals)
+	}
+	f.stack = f.stack[:0]
+	f.mons = f.mons[:0]
+	return f
+}
+
+// freeFrame returns a frame to the pool. Slices are kept for capacity
+// reuse but their contents cleared so the pool does not pin dead heap
+// objects between runs.
+func freeFrame(f *frame) {
+	f.fn = nil
+	clear(f.locals)
+	clear(f.stack[:cap(f.stack)])
+	f.mons = f.mons[:0]
+	framePool.Put(f)
+}
+
+// getArgs pops a call-argument buffer of length n from the machine's
+// freelist (calls nest LIFO, so buffers released in call order are
+// immediately reusable by the next sibling call).
+func (m *Machine) getArgs(n int) []Value {
+	if k := len(m.argBufs); k > 0 {
+		buf := m.argBufs[k-1]
+		m.argBufs = m.argBufs[:k-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+		// Undersized: drop it so the freelist converges on the widest
+		// call signatures instead of wedging behind a narrow buffer.
+	}
+	return make([]Value, n)
+}
+
+// putArgs returns a buffer once the call has copied the values out
+// (interpreted frames copy into locals, compiled code into its scope
+// stack — neither retains the slice).
+func (m *Machine) putArgs(buf []Value) {
+	clear(buf[:cap(buf)])
+	m.argBufs = append(m.argBufs, buf)
 }
 
 type monEntry struct {
@@ -394,7 +458,7 @@ func (m *Machine) maybeGC() {
 	if len(m.frames) > 0 {
 		m.trace("gc.roots.frames")
 	}
-	var roots []Value
+	roots := m.rootsBuf[:0]
 	for _, v := range m.statics {
 		roots = append(roots, v)
 	}
@@ -409,6 +473,7 @@ func (m *Machine) maybeGC() {
 		roots = append(roots, ObjVal(o))
 	}
 	m.Heap.Collect(roots)
+	m.rootsBuf = roots
 }
 
 // GetStatic reads a static field.
@@ -443,9 +508,19 @@ func (m *Machine) Call(ref bytecode.MethodRef, recv Value, args []Value) (Value,
 		if recv.Kind == KNull {
 			return Value{}, &Thrown{Code: bytecode.ExcNullPointer}
 		}
-		callArgs = append([]Value{recv}, args...)
+		// Prepend the receiver via the argument freelist: callees copy
+		// the values out (interpreted frames into locals, compiled code
+		// into its scope stack) before returning, so the buffer is free
+		// again once CallFunction completes.
+		callArgs = m.getArgs(len(args) + 1)
+		callArgs[0] = recv
+		copy(callArgs[1:], args)
 	}
-	return m.CallFunction(fn, callArgs)
+	ret, err := m.CallFunction(fn, callArgs)
+	if !ref.Static {
+		m.putArgs(callArgs)
+	}
+	return ret, err
 }
 
 // MonitorEnter enters the monitor of a reference value.
