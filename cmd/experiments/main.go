@@ -23,6 +23,7 @@ func main() {
 	figureFlag := flag.String("figure", "", "regenerate one figure: 1, 2, 3, 4, 5a, or 5b")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	recall := flag.Bool("recall", false, "run the ground-truth recall campaign (extra artifact)")
+	planRecall := flag.Bool("plan-recall", false, "run the recall campaign once per -plan-fuzz mode (off/minimal/full) and report the plan-only bugs")
 	budgetFlag := flag.Int("budget", 0, "execution budget per tool (default per experiment)")
 	seedsFlag := flag.Int("seeds", 0, "seed pool size (default per experiment)")
 	seedFlag := flag.Int64("seed", 1, "campaign random seed")
@@ -129,6 +130,13 @@ func main() {
 		}
 		ran = true
 		experiments.Recall(w, budget)
+	}
+	if *planRecall {
+		if ran {
+			sep()
+		}
+		ran = true
+		experiments.PlanRecall(w, budget)
 	}
 	if *benchJSON != "" {
 		ran = true

@@ -36,6 +36,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/exec"
 	"repro/internal/harness"
+	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 	"repro/internal/reduce"
@@ -61,6 +62,7 @@ func main() {
 	quarantineDir := flag.String("quarantine-dir", "", "persist pathological mutants (panic/hang/heap-exhaustion triggers) here")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel seed-task workers (1 = sequential; results are identical either way)")
 	fastOBV := flag.Bool("fast-obv", true, "structured OBV fast path (count behaviors in the JIT instead of regex-scanning profile logs)")
+	planFuzz := flag.String("plan-fuzz", "off", "compilation-plan fuzzing: off (fixed pipeline), minimal (mandatory passes, fuzzed order), or full (fuzzed pass selection, order, and loop rounds)")
 	backend := flag.String("backend", "inprocess", "execution backend: inprocess (shared failure domain, fastest), subprocess (one minijvm child per execution), or pool (warm serve-mode children, batched)")
 	minijvmPath := flag.String("minijvm", "", "minijvm binary for -backend subprocess/pool (default: $MINIJVM, then $PATH)")
 	childTimeout := flag.Duration("child-timeout", 10*time.Second, "per-execution watchdog for -backend subprocess/pool (0 = no watchdog)")
@@ -123,6 +125,10 @@ func main() {
 	cfg.ExtendedMutators = *extended
 	cfg.MaxHeapUnits = *heapLimit
 	cfg.StructuredOBV = *fastOBV
+	cfg.PlanFuzz, err = jit.ParsePlanMode(*planFuzz)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *caseFile != "" {
 		fuzzOne(*caseFile, cfg, *doReduce, *dumpMutant)

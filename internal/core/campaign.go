@@ -66,6 +66,10 @@ type Progress struct {
 	Faults             int
 	SeedErrors         int
 	SkippedQuarantined int
+	// PlanFindings counts the deduplicated findings so far whose oracle
+	// is the plan-vs-plan differential — the live feed for the service's
+	// planfuzz metrics. Always ≤ Findings; 0 when plan fuzzing is off.
+	PlanFindings int
 	// Delta is the just-merged task's Δ(seed OBV, final-mutant OBV);
 	// HasDelta marks whether the task produced one (skipped, faulted,
 	// and errored tasks do not).
@@ -103,6 +107,10 @@ type Finding struct {
 	// Divergence is the first diverging target pair for differential
 	// findings (nil for crash findings).
 	Divergence *jvm.Divergence
+	// PlanID is the compilation plan the finding surfaced under
+	// ("default" or a plan ShortID). Empty when the campaign ran without
+	// plan fuzzing — the pre-plan finding shape.
+	PlanID string
 }
 
 // SeedError records a seed the fuzzer rejected (parse/shape problems),
@@ -177,6 +185,17 @@ func (r *CampaignResult) MedianDelta() float64 {
 	s := append([]float64(nil), r.FinalDeltas...)
 	sort.Float64s(s)
 	return s[len(s)/2]
+}
+
+// PlanFindings counts findings surfaced by the plan-vs-plan oracle.
+func (r *CampaignResult) PlanFindings() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Oracle == "plan-differential" {
+			n++
+		}
+	}
+	return n
 }
 
 // FaultCounts tallies harness faults per class.
@@ -363,7 +382,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 					continue
 				}
 				class := harness.FaultCrash
-				if fd.Oracle == "differential" {
+				if fd.Oracle == "differential" || fd.Oracle == "plan-differential" {
 					class = harness.FaultMiscompile
 				}
 				f := Finding{
@@ -380,6 +399,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 					ChainLen:    len(fd.Mutators),
 					OBV:         fr.FinalOBV,
 					Divergence:  fd.Divergence,
+					PlanID:      fd.PlanID,
 				}
 				// Every occurrence streams to the triage hook — duplicates
 				// of an already-seen bug are exactly what a triage layer
@@ -400,6 +420,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 				Executions:         res.Executions,
 				SeedsFuzzed:        res.SeedsFuzzed,
 				Findings:           len(res.Findings),
+				PlanFindings:       res.PlanFindings(),
 				Faults:             len(res.Faults),
 				SeedErrors:         len(res.SeedErrors),
 				SkippedQuarantined: res.SkippedQuarantined,
@@ -462,7 +483,9 @@ type campaignState struct {
 // findingSnapshot is the JSON form of a Finding: bugs by catalog ID,
 // programs as source text, both re-resolved on restore. Checkpoint
 // format v2 added the provenance block (cursor, round, chain length),
-// the OBV, and the divergence site.
+// the OBV, and the divergence site; plan provenance (plan_id and the
+// divergence's plan pair) is additive and omitted when empty, so
+// pre-plan checkpoints round-trip byte-identically.
 type findingSnapshot struct {
 	BugID         string                `json:"bug_id"`
 	Oracle        string                `json:"oracle"`
@@ -478,14 +501,18 @@ type findingSnapshot struct {
 	ChainLen      int                   `json:"chain_len,omitempty"`
 	OBV           []int64               `json:"obv,omitempty"`
 	Divergence    *divergenceSnapshot   `json:"divergence,omitempty"`
+	PlanID        string                `json:"plan_id,omitempty"`
 }
 
 // divergenceSnapshot serializes a jvm.Divergence by spec name, the same
-// rendering the wire protocol and CLIs use.
+// rendering the wire protocol and CLIs use. Plan differentials add the
+// plan pair (spec differentials leave it empty).
 type divergenceSnapshot struct {
-	Modal     string `json:"modal"`
-	Divergent string `json:"divergent"`
-	Index     int    `json:"index"`
+	Modal         string `json:"modal"`
+	Divergent     string `json:"divergent"`
+	Index         int    `json:"index"`
+	ModalPlan     string `json:"modal_plan,omitempty"`
+	DivergentPlan string `json:"divergent_plan,omitempty"`
 }
 
 func saveCampaign(path string, sup *harness.Supervisor, res *CampaignResult,
@@ -518,15 +545,18 @@ func saveCampaign(path string, sup *harness.Supervisor, res *CampaignResult,
 			Cursor:        f.Cursor,
 			Round:         f.Round,
 			ChainLen:      f.ChainLen,
+			PlanID:        f.PlanID,
 		}
 		if f.OBV.Total() > 0 {
 			fs.OBV = f.OBV.Slice()
 		}
 		if f.Divergence != nil {
 			fs.Divergence = &divergenceSnapshot{
-				Modal:     f.Divergence.Modal.Name(),
-				Divergent: f.Divergence.Divergent.Name(),
-				Index:     f.Divergence.Index,
+				Modal:         f.Divergence.Modal.Name(),
+				Divergent:     f.Divergence.Divergent.Name(),
+				Index:         f.Divergence.Index,
+				ModalPlan:     f.Divergence.ModalPlan,
+				DivergentPlan: f.Divergence.DivergentPlan,
 			}
 		}
 		if f.Program != nil {
@@ -583,6 +613,7 @@ func restoreCampaign(ck *harness.Checkpoint, sup *harness.Supervisor, res *Campa
 			Cursor:      fs.Cursor,
 			Round:       fs.Round,
 			ChainLen:    fs.ChainLen,
+			PlanID:      fs.PlanID,
 		}
 		if fs.OBV != nil {
 			obv, err := profile.OBVFromSlice(fs.OBV)
@@ -600,7 +631,10 @@ func restoreCampaign(ck *harness.Checkpoint, sup *harness.Supervisor, res *Campa
 			if err != nil {
 				return fmt.Errorf("core: resume: finding %s divergence: %w", fs.BugID, err)
 			}
-			f.Divergence = &jvm.Divergence{Modal: modal, Divergent: divergent, Index: fs.Divergence.Index}
+			f.Divergence = &jvm.Divergence{
+				Modal: modal, Divergent: divergent, Index: fs.Divergence.Index,
+				ModalPlan: fs.Divergence.ModalPlan, DivergentPlan: fs.Divergence.DivergentPlan,
+			}
 		}
 		if fs.Program != "" {
 			p, err := lang.Parse(fs.Program)

@@ -60,6 +60,14 @@ type Config struct {
 	// process whose death is classified by the harness instead of
 	// killing the fuzzer.
 	Executor exec.Executor
+	// PlanFuzz turns the compilation plan into a fuzz dimension (ROADMAP
+	// item 3). The zero value (and jit.PlanDefault) keeps every execution
+	// on the fixed pipeline — byte-identical to the pre-plan fuzzer.
+	// PlanMinimal/PlanFull draw a deterministic per-seed set of fuzzed
+	// plans, rotate them across iterations so the OBV weight update
+	// operates over (program, plan) pairs, and run a plan-vs-plan
+	// differential on the final mutant — the ordering-sensitivity oracle.
+	PlanFuzz jit.PlanMode
 }
 
 // DefaultConfig returns the paper's configuration against the given
@@ -93,13 +101,17 @@ type IterationRecord struct {
 // BugFinding is one detected bug occurrence.
 type BugFinding struct {
 	Bug       *buginject.Bug
-	Oracle    string // "crash" or "differential"
+	Oracle    string // "crash", "differential", or "plan-differential"
 	Iteration int    // mutation count when detected
 	Mutators  []string
 	// Divergence records the first diverging target pair for
 	// differential findings (nil for crash findings) — the divergence
 	// site triage signatures key unattributed miscompiles on.
 	Divergence *jvm.Divergence
+	// PlanID is the compilation plan the finding surfaced under —
+	// "default" or a plan ShortID. Empty when plan fuzzing is off, so
+	// off-mode findings keep the pre-plan shape.
+	PlanID string
 }
 
 // FuzzResult is the outcome of fuzzing one seed.
@@ -122,6 +134,10 @@ type FuzzResult struct {
 	// harness can quarantine it as a crash-oracle artifact.
 	FirstHeapExhausting *lang.Program
 	HeapExhaustions     int
+	// PlanIDs names the plan set this seed fuzzed over ("default" plus
+	// the fuzzed plan ShortIDs), in rotation order. Nil when plan
+	// fuzzing is off.
+	PlanIDs []string
 }
 
 // Fuzzer runs the paper's Algorithm 1.
@@ -136,6 +152,44 @@ type Fuzzer struct {
 	// in code the JIT never compiles — the paper's explanation for that
 	// variant's collapse.
 	compileOnly string
+	// plans is the per-seed plan set: index 0 is always nil (the fixed
+	// default pipeline); fuzz modes append deterministic fuzzed plans.
+	// Iterations rotate through it.
+	plans []*jit.Plan
+}
+
+// fuzzedPlansPerSeed is how many fuzzed plans join the default plan in a
+// seed's rotation (and in the final plan differential).
+const fuzzedPlansPerSeed = 3
+
+// planSeedSalt decorrelates the plan-generation stream from the mutation
+// stream: both derive from Cfg.Seed, but plan generation must not
+// perturb f.rng (off-mode mutation sequences stay byte-identical).
+const planSeedSalt = 0x706c616e
+
+// planFuzzOn reports whether this fuzzer explores fuzzed plans.
+func (f *Fuzzer) planFuzzOn() bool {
+	return f.Cfg.PlanFuzz != "" && f.Cfg.PlanFuzz != jit.PlanDefault
+}
+
+// planAt returns the compilation plan for iteration i: nil (the default
+// pipeline) when plan fuzzing is off, otherwise the rotation's i-th
+// entry. The baseline (i=0) always profiles under the default plan so
+// guidance starts from the production reference.
+func (f *Fuzzer) planAt(i int) *jit.Plan {
+	if len(f.plans) == 0 {
+		return nil
+	}
+	return f.plans[i%len(f.plans)]
+}
+
+// planIDFor labels finding provenance: empty when plan fuzzing is off
+// (the pre-plan finding shape), the canonical plan ID otherwise.
+func (f *Fuzzer) planIDFor(p *jit.Plan) string {
+	if !f.planFuzzOn() {
+		return ""
+	}
+	return jit.PlanID(p)
 }
 
 // NewFuzzer builds a fuzzer with the 13 mutators.
@@ -254,8 +308,9 @@ func (f *Fuzzer) selectByWeight(ms []Mutator, ws []float64) Mutator {
 }
 
 // execute runs the program on the fuzzing target with flags enabled,
-// through the configured execution backend.
-func (f *Fuzzer) execute(ctx context.Context, p *lang.Program) (*jvm.ExecResult, error) {
+// through the configured execution backend, under the given compilation
+// plan (nil = the fixed default pipeline).
+func (f *Fuzzer) execute(ctx context.Context, p *lang.Program, plan *jit.Plan) (*jvm.ExecResult, error) {
 	opt := jvm.Options{
 		Flags:         f.Cfg.Flags,
 		ForceCompile:  true,
@@ -266,6 +321,7 @@ func (f *Fuzzer) execute(ctx context.Context, p *lang.Program) (*jvm.ExecResult,
 		CompileHook:   f.Cfg.CompileHook,
 		StructuredOBV: f.Cfg.StructuredOBV,
 		CompileCache:  f.Cfg.CompileCache,
+		Plan:          plan,
 	}
 	if f.Cfg.DisableBugs {
 		opt.Bugs = []*buginject.Bug{}
@@ -295,6 +351,27 @@ func (f *Fuzzer) FuzzSeedContext(ctx context.Context, name string, seed *lang.Pr
 		f.weights[m.Name()] = 1
 	}
 
+	// Plan set for this seed: index 0 is the fixed default pipeline;
+	// fuzz modes add deterministic fuzzed plans drawn from a dedicated
+	// stream (f.rng is untouched, so off-mode mutation sequences stay
+	// byte-identical whether or not this build knows about plans).
+	f.plans = []*jit.Plan{nil}
+	if f.planFuzzOn() {
+		prng := rand.New(rand.NewSource(f.Cfg.Seed ^ planSeedSalt))
+		for len(f.plans) < 1+fuzzedPlansPerSeed {
+			plan := jit.GeneratePlan(prng.Int63(), f.Cfg.PlanFuzz)
+			if err := plan.Validate(); err != nil {
+				// Unreachable by construction; a registry bug must surface
+				// here, not as a misattributed execution failure.
+				return nil, fmt.Errorf("core: generated plan rejected: %w", err)
+			}
+			f.plans = append(f.plans, plan)
+		}
+		for _, plan := range f.plans {
+			res.PlanIDs = append(res.PlanIDs, jit.PlanID(plan))
+		}
+	}
+
 	parent := lang.CloneProgram(seed)
 	if err := lang.Check(parent); err != nil {
 		return nil, fmt.Errorf("core: seed rejected: %w", err)
@@ -309,8 +386,10 @@ func (f *Fuzzer) FuzzSeedContext(ctx context.Context, name string, seed *lang.Pr
 	res.MPID = mp.ID
 	f.compileOnly = mpLoc.Class.Name + "." + mpLoc.Method.Name
 
-	// Execute the seed for its baseline profile data (line 3).
-	parentExec, err := f.execute(ctx, lang.CloneProgram(parent))
+	// Execute the seed for its baseline profile data (line 3), always
+	// under the default plan (planAt(0)): guidance starts from the
+	// production reference schedule.
+	parentExec, err := f.execute(ctx, lang.CloneProgram(parent), f.planAt(0))
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +409,7 @@ func (f *Fuzzer) FuzzSeedContext(ctx context.Context, name string, seed *lang.Pr
 	if parentExec.Crashed() {
 		// The unmutated seed already crashes (possible on heavily bugged
 		// versions): report and stop.
-		f.recordCrash(res, parentExec, 0)
+		f.recordCrash(res, parentExec, 0, f.planIDFor(f.planAt(0)))
 		res.Final = parent
 		res.FinalOBV = parentOBV
 		return res, nil
@@ -372,7 +451,13 @@ func (f *Fuzzer) FuzzSeedContext(ctx context.Context, name string, seed *lang.Pr
 			continue
 		}
 
-		childExec, err := f.execute(ctx, lang.CloneProgram(child))
+		// Rotate the plan set: with plan fuzzing on, iteration i runs
+		// under plans[i mod |plans|], so guidance explores (program,
+		// plan) pairs — a mutant's Δ can come from the mutation, the
+		// schedule, or their interaction, and all three feed the weight
+		// update. Off mode always gets nil (the default pipeline).
+		plan := f.planAt(iter)
+		childExec, err := f.execute(ctx, lang.CloneProgram(child), plan)
 		if err != nil {
 			// A backend fault (the child process died under this mutant)
 			// is a first-class crash-oracle artifact, not a skipped
@@ -404,7 +489,7 @@ func (f *Fuzzer) FuzzSeedContext(ctx context.Context, name string, seed *lang.Pr
 		if childExec.Crashed() {
 			rec.CrashBugID = childExec.Result.Crash.BugID
 			res.Records = append(res.Records, rec)
-			f.recordCrash(res, childExec, iter)
+			f.recordCrash(res, childExec, iter, f.planIDFor(plan))
 			res.Final = child
 			res.FinalOBV = childExec.OBV
 			res.FinalDelta = rec.DeltaSeed
@@ -452,7 +537,7 @@ func (f *Fuzzer) FuzzSeedContext(ctx context.Context, name string, seed *lang.Pr
 		}
 		res.Executions += len(diff.Results)
 		if crash := diff.AnyCrash(); crash != nil {
-			f.recordCrash(res, crash, f.Cfg.MaxIterations)
+			f.recordCrash(res, crash, f.Cfg.MaxIterations, f.planIDFor(nil))
 		} else if diff.Inconsistent() {
 			div := diff.FirstDivergence()
 			for _, b := range diff.DivergentBugs() {
@@ -460,6 +545,39 @@ func (f *Fuzzer) FuzzSeedContext(ctx context.Context, name string, seed *lang.Pr
 					Bug: b, Oracle: "differential", Iteration: f.Cfg.MaxIterations,
 					Mutators:   append([]string(nil), res.MutatorSeq...),
 					Divergence: div,
+					PlanID:     f.planIDFor(nil),
+				})
+			}
+		}
+	}
+
+	// Plan-vs-plan differential (the ordering-sensitivity oracle): the
+	// final mutant runs on ONE spec — the fuzzing target — under every
+	// plan in the seed's set. Program and spec are held fixed, so any
+	// divergence is phase-ordering sensitivity: the bug class the fixed
+	// schedule provably cannot reach (see runTier's ordering comment).
+	if f.planFuzzOn() {
+		pdiff, err := exec.Or(f.Cfg.Executor).ExecutePlanDifferential(ctx, parent, f.Cfg.Target, f.plans, jvm.Options{
+			ForceCompile: true,
+			MaxSteps:     f.Cfg.MaxSteps,
+			MaxHeapUnits: f.Cfg.MaxHeapUnits,
+			CompileOnly:  f.compileOnly,
+			CompileCache: f.Cfg.CompileCache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Executions += len(pdiff.Results)
+		if crash := pdiff.AnyCrash(); crash != nil {
+			f.recordCrash(res, crash, f.Cfg.MaxIterations, crash.PlanID)
+		} else if pdiff.Inconsistent() {
+			div := pdiff.FirstDivergence()
+			for _, b := range pdiff.DivergentBugs() {
+				res.Findings = append(res.Findings, BugFinding{
+					Bug: b, Oracle: "plan-differential", Iteration: f.Cfg.MaxIterations,
+					Mutators:   append([]string(nil), res.MutatorSeq...),
+					Divergence: div,
+					PlanID:     div.DivergentPlan,
 				})
 			}
 		}
@@ -467,12 +585,13 @@ func (f *Fuzzer) FuzzSeedContext(ctx context.Context, name string, seed *lang.Pr
 	return res, nil
 }
 
-func (f *Fuzzer) recordCrash(res *FuzzResult, exec *jvm.ExecResult, iter int) {
+func (f *Fuzzer) recordCrash(res *FuzzResult, exec *jvm.ExecResult, iter int, planID string) {
 	crash := exec.Result.Crash
 	finding := BugFinding{
 		Oracle:    "crash",
 		Iteration: iter,
 		Mutators:  append([]string(nil), res.MutatorSeq...),
+		PlanID:    planID,
 	}
 	if b := buginject.ByID(crash.BugID); b != nil {
 		finding.Bug = b

@@ -21,6 +21,7 @@ package exec
 import (
 	"context"
 
+	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 )
@@ -38,6 +39,12 @@ type Executor interface {
 	// ExecuteDifferential runs p on every spec and groups the outputs —
 	// the paper's miscompilation oracle.
 	ExecuteDifferential(ctx context.Context, p *lang.Program, specs []jvm.Spec, opt jvm.Options) (*jvm.Differential, error)
+	// ExecutePlanDifferential runs p on ONE spec under every plan (nil =
+	// the default plan) and groups the outputs — the plan-vs-plan oracle:
+	// any divergence is ordering/phase sensitivity in that spec, since
+	// program and spec are held fixed. opt.Plan is ignored; the plans
+	// slice governs.
+	ExecutePlanDifferential(ctx context.Context, p *lang.Program, spec jvm.Spec, plans []*jit.Plan, opt jvm.Options) (*jvm.Differential, error)
 }
 
 // InProcess executes on the simulated JVM inside this address space —
@@ -55,6 +62,11 @@ func (InProcess) Execute(_ context.Context, p *lang.Program, spec jvm.Spec, opt 
 // ExecuteDifferential implements Executor via jvm.RunDifferential.
 func (InProcess) ExecuteDifferential(_ context.Context, p *lang.Program, specs []jvm.Spec, opt jvm.Options) (*jvm.Differential, error) {
 	return jvm.RunDifferential(p, specs, opt)
+}
+
+// ExecutePlanDifferential implements Executor via jvm.RunPlanDifferential.
+func (InProcess) ExecutePlanDifferential(_ context.Context, p *lang.Program, spec jvm.Spec, plans []*jit.Plan, opt jvm.Options) (*jvm.Differential, error) {
+	return jvm.RunPlanDifferential(p, spec, plans, opt)
 }
 
 // Backends lists the recognized -backend names ("" is the in-process

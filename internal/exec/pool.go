@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 )
@@ -219,6 +220,39 @@ func (p *Pool) ExecuteDifferential(ctx context.Context, prog *lang.Program, spec
 	return d, nil
 }
 
+// ExecutePlanDifferential implements Executor: one spec, one request per
+// plan, all riding a single batch round trip on one warm child. Grouping
+// matches jvm.RunPlanDifferential exactly.
+func (p *Pool) ExecutePlanDifferential(ctx context.Context, prog *lang.Program, spec jvm.Spec, plans []*jit.Plan, opt jvm.Options) (*jvm.Differential, error) {
+	reqs := make([]*Request, 0, len(plans))
+	for _, plan := range plans {
+		o := opt
+		o.Plan = plan
+		req, err := NewRequest(prog, spec, o)
+		if err != nil {
+			return nil, err
+		}
+		req.Inject = p.cfg.InjectFault
+		reqs = append(reqs, req)
+	}
+	resps, err := p.runBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	d := &jvm.Differential{Groups: map[string][]jvm.Spec{}}
+	for i, plan := range plans {
+		r, err := handleResponse(resps[i], spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		r.PlanID = jit.PlanID(plan)
+		d.Results = append(d.Results, r)
+		key := r.Result.OutputString()
+		d.Groups[key] = append(d.Groups[key], spec)
+	}
+	return d, nil
+}
+
 // runBatch pushes one batch through a pooled child, retrying once on a
 // fresh child for marker-less deaths (SIGKILL shape, corrupt frames,
 // spawn races). Deterministic failures — deadline expiry, substrate
@@ -285,11 +319,20 @@ func (p *Pool) tryBatch(ctx context.Context, reqs []*Request) ([]*Response, bool
 		p.mu.Unlock()
 	}
 
+	if bf := planVersionFault(c.hello, reqs); bf != nil {
+		// The child is healthy, just too old for plans — restock it warm
+		// for plan-free traffic. Deterministic for this binary: never
+		// retried (tryBatch reports it non-retryable).
+		p.restock(c)
+		return nil, false, bf
+	}
+	v := negotiateVersion(c.hello, reqs)
+
 	deadline := time.Duration(0)
 	if p.cfg.Timeout > 0 {
 		deadline = p.cfg.Timeout * time.Duration(len(reqs))
 	}
-	resp, timedOut, err := c.roundTrip(ctx, deadline, &BatchRequest{Version: WireVersion, Requests: reqs})
+	resp, timedOut, err := c.roundTrip(ctx, deadline, &BatchRequest{Version: v, Requests: reqs})
 	if err != nil {
 		p.retire(c, true)
 		p.slots <- nil
@@ -331,19 +374,24 @@ func (p *Pool) tryBatch(ctx context.Context, reqs []*Request) ([]*Response, bool
 		p.retire(c, false)
 		p.slots <- nil
 	default:
-		// Restock under the lock so a concurrent Close either sees this
-		// child in the channel (and kills it during its drain) or we see
-		// closed here and retire it ourselves — no leaked warm child.
-		p.mu.Lock()
-		if p.closed {
-			p.mu.Unlock()
-			p.retire(c, true)
-		} else {
-			p.slots <- c
-			p.mu.Unlock()
-		}
+		p.restock(c)
 	}
 	return resp.Responses, false, nil
+}
+
+// restock returns a healthy child to the pool warm. It happens under the
+// lock so a concurrent Close either sees this child in the channel (and
+// kills it during its drain) or we see closed here and retire it
+// ourselves — no leaked warm child.
+func (p *Pool) restock(c *poolChild) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.retire(c, true)
+	} else {
+		p.slots <- c
+		p.mu.Unlock()
+	}
 }
 
 // retire removes a child from the live set and shuts it down: gracefully

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 )
@@ -239,17 +240,76 @@ func (s *Subprocess) ExecuteDifferential(ctx context.Context, p *lang.Program, s
 		req.Inject = s.InjectFault
 		reqs = append(reqs, req)
 	}
+	resps, err := s.serveBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	d := &jvm.Differential{Groups: map[string][]jvm.Spec{}}
+	for i, spec := range specs {
+		r, err := handleResponse(resps[i], spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		d.Results = append(d.Results, r)
+		key := r.Result.OutputString()
+		d.Groups[key] = append(d.Groups[key], spec)
+	}
+	return d, nil
+}
 
+// ExecutePlanDifferential implements Executor: one spec, one request per
+// plan, all riding a single serve-mode batch. Grouping matches
+// jvm.RunPlanDifferential exactly.
+func (s *Subprocess) ExecutePlanDifferential(ctx context.Context, p *lang.Program, spec jvm.Spec, plans []*jit.Plan, opt jvm.Options) (*jvm.Differential, error) {
+	reqs := make([]*Request, 0, len(plans))
+	for _, plan := range plans {
+		o := opt
+		o.Plan = plan
+		req, err := NewRequest(p, spec, o)
+		if err != nil {
+			return nil, err
+		}
+		req.Inject = s.InjectFault
+		reqs = append(reqs, req)
+	}
+	resps, err := s.serveBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	d := &jvm.Differential{Groups: map[string][]jvm.Spec{}}
+	for i, plan := range plans {
+		r, err := handleResponse(resps[i], spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		r.PlanID = jit.PlanID(plan)
+		d.Results = append(d.Results, r)
+		key := r.Result.OutputString()
+		d.Groups[key] = append(d.Groups[key], spec)
+	}
+	return d, nil
+}
+
+// serveBatch runs one batch of requests through a dedicated serve-mode
+// child: spawn, hello, plan/version negotiation, one round trip, clean
+// shutdown.
+func (s *Subprocess) serveBatch(ctx context.Context, reqs []*Request) ([]*Response, error) {
 	s.spawns.Add(1)
 	c, err := spawnChild(s.Path)
 	if err != nil {
 		return nil, err
 	}
+	if bf := planVersionFault(c.hello, reqs); bf != nil {
+		c.shutdown(false)
+		s.faults.Add(1)
+		return nil, bf
+	}
+	v := negotiateVersion(c.hello, reqs)
 	deadline := time.Duration(0)
 	if s.Timeout > 0 {
-		deadline = s.Timeout * time.Duration(len(specs))
+		deadline = s.Timeout * time.Duration(len(reqs))
 	}
-	resp, timedOut, rtErr := c.roundTrip(ctx, deadline, &BatchRequest{Version: WireVersion, Requests: reqs})
+	resp, timedOut, rtErr := c.roundTrip(ctx, deadline, &BatchRequest{Version: v, Requests: reqs})
 	if rtErr != nil {
 		c.shutdown(true)
 		err := classifyServeFailure(ctx, timedOut, deadline, c, rtErr)
@@ -266,23 +326,53 @@ func (s *Subprocess) ExecuteDifferential(ctx context.Context, p *lang.Program, s
 			Message: fmt.Sprintf("minijvm child answered %d of %d batched executions", len(resp.Responses), len(reqs)),
 		}
 	}
-	s.execs.Add(int64(len(specs)))
-	s.spawnsAvoided.Add(int64(len(specs)) - 1)
+	s.execs.Add(int64(len(reqs)))
+	s.spawnsAvoided.Add(int64(len(reqs)) - 1)
 	for _, r := range resp.Responses {
 		s.childMicros.Add(r.Timings.TotalMicros)
 	}
+	return resp.Responses, nil
+}
 
-	d := &jvm.Differential{Groups: map[string][]jvm.Spec{}}
-	for i, spec := range specs {
-		r, err := handleResponse(resp.Responses[i], spec, opt)
-		if err != nil {
-			return nil, err
-		}
-		d.Results = append(d.Results, r)
-		key := r.Result.OutputString()
-		d.Groups[key] = append(d.Groups[key], spec)
+// planVersionFault refuses to send plan-bearing requests to a serve
+// child whose negotiated wire version predates compilation plans.
+// Letting such a batch through would end one of two bad ways: a
+// version-enforcing old child rejects it opaquely, and a lenient one
+// silently compiles under its fixed default plan while the parent
+// attributes the output to the fuzzed plan — corrupting the plan
+// differential. The fault is deterministic for the child binary, so
+// callers must not retry it.
+func planVersionFault(hello ServerHello, reqs []*Request) *BackendFault {
+	if hello.Version >= PlanWireVersion {
+		return nil
 	}
-	return d, nil
+	for _, r := range reqs {
+		if r.Options.Plan != nil {
+			return &BackendFault{
+				Class: harness.FaultHarness,
+				Message: fmt.Sprintf("minijvm serve child (pid %d) speaks wire %d..%d, which cannot express compilation plans (need v%d+; rebuild the binary)",
+					hello.PID, hello.MinVersion, hello.Version, PlanWireVersion),
+			}
+		}
+	}
+	return nil
+}
+
+// negotiateVersion caps the batch (and each request's) version at the
+// child's best dialect, so plan-free traffic still flows to children one
+// protocol behind. Plan-bearing requests are never downgraded below
+// PlanWireVersion — planVersionFault must run first and reject those.
+func negotiateVersion(hello ServerHello, reqs []*Request) int {
+	v := WireVersion
+	if hello.Version < v {
+		v = hello.Version
+	}
+	for _, r := range reqs {
+		if r.Version > v {
+			r.Version = v
+		}
+	}
+	return v
 }
 
 // classify maps a dead child to the fault taxonomy. Precedence: parent

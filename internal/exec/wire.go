@@ -32,13 +32,23 @@ const injectedDeathCode = 7
 //	   ServerHello handshake, NDJSON-framed BatchRequest/BatchResponse
 //	   streams (N executions per round trip), child heap telemetry, and
 //	   the "die"/"corrupt" fault-injection modes
+//	3  adds compilation plans (RequestOptions.Plan): a request may carry
+//	   a fuzzed pass schedule for the child's JIT. Plan-bearing requests
+//	   require v3 on BOTH sides — a v3 child rejects a plan riding a
+//	   request pinned below PlanWireVersion, and a v3 parent refuses to
+//	   send plans to a serve child whose hello negotiates below it —
+//	   so an old binary fails loudly instead of silently compiling
+//	   under its fixed default plan.
 //
 // Serve mode negotiates: the child's hello advertises [MinWireVersion,
 // WireVersion] and the parent proceeds only when its own range overlaps,
 // so a stale binary on either side fails at connect time, not mid-batch.
 const (
-	WireVersion    = 2
+	WireVersion    = 3
 	MinWireVersion = 1
+	// PlanWireVersion is the minimum version able to express
+	// RequestOptions.Plan.
+	PlanWireVersion = 3
 )
 
 // ServerHello is the first line a `minijvm -exec-serve` child writes on
@@ -135,6 +145,10 @@ type RequestOptions struct {
 	// override disarms every bug (the DisableBugs ablation).
 	BugsOverride bool     `json:"bugs_override,omitempty"`
 	BugIDs       []string `json:"bug_ids,omitempty"`
+	// Plan mirrors jvm.Options.Plan (a fuzzed compilation plan; nil =
+	// the fixed default pipeline). Wire v3+: both sides reject a plan
+	// riding an older version (see PlanWireVersion).
+	Plan *jit.Plan `json:"plan,omitempty"`
 }
 
 // Response is the child's answer on stdout.
@@ -203,6 +217,7 @@ func NewRequest(p *lang.Program, spec jvm.Spec, opt jvm.Options) (*Request, erro
 			PureInterpreter: opt.PureInterpreter,
 			StructuredOBV:   opt.StructuredOBV,
 			Coverage:        opt.Coverage != nil,
+			Plan:            opt.Plan,
 		},
 	}
 	if opt.Bugs != nil {
@@ -234,6 +249,12 @@ func (r *Request) run(cache *jit.Cache) *Response {
 	}
 	if r.Version < MinWireVersion || r.Version > WireVersion {
 		return fail(fmt.Errorf("exec: wire version %d, child speaks %d..%d", r.Version, MinWireVersion, WireVersion))
+	}
+	if r.Options.Plan != nil && r.Version < PlanWireVersion {
+		// A plan riding a pre-plan request version means the parent and
+		// child disagree about the protocol; running it under the fixed
+		// default plan would silently misattribute every result.
+		return fail(fmt.Errorf("exec: request carries a compilation plan but pins wire version %d (plans need %d+)", r.Version, PlanWireVersion))
 	}
 	// Answer in the requester's dialect: a v1 parent driving a newer
 	// child must see the version it pins.
@@ -268,6 +289,7 @@ func (r *Request) run(cache *jit.Cache) *Response {
 		PureInterpreter: r.Options.PureInterpreter,
 		StructuredOBV:   r.Options.StructuredOBV,
 		CompileCache:    cache,
+		Plan:            r.Options.Plan,
 	}
 	if r.Options.BugsOverride {
 		opt.Bugs = []*buginject.Bug{}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 	"repro/internal/profile"
@@ -74,6 +75,17 @@ type BenchReport struct {
 	// allocations per full run (the number the frame/arg freelists drive
 	// down; internal/vm's TestInterpreterAllocBudget pins its ceiling).
 	InterpAllocsPerOp float64 `json:"interp_allocs_per_op"`
+
+	// Plan-fuzz leg (additive; schema_version stays 2): plan-generation
+	// throughput, and the per-execution cost of the plan-differential
+	// oracle (one spec, k fuzzed plans) against the spec/tier-differential
+	// oracle (k specs, fixed plan) over the same program and execution
+	// count. PlanDiffOverhead > 1 means one plan-differential execution
+	// costs more than one spec-differential execution.
+	PlanGenPerSec       float64 `json:"planfuzz_plans_per_sec,omitempty"`
+	SpecDiffExecsPerSec float64 `json:"spec_differential_execs_per_sec,omitempty"`
+	PlanDiffExecsPerSec float64 `json:"plan_differential_execs_per_sec,omitempty"`
+	PlanDiffOverhead    float64 `json:"plan_differential_overhead,omitempty"`
 }
 
 // ScalingRow is one cell of the scaling matrix: a campaign at the given
@@ -263,6 +275,64 @@ func benchExecOverhead(r *BenchReport, opts BenchOptions) error {
 	return nil
 }
 
+// benchPlanFuzz times compilation-plan generation and compares the two
+// differential oracles per execution: spec-differential (every spec,
+// default plan) versus plan-differential (one spec, as many fuzzed
+// plans as there are specs), on the same program. Equal execution
+// counts per round trip make the ratio a pure schedule-overhead number.
+func benchPlanFuzz(r *BenchReport) error {
+	prog, err := lang.Parse(overheadSrc)
+	if err != nil {
+		return err
+	}
+	if err := lang.Check(prog); err != nil {
+		return err
+	}
+
+	const gens = 20000
+	start := time.Now()
+	for i := 0; i < gens; i++ {
+		if err := jit.GeneratePlan(int64(i), jit.PlanFull).Validate(); err != nil {
+			return err
+		}
+	}
+	r.PlanGenPerSec = gens / time.Since(start).Seconds()
+
+	specs := jvm.AllSpecs()
+	plans := []*jit.Plan{nil}
+	for len(plans) < len(specs) {
+		plans = append(plans, jit.GeneratePlan(int64(len(plans))*7919, jit.PlanFull))
+	}
+	opt := jvm.Options{ForceCompile: true, MaxSteps: 3_000_000}
+	const rounds = 25
+
+	start = time.Now()
+	specExecs := 0
+	for i := 0; i < rounds; i++ {
+		d, err := jvm.RunDifferential(lang.CloneProgram(prog), specs, opt)
+		if err != nil {
+			return err
+		}
+		specExecs += len(d.Results)
+	}
+	r.SpecDiffExecsPerSec = float64(specExecs) / time.Since(start).Seconds()
+
+	start = time.Now()
+	planExecs := 0
+	for i := 0; i < rounds; i++ {
+		d, err := jvm.RunPlanDifferential(lang.CloneProgram(prog), jvm.Reference(), plans, opt)
+		if err != nil {
+			return err
+		}
+		planExecs += len(d.Results)
+	}
+	r.PlanDiffExecsPerSec = float64(planExecs) / time.Since(start).Seconds()
+	if r.PlanDiffExecsPerSec > 0 {
+		r.PlanDiffOverhead = r.SpecDiffExecsPerSec / r.PlanDiffExecsPerSec
+	}
+	return nil
+}
+
 // allocWorkloadSrc mirrors internal/vm's call-heavy allocation workload:
 // nested calls, argument passing, and enough heap churn to trigger GC
 // root scans.
@@ -411,6 +481,7 @@ func BenchCampaign(budget Budget, workers int, opts BenchOptions) *BenchReport {
 	// stay zero (omitted from the JSON) and the matrix covers inprocess
 	// only.
 	_ = benchExecOverhead(r, opts)
+	_ = benchPlanFuzz(r)
 	if allocs, err := benchInterpAllocs(); err == nil {
 		r.InterpAllocsPerOp = allocs
 	}
@@ -450,6 +521,10 @@ func ScalingTable(w io.Writer, r *BenchReport) {
 			r.SubprocessExecsPerSec, r.SubprocessSpawns)
 		fmt.Fprintf(w, "  pool        %8.1f execs/sec  (%.1fx; %d spawns, %d avoided, mean batch %.1f over %d round trips)\n",
 			r.PoolExecsPerSec, r.PoolVsSubprocessSpeedup, r.PoolSpawns, r.PoolSpawnsAvoided, r.PoolMeanBatch, r.PoolBatches)
+	}
+	if r.PlanGenPerSec > 0 {
+		fmt.Fprintf(w, "Plan fuzzing: %.0f plans/sec generated; differential oracle %8.1f execs/sec over specs vs %8.1f over plans (%.2fx overhead)\n",
+			r.PlanGenPerSec, r.SpecDiffExecsPerSec, r.PlanDiffExecsPerSec, r.PlanDiffOverhead)
 	}
 	fmt.Fprintf(w, "Interpreter: %.0f allocs per call-heavy workload run\n", r.InterpAllocsPerOp)
 }

@@ -39,9 +39,15 @@ type Compiler struct {
 	// across differential targets sharing the cache). It is consulted
 	// only when Hook is nil or a CacheableHook; CacheSalt must identify
 	// the program being run, since cache keys only add method, tier,
-	// options, hook fingerprint, and deopt count on top of it.
+	// options, hook fingerprint, plan fingerprint, and deopt count on
+	// top of it.
 	Cache     *Cache
 	CacheSalt string
+
+	// Plan is the pass schedule driving compilation; nil selects the
+	// fixed production pipeline (DefaultPlan). Callers must Validate
+	// non-default plans before attaching them — Compile trusts the plan.
+	Plan *Plan
 }
 
 // New returns a Compiler with default options.
@@ -71,14 +77,21 @@ func (c *Compiler) Compile(fn *bytecode.Function, tier vm.Tier, env vm.Env) (vm.
 			useCache = false
 		}
 	}
+	plan := c.Plan
+	if plan == nil {
+		plan = DefaultPlan()
+	}
 	var key string
 	if useCache {
 		hookFP := ""
 		if ch != nil {
 			hookFP = ch.CacheFingerprint()
 		}
-		key = fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%+v\x00%s",
-			c.CacheSalt, fn.Key(), tier, env.DeoptCount(fn.Key()), c.Opt, hookFP)
+		// The plan fingerprint isolates plans from each other: without
+		// it, plan A's compiled method would replay under plan B
+		// (pinned by TestCompileCachePlanIsolation).
+		key = fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%+v\x00%s\x00%s",
+			c.CacheSalt, fn.Key(), tier, env.DeoptCount(fn.Key()), c.Opt, hookFP, plan.Fingerprint())
 		if e := c.Cache.get(key); e != nil {
 			return c.replay(e, env, ch), nil
 		}
@@ -104,12 +117,7 @@ func (c *Compiler) Compile(fn *bytecode.Function, tier vm.Tier, env vm.Env) (vm.
 	ctx.Emitf(profile.FlagPrintCompilation, "%4d %s  %s::%s (%d nodes)",
 		env.DeoptCount(fn.Key()), tier, fn.Class, fn.Name, f.Body.CountNodes())
 
-	var passErr error
-	if tier == vm.TierC1 {
-		passErr = c.runC1(ctx)
-	} else {
-		passErr = c.runC2(ctx)
-	}
+	passErr := c.runTier(ctx, plan.Tier(tier))
 	if passErr != nil {
 		// Failed compilations (compiler crashes) are never cached: the
 		// hook's crash path re-fires identically on every recompile, so
@@ -179,42 +187,14 @@ func (c *Compiler) replay(e *cacheEntry, env vm.Env, ch CacheableHook) vm.Compil
 	}
 }
 
-// runC1 is the client-compiler pipeline: fast, conservative.
-func (c *Compiler) runC1(ctx *Context) error {
-	ctx.Cover("c1.build")
-	ctx.Cover("c1.profiling")
-	defer func() {
-		ctx.Cover("c1.codegen")
-		ctx.Cover("c1.runtime_stubs")
-	}()
-	hasExc := false
-	ctx.Fn.Body.Walk(func(n *Node) bool {
-		if n.Kind == NTry || n.Kind == NThrow {
-			hasExc = true
-		}
-		return true
-	})
-	if hasExc {
-		ctx.Cover("c1.exceptions")
-	}
-	budget := c.Opt.InlineBudgetC1
-	if budget == 0 {
-		budget = 16
-	}
-	if err := passInline(ctx, budget); err != nil {
-		return err
-	}
-	if err := passAlgebra(ctx, "c1"); err != nil {
-		return err
-	}
-	if err := passRSE(ctx, "c1"); err != nil {
-		return err
-	}
-	return passDCE(ctx, "c1")
-}
-
-// runC2 is the server-compiler pipeline. The ordering is deliberate and
-// load-bearing for interactions:
+// runTier drives one tier's compilation from its plan. The structural
+// stages — IR build/parse coverage, the exception-table scan, the loop
+// tree, codegen — are not passes and not plannable: they bracket every
+// compilation of the tier, exactly as the fixed pipelines bracketed
+// them. Only the optimization schedule between them is data.
+//
+// The default C2 schedule's ordering is deliberate and load-bearing for
+// interactions:
 //
 //	parse -> dereflect -> inline -> EA -> lock elision/nesting ->
 //	scalar replacement -> autobox -> GVN+algebra -> loop opts
@@ -223,59 +203,55 @@ func (c *Compiler) runC1(ctx *Context) error {
 //
 // Unrolling runs before coarsening so that unrolled synchronized bodies
 // become adjacent regions coarsening will merge — the JDK-8312744
-// interaction chain.
-func (c *Compiler) runC2(ctx *Context) error {
-	ctx.Cover("c2.parse")
-	ctx.Cover("c2.idealize")
-	defer func() {
-		ctx.Cover("c2.codegen")
-		ctx.Cover("c2.regalloc")
-		ctx.Cover("c2.macro.expand")
-	}()
-	budget := c.Opt.InlineBudgetC2
-	if budget == 0 {
-		budget = 64
+// interaction chain. Fuzzed plans deliberately break orderings like
+// this (while preserving hard preconditions) to reach the
+// ordering-sensitive bug class the fixed schedule provably cannot.
+func (c *Compiler) runTier(ctx *Context, tp *TierPlan) error {
+	if ctx.Tier == vm.TierC1 {
+		ctx.Cover("c1.build")
+		ctx.Cover("c1.profiling")
+		defer func() {
+			ctx.Cover("c1.codegen")
+			ctx.Cover("c1.runtime_stubs")
+		}()
+		hasExc := false
+		ctx.Fn.Body.Walk(func(n *Node) bool {
+			if n.Kind == NTry || n.Kind == NThrow {
+				hasExc = true
+			}
+			return true
+		})
+		if hasExc {
+			ctx.Cover("c1.exceptions")
+		}
+	} else {
+		ctx.Cover("c2.parse")
+		ctx.Cover("c2.idealize")
+		defer func() {
+			ctx.Cover("c2.codegen")
+			ctx.Cover("c2.regalloc")
+			ctx.Cover("c2.macro.expand")
+		}()
+		coverLoopTree(ctx)
 	}
-	coverLoopTree(ctx)
 
-	front := []func() error{
-		func() error { return passDereflect(ctx) },
-		func() error { return passInline(ctx, budget) },
-		func() error { return passEscapeAnalysis(ctx) },
-		func() error { return passLockElide(ctx) },
-		func() error { return passScalarReplace(ctx) },
-		func() error { return passAutobox(ctx) },
-	}
-	for _, step := range front {
-		if err := step(); err != nil {
+	for _, name := range tp.Front {
+		if err := passTable[name].run(c, ctx); err != nil {
 			return err
 		}
 	}
-
-	// The optimization phase iterates to a fixpoint (bounded), like
-	// HotSpot's iterative GVN / repeated loop-opts rounds: each round's
+	// The loop iterates to a fixpoint (bounded), like HotSpot's
+	// iterative GVN / repeated loop-opts rounds: each round's
 	// transformations expose the next round's opportunities — an
 	// unswitched twin unrolls, the unrolled synchronized copies coarsen,
 	// the coarsened region exposes nested locks, DCE cleans up, and the
 	// simplified tree may unroll further. Deeply nested and adjacent
 	// structures (the fixed-mutation-point signature) feed this cascade;
 	// scattered independent insertions exhaust it in one round.
-	const maxRounds = 4
-	loopSteps := []func() error{
-		func() error { return passNestedLocks(ctx) },
-		func() error { return passGVN(ctx) },
-		func() error { return passAlgebra(ctx, "c2") },
-		func() error { return passLoopPeel(ctx) },
-		func() error { return passLoopUnswitch(ctx) },
-		func() error { return passLoopUnroll(ctx) },
-		func() error { return passLockCoarsen(ctx) },
-		func() error { return passRSE(ctx, "c2") },
-		func() error { return passDCE(ctx, "c2") },
-	}
-	for round := 0; round < maxRounds; round++ {
+	for round := 0; round < tp.Rounds; round++ {
 		before := len(ctx.Events)
-		for _, step := range loopSteps {
-			if err := step(); err != nil {
+		for _, name := range tp.Loop {
+			if err := passTable[name].run(c, ctx); err != nil {
 				return err
 			}
 		}
@@ -283,8 +259,10 @@ func (c *Compiler) runC2(ctx *Context) error {
 			break
 		}
 	}
-	if c.Opt.Speculate {
-		return passTraps(ctx)
+	for _, name := range tp.Tail {
+		if err := passTable[name].run(c, ctx); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,300 @@
+package jit
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+// TestDefaultPlanIsFixedPipeline pins the default plan to the exact
+// pass schedule the hard-coded C1/C2 pipelines ran before plans became
+// data. Changing this table silently changes every default-mode
+// campaign, so the structure and fingerprint are both pinned.
+func TestDefaultPlanIsFixedPipeline(t *testing.T) {
+	p := DefaultPlan()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default plan invalid: %v", err)
+	}
+	want := &Plan{
+		C1: TierPlan{Front: []string{"inline", "algebra", "rse", "dce"}},
+		C2: TierPlan{
+			Front: []string{"dereflect", "inline", "escape_analysis", "lock_elide",
+				"scalar_replace", "autobox"},
+			Loop: []string{"nested_locks", "gvn", "algebra", "loop_peel",
+				"loop_unswitch", "loop_unroll", "lock_coarsen", "rse", "dce"},
+			Rounds: 4,
+			Tail:   []string{"traps"},
+		},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("default plan drifted:\n got: %+v\nwant: %+v", p, want)
+	}
+	const wantFP = "plan.v1" +
+		"|c1:f=inline,algebra,rse,dce;l=;r=0;t=" +
+		"|c2:f=dereflect,inline,escape_analysis,lock_elide,scalar_replace,autobox" +
+		";l=nested_locks,gvn,algebra,loop_peel,loop_unswitch,loop_unroll,lock_coarsen,rse,dce;r=4;t=traps"
+	if fp := p.Fingerprint(); fp != wantFP {
+		t.Errorf("fingerprint drifted:\n got: %s\nwant: %s", fp, wantFP)
+	}
+	// PlanDefault mode ignores the seed and returns the shared default.
+	if GeneratePlan(12345, PlanDefault) != DefaultPlan() {
+		t.Error("GeneratePlan(PlanDefault) is not the shared default plan")
+	}
+	if PlanID(nil) != "default" {
+		t.Errorf("PlanID(nil) = %q, want \"default\"", PlanID(nil))
+	}
+}
+
+func TestParsePlanMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want PlanMode
+	}{
+		{"", PlanDefault}, {"off", PlanDefault},
+		{"minimal", PlanMinimal}, {"full", PlanFull},
+	} {
+		got, err := ParsePlanMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParsePlanMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParsePlanMode("aggressive"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestPlanValidateRejects(t *testing.T) {
+	base := func() *Plan { return DefaultPlan().Clone() }
+	for _, tc := range []struct {
+		name string
+		mut  func(*Plan)
+		want string
+	}{
+		{"unknown pass", func(p *Plan) { p.C2.Front = append(p.C2.Front, "vectorize") }, "unknown pass"},
+		{"wrong tier", func(p *Plan) { p.C1.Front = append(p.C1.Front, "gvn") }, "not allowed"},
+		{"duplicate", func(p *Plan) { p.C2.Loop = append(p.C2.Loop, "gvn") }, "twice"},
+		{"tail-only in front", func(p *Plan) { p.C2.Front = append(p.C2.Front, "traps"); p.C2.Tail = nil }, "tail"},
+		{"requires violated", func(p *Plan) {
+			// lock_elide before escape_analysis.
+			p.C2.Front = []string{"dereflect", "inline", "lock_elide", "escape_analysis",
+				"scalar_replace", "autobox"}
+		}, "requires"},
+		{"rounds without loop", func(p *Plan) { p.C1.Rounds = 2 }, "empty loop"},
+		{"loop without rounds", func(p *Plan) { p.C2.Rounds = 0 }, "rounds=0"},
+	} {
+		p := base()
+		tc.mut(p)
+		err := p.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestPlanFingerprintOrderSensitive: the fingerprint (and so the cache
+// key and ShortID) must distinguish plans that differ only in order.
+func TestPlanFingerprintOrderSensitive(t *testing.T) {
+	a := DefaultPlan().Clone()
+	b := DefaultPlan().Clone()
+	b.C2.Front = []string{"dereflect", "escape_analysis", "inline", "lock_elide",
+		"scalar_replace", "autobox"}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("reordered plan should be valid: %v", err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("fingerprints collide across different orders")
+	}
+	if a.ShortID() == b.ShortID() {
+		t.Error("short IDs collide across different orders")
+	}
+	if a.ShortID() != DefaultPlan().ShortID() {
+		t.Error("ShortID not stable across clones")
+	}
+}
+
+// TestGeneratePlanDeterministic: the same (seed, mode) must yield the
+// same plan on every goroutine — plan generation is part of the
+// campaign's reproducible random stream, so worker count and scheduling
+// must not leak into it.
+func TestGeneratePlanDeterministic(t *testing.T) {
+	for _, mode := range []PlanMode{PlanMinimal, PlanFull} {
+		for seed := int64(0); seed < 20; seed++ {
+			want := GeneratePlan(seed, mode).Fingerprint()
+			var wg sync.WaitGroup
+			got := make([]string, 8)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					got[g] = GeneratePlan(seed, mode).Fingerprint()
+				}(g)
+			}
+			wg.Wait()
+			for g, fp := range got {
+				if fp != want {
+					t.Fatalf("mode %s seed %d: goroutine %d produced %s, want %s", mode, seed, g, fp, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratedPlansPreservePreconditions sweeps many seeds in both
+// modes and checks — independently of Validate — that no generated plan
+// schedules a pass before its structural requirements, and that every
+// mandatory pass is present.
+func TestGeneratedPlansPreservePreconditions(t *testing.T) {
+	for _, mode := range []PlanMode{PlanMinimal, PlanFull} {
+		for seed := int64(0); seed < 500; seed++ {
+			p := GeneratePlan(seed, mode)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("mode %s seed %d: generated plan invalid: %v", mode, seed, err)
+			}
+			for _, tier := range []struct {
+				t  vm.Tier
+				tp *TierPlan
+			}{{vm.TierC1, &p.C1}, {vm.TierC2, &p.C2}} {
+				flat := append(append(append([]string(nil), tier.tp.Front...), tier.tp.Loop...), tier.tp.Tail...)
+				pos := map[string]int{}
+				for i, name := range flat {
+					pos[name] = i
+				}
+				for i, name := range flat {
+					for _, req := range passTable[name].requires {
+						rp := passTable[req]
+						if rp == nil || !rp.allowedIn(tier.t) {
+							continue
+						}
+						at, ok := pos[req]
+						if !ok || at >= i {
+							t.Fatalf("mode %s seed %d: %q at %d precedes its requirement %q (%d, present=%v)",
+								mode, seed, name, i, req, at, ok)
+						}
+					}
+				}
+				for _, name := range passOrder {
+					pi := passTable[name]
+					mandatory := pi.mandatoryC1
+					if tier.t == vm.TierC2 {
+						mandatory = pi.mandatoryC2
+					}
+					if mandatory && pi.allowedIn(tier.t) {
+						if _, ok := pos[name]; !ok {
+							t.Fatalf("mode %s seed %d: mandatory pass %q missing", mode, seed, name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratePlanMinimalIsMandatoryClosure: minimal plans carry exactly
+// the mandatory passes plus their requirement closure, nothing else.
+func TestGeneratePlanMinimalIsMandatoryClosure(t *testing.T) {
+	wantC1 := map[string]bool{"inline": true, "dce": true}
+	// C2: gvn is mandatory too, and inline pulls in dereflect.
+	wantC2 := map[string]bool{"inline": true, "dce": true, "gvn": true, "dereflect": true}
+	for seed := int64(0); seed < 50; seed++ {
+		p := GeneratePlan(seed, PlanMinimal)
+		got := map[string]bool{}
+		for _, n := range p.C1.flat() {
+			got[n] = true
+		}
+		if !reflect.DeepEqual(got, wantC1) {
+			t.Fatalf("seed %d: minimal C1 set = %v, want %v", seed, got, wantC1)
+		}
+		got = map[string]bool{}
+		for _, n := range p.C2.flat() {
+			got[n] = true
+		}
+		if !reflect.DeepEqual(got, wantC2) {
+			t.Fatalf("seed %d: minimal C2 set = %v, want %v", seed, got, wantC2)
+		}
+	}
+}
+
+// TestGeneratePlanFullExploresOrderings: over a modest seed range, full
+// mode must produce plans where escape_analysis precedes inline — the
+// ordering class the fixed pipeline can never emit, and the reason plan
+// fuzzing reaches pair-trigger bugs like Issue-19301.
+func TestGeneratePlanFullExploresOrderings(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 200 && !found; seed++ {
+		p := GeneratePlan(seed, PlanFull)
+		flat := p.C2.flat()
+		ea, in := -1, -1
+		for i, n := range flat {
+			switch n {
+			case "escape_analysis":
+				ea = i
+			case "inline":
+				in = i
+			}
+		}
+		found = ea >= 0 && in >= 0 && ea < in
+	}
+	if !found {
+		t.Error("no full-mode plan in 200 seeds ordered escape_analysis before inline")
+	}
+}
+
+// TestCompileCachePlanIsolation pins the cache-key invariant: two plans
+// never share cache entries (plan A's compiled method must not replay
+// under plan B), while re-running the same plan hits and replays
+// byte-identically.
+func TestCompileCachePlanIsolation(t *testing.T) {
+	src := hotProgram(`
+    int r = 0;
+    for (int k = 0; k < 6; k += 1) { r = r + i * 2 + k; }
+  `)
+	minimal := &Plan{
+		C1: TierPlan{Front: []string{"inline", "dce"}},
+		C2: TierPlan{Front: []string{"dereflect", "inline", "gvn", "dce"}},
+	}
+	if err := minimal.Validate(); err != nil {
+		t.Fatalf("minimal plan invalid: %v", err)
+	}
+
+	cache := NewCache(0)
+	run := func(p *Plan) (out, prof string) {
+		img := compileImg(t, src)
+		rec := profile.NewRecorder(profile.DefaultFlags())
+		comp := New(rec, coverage.NewTracker(), nil)
+		comp.Cache = cache
+		comp.CacheSalt = "plan-isolation"
+		comp.Plan = p
+		res := vm.NewMachine(img, vm.Config{C1Threshold: 4, C2Threshold: 8, JIT: comp}).Run()
+		if res.Crashed() {
+			t.Fatalf("crash under plan %s: %v", PlanID(p), res.Crash)
+		}
+		return res.OutputString(), rec.Text()
+	}
+
+	outA, profA := run(nil)
+	if cache.Stats().Hits != 0 {
+		t.Fatalf("first run hit the cache: %+v", cache.Stats())
+	}
+	outB, profB := run(minimal)
+	if cache.Stats().Hits != 0 {
+		t.Fatalf("different plan hit the default plan's entries: %+v", cache.Stats())
+	}
+	if outA != outB {
+		t.Fatalf("plans disagree on a clean program: %q vs %q", outA, outB)
+	}
+	if profA == profB {
+		t.Fatal("plans produced identical profiles — test program not discriminating")
+	}
+	outA2, profA2 := run(nil)
+	if cache.Stats().Hits == 0 {
+		t.Fatalf("same plan did not hit the cache: %+v", cache.Stats())
+	}
+	if outA2 != outA || profA2 != profA {
+		t.Error("cache hit is not byte-equivalent to the miss")
+	}
+}

@@ -125,9 +125,15 @@ type Options struct {
 	// CompileCache, when non-nil, reuses method compilations across
 	// executions — and across differential targets, since the cache key
 	// covers the program, method, tier, pipeline options, armed bug
-	// state, and deopt count. Ignored when CompileHook is set (arbitrary
-	// hooks cannot be fingerprinted).
+	// state, compilation plan, and deopt count. Ignored when CompileHook
+	// is set (arbitrary hooks cannot be fingerprinted).
 	CompileCache *jit.Cache
+	// Plan, when non-nil, overrides the JIT's pass schedule for every
+	// compilation in this execution (nil = the fixed default pipeline).
+	// The plan is validated once here, so an ill-formed plan is a
+	// program-level rejection, not a compile bailout. Serializable: it
+	// crosses the exec wire protocol (v3+) to subprocess backends.
+	Plan *jit.Plan
 }
 
 // ExecResult is one program execution on one spec.
@@ -138,6 +144,10 @@ type ExecResult struct {
 	OBV       profile.OBV
 	Triggered []*buginject.Bug
 	Compiled  int // number of method compilations observed
+	// PlanID names the compilation plan this run executed under. Only
+	// the plan-differential driver populates it ("default" or a plan
+	// ShortID); spec-differential and single runs leave it empty.
+	PlanID string
 }
 
 // Crashed reports whether the run ended in a JVM crash.
@@ -158,6 +168,11 @@ func (r *ExecResult) HsErr() string {
 func Run(p *lang.Program, spec Spec, opt Options) (*ExecResult, error) {
 	if err := lang.Check(p); err != nil {
 		return nil, fmt.Errorf("jvm: program rejected: %w", err)
+	}
+	if opt.Plan != nil {
+		if err := opt.Plan.Validate(); err != nil {
+			return nil, fmt.Errorf("jvm: plan rejected: %w", err)
+		}
 	}
 	img, err := bytecode.Compile(p)
 	if err != nil {
@@ -199,6 +214,7 @@ func Run(p *lang.Program, spec Spec, opt Options) (*ExecResult, error) {
 			comp.Opt.InlineBudgetC2 = 96
 			comp.Opt.TrapLimit = 3
 		}
+		comp.Plan = opt.Plan
 		comp.OnCompiled = func(*jit.Context) { compiled++ }
 		if opt.CompileCache != nil && opt.CompileHook == nil {
 			comp.Cache = opt.CompileCache
@@ -270,6 +286,30 @@ func RunDifferential(p *lang.Program, specs []Spec, opt Options) (*Differential,
 	return d, nil
 }
 
+// RunPlanDifferential is the plan-vs-plan oracle: it executes p on ONE
+// spec under every given compilation plan (a nil entry is the fixed
+// default pipeline) and groups the outputs. Where the spec differential
+// varies the implementation and holds the pipeline constant, this holds
+// the implementation constant and varies the pass schedule — any
+// disagreement is an ordering- or phase-sensitivity miscompilation on
+// that single build, a bug class the fixed schedule cannot exhibit.
+func RunPlanDifferential(p *lang.Program, spec Spec, plans []*jit.Plan, opt Options) (*Differential, error) {
+	d := &Differential{Groups: map[string][]Spec{}}
+	for _, plan := range plans {
+		o := opt
+		o.Plan = plan
+		r, err := Run(lang.CloneProgram(p), spec, o)
+		if err != nil {
+			return nil, err
+		}
+		r.PlanID = jit.PlanID(plan)
+		d.Results = append(d.Results, r)
+		key := r.Result.OutputString()
+		d.Groups[key] = append(d.Groups[key], spec)
+	}
+	return d, nil
+}
+
 // Inconsistent reports whether the specs disagree on the output.
 func (d *Differential) Inconsistent() bool { return len(d.Groups) > 1 }
 
@@ -277,10 +317,16 @@ func (d *Differential) Inconsistent() bool { return len(d.Groups) > 1 }
 // the modal (majority) output, the first spec in run order whose output
 // differs from it, and that spec's index in Results. Triage signatures
 // use the pair and index as the divergence site of a miscompilation.
+// For plan differentials (one spec, many plans) the spec pair is
+// degenerate and ModalPlan/DivergentPlan carry the plan identities
+// instead; spec differentials leave them empty, so existing
+// serializations are byte-identical.
 type Divergence struct {
-	Modal     Spec `json:"modal"`
-	Divergent Spec `json:"divergent"`
-	Index     int  `json:"index"`
+	Modal         Spec   `json:"modal"`
+	Divergent     Spec   `json:"divergent"`
+	Index         int    `json:"index"`
+	ModalPlan     string `json:"modal_plan,omitempty"`
+	DivergentPlan string `json:"divergent_plan,omitempty"`
 }
 
 // FirstDivergence locates the first diverging result, or nil when all
@@ -307,9 +353,11 @@ func (d *Differential) FirstDivergence() *Divergence {
 		if r.Result.OutputString() == modal {
 			if div.Modal == (Spec{}) {
 				div.Modal = r.Spec
+				div.ModalPlan = r.PlanID
 			}
 		} else if div.Index < 0 {
 			div.Divergent, div.Index = r.Spec, i
+			div.DivergentPlan = r.PlanID
 		}
 	}
 	return div

@@ -1,0 +1,168 @@
+package jvm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/buginject"
+	"repro/internal/jit"
+	"repro/internal/lang"
+)
+
+func TestRunRejectsInvalidPlan(t *testing.T) {
+	bad := jit.DefaultPlan().Clone()
+	bad.C2.Front = append(bad.C2.Front, "vectorize")
+	p := lang.MustParse(`class T { static void main() { print(1); } }`)
+	_, err := Run(p, Reference(), Options{Plan: bad})
+	if err == nil || !strings.Contains(err.Error(), "plan rejected") {
+		t.Errorf("invalid plan accepted: %v", err)
+	}
+}
+
+// TestPlanDifferentialConsistentWithBugsDisabled: any valid plan must
+// preserve program semantics — with no defects armed, a spread of fuzzed
+// schedules over an optimization-heavy program all print the same thing.
+func TestPlanDifferentialConsistentWithBugsDisabled(t *testing.T) {
+	src := `
+class T {
+  int f;
+  static void main() {
+    T t = new T();
+    t.f = 2;
+    long acc = 0;
+    for (int i = 0; i < 3000; i += 1) {
+      acc = acc + t.caller(i);
+    }
+    print(acc);
+  }
+  int caller(int i) {
+    T tmp = new T();
+    tmp.f = i;
+    int v = this.locked(i) + tmp.f;
+    for (int k = 0; k < 3; k += 1) { v = v + k; }
+    return v + 1;
+  }
+  synchronized int locked(int x) { return x + this.f; }
+}`
+	plans := []*jit.Plan{nil}
+	for seed := int64(1); seed <= 6; seed++ {
+		plans = append(plans, jit.GeneratePlan(seed, jit.PlanFull))
+	}
+	plans = append(plans, jit.GeneratePlan(7, jit.PlanMinimal))
+	diff, err := RunPlanDifferential(lang.MustParse(src), Reference(), plans,
+		Options{ForceCompile: true, Bugs: []*buginject.Bug{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Results) != len(plans) {
+		t.Fatalf("got %d results for %d plans", len(diff.Results), len(plans))
+	}
+	if diff.Inconsistent() {
+		for _, r := range diff.Results {
+			t.Logf("plan %s: %q", r.PlanID, r.Result.OutputString())
+		}
+		t.Fatal("valid plans diverge on a defect-free program")
+	}
+	for i, r := range diff.Results {
+		if want := jit.PlanID(plans[i]); r.PlanID != want {
+			t.Errorf("result %d PlanID = %q, want %q", i, r.PlanID, want)
+		}
+	}
+}
+
+// orderingSrc is the Issue-19301 witness: caller allocates a NoEscape
+// local (escape analysis records BEscapeNone) and inlines a synchronized
+// callee (the inliner records BInlineSync). locked() throws once late in
+// the run, so a sync region that lost its exception cleanup leaks the
+// monitor into the output.
+const orderingSrc = `
+class T {
+  int f;
+  static void main() {
+    T t = new T();
+    long acc = 0;
+    for (int i = 0; i < 6000; i += 1) {
+      try {
+        int v = t.caller(i);
+        acc = acc + v % 1000;
+      } catch (e) {
+        acc = acc + e;
+      }
+    }
+    print(acc);
+  }
+  int caller(int i) {
+    T tmp = new T();
+    tmp.f = i;
+    int v = this.locked(i);
+    return v + 1 + tmp.f;
+  }
+  synchronized int locked(int x) { return this.f + 100 / (x - 5900); }
+}`
+
+// eaFirstPlan is the default pipeline with one swap: escape analysis
+// runs before inlining. Every structural precondition still holds
+// (dereflect precedes inline; EA precedes its consumers), so the plan
+// validates — it just explores the pair ordering the fixed pipeline
+// never emits.
+func eaFirstPlan(t *testing.T) *jit.Plan {
+	t.Helper()
+	p := jit.DefaultPlan().Clone()
+	p.C2.Front = []string{"dereflect", "escape_analysis", "inline", "lock_elide",
+		"scalar_replace", "autobox"}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("ea-first plan invalid: %v", err)
+	}
+	return p
+}
+
+// TestPlanDifferentialDetectsOrderingSensitiveBug is the acceptance
+// test for the plan-vs-plan oracle: Issue-19301 triggers on the pair
+// (BInlineSync while BEscapeNone already recorded). The default C2
+// schedule runs inline strictly before escape analysis, so within one
+// compilation BInlineSync can never observe a prior BEscapeNone — the
+// fixed pipeline provably cannot trigger the bug. A plan that hoists
+// escape analysis above inlining triggers it, and the plan-vs-plan
+// output comparison flags the divergence on a single spec.
+func TestPlanDifferentialDetectsOrderingSensitiveBug(t *testing.T) {
+	spec := Spec{buginject.OpenJ9, 17}
+
+	// Fixed pipeline alone: the bug must not trigger.
+	base, err := Run(lang.MustParse(orderingSrc), spec, Options{ForceCompile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range base.Triggered {
+		if b.ID == "Issue-19301" {
+			t.Fatal("default plan triggered Issue-19301 — ordering argument broken")
+		}
+	}
+
+	diff, err := RunPlanDifferential(lang.MustParse(orderingSrc), spec,
+		[]*jit.Plan{nil, eaFirstPlan(t)}, Options{ForceCompile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crash := diff.AnyCrash(); crash != nil {
+		t.Fatalf("unexpected crash under plan %s: %v", crash.PlanID, crash.Result.Crash)
+	}
+	if !diff.Inconsistent() {
+		t.Fatal("ea-first plan did not diverge from the default plan")
+	}
+	found := false
+	for _, b := range diff.DivergentBugs() {
+		if b.ID == "Issue-19301" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("divergent bugs miss Issue-19301: %v", diff.DivergentBugs())
+	}
+	div := diff.FirstDivergence()
+	if div == nil {
+		t.Fatal("no divergence located")
+	}
+	if div.ModalPlan == "" || div.DivergentPlan == "" || div.ModalPlan == div.DivergentPlan {
+		t.Errorf("divergence plan provenance broken: %+v", div)
+	}
+}

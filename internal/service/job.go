@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/exec"
+	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/triage"
 )
@@ -77,6 +78,11 @@ type JobSpec struct {
 	// HeapLimit caps per-execution heap allocation in units (0 = VM
 	// default, <0 = uncapped), mirroring mopfuzzer -heap-limit.
 	HeapLimit int64 `json:"heap_limit,omitempty"`
+	// PlanFuzz turns the compilation plan into a fuzz dimension,
+	// mirroring mopfuzzer -plan-fuzz: "" or "off" keeps the fixed
+	// pipeline (byte-identical to pre-plan jobs), "minimal"/"full"
+	// select the fuzzed-plan modes.
+	PlanFuzz string `json:"plan_fuzz,omitempty"`
 }
 
 // Validate normalizes a submission in place (applying CLI defaults) and
@@ -119,6 +125,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if !exec.ValidBackend(s.Backend) {
 		return fmt.Errorf("unknown backend %q (want %s)", s.Backend, strings.Join(exec.Backends(), " or "))
+	}
+	if _, err := jit.ParsePlanMode(s.PlanFuzz); err != nil {
+		return fmt.Errorf("plan_fuzz: %v", err)
 	}
 	for i := range s.Seeds {
 		if s.Seeds[i].Name == "" {
@@ -168,6 +177,9 @@ func (s *JobSpec) Campaign(executor exec.Executor) core.CampaignConfig {
 	fcfg.MaxHeapUnits = s.HeapLimit
 	fcfg.StructuredOBV = true
 	fcfg.Executor = executor
+	// Validate already vetted the mode string; a zero mode keeps the
+	// fixed pipeline.
+	fcfg.PlanFuzz, _ = jit.ParsePlanMode(s.PlanFuzz)
 	return core.CampaignConfig{
 		Seeds:    s.pool(),
 		Budget:   s.Budget,
@@ -206,6 +218,7 @@ type FindingSummary struct {
 	Cursor      int    `json:"cursor"`
 	Round       int    `json:"round"`
 	ChainLen    int    `json:"chain_len"`
+	PlanID      string `json:"plan_id,omitempty"`
 }
 
 // ResultSummary is the deterministic digest of a finished campaign: it
@@ -220,6 +233,9 @@ type ResultSummary struct {
 	SeedErrors         int              `json:"seed_errors,omitempty"`
 	SkippedQuarantined int              `json:"skipped_quarantined,omitempty"`
 	MedianDelta        float64          `json:"median_delta"`
+	// PlanFindings counts findings from the plan-vs-plan oracle (0 and
+	// omitted when plan fuzzing was off).
+	PlanFindings int `json:"plan_findings,omitempty"`
 }
 
 // Summarize digests a campaign result for the job record.
@@ -232,6 +248,7 @@ func Summarize(res *core.CampaignResult) *ResultSummary {
 		SeedErrors:         len(res.SeedErrors),
 		SkippedQuarantined: res.SkippedQuarantined,
 		MedianDelta:        res.MedianDelta(),
+		PlanFindings:       res.PlanFindings(),
 	}
 	for i := range res.Findings {
 		sum.Findings = append(sum.Findings, summarizeFinding(&res.Findings[i]))
@@ -254,6 +271,7 @@ func summarizeFinding(f *core.Finding) FindingSummary {
 		Cursor:      f.Cursor,
 		Round:       f.Round,
 		ChainLen:    f.ChainLen,
+		PlanID:      f.PlanID,
 	}
 	if f.Bug != nil {
 		fs.BugID, fs.Component, fs.Kind = f.Bug.ID, f.Bug.Component, f.Bug.Kind.String()
@@ -318,6 +336,7 @@ type ProgressView struct {
 	Budget             int `json:"budget"`
 	SeedsFuzzed        int `json:"seeds_fuzzed"`
 	Findings           int `json:"findings"`
+	PlanFindings       int `json:"plan_findings,omitempty"`
 	Faults             int `json:"faults"`
 	SeedErrors         int `json:"seed_errors,omitempty"`
 	SkippedQuarantined int `json:"skipped_quarantined,omitempty"`
@@ -404,6 +423,7 @@ func (j *Job) View() JobView {
 			Budget:             j.rec.Spec.Budget,
 			SeedsFuzzed:        j.progress.SeedsFuzzed,
 			Findings:           j.progress.Findings,
+			PlanFindings:       j.progress.PlanFindings,
 			Faults:             j.progress.Faults,
 			SeedErrors:         j.progress.SeedErrors,
 			SkippedQuarantined: j.progress.SkippedQuarantined,

@@ -47,6 +47,8 @@ type Metrics struct {
 	jobsAccepted    int64
 	requeues        int64
 	jobsQuarantined int64
+	planJobs        int64
+	planFindings    int64
 }
 
 // NewMetrics builds a registry. now is the clock seam (nil = wall
@@ -111,6 +113,21 @@ func (m *Metrics) Requeues() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.requeues
+}
+
+// AddPlanJob accounts one accepted job with plan fuzzing enabled.
+func (m *Metrics) AddPlanJob() {
+	m.mu.Lock()
+	m.planJobs++
+	m.mu.Unlock()
+}
+
+// AddPlanFinding accounts one plan-differential finding occurrence
+// streamed by a campaign (the plan-vs-plan oracle fired).
+func (m *Metrics) AddPlanFinding() {
+	m.mu.Lock()
+	m.planFindings++
+	m.mu.Unlock()
 }
 
 // AddJobQuarantined accounts one job record (or its checkpoint) found
@@ -184,6 +201,14 @@ func (m *Metrics) Render(w io.Writer, jobs map[JobState]int, tr TriageStats) {
 	fmt.Fprintln(w, "# HELP mopfuzzd_findings_total Finding occurrences streamed by campaigns (pre-dedup).")
 	fmt.Fprintln(w, "# TYPE mopfuzzd_findings_total counter")
 	fmt.Fprintf(w, "mopfuzzd_findings_total %d\n", m.findings)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_planfuzz_jobs_total Accepted jobs with compilation-plan fuzzing enabled.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_planfuzz_jobs_total counter")
+	fmt.Fprintf(w, "mopfuzzd_planfuzz_jobs_total %d\n", m.planJobs)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_planfuzz_findings_total Finding occurrences from the plan-vs-plan differential oracle (pre-dedup).")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_planfuzz_findings_total counter")
+	fmt.Fprintf(w, "mopfuzzd_planfuzz_findings_total %d\n", m.planFindings)
 
 	fmt.Fprintln(w, "# HELP mopfuzzd_faults_total Harness faults by class.")
 	fmt.Fprintln(w, "# TYPE mopfuzzd_faults_total counter")

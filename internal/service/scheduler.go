@@ -320,6 +320,9 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	s.order = append(s.order, id)
 	s.queue = append(s.queue, id)
 	s.metrics.AddJobAccepted()
+	if spec.PlanFuzz != "" && spec.PlanFuzz != "off" {
+		s.metrics.AddPlanJob()
+	}
 	s.cond.Signal()
 	return j, nil
 }
@@ -794,6 +797,9 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 	}
 	ccfg.OnFinding = func(f core.Finding) {
 		s.metrics.AddFinding()
+		if f.Oracle == "plan-differential" {
+			s.metrics.AddPlanFinding()
+		}
 		tworker.Submit(f)
 		fs := summarizeFinding(&f)
 		s.broker.Publish(id, Event{Type: "finding", Finding: &fs})

@@ -48,6 +48,12 @@ type Signature struct {
 	// divergences and annotate attributed ones.
 	DivergentPair   string `json:"divergent_pair,omitempty"`
 	DivergenceIndex int    `json:"divergence_index,omitempty"`
+	// PlanPair locates a plan-differential divergence: the
+	// modal~divergent compilation-plan IDs. For those findings the spec
+	// pair is degenerate (one spec, many plans), so the plan pair is the
+	// real site. Empty for spec differentials and crash findings,
+	// keeping pre-plan signatures and keys byte-identical.
+	PlanPair string `json:"plan_pair,omitempty"`
 }
 
 // Compute derives the signature of a campaign finding.
@@ -65,6 +71,9 @@ func Compute(f *core.Finding) Signature {
 	if f.Divergence != nil {
 		sig.DivergentPair = f.Divergence.Modal.Name() + "~" + f.Divergence.Divergent.Name()
 		sig.DivergenceIndex = f.Divergence.Index
+		if f.Divergence.ModalPlan != "" || f.Divergence.DivergentPlan != "" {
+			sig.PlanPair = f.Divergence.ModalPlan + "~" + f.Divergence.DivergentPlan
+		}
 	}
 	return sig
 }
@@ -79,7 +88,13 @@ func (s Signature) Key() string {
 		return s.Domain + "|" + s.BugID + "|" + s.Component
 	}
 	if s.DivergentPair != "" {
-		return fmt.Sprintf("%s|%s|%s#%d", s.Domain, s.Component, s.DivergentPair, s.DivergenceIndex)
+		key := fmt.Sprintf("%s|%s|%s#%d", s.Domain, s.Component, s.DivergentPair, s.DivergenceIndex)
+		if s.PlanPair != "" {
+			// Unattributed plan divergences dedup per plan pair: the same
+			// spec under two different schedule pairs is two sites.
+			key += "|" + s.PlanPair
+		}
+		return key
 	}
 	return s.Domain + "|" + s.Component
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/harness"
+	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/lang"
 )
@@ -106,6 +107,10 @@ func (panicExec) ExecuteDifferential(context.Context, *lang.Program, []jvm.Spec,
 	panic("substrate exploded during reduction probe")
 }
 
+func (panicExec) ExecutePlanDifferential(context.Context, *lang.Program, jvm.Spec, []*jit.Plan, jvm.Options) (*jvm.Differential, error) {
+	panic("substrate exploded during reduction probe")
+}
+
 // hangExec blocks until the context dies — a reduction probe that hangs.
 type hangExec struct{}
 
@@ -115,6 +120,11 @@ func (hangExec) Execute(ctx context.Context, _ *lang.Program, _ jvm.Spec, _ jvm.
 }
 
 func (hangExec) ExecuteDifferential(ctx context.Context, _ *lang.Program, _ []jvm.Spec, _ jvm.Options) (*jvm.Differential, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (hangExec) ExecutePlanDifferential(ctx context.Context, _ *lang.Program, _ jvm.Spec, _ []*jit.Plan, _ jvm.Options) (*jvm.Differential, error) {
 	<-ctx.Done()
 	return nil, ctx.Err()
 }
