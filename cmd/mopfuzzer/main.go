@@ -20,10 +20,17 @@
 //
 //	# deduplicate + minimize findings into a persistent triage store
 //	mopfuzzer -jdk openjdk-17 -seeds 20 -budget 2000 -triage-dir ./bugs -report report.json
+//
+//	# spend budget by scored (seed, plan-mode) energy instead of cursor order
+//	mopfuzzer -jdk openjdk-17 -seeds 20 -budget 2000 -schedule power
+//
+//	# score a corpus and print its maximally-diverse subset as JSON
+//	mopfuzzer -seeds 30 -distill -score-cache scores.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -63,6 +70,9 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel seed-task workers (1 = sequential; results are identical either way)")
 	fastOBV := flag.Bool("fast-obv", true, "structured OBV fast path (count behaviors in the JIT instead of regex-scanning profile logs)")
 	planFuzz := flag.String("plan-fuzz", "off", "compilation-plan fuzzing: off (fixed pipeline), minimal (mandatory passes, fuzzed order), or full (fuzzed pass selection, order, and loop rounds)")
+	schedule := flag.String("schedule", "off", "seed-budget policy: off (cursor order, byte-identical to prior releases) or power (energy-weighted (seed, plan-mode) arms)")
+	doDistill := flag.Bool("distill", false, "score the corpus, print the distillation report JSON, and exit without fuzzing")
+	scoreCache := flag.String("score-cache", "", "persist seed feature vectors to this JSON file (resumes and re-runs skip re-profiling)")
 	backend := flag.String("backend", "inprocess", "execution backend: inprocess (shared failure domain, fastest), subprocess (one minijvm child per execution), or pool (warm serve-mode children, batched)")
 	minijvmPath := flag.String("minijvm", "", "minijvm binary for -backend subprocess/pool (default: $MINIJVM, then $PATH)")
 	childTimeout := flag.Duration("child-timeout", 10*time.Second, "per-execution watchdog for -backend subprocess/pool (0 = no watchdog)")
@@ -129,6 +139,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	schedMode, err := corpus.ParseScheduleMode(*schedule)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *caseFile != "" {
 		fuzzOne(*caseFile, cfg, *doReduce, *dumpMutant)
@@ -175,14 +189,31 @@ func main() {
 	}
 
 	pool := corpus.DefaultPool(*seeds, *seed)
+	if *doDistill {
+		// Score-and-report mode: one profiling dry-run per seed, the
+		// distillation report on stdout, no fuzzing. The same report a
+		// daemon serves on POST /corpus/distill.
+		_, rep, err := core.DistillSeeds(ctx, pool, executor, *scoreCache, 0, 0)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
 	ccfg := core.CampaignConfig{
-		Seeds:    pool,
-		Budget:   *budget,
-		Targets:  []jvm.Spec{spec},
-		Fuzz:     cfg,
-		Seed:     *seed,
-		Workers:  *workers,
-		Executor: executor,
+		Seeds:          pool,
+		Budget:         *budget,
+		Targets:        []jvm.Spec{spec},
+		Fuzz:           cfg,
+		Seed:           *seed,
+		Workers:        *workers,
+		Executor:       executor,
+		SeedSchedule:   schedMode,
+		ScoreCachePath: *scoreCache,
 	}
 	if tworker != nil {
 		ccfg.OnFinding = func(f core.Finding) { tworker.Submit(f) }

@@ -45,6 +45,28 @@ type CampaignConfig struct {
 	// Findings restored from a checkpoint are not re-fired: a persistent
 	// consumer already saw them in the interrupted run.
 	OnFinding func(Finding)
+	// SeedSchedule selects the budget-allocation policy across seeds.
+	// Empty or corpus.ScheduleOff walks seeds in cursor order — the
+	// pre-scheduling campaign, byte-identical by construction and pinned
+	// by test. corpus.SchedulePower scores the pool (one profiling
+	// dry-run per seed, not counted against Budget) and allocates round
+	// slots across (seed, plan-mode) arms by decayed yield with UCB
+	// exploration; the whole schedule derives deterministically from
+	// Seed, so resume and fleet handoff reproduce it byte-identically.
+	SeedSchedule corpus.ScheduleMode
+	// ScoreCachePath, when non-empty, persists per-seed feature vectors
+	// across runs (power scheduling and distillation skip dry-runs for
+	// seeds already scored). Purely an accelerator; never changes
+	// results.
+	ScoreCachePath string
+	// DistillSeeds replaces the pool with its maximally-diverse subset
+	// (corpus.Distill) before fuzzing starts. Deterministic, so resumed
+	// and handed-off campaigns reconstruct the same subset.
+	DistillSeeds bool
+	// ParseCache optionally shares a seed-parse cache with other
+	// campaigns (the daemon shares one bounded cache across runners).
+	// Nil keeps a campaign-local cache.
+	ParseCache *corpus.ParseCache
 	// OnProgress, when non-nil, observes an incremental campaign snapshot
 	// after every merged task, on the campaign goroutine in cursor order
 	// (identical under -workers). Long-running consumers — the service
@@ -78,6 +100,11 @@ type Progress struct {
 	// Fault is the fault merged by this task, when any (contained panic,
 	// watchdog timeout, heap exhaustion).
 	Fault *harness.Fault
+	// ScheduleArms and ScheduleEnergy describe the power schedule when
+	// one is active (the /metrics gauges): the arm-space size and the
+	// current total live energy. Both zero with scheduling off.
+	ScheduleArms   int
+	ScheduleEnergy float64
 }
 
 // Finding is one campaign-level bug detection.
@@ -245,6 +272,44 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 	if len(cfg.Seeds) == 0 {
 		return res, nil
 	}
+	schedMode, err := corpus.ParseScheduleMode(string(cfg.SeedSchedule))
+	if err != nil {
+		return nil, err
+	}
+
+	// Corpus intelligence: scoring feeds both distillation (shrink the
+	// pool to its maximally-diverse subset) and the power schedule.
+	// Both are pure functions of the seed sources and cfg.Seed, so a
+	// resumed or handed-off campaign reconstructs the same pool and the
+	// same scheduler. Scoring dry-runs are corpus preparation, not
+	// fuzzing: like triage-reduction probes, they don't count against
+	// Budget.
+	var sched *corpus.Scheduler
+	if schedMode == corpus.SchedulePower || cfg.DistillSeeds {
+		feats, err := ScoreSeeds(ctx, cfg.Seeds, cfg.Executor, cfg.ScoreCachePath)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.DistillSeeds {
+			keptIdx := corpus.Distill(feats, 0, 0)
+			seeds := make([]corpus.Seed, 0, len(keptIdx))
+			kept := make([]*corpus.Features, 0, len(keptIdx))
+			for _, i := range keptIdx {
+				seeds = append(seeds, cfg.Seeds[i])
+				kept = append(kept, feats[i])
+			}
+			cfg.Seeds, feats = seeds, kept
+		}
+		if schedMode == corpus.SchedulePower {
+			names := make([]string, len(cfg.Seeds))
+			for i, s := range cfg.Seeds {
+				names[i] = s.Name
+			}
+			sched = corpus.NewScheduler(names, corpus.DiversityScores(feats),
+				corpus.PlanModesFor(cfg.Fuzz.PlanFuzz), cfg.Seed)
+		}
+	}
+
 	sup, err := harness.New(hcfg)
 	if err != nil {
 		return nil, err
@@ -260,7 +325,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 		if err != nil {
 			return nil, err
 		}
-		if err := restoreCampaign(ck, sup, res, seen, weights, &cursor, &roundProgressed); err != nil {
+		if err := restoreCampaign(ck, sup, res, seen, weights, &cursor, &roundProgressed, sched); err != nil {
 			return nil, err
 		}
 		res.Resumed = true
@@ -275,7 +340,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 		// Checkpoint failures must not kill the campaign — the next
 		// flush retries with fresh state — but they must not be silent
 		// either: count them and keep the last message for the report.
-		if err := saveCampaign(hcfg.CheckpointPath, sup, res, seen, weights, cursor, roundProgressed); err != nil {
+		if err := saveCampaign(hcfg.CheckpointPath, sup, res, seen, weights, cursor, roundProgressed, sched); err != nil {
 			res.CheckpointErrors++
 			res.LastCheckpointError = err.Error()
 		}
@@ -290,7 +355,10 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 	if cfg.Fuzz.CompileCache == nil {
 		cfg.Fuzz.CompileCache = jit.NewCache(0)
 	}
-	parsed := corpus.NewParseCache()
+	parsed := cfg.ParseCache
+	if parsed == nil {
+		parsed = corpus.NewParseCache()
+	}
 
 	// The campaign-level backend choice propagates to every per-seed
 	// fuzzer unless the fuzz config already pins its own.
@@ -301,11 +369,20 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 	// mkTask builds the task at a cursor position. Everything a task
 	// needs — seed, round, target, RNG seed — derives from the cursor
 	// alone, which is what lets parallel workers execute tasks out of
-	// order and still merge deterministically.
+	// order and still merge deterministically. Under the power schedule
+	// the cursor resolves through the current round's slot plan (and the
+	// arm's plan mode overrides PlanFuzz); the engine's round barrier
+	// guarantees workers only see cursors whose round is planned.
 	mkTask := func(cursor int) harness.Task {
 		round, i := cursor/nSeeds, cursor%nSeeds
-		seed := cfg.Seeds[i]
+		seedIdx := i
 		fcfg := cfg.Fuzz
+		if sched != nil {
+			var mode jit.PlanMode
+			seedIdx, mode = sched.ArmFor(cursor)
+			fcfg.PlanFuzz = mode
+		}
+		seed := cfg.Seeds[seedIdx]
 		fcfg.Target = cfg.Targets[cursor%len(cfg.Targets)]
 		fcfg.Seed = cfg.Seed + int64(cursor)
 		return harness.Task{
@@ -319,7 +396,11 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 			},
 		}
 	}
-	eng := newEngine(ctx, sup, cfg.Workers, cursor, mkTask)
+	roundLen := 0
+	if sched != nil {
+		roundLen = nSeeds
+	}
+	eng := newEngine(ctx, sup, cfg.Workers, cursor, roundLen, mkTask)
 	defer eng.stop()
 
 	for {
@@ -338,7 +419,16 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 			roundProgressed = false
 		}
 
-		seed := cfg.Seeds[i]
+		seedIdx := i
+		if sched != nil {
+			// Plan the round before the engine dispatches any of its
+			// tasks (the dispatch inside eng.do only releases cursors in
+			// the merge round, so the plan write happens-before every
+			// worker read of it).
+			sched.StartRound(round)
+			seedIdx, _ = sched.ArmFor(cursor)
+		}
+		seed := cfg.Seeds[seedIdx]
 		target := cfg.Targets[cursor%len(cfg.Targets)]
 		taskKey := fmt.Sprintf("%s#r%d", seed.Name, round)
 
@@ -351,9 +441,22 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 		switch {
 		case out.Skipped:
 			res.SkippedQuarantined++
+			if sched != nil {
+				// A quarantined seed must stop winning budget: retire
+				// every arm of it (energy pinned to zero).
+				sched.RetireSeed(seedIdx)
+				sched.Observe(cursor, 0, 0)
+			}
 		case out.Fault != nil:
 			res.Faults = append(res.Faults, out.Fault)
 			taskFault = out.Fault
+			if sched != nil {
+				// The harness quarantines the faulting task under the
+				// seed's name; later rounds would skip it anyway, so the
+				// arm retires now.
+				sched.RetireSeed(seedIdx)
+				sched.Observe(cursor, 0, 0)
+			}
 		case out.Err != nil:
 			if ctx.Err() != nil {
 				// Shutdown raced the task; leave the cursor on it so a
@@ -363,6 +466,9 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 				return res, nil
 			}
 			res.SeedErrors = append(res.SeedErrors, SeedError{SeedName: seed.Name, Round: round, Err: out.Err.Error()})
+			if sched != nil {
+				sched.Observe(cursor, 0, 0)
+			}
 		default:
 			fr := out.Value.(*FuzzResult)
 			roundProgressed = true
@@ -373,9 +479,23 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 			if fr.Weights != nil {
 				weights[taskKey] = fr.Weights
 			}
+			if sched != nil {
+				nBugs := 0
+				for _, fd := range fr.Findings {
+					if fd.Bug != nil {
+						nBugs++
+					}
+				}
+				sched.Observe(cursor, fr.FinalDelta, nBugs)
+			}
 			if fr.HeapExhaustions > 0 {
 				taskFault = reportHeapExhaustion(sup, seed, taskKey, round, fr)
 				res.Faults = append(res.Faults, taskFault)
+				if sched != nil && len(fr.Records) == 0 {
+					// Baseline heap exhaustion quarantines the seed
+					// itself (see reportHeapExhaustion): retire its arms.
+					sched.RetireSeed(seedIdx)
+				}
 			}
 			for _, fd := range fr.Findings {
 				if fd.Bug == nil {
@@ -415,7 +535,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 			}
 		}
 		if cfg.OnProgress != nil {
-			cfg.OnProgress(Progress{
+			pr := Progress{
 				Cursor:             cursor,
 				Executions:         res.Executions,
 				SeedsFuzzed:        res.SeedsFuzzed,
@@ -427,7 +547,12 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 				Delta:              taskDelta,
 				HasDelta:           taskHasDelta,
 				Fault:              taskFault,
-			})
+			}
+			if sched != nil {
+				pr.ScheduleArms = sched.ArmCount()
+				pr.ScheduleEnergy = sched.TotalEnergy()
+			}
+			cfg.OnProgress(pr)
 		}
 		cursor++
 		if hcfg.CheckpointPath != "" &&
@@ -465,7 +590,10 @@ func reportHeapExhaustion(sup *harness.Supervisor, seed corpus.Seed, taskKey str
 }
 
 // campaignState is the campaign-owned slice of a checkpoint: everything
-// needed to continue a run with byte-identical results.
+// needed to continue a run with byte-identical results. The schedule
+// block (checkpoint v3) is present exactly when the campaign runs the
+// power schedule, so off-mode checkpoints remain byte-identical to
+// pre-schedule ones.
 type campaignState struct {
 	TaskCursor         int                           `json:"task_cursor"`
 	RoundProgressed    bool                          `json:"round_progressed"`
@@ -478,6 +606,7 @@ type campaignState struct {
 	Findings           []findingSnapshot             `json:"findings,omitempty"`
 	Faults             []*harness.Fault              `json:"faults,omitempty"`
 	Weights            map[string]map[string]float64 `json:"weights,omitempty"`
+	Schedule           *corpus.ScheduleState         `json:"schedule,omitempty"`
 }
 
 // findingSnapshot is the JSON form of a Finding: bugs by catalog ID,
@@ -516,7 +645,8 @@ type divergenceSnapshot struct {
 }
 
 func saveCampaign(path string, sup *harness.Supervisor, res *CampaignResult,
-	seen map[string]bool, weights map[string]map[string]float64, cursor int, roundProgressed bool) error {
+	seen map[string]bool, weights map[string]map[string]float64, cursor int, roundProgressed bool,
+	sched *corpus.Scheduler) error {
 	st := campaignState{
 		TaskCursor:         cursor,
 		RoundProgressed:    roundProgressed,
@@ -527,6 +657,7 @@ func saveCampaign(path string, sup *harness.Supervisor, res *CampaignResult,
 		SeedErrors:         res.SeedErrors,
 		Faults:             res.Faults,
 		Weights:            weights,
+		Schedule:           sched.State(),
 	}
 	for id := range seen {
 		st.SeenBugs = append(st.SeenBugs, id)
@@ -574,14 +705,31 @@ func saveCampaign(path string, sup *harness.Supervisor, res *CampaignResult,
 		Quarantined: sup.Q.IDs(),
 		State:       raw,
 	}
+	if st.Schedule != nil {
+		// Schedule-bearing snapshots stamp the v3 envelope; plain ones
+		// keep v2 so off-mode checkpoints stay byte-identical.
+		ck.Version = harness.CheckpointVersionScheduled
+	}
 	return ck.Save(path)
 }
 
 func restoreCampaign(ck *harness.Checkpoint, sup *harness.Supervisor, res *CampaignResult,
-	seen map[string]bool, weights map[string]map[string]float64, cursor *int, roundProgressed *bool) error {
+	seen map[string]bool, weights map[string]map[string]float64, cursor *int, roundProgressed *bool,
+	sched *corpus.Scheduler) error {
 	var st campaignState
 	if err := json.Unmarshal(ck.State, &st); err != nil {
 		return fmt.Errorf("core: resume state: %w", err)
+	}
+	if st.Schedule != nil && sched == nil {
+		return fmt.Errorf("core: resume: checkpoint carries power-schedule state; resume with the schedule set to power")
+	}
+	if sched != nil {
+		// A nil block under power means the interrupted run stopped
+		// before planning its first round — a fresh scheduler continues
+		// it byte-identically.
+		if err := sched.Restore(st.Schedule); err != nil {
+			return fmt.Errorf("core: resume: %w", err)
+		}
 	}
 	*cursor = st.TaskCursor
 	*roundProgressed = st.RoundProgressed

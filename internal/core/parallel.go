@@ -19,12 +19,20 @@ type campaignEngine interface {
 	stop()
 }
 
-func newEngine(ctx context.Context, sup *harness.Supervisor, workers, start int,
+// newEngine builds the execution engine. roundLen > 0 installs a round
+// barrier: speculation never crosses from the merge cursor's round into
+// the next one. The power schedule needs this — a round's tasks are
+// only defined once the round is planned, and planning reads the
+// observations merged from the previous round — while roundLen == 0
+// keeps the original unbounded-window speculation (off-mode campaigns
+// are byte-identical either way; the barrier only affects scheduling
+// latitude, not results).
+func newEngine(ctx context.Context, sup *harness.Supervisor, workers, start, roundLen int,
 	mk func(cursor int) harness.Task) campaignEngine {
 	if workers <= 1 {
 		return &seqEngine{ctx: ctx, sup: sup, mk: mk}
 	}
-	return newParEngine(ctx, sup, workers, start, mk)
+	return newParEngine(ctx, sup, workers, start, roundLen, mk)
 }
 
 // seqEngine is the zero-configuration path: tasks run inline on the
@@ -58,14 +66,15 @@ func (e *seqEngine) stop() {}
 // only side effects are on order-independent shared sinks (the compile
 // cache, where a hit is equivalent to a miss, and the coverage set).
 type parEngine struct {
-	sup     *harness.Supervisor
-	mk      func(int) harness.Task
-	taskCh  chan int
-	outCh   chan specOutcome
-	pending map[int]*harness.Outcome
-	next    int // next cursor to hand to the pool
-	window  int
-	wg      sync.WaitGroup
+	sup      *harness.Supervisor
+	mk       func(int) harness.Task
+	taskCh   chan int
+	outCh    chan specOutcome
+	pending  map[int]*harness.Outcome
+	next     int // next cursor to hand to the pool
+	window   int
+	roundLen int // > 0: speculation stops at round boundaries
+	wg       sync.WaitGroup
 }
 
 type specOutcome struct {
@@ -73,17 +82,18 @@ type specOutcome struct {
 	out    *harness.Outcome
 }
 
-func newParEngine(ctx context.Context, sup *harness.Supervisor, workers, start int,
+func newParEngine(ctx context.Context, sup *harness.Supervisor, workers, start, roundLen int,
 	mk func(int) harness.Task) *parEngine {
 	window := 2 * workers
 	e := &parEngine{
-		sup:     sup,
-		mk:      mk,
-		taskCh:  make(chan int, window+2),
-		outCh:   make(chan specOutcome, window+2),
-		pending: map[int]*harness.Outcome{},
-		next:    start,
-		window:  window,
+		sup:      sup,
+		mk:       mk,
+		taskCh:   make(chan int, window+2),
+		outCh:    make(chan specOutcome, window+2),
+		pending:  map[int]*harness.Outcome{},
+		next:     start,
+		window:   window,
+		roundLen: roundLen,
 	}
 	for w := 0; w < workers; w++ {
 		e.wg.Add(1)
@@ -100,8 +110,12 @@ func newParEngine(ctx context.Context, sup *harness.Supervisor, workers, start i
 func (e *parEngine) do(cursor int) *harness.Outcome {
 	// Keep the speculation window full. Channel capacities cover the
 	// whole window, so neither this send nor a worker's result send can
-	// block: outstanding tasks never exceed window+1.
-	for e.next <= cursor+e.window {
+	// block: outstanding tasks never exceed window+1. With a round
+	// barrier, dispatch additionally stops at the merge round's end:
+	// the next round's tasks are undefined until its plan is computed,
+	// which happens on the merge goroutine after this round merges.
+	for e.next <= cursor+e.window &&
+		(e.roundLen <= 0 || e.next/e.roundLen == cursor/e.roundLen) {
 		e.taskCh <- e.next
 		e.next++
 	}

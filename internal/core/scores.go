@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/buginject"
+	"repro/internal/corpus"
+	"repro/internal/coverage"
+	"repro/internal/exec"
+	"repro/internal/harness"
+	"repro/internal/jvm"
+	"repro/internal/profile"
+)
+
+// ScoreSeeds extracts the full feature vector for every seed: static
+// AST features plus one profiling dry-run per seed — the unmutated
+// program on the bug-free reference VM under the default plan, with
+// the diagnostic flags and coverage instrumentation on. Dry-runs are
+// deterministic and backend-independent (the exec equivalence tests
+// pin OBV and coverage replay), so the vectors are byte-stable.
+//
+// cachePath, when non-empty, persists vectors keyed by source hash;
+// resumed campaigns, fleet workers, and repeated distill requests skip
+// the dry-runs for seeds they have seen. Like the triage reducer's
+// probe executions, scoring runs are not counted against any campaign
+// budget: they are corpus preparation, not fuzzing.
+//
+// A seed that fails to parse is an error (user corpora are validated
+// before scoring elsewhere; generated corpora cannot fail). A seed
+// whose dry-run fails with an ordinary execution error keeps its
+// static features and a zero OBV — still deterministic, still
+// schedulable. Backend faults (a child process died) propagate.
+func ScoreSeeds(ctx context.Context, seeds []corpus.Seed, ex exec.Executor, cachePath string) ([]*corpus.Features, error) {
+	var cache *corpus.ScoreCache
+	if cachePath != "" {
+		cache = corpus.LoadScoreCache(cachePath)
+	}
+	out := make([]*corpus.Features, 0, len(seeds))
+	dirty := false
+	for _, s := range seeds {
+		hash := corpus.HashSource(s.Source)
+		if ft := cache.Get(hash); ft != nil {
+			// A cached vector keeps its cached name; the campaign
+			// identifies seeds positionally, but reports read Name, so
+			// rebind it to this pool's spelling.
+			if ft.Name != s.Name {
+				copied := *ft
+				copied.Name = s.Name
+				ft = &copied
+			}
+			out = append(out, ft)
+			continue
+		}
+		p, err := s.TryParse()
+		if err != nil {
+			return nil, err
+		}
+		ft := corpus.StaticFeatures(s.Name, s.Source, p)
+		tr := coverage.NewTracker()
+		er, err := exec.Or(ex).Execute(ctx, p, jvm.Reference(), jvm.Options{
+			Flags:         profile.DefaultFlags(),
+			ForceCompile:  true,
+			MaxSteps:      3_000_000,
+			Coverage:      tr,
+			StructuredOBV: true,
+			Bugs:          []*buginject.Bug{}, // profile the clean VM
+		})
+		if err != nil {
+			if harness.AsFault(err) != nil || ctx.Err() != nil {
+				return nil, err
+			}
+		} else {
+			ft.OBV = er.OBV.Slice()
+			ft.Coverage = tr.Names()
+		}
+		cache.Put(ft)
+		dirty = true
+		out = append(out, ft)
+	}
+	if dirty && cache != nil {
+		// The cache is an accelerator: a failed save costs re-profiling
+		// later, never correctness.
+		_ = cache.Save()
+	}
+	return out, nil
+}
+
+// DistillSeeds scores a corpus and reduces it to its maximally-diverse
+// subset (corpus.Distill): the shared engine behind
+// `mopfuzzer -distill`, the daemon's POST /corpus/distill, and the
+// JobSpec distill knob. Returns the kept seeds in corpus order plus
+// the full report.
+func DistillSeeds(ctx context.Context, seeds []corpus.Seed, ex exec.Executor, cachePath string, spread float64, maxKeep int) ([]corpus.Seed, *corpus.DistillReport, error) {
+	fs, err := ScoreSeeds(ctx, seeds, ex, cachePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := corpus.BuildDistillReport(fs, spread, maxKeep)
+	kept := make([]corpus.Seed, 0, rep.Kept)
+	for i, sc := range rep.Scores {
+		if sc.Kept {
+			kept = append(kept, seeds[i])
+		}
+	}
+	return kept, rep, nil
+}

@@ -1,0 +1,189 @@
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math"
+
+	"repro/internal/lang"
+)
+
+// Features is the deterministic per-seed feature vector the corpus
+// intelligence layer operates on: the seed's OBV fingerprint and
+// coverage footprint from one profiling dry-run under the default plan,
+// plus static program-shape counters from the parsed AST. Everything is
+// derived from the seed source and the (deterministic) VM, so two
+// extractions of the same seed are byte-identical — across runs and
+// across execution backends, which the backend-equivalence tests pin
+// for OBV and coverage replay.
+type Features struct {
+	Name       string `json:"name"`
+	SourceHash string `json:"source_hash"`
+	// OBV is the optimization-behavior vector of the unmutated seed
+	// under the default compilation plan (nil until profiled).
+	OBV []int64 `json:"obv,omitempty"`
+	// Coverage lists the VM line regions the dry-run hit, sorted — the
+	// same encoding coverage.Tracker.Names ships over the exec wire.
+	Coverage []string `json:"coverage,omitempty"`
+	// Static program shape.
+	Methods      int `json:"methods"`
+	Stmts        int `json:"stmts"`
+	MaxLoopDepth int `json:"max_loop_depth"`
+	LoopSites    int `json:"loop_sites"`
+	SyncSites    int `json:"sync_sites"`
+	TrySites     int `json:"try_sites"`
+	ArraySites   int `json:"array_sites"`
+	CallSites    int `json:"call_sites"`
+}
+
+// HashSource returns the cache key for a seed source: hex SHA-256.
+func HashSource(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return hex.EncodeToString(sum[:])
+}
+
+// StaticFeatures extracts the AST-derived half of a seed's feature
+// vector. The profiling half (OBV, Coverage) is filled in by the caller
+// that owns an execution backend (core.ScoreSeeds); this split keeps
+// corpus free of VM dependencies.
+func StaticFeatures(name, source string, p *lang.Program) *Features {
+	ft := &Features{
+		Name:       name,
+		SourceHash: HashSource(source),
+		Stmts:      lang.CountStmts(p),
+	}
+	for _, c := range p.Classes {
+		ft.Methods += len(c.Methods)
+	}
+	for _, loc := range lang.Statements(p) {
+		if d := loc.LoopDepth(); d > ft.MaxLoopDepth {
+			ft.MaxLoopDepth = d
+		}
+		switch loc.Stmt.(type) {
+		case *lang.For, *lang.While:
+			ft.LoopSites++
+		case *lang.Sync:
+			ft.SyncSites++
+		case *lang.Try:
+			ft.TrySites++
+		}
+		lang.WalkExprsIn(loc.Stmt, func(e lang.Expr) {
+			switch e.(type) {
+			case *lang.NewArray, *lang.Index:
+				ft.ArraySites++
+			case *lang.Call, *lang.ReflectCall:
+				ft.CallSites++
+			}
+		})
+	}
+	return ft
+}
+
+// scalars flattens the static counters into a fixed-order vector for
+// the distance metric.
+func (f *Features) scalars() []int {
+	return []int{
+		f.Methods, f.Stmts, f.MaxLoopDepth, f.LoopSites,
+		f.SyncSites, f.TrySites, f.ArraySites, f.CallSites,
+	}
+}
+
+// Distance is the pairwise seed distance in [0, 1): a weighted blend of
+// normalized OBV Euclidean distance (what the VM did), coverage Jaccard
+// distance (where the VM went), and normalized L1 over the static shape
+// counters (what the program is). Deterministic: pure arithmetic over
+// the feature vectors.
+func Distance(a, b *Features) float64 {
+	return 0.5*obvDistance(a.OBV, b.OBV) +
+		0.3*jaccardDistance(a.Coverage, b.Coverage) +
+		0.2*scalarDistance(a.scalars(), b.scalars())
+}
+
+func obvDistance(a, b []int64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	at := func(s []int64, i int) float64 {
+		if i < len(s) {
+			return float64(s[i])
+		}
+		return 0
+	}
+	var diff, na, nb float64
+	for i := 0; i < n; i++ {
+		d := at(a, i) - at(b, i)
+		diff += d * d
+		na += at(a, i) * at(a, i)
+		nb += at(b, i) * at(b, i)
+	}
+	return math.Sqrt(diff) / (1 + math.Sqrt(na) + math.Sqrt(nb))
+}
+
+func jaccardDistance(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	// Both slices are sorted (coverage.Tracker.Names order).
+	inter, union := 0, 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			union++
+			i++
+			j++
+		case a[i] < b[j]:
+			union++
+			i++
+		default:
+			union++
+			j++
+		}
+	}
+	union += len(a) - i + len(b) - j
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+func scalarDistance(a, b []int) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		sum += float64(d) / float64(1+a[i]+b[i])
+	}
+	return sum / float64(len(a))
+}
+
+// DiversityScores returns, per seed, the mean distance to every other
+// seed — the corpus-relative "how different is this one" score that
+// feeds both distillation ordering and the power schedule's base
+// energy. A single-seed corpus scores 0.
+func DiversityScores(fs []*Features) []float64 {
+	out := make([]float64, len(fs))
+	if len(fs) < 2 {
+		return out
+	}
+	for i := range fs {
+		sum := 0.0
+		for j := range fs {
+			if i != j {
+				sum += Distance(fs[i], fs[j])
+			}
+		}
+		out[i] = sum / float64(len(fs)-1)
+	}
+	return out
+}

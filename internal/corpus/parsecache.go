@@ -6,24 +6,57 @@ import (
 	"repro/internal/lang"
 )
 
+// DefaultParseCacheSize bounds a ParseCache unless the caller picks its
+// own cap. Large enough that any single campaign's pool fits (service
+// pools default to tens of seeds), small enough that a long-lived
+// daemon sharing one cache across thousands of jobs cannot grow without
+// limit.
+const DefaultParseCacheSize = 1024
+
 // ParseCache memoizes Seed.Parse so a campaign parses each seed once
 // instead of once per round. Sharing the parsed program is sound: the
 // fuzzer clones it before checking or mutating anything, cloning
 // preserves statement IDs and the ID counter, and parsing is
 // deterministic — so a cached program is indistinguishable from a
-// fresh parse. Safe for concurrent use (parallel campaign workers).
+// fresh parse, and eviction is equally transparent (the next Parse
+// just re-parses). Safe for concurrent use (parallel campaign
+// workers, daemon runners sharing one cache).
+//
+// The cache is bounded: once it holds cap entries, inserting a new one
+// evicts the oldest insertion (deterministic FIFO — eviction order
+// depends only on first-insertion order, which for campaign use is
+// cursor order).
 type ParseCache struct {
-	mu sync.RWMutex
-	m  map[string]*lang.Program
+	mu    sync.RWMutex
+	m     map[string]*lang.Program
+	order []string // insertion order, for FIFO eviction
+	cap   int      // <= 0: unbounded
+	stats ParseCacheStats
 }
 
-// NewParseCache returns an empty cache.
+// ParseCacheStats counts cache traffic; surfaced in the daemon's
+// /metrics as mopfuzzd_corpus_parsecache_*.
+type ParseCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Size      int
+}
+
+// NewParseCache returns an empty cache with the default bound.
 func NewParseCache() *ParseCache {
-	return &ParseCache{m: map[string]*lang.Program{}}
+	return NewParseCacheSize(DefaultParseCacheSize)
+}
+
+// NewParseCacheSize returns an empty cache holding at most size parsed
+// programs; size <= 0 means unbounded.
+func NewParseCacheSize(size int) *ParseCache {
+	return &ParseCache{m: map[string]*lang.Program{}, cap: size}
 }
 
 // Parse returns the seed's program, parsing at most once per distinct
-// source text. Like Seed.Parse it panics on malformed generated source.
+// source text (until evicted). Like Seed.Parse it panics on malformed
+// generated source.
 func (c *ParseCache) Parse(s Seed) *lang.Program {
 	if c == nil {
 		return s.Parse()
@@ -32,17 +65,28 @@ func (c *ParseCache) Parse(s Seed) *lang.Program {
 	p := c.m[s.Source]
 	c.mu.RUnlock()
 	if p != nil {
+		c.mu.Lock()
+		c.stats.Hits++
+		c.mu.Unlock()
 		return p
 	}
 	parsed := s.Parse()
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	// Keep the first stored instance so every caller shares one tree.
 	if prior := c.m[s.Source]; prior != nil {
-		parsed = prior
-	} else {
-		c.m[s.Source] = parsed
+		c.stats.Hits++
+		return prior
 	}
-	c.mu.Unlock()
+	c.stats.Misses++
+	c.m[s.Source] = parsed
+	c.order = append(c.order, s.Source)
+	for c.cap > 0 && len(c.m) > c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, oldest)
+		c.stats.Evictions++
+	}
 	return parsed
 }
 
@@ -51,4 +95,16 @@ func (c *ParseCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.m)
+}
+
+// Stats snapshots the traffic counters.
+func (c *ParseCache) Stats() ParseCacheStats {
+	if c == nil {
+		return ParseCacheStats{}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := c.stats
+	st.Size = len(c.m)
+	return st
 }

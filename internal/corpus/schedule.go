@@ -1,0 +1,367 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/jit"
+)
+
+// ScheduleMode selects how a campaign allocates its execution budget
+// across seeds.
+type ScheduleMode string
+
+// Schedule modes.
+const (
+	// ScheduleOff walks seeds in cursor order — the pre-scheduling
+	// campaign, byte-identical by construction.
+	ScheduleOff ScheduleMode = "off"
+	// SchedulePower allocates round slots across (seed, plan-mode) arms
+	// by decayed-yield energy with UCB exploration.
+	SchedulePower ScheduleMode = "power"
+)
+
+// ParseScheduleMode maps CLI/JSON spellings to a mode. "" and "off"
+// both mean off, mirroring jit.ParsePlanMode.
+func ParseScheduleMode(s string) (ScheduleMode, error) {
+	switch s {
+	case "", string(ScheduleOff):
+		return ScheduleOff, nil
+	case string(SchedulePower):
+		return SchedulePower, nil
+	}
+	return "", fmt.Errorf("corpus: unknown schedule mode %q (want off or power)", s)
+}
+
+// PlanModesFor returns the plan-mode axis of the arm space for a
+// campaign's plan-fuzz setting: every mode up to and including the
+// configured one, so the scheduler can learn that (say) a seed yields
+// only under fuzzed plans and spend its slots there.
+func PlanModesFor(mode jit.PlanMode) []jit.PlanMode {
+	switch mode {
+	case jit.PlanMinimal:
+		return []jit.PlanMode{jit.PlanDefault, jit.PlanMinimal}
+	case jit.PlanFull:
+		return []jit.PlanMode{jit.PlanDefault, jit.PlanMinimal, jit.PlanFull}
+	default:
+		return []jit.PlanMode{jit.PlanDefault}
+	}
+}
+
+// Energy/selection tuning. Documented in DESIGN.md §13; changing any of
+// these changes power-mode campaign results (they are part of the
+// deterministic schedule definition, like a mutator's RNG draw order).
+const (
+	// energyFloor keeps zero-diversity seeds explorable.
+	energyFloor = 0.2
+	// findingWeight values one finding as this many units of
+	// (saturated) OBV-delta yield.
+	findingWeight = 5.0
+	// yieldDecay multiplies every arm's accumulated yields once per
+	// round boundary: recent evidence dominates.
+	yieldDecay = 0.9
+	// coverageStride reserves every coverageStride-th round slot as a
+	// coverage slot: round-robin over live seeds at the configured
+	// (topmost) plan mode. This floors every seed's sampling rate at
+	// roughly 1/(stride x pool size) of the budget, so energy
+	// exploitation can never starve a seed out of detection entirely —
+	// bugs are reachable only from the seeds that exercise their
+	// component, and a bandit with no coverage floor provably loses
+	// them when their arms start cold.
+	coverageStride = 2
+	// scheduleSalt decorrelates the round-planning RNG stream from the
+	// per-task mutation streams (cfg.Seed + cursor) and the plan
+	// generator (planSeedSalt).
+	scheduleSalt int64 = 0x73636864 // "schd"
+	// scheduleRoundSalt spreads successive rounds across the seed space.
+	scheduleRoundSalt int64 = 0x9E3779B9
+)
+
+// armState is one (seed, plan-mode) bandit arm.
+type armState struct {
+	seed    int // index into the campaign's seed pool
+	mode    jit.PlanMode
+	plays   int
+	deltaY  float64 // decayed, saturated OBV-delta yield
+	findY   float64 // decayed finding yield
+	retired bool    // quarantined seed: energy pinned to zero
+}
+
+// Scheduler is the campaign power schedule: a deterministic UCB-style
+// bandit over (seed, plan-mode) arms. One round allocates len(seeds)
+// slots (the same task count as cursor order, so budget accounting and
+// the dead-pool check are unchanged); slots are sampled with
+// replacement proportionally to arm energy x UCB bonus, from an RNG
+// seeded by (campaign seed, round) — so the whole schedule is a pure
+// function of the campaign seed and the merged observation prefix,
+// which is what makes resume and fleet handoff byte-identical.
+//
+// Concurrency: PlanRound/Observe/RetireSeed run on the campaign merge
+// goroutine. SeedAt/ArmFor are read by parallel workers, but only
+// touch the immutable per-round plan and per-arm identity fields; the
+// engine's round barrier guarantees no worker holds a task from a
+// round whose plan is not yet computed.
+type Scheduler struct {
+	seed  int64
+	names []string
+	div   []float64
+	modes []jit.PlanMode
+	arms  []armState
+	round int
+	plan  []int // arm index per slot; len == len(names) once planned
+	plays int
+}
+
+// NewScheduler builds a scheduler over the seed pool. names and
+// diversity are parallel (DiversityScores output); modes is the plan
+// axis (PlanModesFor).
+func NewScheduler(names []string, diversity []float64, modes []jit.PlanMode, seed int64) *Scheduler {
+	if len(modes) == 0 {
+		modes = []jit.PlanMode{jit.PlanDefault}
+	}
+	s := &Scheduler{seed: seed, names: names, modes: modes}
+	s.div = make([]float64, len(names))
+	copy(s.div, diversity)
+	s.arms = make([]armState, 0, len(names)*len(modes))
+	for i := range names {
+		for _, m := range modes {
+			s.arms = append(s.arms, armState{seed: i, mode: m})
+		}
+	}
+	return s
+}
+
+func (s *Scheduler) energy(a *armState) float64 {
+	if a.retired {
+		return 0
+	}
+	return (energyFloor + s.div[a.seed]) * (1 + a.deltaY + findingWeight*a.findY)
+}
+
+// StartRound makes round r's slot plan current. Crossing round
+// boundaries decays every arm's yields once per round. Idempotent for
+// the current round, including a plan restored from a checkpoint —
+// which is exactly what makes mid-round resume byte-identical: the
+// interrupted run's plan continues instead of being recomputed from
+// mid-round statistics.
+func (s *Scheduler) StartRound(r int) {
+	if s.plan != nil && r == s.round {
+		return
+	}
+	if s.plan != nil {
+		for s.round < r {
+			s.decayArms()
+			s.round++
+		}
+	}
+	s.round = r
+	s.plan = s.computePlan(r)
+}
+
+func (s *Scheduler) decayArms() {
+	for i := range s.arms {
+		s.arms[i].deltaY *= yieldDecay
+		s.arms[i].findY *= yieldDecay
+	}
+}
+
+// computePlan builds the round's slot plan: coverage slots (every
+// coverageStride-th slot, round-robin over live seeds at the topmost
+// plan mode — the same task kind cursor order would run) interleaved
+// with energy-sampled slots. The RNG is seeded from the campaign seed
+// and the round alone — no carried RNG state — so a resumed scheduler
+// with the same arm statistics plans identical future rounds; the
+// coverage rotation is a pure function of the round and the live set.
+func (s *Scheduler) computePlan(round int) []int {
+	rng := rand.New(rand.NewSource((s.seed ^ scheduleSalt) + int64(round)*scheduleRoundSalt))
+	scores := make([]float64, len(s.arms))
+	total := 0.0
+	for i := range s.arms {
+		e := s.energy(&s.arms[i])
+		if e > 0 {
+			e *= 1 + math.Sqrt(2*math.Log(float64(1+s.plays))/float64(1+s.arms[i].plays))
+		}
+		scores[i] = e
+		total += e
+	}
+	var live []int // seed indices with at least one unretired arm
+	for i := range s.names {
+		if !s.arms[i*len(s.modes)].retired {
+			live = append(live, i)
+		}
+	}
+	topMode := len(s.modes) - 1
+	plan := make([]int, len(s.names))
+	nCov := (len(plan) + coverageStride - 1) / coverageStride
+	cov := 0
+	for slot := range plan {
+		if slot%coverageStride == 0 && len(live) > 0 {
+			// Coverage slot: the rotation advances by the round's slot
+			// count, so over successive rounds every live seed is visited
+			// even when the pool is larger than one round's quota.
+			seedIdx := live[(round*nCov+cov)%len(live)]
+			cov++
+			plan[slot] = seedIdx*len(s.modes) + topMode
+			continue
+		}
+		if total <= 0 {
+			// Every arm retired or at zero energy: degrade to cursor
+			// order under the default plan so the dead-pool check can
+			// run its course.
+			plan[slot] = slot * len(s.modes)
+			continue
+		}
+		x := rng.Float64() * total
+		pick := -1
+		for i, sc := range scores {
+			if sc <= 0 {
+				continue
+			}
+			pick = i
+			x -= sc
+			if x <= 0 {
+				break
+			}
+		}
+		plan[slot] = pick
+	}
+	return plan
+}
+
+// armAt returns the arm scheduled for a cursor position. The round's
+// plan must be current (StartRound(cursor/len(seeds)) has run).
+func (s *Scheduler) armAt(cursor int) *armState {
+	if s.plan == nil {
+		panic("corpus: Scheduler.armAt before StartRound")
+	}
+	return &s.arms[s.plan[cursor%len(s.names)]]
+}
+
+// ArmFor resolves a cursor position to its scheduled seed index and
+// plan mode. Safe for concurrent use by engine workers within the
+// planned round.
+func (s *Scheduler) ArmFor(cursor int) (seedIndex int, mode jit.PlanMode) {
+	a := s.armAt(cursor)
+	return a.seed, a.mode
+}
+
+// Observe merges one finished task's yield into its arm: the
+// final-mutant OBV delta (saturated into [0,1)) and the number of bug
+// findings. Called for every merged task in cursor order, including
+// skipped/faulted ones (zero yield, but the play still counts against
+// the arm's UCB bonus).
+func (s *Scheduler) Observe(cursor int, delta float64, findings int) {
+	a := s.armAt(cursor)
+	a.plays++
+	s.plays++
+	if delta > 0 {
+		a.deltaY += delta / (1 + delta)
+	}
+	a.findY += float64(findings)
+}
+
+// RetireSeed zeroes the energy of every arm of a quarantined seed.
+// Without this a high-energy pathological seed keeps winning slots
+// that the harness then skips, burning rounds (the quarantine/schedule
+// interplay fix).
+func (s *Scheduler) RetireSeed(seedIndex int) {
+	for i := range s.arms {
+		if s.arms[i].seed == seedIndex {
+			s.arms[i].retired = true
+		}
+	}
+}
+
+// ArmCount reports the arm-space size.
+func (s *Scheduler) ArmCount() int { return len(s.arms) }
+
+// TotalEnergy sums live arm energy — the /metrics gauge.
+func (s *Scheduler) TotalEnergy() float64 {
+	total := 0.0
+	for i := range s.arms {
+		total += s.energy(&s.arms[i])
+	}
+	return total
+}
+
+// ArmStats is one arm's serialized statistics (checkpoint v3).
+type ArmStats struct {
+	Seed         string  `json:"seed"`
+	PlanMode     string  `json:"plan_mode"`
+	Plays        int     `json:"plays,omitempty"`
+	DeltaYield   float64 `json:"delta_yield,omitempty"`
+	FindingYield float64 `json:"finding_yield,omitempty"`
+	Retired      bool    `json:"retired,omitempty"`
+}
+
+// ScheduleState is the scheduler's checkpoint block: the current round,
+// its already-sampled slot plan, and every arm's statistics. Restoring
+// it continues the schedule byte-identically; the RNG needs no state
+// (round planning reseeds from the campaign seed and round number).
+type ScheduleState struct {
+	Round int        `json:"round"`
+	Plays int        `json:"plays,omitempty"`
+	Plan  []int      `json:"plan"`
+	Arms  []ArmStats `json:"arms"`
+}
+
+// State snapshots the scheduler, or nil if no round was planned yet.
+func (s *Scheduler) State() *ScheduleState {
+	if s == nil || s.plan == nil {
+		return nil
+	}
+	st := &ScheduleState{
+		Round: s.round,
+		Plays: s.plays,
+		Plan:  append([]int(nil), s.plan...),
+	}
+	for i := range s.arms {
+		a := &s.arms[i]
+		st.Arms = append(st.Arms, ArmStats{
+			Seed:         s.names[a.seed],
+			PlanMode:     string(a.mode),
+			Plays:        a.plays,
+			DeltaYield:   a.deltaY,
+			FindingYield: a.findY,
+			Retired:      a.retired,
+		})
+	}
+	return st
+}
+
+// Restore loads a checkpointed schedule. The arm space must match the
+// current configuration exactly — a changed seed pool or plan-fuzz
+// mode makes the persisted statistics meaningless, so mismatches are
+// errors, not silent drift.
+func (s *Scheduler) Restore(st *ScheduleState) error {
+	if st == nil {
+		return nil
+	}
+	if len(st.Arms) != len(s.arms) {
+		return fmt.Errorf("corpus: schedule state has %d arms, config builds %d (seed pool or plan-fuzz mode changed)", len(st.Arms), len(s.arms))
+	}
+	for i := range st.Arms {
+		a, as := &s.arms[i], &st.Arms[i]
+		if as.Seed != s.names[a.seed] || as.PlanMode != string(a.mode) {
+			return fmt.Errorf("corpus: schedule state arm %d is %s/%s, config expects %s/%s",
+				i, as.Seed, as.PlanMode, s.names[a.seed], a.mode)
+		}
+	}
+	if len(st.Plan) != len(s.names) {
+		return fmt.Errorf("corpus: schedule state plan has %d slots, want %d", len(st.Plan), len(s.names))
+	}
+	for _, p := range st.Plan {
+		if p < 0 || p >= len(s.arms) {
+			return fmt.Errorf("corpus: schedule state plan references arm %d of %d", p, len(s.arms))
+		}
+	}
+	for i := range st.Arms {
+		a, as := &s.arms[i], &st.Arms[i]
+		a.plays, a.deltaY, a.findY, a.retired = as.Plays, as.DeltaYield, as.FindingYield, as.Retired
+	}
+	s.round = st.Round
+	s.plays = st.Plays
+	s.plan = append([]int(nil), st.Plan...)
+	return nil
+}

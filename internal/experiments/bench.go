@@ -27,9 +27,12 @@ import (
 // regex-over-log extraction against the structured counter fast path
 // on identical emission streams.
 type BenchReport struct {
-	// SchemaVersion is 2: v1 fields are preserved verbatim; v2 adds the
+	// SchemaVersion is 3: v1 fields are preserved verbatim; v2 added the
 	// GOMAXPROCS×workers×backend scaling matrix, the child-backend
-	// exec-overhead legs, and the interpreter allocation pin.
+	// exec-overhead legs, and the interpreter allocation pin; v3 adds
+	// the power-schedule recall legs (schedule off vs power × plan-fuzz
+	// off vs full, detections and median executions-to-first-detection
+	// against the ground-truth bug catalog).
 	SchemaVersion    int `json:"schema_version"`
 	BudgetExecutions int `json:"budget_executions"`
 	SeedPool         int `json:"seed_pool"`
@@ -70,6 +73,13 @@ type BenchReport struct {
 	PoolSpawnsAvoided       int64   `json:"pool_spawns_avoided,omitempty"`
 	PoolBatches             int64   `json:"pool_batches,omitempty"`
 	PoolMeanBatch           float64 `json:"pool_mean_batch,omitempty"`
+
+	// ScheduleLegs is the v3 scheduling comparison: one ground-truth
+	// recall campaign per (schedule, plan-fuzz) cell at the same budget.
+	// The power rows validate the corpus subsystem's energy allocation:
+	// detected >= the matching off row with a lower (or equal) median
+	// executions-to-first-detection.
+	ScheduleLegs []ScheduleLeg `json:"schedule_legs,omitempty"`
 
 	// InterpAllocsPerOp is the call-heavy interpreter workload's heap
 	// allocations per full run (the number the frame/arg freelists drive
@@ -447,13 +457,22 @@ func BenchCampaign(budget Budget, workers int, opts BenchOptions) *BenchReport {
 		workers = 4
 	}
 	r := &BenchReport{
-		SchemaVersion:    2,
+		SchemaVersion:    3,
 		BudgetExecutions: budget.Executions,
 		SeedPool:         budget.Seeds,
 		Workers:          workers,
 		NumCPU:           runtime.NumCPU(),
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
 	}
+
+	// The schedule legs run before anything else so they execute against
+	// the same fresh process state as `experiments -schedule-recall`:
+	// campaign results are reproducible across fresh processes, but heavy
+	// unrelated in-process work beforehand (warm-up, scaling sweeps) can
+	// shift a marginal detection, and the recorded artifact must match
+	// what the documented command reproduces. They are recall campaigns,
+	// not throughput measurements, so running them cold costs nothing.
+	r.ScheduleLegs = BenchScheduleLegs(budget)
 
 	// Warm-up run so one-time costs (corpus generation, lazy init) do
 	// not land on the first timed configuration.
@@ -525,6 +544,14 @@ func ScalingTable(w io.Writer, r *BenchReport) {
 	if r.PlanGenPerSec > 0 {
 		fmt.Fprintf(w, "Plan fuzzing: %.0f plans/sec generated; differential oracle %8.1f execs/sec over specs vs %8.1f over plans (%.2fx overhead)\n",
 			r.PlanGenPerSec, r.SpecDiffExecsPerSec, r.PlanDiffExecsPerSec, r.PlanDiffOverhead)
+	}
+	if len(r.ScheduleLegs) > 0 {
+		fmt.Fprintln(w, "Power-schedule recall (same budget per leg):")
+		fmt.Fprintf(w, "  %-8s  %-8s  %8s  %8s  %14s\n", "schedule", "planfuzz", "detected", "execs", "medianToDetect")
+		for _, lg := range r.ScheduleLegs {
+			fmt.Fprintf(w, "  %-8s  %-8s  %8d  %8d  %14.0f\n",
+				lg.Schedule, lg.PlanFuzz, lg.Detected, lg.Executions, lg.MedianExecsToDetect)
+		}
 	}
 	fmt.Fprintf(w, "Interpreter: %.0f allocs per call-heavy workload run\n", r.InterpAllocsPerOp)
 }

@@ -497,3 +497,41 @@ func equalStrings(a, b []string) bool {
 	}
 	return true
 }
+
+// TestPowerScheduleHandoffByteIdentical extends the chaos acceptance
+// criterion to the power schedule: the v3 checkpoint hands the bandit's
+// arm statistics and the current round plan to the successor worker, so
+// a mid-campaign kill must still reproduce the uninterrupted local
+// power run byte-for-byte.
+func TestPowerScheduleHandoffByteIdentical(t *testing.T) {
+	spec := fleetSpec()
+	spec.Schedule = "power"
+	want, wantKeys := localBaseline(t, spec)
+
+	e := newEnv(t, envOpts{workers: 2, leaseTTL: 800 * time.Millisecond, hbEvery: 60 * time.Millisecond})
+	e.waitLive(2)
+	var once sync.Once
+	e.setOnTask(func(idx int, job string, done int) {
+		if idx == 0 && done == 3 {
+			once.Do(e.wrkers[0].Kill)
+		}
+	})
+	j, err := e.sched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, e.sched, j.ID(), 5*time.Minute)
+
+	if v.Worker != "w2" {
+		t.Errorf("job finished on %q, want w2 (resumed after w1 died)", v.Worker)
+	}
+	if v.Resumes < 1 {
+		t.Errorf("resumes = %d, want >= 1 (schedule state restored from handoff)", v.Resumes)
+	}
+	if got, wantB := resultJSON(t, v), resultJSON(t, want); !bytes.Equal(got, wantB) {
+		t.Errorf("power result after handoff differs from uninterrupted local run:\ngot  %s\nwant %s", got, wantB)
+	}
+	if gotKeys := reportKeys(t, e.sched, j.ID()); !equalStrings(gotKeys, wantKeys) {
+		t.Errorf("findings after power handoff %v, want %v", gotKeys, wantKeys)
+	}
+}

@@ -12,6 +12,13 @@ import (
 // divergence site to the campaign's finding snapshots.
 const checkpointVersion = 2
 
+// CheckpointVersionScheduled (v3) marks snapshots whose campaign state
+// carries power-schedule arm statistics. The envelope is otherwise
+// identical to v2; campaigns stamp v3 only when a schedule block is
+// present, so schedule-free checkpoints stay byte-identical to
+// pre-schedule builds, and decoding accepts both.
+const CheckpointVersionScheduled = 3
+
 // Checkpoint is a campaign snapshot. The harness owns the envelope
 // (task cursor, execution count, quarantine index); the campaign owns
 // State, an opaque JSON blob with its findings, deltas, per-seed
@@ -30,7 +37,9 @@ type Checkpoint struct {
 // Save writes the checkpoint atomically (temp file + rename), so an
 // interruption mid-flush leaves the previous snapshot intact.
 func (c *Checkpoint) Save(path string) error {
-	c.Version = checkpointVersion
+	if c.Version != CheckpointVersionScheduled {
+		c.Version = checkpointVersion
+	}
 	data, err := json.MarshalIndent(c, "", "  ")
 	if err != nil {
 		return fmt.Errorf("harness: checkpoint encode: %w", err)
@@ -58,8 +67,9 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	if err := json.Unmarshal(data, &c); err != nil {
 		return nil, fmt.Errorf("harness: checkpoint decode: %w", err)
 	}
-	if c.Version != checkpointVersion {
-		return nil, fmt.Errorf("harness: checkpoint version %d, want %d", c.Version, checkpointVersion)
+	if c.Version != checkpointVersion && c.Version != CheckpointVersionScheduled {
+		return nil, fmt.Errorf("harness: checkpoint version %d, want %d or %d",
+			c.Version, checkpointVersion, CheckpointVersionScheduled)
 	}
 	if c.TaskCursor < 0 || c.Executions < 0 {
 		return nil, fmt.Errorf("harness: checkpoint has negative cursor/executions")

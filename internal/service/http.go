@@ -23,6 +23,7 @@ const maxBodyBytes = 8 << 20
 //	DELETE /jobs/{id}          cancel a queued or running job
 //	POST   /jobs/{id}/seeds    add user seed programs to a queued job
 //	GET    /jobs/{id}/findings triage report; ?wait= long-polls, SSE streams
+//	POST   /corpus/distill     score a corpus, return its diverse subset
 //	GET    /metrics            Prometheus text exposition
 //	GET    /healthz            liveness + drain status
 type Server struct {
@@ -39,6 +40,7 @@ func NewServer(s *Scheduler) *Server {
 	srv.mux.HandleFunc("DELETE /jobs/{id}", srv.cancelJob)
 	srv.mux.HandleFunc("POST /jobs/{id}/seeds", srv.addSeeds)
 	srv.mux.HandleFunc("GET /jobs/{id}/findings", srv.findings)
+	srv.mux.HandleFunc("POST /corpus/distill", srv.distillCorpus)
 	srv.mux.HandleFunc("GET /metrics", srv.metrics)
 	srv.mux.HandleFunc("GET /healthz", srv.healthz)
 	return srv
@@ -229,6 +231,29 @@ func (s *Server) streamFindings(w http.ResponseWriter, r *http.Request, j *Job) 
 // writeSSE frames one server-sent event. Data is JSON (single line).
 func writeSSE(w http.ResponseWriter, event string, data []byte) {
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+// distillCorpus serves POST /corpus/distill: validate the submitted
+// corpus exactly like a job submission (malformed seeds are 400, not a
+// dry-run fault), score it, and return the corpus.DistillReport.
+func (s *Server) distillCorpus(w http.ResponseWriter, r *http.Request) {
+	var req DistillRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeDecodeErr(w, fmt.Errorf("decode distill request: %v", err), err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := s.sched.Distill(r.Context(), &req)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {

@@ -83,6 +83,14 @@ type JobSpec struct {
 	// pipeline (byte-identical to pre-plan jobs), "minimal"/"full"
 	// select the fuzzed-plan modes.
 	PlanFuzz string `json:"plan_fuzz,omitempty"`
+	// Schedule selects the campaign's seed-budget policy, mirroring
+	// mopfuzzer -schedule: "" or "off" walks seeds in cursor order
+	// (byte-identical to pre-schedule jobs), "power" allocates round
+	// slots across (seed, plan-mode) arms by scored energy.
+	Schedule string `json:"schedule,omitempty"`
+	// Distill shrinks the seed pool to its maximally-diverse subset
+	// (one profiling dry-run per seed) before fuzzing starts.
+	Distill bool `json:"distill,omitempty"`
 }
 
 // Validate normalizes a submission in place (applying CLI defaults) and
@@ -128,6 +136,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if _, err := jit.ParsePlanMode(s.PlanFuzz); err != nil {
 		return fmt.Errorf("plan_fuzz: %v", err)
+	}
+	if _, err := corpus.ParseScheduleMode(s.Schedule); err != nil {
+		return fmt.Errorf("schedule: %v", err)
 	}
 	for i := range s.Seeds {
 		if s.Seeds[i].Name == "" {
@@ -177,17 +188,20 @@ func (s *JobSpec) Campaign(executor exec.Executor) core.CampaignConfig {
 	fcfg.MaxHeapUnits = s.HeapLimit
 	fcfg.StructuredOBV = true
 	fcfg.Executor = executor
-	// Validate already vetted the mode string; a zero mode keeps the
-	// fixed pipeline.
+	// Validate already vetted the mode strings; zero modes keep the
+	// fixed pipeline and cursor-order scheduling.
 	fcfg.PlanFuzz, _ = jit.ParsePlanMode(s.PlanFuzz)
+	schedule, _ := corpus.ParseScheduleMode(s.Schedule)
 	return core.CampaignConfig{
-		Seeds:    s.pool(),
-		Budget:   s.Budget,
-		Targets:  targets,
-		Fuzz:     fcfg,
-		Seed:     s.Seed,
-		Workers:  s.Workers,
-		Executor: executor,
+		Seeds:        s.pool(),
+		Budget:       s.Budget,
+		Targets:      targets,
+		Fuzz:         fcfg,
+		Seed:         s.Seed,
+		Workers:      s.Workers,
+		Executor:     executor,
+		SeedSchedule: schedule,
+		DistillSeeds: s.Distill,
 	}
 }
 
@@ -340,6 +354,10 @@ type ProgressView struct {
 	Faults             int `json:"faults"`
 	SeedErrors         int `json:"seed_errors,omitempty"`
 	SkippedQuarantined int `json:"skipped_quarantined,omitempty"`
+	// ScheduleArms/ScheduleEnergy mirror the power schedule's live
+	// state (0 and omitted for cursor-order jobs).
+	ScheduleArms   int     `json:"schedule_arms,omitempty"`
+	ScheduleEnergy float64 `json:"schedule_energy,omitempty"`
 }
 
 // JobView is the API rendering of a job: the persisted record plus, for
@@ -427,6 +445,8 @@ func (j *Job) View() JobView {
 			Faults:             j.progress.Faults,
 			SeedErrors:         j.progress.SeedErrors,
 			SkippedQuarantined: j.progress.SkippedQuarantined,
+			ScheduleArms:       j.progress.ScheduleArms,
+			ScheduleEnergy:     j.progress.ScheduleEnergy,
 		}
 	}
 	return v

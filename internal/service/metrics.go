@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/exec"
 	"repro/internal/harness"
 )
@@ -49,6 +50,10 @@ type Metrics struct {
 	jobsQuarantined int64
 	planJobs        int64
 	planFindings    int64
+
+	distillRequests  int64
+	distillSubmitted int64
+	distillKept      int64
 }
 
 // NewMetrics builds a registry. now is the clock seam (nil = wall
@@ -135,6 +140,16 @@ func (m *Metrics) AddPlanFinding() {
 func (m *Metrics) AddJobQuarantined() {
 	m.mu.Lock()
 	m.jobsQuarantined++
+	m.mu.Unlock()
+}
+
+// AddDistill accounts one served /corpus/distill request: submitted
+// seeds in, kept seeds out.
+func (m *Metrics) AddDistill(submitted, kept int) {
+	m.mu.Lock()
+	m.distillRequests++
+	m.distillSubmitted += int64(submitted)
+	m.distillKept += int64(kept)
 	m.mu.Unlock()
 }
 
@@ -253,6 +268,52 @@ func (m *Metrics) Render(w io.Writer, jobs map[JobState]int, tr TriageStats) {
 	fmt.Fprintln(w, "# HELP mopfuzzd_uptime_seconds Seconds since daemon start.")
 	fmt.Fprintln(w, "# TYPE mopfuzzd_uptime_seconds gauge")
 	fmt.Fprintf(w, "mopfuzzd_uptime_seconds %g\n", up)
+}
+
+// RenderCorpus writes the corpus-intelligence series: the daemon-wide
+// parse-cache counters, the distillation endpoint's traffic, and the
+// power-schedule gauges aggregated over running jobs. Always emitted —
+// zeros before any corpus feature is exercised — so dashboards and the
+// CI corpus-smoke assertions can rely on their presence.
+func (m *Metrics) RenderCorpus(w io.Writer, ps corpus.ParseCacheStats, arms int, energy float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_corpus_parsecache_hits_total Seed parses served from the shared parse cache.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_corpus_parsecache_hits_total counter")
+	fmt.Fprintf(w, "mopfuzzd_corpus_parsecache_hits_total %d\n", ps.Hits)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_corpus_parsecache_misses_total Seed parses that had to run the parser.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_corpus_parsecache_misses_total counter")
+	fmt.Fprintf(w, "mopfuzzd_corpus_parsecache_misses_total %d\n", ps.Misses)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_corpus_parsecache_evictions_total Cached parses evicted by the size bound.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_corpus_parsecache_evictions_total counter")
+	fmt.Fprintf(w, "mopfuzzd_corpus_parsecache_evictions_total %d\n", ps.Evictions)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_corpus_parsecache_size Parsed programs currently cached.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_corpus_parsecache_size gauge")
+	fmt.Fprintf(w, "mopfuzzd_corpus_parsecache_size %d\n", ps.Size)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_corpus_distill_requests_total Corpus distillation requests served.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_corpus_distill_requests_total counter")
+	fmt.Fprintf(w, "mopfuzzd_corpus_distill_requests_total %d\n", m.distillRequests)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_corpus_distill_seeds_submitted_total Seeds submitted to the distillation endpoint.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_corpus_distill_seeds_submitted_total counter")
+	fmt.Fprintf(w, "mopfuzzd_corpus_distill_seeds_submitted_total %d\n", m.distillSubmitted)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_corpus_distill_seeds_kept_total Seeds kept by the distillation endpoint.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_corpus_distill_seeds_kept_total counter")
+	fmt.Fprintf(w, "mopfuzzd_corpus_distill_seeds_kept_total %d\n", m.distillKept)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_corpus_sched_arms Power-schedule arms across running jobs.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_corpus_sched_arms gauge")
+	fmt.Fprintf(w, "mopfuzzd_corpus_sched_arms %d\n", arms)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_corpus_sched_energy Total power-schedule energy across running jobs.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_corpus_sched_energy gauge")
+	fmt.Fprintf(w, "mopfuzzd_corpus_sched_energy %g\n", energy)
 }
 
 // RenderExecPool writes the warm-child-pool series. Always emitted —

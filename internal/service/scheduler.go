@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/exec"
 	"repro/internal/harness"
 	"repro/internal/triage"
@@ -122,6 +123,12 @@ type Scheduler struct {
 
 	wg sync.WaitGroup
 
+	// parse is the daemon-wide bounded parse cache shared by every
+	// campaign, so identical seed sources (re-submitted corpora,
+	// resumed jobs) parse once per daemon instead of once per job. Its
+	// hit/miss/eviction counters feed /metrics.
+	parse *corpus.ParseCache
+
 	// poolMu guards the lazily-created daemon-wide warm child pool
 	// shared by every job on the "pool" backend.
 	poolMu   sync.Mutex
@@ -161,6 +168,7 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		metrics: NewMetrics(cfg.Now),
 		broker:  NewBroker(),
 		jobs:    map[string]*Job{},
+		parse:   corpus.NewParseCache(),
 		nextID:  NextID(recs),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -453,6 +461,8 @@ func (s *Scheduler) Report(id string) (*triage.Report, error) {
 func (s *Scheduler) RenderMetrics(w io.Writer) {
 	counts := map[JobState]int{}
 	var tr TriageStats
+	arms := 0
+	energy := 0.0
 	for _, j := range s.JobsInOrder() {
 		j.mu.Lock()
 		counts[j.rec.State]++
@@ -464,6 +474,10 @@ func (s *Scheduler) RenderMetrics(w io.Writer) {
 			tr.Quarantined += j.rec.Triage.Quarantined
 			tr.Errors += j.rec.Triage.Errors
 		}
+		if j.rec.State == StateRunning {
+			arms += j.progress.ScheduleArms
+			energy += j.progress.ScheduleEnergy
+		}
 		w8 := j.tworker
 		j.mu.Unlock()
 		if w8 != nil {
@@ -471,6 +485,7 @@ func (s *Scheduler) RenderMetrics(w io.Writer) {
 		}
 	}
 	s.metrics.Render(w, counts, tr)
+	s.metrics.RenderCorpus(w, s.parse.Stats(), arms, energy)
 	st, live := s.poolStats()
 	RenderExecPool(w, st, live)
 	s.mu.Lock()
@@ -759,6 +774,11 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 	tworker.Start(jctx)
 
 	ccfg := spec.Campaign(executor)
+	ccfg.ParseCache = s.parse
+	// The score cache lives next to the checkpoint: a resumed or
+	// fleet-handed-off power campaign reloads its seed feature vectors
+	// instead of re-profiling the pool.
+	ccfg.ScoreCachePath = s.store.ScoreCachePath(id)
 
 	ckpt := s.store.CheckpointPath(id)
 	hcfg := harness.Config{

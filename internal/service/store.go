@@ -44,6 +44,13 @@ func (st *JobStore) CheckpointPath(id string) string {
 	return filepath.Join(st.JobDir(id), "checkpoint.json")
 }
 
+// ScoreCachePath returns the job's persisted seed-score cache — the
+// corpus feature vectors a resumed power-schedule campaign reloads
+// instead of re-profiling its pool.
+func (st *JobStore) ScoreCachePath(id string) string {
+	return filepath.Join(st.JobDir(id), "scores.json")
+}
+
 // TriageDir returns the job's triage store directory.
 func (st *JobStore) TriageDir(id string) string { return filepath.Join(st.JobDir(id), "triage") }
 
