@@ -25,6 +25,7 @@ func main() {
 	recall := flag.Bool("recall", false, "run the ground-truth recall campaign (extra artifact)")
 	planRecall := flag.Bool("plan-recall", false, "run the recall campaign once per -plan-fuzz mode (off/minimal/full) and report the plan-only bugs")
 	scheduleRecall := flag.Bool("schedule-recall", false, "run the recall campaign per scheduling leg (-schedule off/power x plan-fuzz off/full) and report executions-to-detection")
+	generatorRecall := flag.Bool("generator-recall", false, "run the recall campaign per generator set (randprog-only vs template/style) and report the generator-only bugs")
 	budgetFlag := flag.Int("budget", 0, "execution budget per tool (default per experiment)")
 	seedsFlag := flag.Int("seeds", 0, "seed pool size (default per experiment)")
 	seedFlag := flag.Int64("seed", 1, "campaign random seed")
@@ -145,6 +146,13 @@ func main() {
 		}
 		ran = true
 		experiments.ScheduleRecall(w, budget)
+	}
+	if *generatorRecall {
+		if ran {
+			sep()
+		}
+		ran = true
+		experiments.GeneratorRecall(w, budget)
 	}
 	if *benchJSON != "" {
 		ran = true

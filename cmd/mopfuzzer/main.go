@@ -26,6 +26,12 @@
 //
 //	# score a corpus and print its maximally-diverse subset as JSON
 //	mopfuzzer -seeds 30 -distill -score-cache scores.json
+//
+//	# refresh the corpus between rounds with template + style generators
+//	mopfuzzer -jdk openjdk-17 -seeds 20 -budget 2000 -generators randprog,template,style
+//
+//	# target specific pass interactions; minimized triage findings feed template mining
+//	mopfuzzer -jdk openjdk-17 -budget 2000 -styles boxing-loop,coarsen-store -triage-dir ./bugs
 package main
 
 import (
@@ -42,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/exec"
+	"repro/internal/generate"
 	"repro/internal/harness"
 	"repro/internal/jit"
 	"repro/internal/jvm"
@@ -83,6 +90,9 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	triageDir := flag.String("triage-dir", "", "deduplicate findings by root-cause signature, reduce each new one once, and persist the corpus in this store directory")
 	reportPath := flag.String("report", "", "write a JSON triage report to this file after the campaign (requires -triage-dir)")
+	generators := flag.String("generators", "randprog", "comma-separated corpus generators refreshing the pool between rounds: randprog (baseline, byte-identical alone), template (typed holes in seeds + minimized triage findings), style (composition styles targeting pass interactions)")
+	stylesFlag := flag.String("styles", "", "comma-separated composition styles for the style generator (empty = all registered); naming a style implies -generators=...,style")
+	verbose := flag.Bool("v", false, "verbose campaign summary: parse-cache hit rates and generator emission counts")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -141,6 +151,10 @@ func main() {
 	}
 	schedMode, err := corpus.ParseScheduleMode(*schedule)
 	if err != nil {
+		fatal(err)
+	}
+	genList, styleList := splitList(*generators), splitList(*stylesFlag)
+	if _, err := generate.Normalize(genList, styleList); err != nil {
 		fatal(err)
 	}
 
@@ -204,6 +218,16 @@ func main() {
 		fmt.Println(string(data))
 		return
 	}
+	// Minimized triage findings feed template mining: bugs already found
+	// breed the scenarios that hunt for their neighbors.
+	var extras []string
+	if tstore != nil {
+		tstore.MinimizedPrograms(func(key, program string) bool {
+			extras = append(extras, program)
+			return true
+		})
+	}
+	parsed := corpus.NewParseCache()
 	ccfg := core.CampaignConfig{
 		Seeds:          pool,
 		Budget:         *budget,
@@ -214,9 +238,17 @@ func main() {
 		Executor:       executor,
 		SeedSchedule:   schedMode,
 		ScoreCachePath: *scoreCache,
+		ParseCache:     parsed,
+		Generators:     genList,
+		Styles:         styleList,
+		TemplateExtras: extras,
 	}
 	if tworker != nil {
 		ccfg.OnFinding = func(f core.Finding) { tworker.Submit(f) }
+	}
+	var genSeeds int
+	if *verbose {
+		ccfg.OnProgress = func(p core.Progress) { genSeeds = p.GeneratedSeeds }
 	}
 	res, err := core.RunCampaignContext(ctx, ccfg, hcfg)
 	if err != nil {
@@ -238,8 +270,12 @@ func main() {
 		}
 	}
 	for _, f := range res.Findings {
-		fmt.Printf("  [%6d exec] %-14s %-26s %s (%s, via %s oracle)\n",
-			f.AtExecution, f.Bug.ID, f.Bug.Component, f.Bug.Kind, f.Target.Name(), f.Oracle)
+		gen := ""
+		if f.GeneratorID != "" {
+			gen = ", seed by " + f.GeneratorID
+		}
+		fmt.Printf("  [%6d exec] %-14s %-26s %s (%s, via %s oracle%s)\n",
+			f.AtExecution, f.Bug.ID, f.Bug.Component, f.Bug.Kind, f.Target.Name(), f.Oracle, gen)
 		if *doReduce && f.Program != nil {
 			pipe := &reduce.Pipeline{Executor: executor}
 			reduced := pipe.ReduceFinding(context.Background(), f.Program, f.Bug, f.Target)
@@ -262,6 +298,22 @@ func main() {
 	}
 	if res.SkippedQuarantined > 0 {
 		fmt.Printf("  %d task(s) skipped (quarantined seeds)\n", res.SkippedQuarantined)
+	}
+	if *verbose {
+		st := parsed.Stats()
+		total := st.Hits + st.Misses
+		rate := 0.0
+		if total > 0 {
+			rate = 100 * float64(st.Hits) / float64(total)
+		}
+		fmt.Printf("parse cache: %d hit(s), %d miss(es) (%.1f%% hit rate), %d evicted, %d resident\n",
+			st.Hits, st.Misses, rate, st.Evictions, st.Size)
+		if genSeeds > 0 {
+			fmt.Printf("generators: %d seed(s) emitted into the pool\n", genSeeds)
+		}
+		if len(extras) > 0 {
+			fmt.Printf("generators: %d minimized triage finding(s) mined for templates\n", len(extras))
+		}
 	}
 	if tworker != nil {
 		// Drain the triage queue (reductions may still be running), then
@@ -344,6 +396,17 @@ func fuzzOne(path string, cfg core.Config, doReduce, dump bool) {
 
 func indent(s string) string {
 	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ")
+}
+
+// splitList parses a comma-separated flag into its non-empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

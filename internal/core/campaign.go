@@ -9,6 +9,7 @@ import (
 	"repro/internal/buginject"
 	"repro/internal/corpus"
 	"repro/internal/exec"
+	"repro/internal/generate"
 	"repro/internal/harness"
 	"repro/internal/jit"
 	"repro/internal/jvm"
@@ -75,6 +76,24 @@ type CampaignConfig struct {
 	// restored from a checkpoint is not re-fired; the first snapshot of a
 	// resumed run already carries the restored cumulative totals.
 	OnProgress func(Progress)
+	// Generators selects the program-generator sources that refresh the
+	// seed pool between rounds (see internal/generate): "randprog" (the
+	// baseline random generator), "template" (typed holes punched into
+	// the campaign's own seeds plus TemplateExtras), "style" (grammar
+	// composition styles targeting JIT-pass interactions). Empty — or
+	// just "randprog" — leaves the subsystem off: the pool is static and
+	// the campaign is byte-identical to a pre-generator build, pinned by
+	// test.
+	Generators []string
+	// Styles restricts the "style" generator to the named composition
+	// styles (empty = all registered styles). Naming a style implies the
+	// style generator.
+	Styles []string
+	// TemplateExtras are extra program sources mined for templates beyond
+	// the seed pool — the triage path feeds minimized finding reducers in
+	// here. Unparseable entries are skipped. The set is pinned in the
+	// checkpoint so resume mines identical templates.
+	TemplateExtras []string
 }
 
 // Progress is one incremental campaign snapshot: the cumulative totals
@@ -105,6 +124,10 @@ type Progress struct {
 	// current total live energy. Both zero with scheduling off.
 	ScheduleArms   int
 	ScheduleEnergy float64
+	// GeneratedSeeds counts cumulative generator emissions when the
+	// generator subsystem is on (the mopfuzzd_generate_seeds gauge).
+	// Zero with generators off.
+	GeneratedSeeds int
 }
 
 // Finding is one campaign-level bug detection.
@@ -138,6 +161,11 @@ type Finding struct {
 	// ("default" or a plan ShortID). Empty when the campaign ran without
 	// plan fuzzing — the pre-plan finding shape.
 	PlanID string
+	// GeneratorID names the generator that emitted the seed the finding
+	// surfaced on ("randprog", "template", "style:<name>"). Empty for
+	// baseline-pool seeds and for campaigns without generators — the
+	// pre-generator finding shape.
+	GeneratorID string
 }
 
 // SeedError records a seed the fuzzer rejected (parse/shape problems),
@@ -276,6 +304,27 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 	if err != nil {
 		return nil, err
 	}
+	genNames, err := generate.Normalize(cfg.Generators, cfg.Styles)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resume state decodes up front: the generator subsystem needs the
+	// checkpoint's slot overlay and pinned template extras before the
+	// pool is prepared, while findings/counters restore later (they need
+	// the supervisor). Decoding once keeps both views consistent.
+	var ck *harness.Checkpoint
+	var ckSt *campaignState
+	if hcfg.ResumePath != "" {
+		ck, err = harness.LoadCheckpoint(hcfg.ResumePath)
+		if err != nil {
+			return nil, err
+		}
+		ckSt = &campaignState{}
+		if err := json.Unmarshal(ck.State, ckSt); err != nil {
+			return nil, fmt.Errorf("core: resume state: %w", err)
+		}
+	}
 
 	// Corpus intelligence: scoring feeds both distillation (shrink the
 	// pool to its maximally-diverse subset) and the power schedule.
@@ -310,6 +359,47 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 		}
 	}
 
+	// Generator subsystem: build the configured sources over the
+	// post-distill pool, then (on resume) replay the checkpoint's slot
+	// overlay so the pool matches the interrupted run exactly. Templates
+	// mine the pre-overlay pool — the same sources a fresh run mined —
+	// and the pinned extras come from the checkpoint, so the template
+	// set is identical across resume and handoff.
+	var genRT *genRuntime
+	if genNames != nil {
+		// Round refreshes overwrite pool slots in place; work on a copy
+		// so the caller's slice is untouched.
+		cfg.Seeds = append([]corpus.Seed(nil), cfg.Seeds...)
+		extras := cfg.TemplateExtras
+		if ckSt != nil {
+			if ckSt.Generate == nil {
+				return nil, fmt.Errorf("core: resume: campaign configured with generators but checkpoint has no generator state; resume with -generators=randprog")
+			}
+			extras = ckSt.Generate.Extras
+		}
+		genRT, err = newGenRuntime(cfg, extras)
+		if err != nil {
+			return nil, err
+		}
+		if ckSt != nil {
+			genRT.st = ckSt.Generate.Clone()
+			for _, sl := range genRT.st.Slots {
+				if sl.Index < 0 || sl.Index >= len(cfg.Seeds) {
+					return nil, fmt.Errorf("core: resume: generator slot index %d out of range (pool has %d seeds)", sl.Index, len(cfg.Seeds))
+				}
+				cfg.Seeds[sl.Index] = corpus.Seed{Name: sl.Name, Source: sl.Source, Gen: sl.Gen}
+				if sched != nil {
+					sched.ReplaceSeed(sl.Index, sl.Name)
+				}
+			}
+		}
+		if sched != nil {
+			sched.EnableGenerators(genRT.ids())
+		}
+	} else if ckSt != nil && ckSt.Generate != nil {
+		return nil, fmt.Errorf("core: resume: checkpoint carries generator state; resume with the same -generators configuration")
+	}
+
 	sup, err := harness.New(hcfg)
 	if err != nil {
 		return nil, err
@@ -320,12 +410,8 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 	cursor := 0 // global task index == RNG cursor
 	roundProgressed := false
 
-	if hcfg.ResumePath != "" {
-		ck, err := harness.LoadCheckpoint(hcfg.ResumePath)
-		if err != nil {
-			return nil, err
-		}
-		if err := restoreCampaign(ck, sup, res, seen, weights, &cursor, &roundProgressed, sched); err != nil {
+	if ck != nil {
+		if err := restoreCampaign(ck, ckSt, sup, res, seen, weights, &cursor, &roundProgressed, sched); err != nil {
 			return nil, err
 		}
 		res.Resumed = true
@@ -340,7 +426,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 		// Checkpoint failures must not kill the campaign — the next
 		// flush retries with fresh state — but they must not be silent
 		// either: count them and keep the last message for the report.
-		if err := saveCampaign(hcfg.CheckpointPath, sup, res, seen, weights, cursor, roundProgressed, sched); err != nil {
+		if err := saveCampaign(hcfg.CheckpointPath, sup, res, seen, weights, cursor, roundProgressed, sched, genRT); err != nil {
 			res.CheckpointErrors++
 			res.LastCheckpointError = err.Error()
 		}
@@ -397,7 +483,11 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 		}
 	}
 	roundLen := 0
-	if sched != nil {
+	if sched != nil || genRT != nil {
+		// Both the schedule's slot plan and the generator pool refresh
+		// are written on the campaign goroutine at round boundaries; the
+		// engine's round barrier makes those writes happen-before any
+		// worker reads tasks of the round.
 		roundLen = nSeeds
 	}
 	eng := newEngine(ctx, sup, cfg.Workers, cursor, roundLen, mkTask)
@@ -417,6 +507,13 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 				break // a full round made no progress: the pool is dead
 			}
 			roundProgressed = false
+		}
+		if genRT != nil && i == 0 && round > genRT.st.LastRound {
+			// Round-boundary corpus refresh, before the round is planned
+			// or any of its tasks dispatched. On resume the restored
+			// LastRound and slot overlay already describe this round, so
+			// the refresh is not replayed.
+			genRT.refreshPool(round, cfg.Seeds, cfg.Seed, sched)
 		}
 
 		seedIdx := i
@@ -446,6 +543,9 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 				// every arm of it (energy pinned to zero).
 				sched.RetireSeed(seedIdx)
 				sched.Observe(cursor, 0, 0)
+				if seed.Gen != "" {
+					sched.ObserveGen(seed.Gen, 0, 0)
+				}
 			}
 		case out.Fault != nil:
 			res.Faults = append(res.Faults, out.Fault)
@@ -456,6 +556,9 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 				// arm retires now.
 				sched.RetireSeed(seedIdx)
 				sched.Observe(cursor, 0, 0)
+				if seed.Gen != "" {
+					sched.ObserveGen(seed.Gen, 0, 0)
+				}
 			}
 		case out.Err != nil:
 			if ctx.Err() != nil {
@@ -468,6 +571,9 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 			res.SeedErrors = append(res.SeedErrors, SeedError{SeedName: seed.Name, Round: round, Err: out.Err.Error()})
 			if sched != nil {
 				sched.Observe(cursor, 0, 0)
+				if seed.Gen != "" {
+					sched.ObserveGen(seed.Gen, 0, 0)
+				}
 			}
 		default:
 			fr := out.Value.(*FuzzResult)
@@ -487,6 +593,11 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 					}
 				}
 				sched.Observe(cursor, fr.FinalDelta, nBugs)
+				if seed.Gen != "" {
+					// Credit the generator bandit arm with the same yield
+					// the (seed, plan) arm earned.
+					sched.ObserveGen(seed.Gen, fr.FinalDelta, nBugs)
+				}
 			}
 			if fr.HeapExhaustions > 0 {
 				taskFault = reportHeapExhaustion(sup, seed, taskKey, round, fr)
@@ -520,6 +631,7 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 					OBV:         fr.FinalOBV,
 					Divergence:  fd.Divergence,
 					PlanID:      fd.PlanID,
+					GeneratorID: seed.Gen,
 				}
 				// Every occurrence streams to the triage hook — duplicates
 				// of an already-seen bug are exactly what a triage layer
@@ -551,6 +663,9 @@ func RunCampaignContext(ctx context.Context, cfg CampaignConfig, hcfg harness.Co
 			if sched != nil {
 				pr.ScheduleArms = sched.ArmCount()
 				pr.ScheduleEnergy = sched.TotalEnergy()
+			}
+			if genRT != nil {
+				pr.GeneratedSeeds = genRT.generated()
 			}
 			cfg.OnProgress(pr)
 		}
@@ -592,8 +707,9 @@ func reportHeapExhaustion(sup *harness.Supervisor, seed corpus.Seed, taskKey str
 // campaignState is the campaign-owned slice of a checkpoint: everything
 // needed to continue a run with byte-identical results. The schedule
 // block (checkpoint v3) is present exactly when the campaign runs the
-// power schedule, so off-mode checkpoints remain byte-identical to
-// pre-schedule ones.
+// power schedule, and the generate block (checkpoint v4) exactly when
+// the generator subsystem is on, so off-mode checkpoints remain
+// byte-identical to older builds.
 type campaignState struct {
 	TaskCursor         int                           `json:"task_cursor"`
 	RoundProgressed    bool                          `json:"round_progressed"`
@@ -607,6 +723,7 @@ type campaignState struct {
 	Faults             []*harness.Fault              `json:"faults,omitempty"`
 	Weights            map[string]map[string]float64 `json:"weights,omitempty"`
 	Schedule           *corpus.ScheduleState         `json:"schedule,omitempty"`
+	Generate           *generate.State               `json:"generate,omitempty"`
 }
 
 // findingSnapshot is the JSON form of a Finding: bugs by catalog ID,
@@ -631,6 +748,7 @@ type findingSnapshot struct {
 	OBV           []int64               `json:"obv,omitempty"`
 	Divergence    *divergenceSnapshot   `json:"divergence,omitempty"`
 	PlanID        string                `json:"plan_id,omitempty"`
+	GeneratorID   string                `json:"generator_id,omitempty"`
 }
 
 // divergenceSnapshot serializes a jvm.Divergence by spec name, the same
@@ -646,7 +764,7 @@ type divergenceSnapshot struct {
 
 func saveCampaign(path string, sup *harness.Supervisor, res *CampaignResult,
 	seen map[string]bool, weights map[string]map[string]float64, cursor int, roundProgressed bool,
-	sched *corpus.Scheduler) error {
+	sched *corpus.Scheduler, genRT *genRuntime) error {
 	st := campaignState{
 		TaskCursor:         cursor,
 		RoundProgressed:    roundProgressed,
@@ -658,6 +776,7 @@ func saveCampaign(path string, sup *harness.Supervisor, res *CampaignResult,
 		Faults:             res.Faults,
 		Weights:            weights,
 		Schedule:           sched.State(),
+		Generate:           genRT.state(),
 	}
 	for id := range seen {
 		st.SeenBugs = append(st.SeenBugs, id)
@@ -677,6 +796,7 @@ func saveCampaign(path string, sup *harness.Supervisor, res *CampaignResult,
 			Round:         f.Round,
 			ChainLen:      f.ChainLen,
 			PlanID:        f.PlanID,
+			GeneratorID:   f.GeneratorID,
 		}
 		if f.OBV.Total() > 0 {
 			fs.OBV = f.OBV.Slice()
@@ -705,21 +825,20 @@ func saveCampaign(path string, sup *harness.Supervisor, res *CampaignResult,
 		Quarantined: sup.Q.IDs(),
 		State:       raw,
 	}
-	if st.Schedule != nil {
-		// Schedule-bearing snapshots stamp the v3 envelope; plain ones
-		// keep v2 so off-mode checkpoints stay byte-identical.
+	if st.Generate != nil {
+		// Generator-bearing snapshots stamp v4; schedule-only ones v3;
+		// plain ones keep v2 so off-mode checkpoints stay byte-identical.
+		ck.Version = harness.CheckpointVersionGenerate
+	} else if st.Schedule != nil {
 		ck.Version = harness.CheckpointVersionScheduled
 	}
 	return ck.Save(path)
 }
 
-func restoreCampaign(ck *harness.Checkpoint, sup *harness.Supervisor, res *CampaignResult,
+func restoreCampaign(ck *harness.Checkpoint, stp *campaignState, sup *harness.Supervisor, res *CampaignResult,
 	seen map[string]bool, weights map[string]map[string]float64, cursor *int, roundProgressed *bool,
 	sched *corpus.Scheduler) error {
-	var st campaignState
-	if err := json.Unmarshal(ck.State, &st); err != nil {
-		return fmt.Errorf("core: resume state: %w", err)
-	}
+	st := *stp
 	if st.Schedule != nil && sched == nil {
 		return fmt.Errorf("core: resume: checkpoint carries power-schedule state; resume with the schedule set to power")
 	}
@@ -762,6 +881,7 @@ func restoreCampaign(ck *harness.Checkpoint, sup *harness.Supervisor, res *Campa
 			Round:       fs.Round,
 			ChainLen:    fs.ChainLen,
 			PlanID:      fs.PlanID,
+			GeneratorID: fs.GeneratorID,
 		}
 		if fs.OBV != nil {
 			obv, err := profile.OBVFromSlice(fs.OBV)

@@ -12,10 +12,13 @@ import (
 	"repro/internal/lang"
 )
 
-// Seed is one corpus entry.
+// Seed is one corpus entry. Gen is generator provenance ("template",
+// "style:<name>", "randprog") for seeds emitted by internal/generate;
+// empty for the baseline pool.
 type Seed struct {
 	Name   string
 	Source string
+	Gen    string
 }
 
 // TryParse parses the seed's source, returning an error for malformed

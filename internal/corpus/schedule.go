@@ -88,6 +88,17 @@ type armState struct {
 	retired bool    // quarantined seed: energy pinned to zero
 }
 
+// genArm is one generator bandit arm: which seed source earns the
+// between-round corpus-refresh slots. Arms exist only when the campaign
+// runs the generator subsystem (EnableGenerators), so plain power
+// checkpoints stay byte-identical to v3.
+type genArm struct {
+	id     string // generator ID ("randprog", "template", "style:<name>")
+	plays  int
+	deltaY float64
+	findY  float64
+}
+
 // Scheduler is the campaign power schedule: a deterministic UCB-style
 // bandit over (seed, plan-mode) arms. One round allocates len(seeds)
 // slots (the same task count as cursor order, so budget accounting and
@@ -111,6 +122,9 @@ type Scheduler struct {
 	round int
 	plan  []int // arm index per slot; len == len(names) once planned
 	plays int
+	// Generator arms (nil without the generator subsystem).
+	gens     []genArm
+	genPlays int
 }
 
 // NewScheduler builds a scheduler over the seed pool. names and
@@ -163,6 +177,83 @@ func (s *Scheduler) decayArms() {
 	for i := range s.arms {
 		s.arms[i].deltaY *= yieldDecay
 		s.arms[i].findY *= yieldDecay
+	}
+	for i := range s.gens {
+		s.gens[i].deltaY *= yieldDecay
+		s.gens[i].findY *= yieldDecay
+	}
+}
+
+// EnableGenerators adds one bandit arm per seed generator, in the given
+// (deterministic) order. Called once, before the first round.
+func (s *Scheduler) EnableGenerators(ids []string) {
+	s.gens = make([]genArm, len(ids))
+	for i, id := range ids {
+		s.gens[i] = genArm{id: id}
+	}
+}
+
+// ObserveGen credits one finished task's yield to the generator that
+// emitted its seed. Tasks on baseline-pool seeds (no generator
+// provenance) never reach here.
+func (s *Scheduler) ObserveGen(id string, delta float64, findings int) {
+	for i := range s.gens {
+		if s.gens[i].id != id {
+			continue
+		}
+		a := &s.gens[i]
+		a.plays++
+		s.genPlays++
+		if delta > 0 {
+			a.deltaY += delta / (1 + delta)
+		}
+		a.findY += float64(findings)
+		return
+	}
+}
+
+// PickGen chooses the generator for refresh slot k: unplayed arms are
+// drained round-robin (k indexes into them, so a multi-slot refresh
+// spreads cold arms across slots instead of stacking one), then the arm
+// with the best decayed yield x UCB score wins. Deterministic (argmax,
+// no RNG draw) so refresh decisions replay identically from restored
+// statistics.
+func (s *Scheduler) PickGen(k int) string {
+	var unplayed []int
+	for i := range s.gens {
+		if s.gens[i].plays == 0 {
+			unplayed = append(unplayed, i)
+		}
+	}
+	if len(unplayed) > 0 {
+		return s.gens[unplayed[k%len(unplayed)]].id
+	}
+	best, bestScore := -1, math.Inf(-1)
+	for i := range s.gens {
+		a := &s.gens[i]
+		score := (1 + a.deltaY + findingWeight*a.findY) / float64(a.plays) *
+			(1 + math.Sqrt(2*math.Log(float64(1+s.genPlays))/float64(1+a.plays)))
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		return ""
+	}
+	return s.gens[best].id
+}
+
+// ReplaceSeed renames seed index's arms to a refreshed (generated) seed
+// and resets their statistics: a new program is a cold arm, and a
+// quarantined slot comes back alive. The slot keeps its diversity prior
+// (generated seeds are not re-scored mid-campaign).
+func (s *Scheduler) ReplaceSeed(seedIndex int, name string) {
+	s.names[seedIndex] = name
+	for i := range s.arms {
+		if s.arms[i].seed == seedIndex {
+			a := &s.arms[i]
+			a.plays, a.deltaY, a.findY, a.retired = 0, 0, 0, false
+		}
 	}
 }
 
@@ -304,6 +395,18 @@ type ScheduleState struct {
 	Plays int        `json:"plays,omitempty"`
 	Plan  []int      `json:"plan"`
 	Arms  []ArmStats `json:"arms"`
+	// Generator arms (checkpoint v4); omitted without the generator
+	// subsystem so v3 snapshots round-trip byte-identically.
+	GenArms  []GenArmStats `json:"gen_arms,omitempty"`
+	GenPlays int           `json:"gen_plays,omitempty"`
+}
+
+// GenArmStats is one generator arm's serialized statistics.
+type GenArmStats struct {
+	ID           string  `json:"id"`
+	Plays        int     `json:"plays,omitempty"`
+	DeltaYield   float64 `json:"delta_yield,omitempty"`
+	FindingYield float64 `json:"finding_yield,omitempty"`
 }
 
 // State snapshots the scheduler, or nil if no round was planned yet.
@@ -327,6 +430,16 @@ func (s *Scheduler) State() *ScheduleState {
 			Retired:      a.retired,
 		})
 	}
+	for i := range s.gens {
+		a := &s.gens[i]
+		st.GenArms = append(st.GenArms, GenArmStats{
+			ID:           a.id,
+			Plays:        a.plays,
+			DeltaYield:   a.deltaY,
+			FindingYield: a.findY,
+		})
+	}
+	st.GenPlays = s.genPlays
 	return st
 }
 
@@ -356,12 +469,27 @@ func (s *Scheduler) Restore(st *ScheduleState) error {
 			return fmt.Errorf("corpus: schedule state plan references arm %d of %d", p, len(s.arms))
 		}
 	}
+	if st.GenArms != nil {
+		if len(st.GenArms) != len(s.gens) {
+			return fmt.Errorf("corpus: schedule state has %d generator arms, config builds %d (generator set changed)", len(st.GenArms), len(s.gens))
+		}
+		for i := range st.GenArms {
+			if st.GenArms[i].ID != s.gens[i].id {
+				return fmt.Errorf("corpus: schedule state generator arm %d is %s, config expects %s", i, st.GenArms[i].ID, s.gens[i].id)
+			}
+		}
+	}
 	for i := range st.Arms {
 		a, as := &s.arms[i], &st.Arms[i]
 		a.plays, a.deltaY, a.findY, a.retired = as.Plays, as.DeltaYield, as.FindingYield, as.Retired
 	}
+	for i := range st.GenArms {
+		a, as := &s.gens[i], &st.GenArms[i]
+		a.plays, a.deltaY, a.findY = as.Plays, as.DeltaYield, as.FindingYield
+	}
 	s.round = st.Round
 	s.plays = st.Plays
+	s.genPlays = st.GenPlays
 	s.plan = append([]int(nil), st.Plan...)
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/bytecode"
@@ -27,12 +28,14 @@ import (
 // regex-over-log extraction against the structured counter fast path
 // on identical emission streams.
 type BenchReport struct {
-	// SchemaVersion is 3: v1 fields are preserved verbatim; v2 added the
+	// SchemaVersion is 4: v1 fields are preserved verbatim; v2 added the
 	// GOMAXPROCS×workers×backend scaling matrix, the child-backend
-	// exec-overhead legs, and the interpreter allocation pin; v3 adds
+	// exec-overhead legs, and the interpreter allocation pin; v3 added
 	// the power-schedule recall legs (schedule off vs power × plan-fuzz
 	// off vs full, detections and median executions-to-first-detection
-	// against the ground-truth bug catalog).
+	// against the ground-truth bug catalog); v4 adds the generator
+	// recall legs (randprog-only vs template/style generator sets at
+	// the same budget).
 	SchemaVersion    int `json:"schema_version"`
 	BudgetExecutions int `json:"budget_executions"`
 	SeedPool         int `json:"seed_pool"`
@@ -80,6 +83,13 @@ type BenchReport struct {
 	// detected >= the matching off row with a lower (or equal) median
 	// executions-to-first-detection.
 	ScheduleLegs []ScheduleLeg `json:"schedule_legs,omitempty"`
+
+	// GeneratorLegs is the v4 generator comparison: one ground-truth
+	// recall campaign per generator set at the same budget. The
+	// template/style rows validate the generate subsystem's scenario
+	// diversity: catalog bugs reached that the fixed randprog pool (row
+	// 0) misses.
+	GeneratorLegs []GeneratorLeg `json:"generator_legs,omitempty"`
 
 	// InterpAllocsPerOp is the call-heavy interpreter workload's heap
 	// allocations per full run (the number the frame/arg freelists drive
@@ -457,7 +467,7 @@ func BenchCampaign(budget Budget, workers int, opts BenchOptions) *BenchReport {
 		workers = 4
 	}
 	r := &BenchReport{
-		SchemaVersion:    3,
+		SchemaVersion:    4,
 		BudgetExecutions: budget.Executions,
 		SeedPool:         budget.Seeds,
 		Workers:          workers,
@@ -473,6 +483,10 @@ func BenchCampaign(budget Budget, workers int, opts BenchOptions) *BenchReport {
 	// what the documented command reproduces. They are recall campaigns,
 	// not throughput measurements, so running them cold costs nothing.
 	r.ScheduleLegs = BenchScheduleLegs(budget)
+	// The generator legs are recall campaigns too, and the same
+	// reproducibility argument applies: run them cold, before the timing
+	// legs, so `experiments -generator-recall` reproduces the artifact.
+	r.GeneratorLegs = BenchGeneratorLegs(budget)
 
 	// Warm-up run so one-time costs (corpus generation, lazy init) do
 	// not land on the first timed configuration.
@@ -551,6 +565,14 @@ func ScalingTable(w io.Writer, r *BenchReport) {
 		for _, lg := range r.ScheduleLegs {
 			fmt.Fprintf(w, "  %-8s  %-8s  %8d  %8d  %14.0f\n",
 				lg.Schedule, lg.PlanFuzz, lg.Detected, lg.Executions, lg.MedianExecsToDetect)
+		}
+	}
+	if len(r.GeneratorLegs) > 0 {
+		fmt.Fprintln(w, "Generator recall (same budget per leg):")
+		fmt.Fprintf(w, "  %-28s  %8s  %8s  %14s  %8s\n", "generators", "detected", "execs", "medianToDetect", "genHits")
+		for _, lg := range r.GeneratorLegs {
+			fmt.Fprintf(w, "  %-28s  %8d  %8d  %14.0f  %8d\n",
+				strings.Join(lg.Generators, "+"), lg.Detected, lg.Executions, lg.MedianExecsToDetect, lg.GeneratorDetections)
 		}
 	}
 	fmt.Fprintf(w, "Interpreter: %.0f allocs per call-heavy workload run\n", r.InterpAllocsPerOp)

@@ -535,3 +535,47 @@ func TestPowerScheduleHandoffByteIdentical(t *testing.T) {
 		t.Errorf("findings after power handoff %v, want %v", gotKeys, wantKeys)
 	}
 }
+
+// TestGeneratorHandoffByteIdentical extends the handoff criterion to
+// the generator subsystem: the v4 checkpoint carries emission counts,
+// slot provenance, and the pinned template extras, so a mid-campaign
+// kill with generators enabled must still reproduce the uninterrupted
+// local run byte-for-byte — even though the successor worker's triage
+// store saw a different history.
+func TestGeneratorHandoffByteIdentical(t *testing.T) {
+	spec := fleetSpec()
+	spec.Schedule = "power"
+	spec.Generators = []string{"randprog", "template", "style"}
+	spec.Styles = []string{"boxing-loop", "coarsen-store"}
+	want, wantKeys := localBaseline(t, spec)
+
+	e := newEnv(t, envOpts{workers: 2, leaseTTL: 800 * time.Millisecond, hbEvery: 60 * time.Millisecond})
+	e.waitLive(2)
+	var once sync.Once
+	e.setOnTask(func(idx int, job string, done int) {
+		// Kill after task 6: with a 3-seed pool the first refresh (round
+		// boundary 1) has happened, so the handed-off checkpoint carries
+		// live generator state, not an empty block.
+		if idx == 0 && done == 6 {
+			once.Do(e.wrkers[0].Kill)
+		}
+	})
+	j, err := e.sched.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitDone(t, e.sched, j.ID(), 5*time.Minute)
+
+	if v.Worker != "w2" {
+		t.Errorf("job finished on %q, want w2 (resumed after w1 died)", v.Worker)
+	}
+	if v.Resumes < 1 {
+		t.Errorf("resumes = %d, want >= 1 (generator state restored from handoff)", v.Resumes)
+	}
+	if got, wantB := resultJSON(t, v), resultJSON(t, want); !bytes.Equal(got, wantB) {
+		t.Errorf("generator result after handoff differs from uninterrupted local run:\ngot  %s\nwant %s", got, wantB)
+	}
+	if gotKeys := reportKeys(t, e.sched, j.ID()); !equalStrings(gotKeys, wantKeys) {
+		t.Errorf("findings after generator handoff %v, want %v", gotKeys, wantKeys)
+	}
+}

@@ -389,6 +389,10 @@ func (w *Worker) campaign(jctx context.Context, asg Assignment) (*core.CampaignR
 	w.lastExecs = 0 // fresh campaign: do not leak the previous job's count
 	w.mu.Unlock()
 	ccfg := spec.Campaign(executor)
+	// Template extras come from the local triage store, but on handoff
+	// the checkpoint's pinned extras override them inside core, so two
+	// workers resuming the same lease generate identical pools.
+	ccfg.TemplateExtras = spec.TemplateExtras(tstore)
 	ccfg.OnProgress = func(p core.Progress) {
 		// Executions snapshot for heartbeats; progress callbacks run on
 		// the campaign goroutine, heartbeat reads on the ticker's.

@@ -1,0 +1,241 @@
+package generate
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/buginject"
+	"repro/internal/corpus"
+	"repro/internal/exec"
+	"repro/internal/generate/styles"
+	"repro/internal/jvm"
+	"repro/internal/lang"
+	"repro/internal/profile"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		gens, sty []string
+		want      string // comma-joined, "" = subsystem off
+		wantErr   bool
+	}{
+		{nil, nil, "", false},
+		{[]string{"randprog"}, nil, "", false},
+		{[]string{"randprog", "", "randprog"}, nil, "", false},
+		{[]string{"template"}, nil, "template", false},
+		{[]string{"randprog", "template"}, nil, "randprog,template", false},
+		{[]string{"style"}, nil, "style", false},
+		// Naming a style implies the style generator.
+		{nil, []string{"boxing-loop"}, "style", false},
+		{[]string{"template"}, []string{"boxing-loop"}, "template,style", false},
+		{[]string{"wat"}, nil, "", true},
+		{nil, []string{"wat"}, "", true},
+	}
+	for _, tc := range cases {
+		got, err := Normalize(tc.gens, tc.sty)
+		if tc.wantErr != (err != nil) {
+			t.Fatalf("Normalize(%v, %v): err=%v, wantErr=%v", tc.gens, tc.sty, err, tc.wantErr)
+		}
+		if strings.Join(got, ",") != tc.want {
+			t.Fatalf("Normalize(%v, %v) = %v, want %q", tc.gens, tc.sty, got, tc.want)
+		}
+	}
+}
+
+func TestBuildExpandsStyles(t *testing.T) {
+	gens, err := Build(Config{Generators: []string{"style"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != len(styles.All()) {
+		t.Fatalf("got %d generators, want one per style (%d)", len(gens), len(styles.All()))
+	}
+	sty := []string{"coarsen-store", "boxing-loop"}
+	gens, err = Build(Config{Styles: sty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0].ID() != "style:boxing-loop" || gens[1].ID() != "style:coarsen-store" {
+		t.Fatalf("selected styles built %v", ids(gens))
+	}
+	if sty[0] != "coarsen-store" {
+		t.Fatal("Build mutated the caller's style slice")
+	}
+	if _, err := Build(Config{Generators: []string{"nope"}}); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if off, err := Build(Config{Generators: []string{"randprog"}}); err != nil || off != nil {
+		t.Fatalf("randprog-only should normalize to subsystem-off, got %v, %v", off, err)
+	}
+}
+
+func ids(gens []Generator) []string {
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = g.ID()
+	}
+	return out
+}
+
+// allGenerators builds one of everything, template mining the default
+// pool plus one extra.
+func allGenerators(t *testing.T) []Generator {
+	t.Helper()
+	gens, err := Build(Config{
+		Generators:      []string{"randprog", "template", "style"},
+		TemplateSources: corpus.DefaultPool(6, 11),
+		TemplateExtras:  []string{corpus.MotivatingSeed, "not a program {{{"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gens
+}
+
+// TestEmissionsDeterministic: same (campaignSeed, seq) → byte-identical
+// seeds; emissions are pure functions, the property resume and fleet
+// handoff rely on.
+func TestEmissionsDeterministic(t *testing.T) {
+	for _, g := range allGenerators(t) {
+		a := g.Generate(42, 3, 4)
+		b := g.Generate(42, 3, 4)
+		if len(a) != 4 || len(b) != 4 {
+			t.Fatalf("%s: emitted %d/%d seeds, want 4", g.ID(), len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: emission %d differs across identical calls", g.ID(), i)
+			}
+			if a[i].Gen != g.ID() {
+				t.Fatalf("%s: emission carries Gen=%q", g.ID(), a[i].Gen)
+			}
+		}
+		// A batch starting at seq+1 must reproduce the overlapping suffix:
+		// Generate(seed, 3, 4)[1:] == Generate(seed, 4, 3).
+		c := g.Generate(42, 4, 3)
+		for i := range c {
+			if c[i].Source != a[i+1].Source {
+				t.Fatalf("%s: emission at seq %d not a pure function of (seed, seq)", g.ID(), 4+i)
+			}
+		}
+	}
+}
+
+// TestEmissionsParseCheckRoundTrip: every emission parses, passes sema,
+// and print→parse→print is a fixed point — the round-trip guarantee the
+// campaign needs before fuzzing generated seeds (satellite: hole
+// instantiation stresses print/parse paths randprog never hits).
+func TestEmissionsParseCheckRoundTrip(t *testing.T) {
+	for _, g := range allGenerators(t) {
+		for _, s := range g.Generate(7, 0, 8) {
+			p, err := s.TryParse()
+			if err != nil {
+				t.Fatalf("%s: emission %s does not parse: %v\n%s", g.ID(), s.Name, err, s.Source)
+			}
+			if err := lang.Check(p); err != nil {
+				t.Fatalf("%s: emission %s fails sema: %v\n%s", g.ID(), s.Name, err, s.Source)
+			}
+			once := lang.Format(p)
+			p2, err := lang.Parse(once)
+			if err != nil {
+				t.Fatalf("%s: formatted %s does not re-parse: %v\n%s", g.ID(), s.Name, err, once)
+			}
+			if again := lang.Format(p2); again != once {
+				t.Fatalf("%s: print/parse round-trip not a fixed point for %s", g.ID(), s.Name)
+			}
+		}
+	}
+}
+
+// TestTemplateMiningDeterministic: same sources → same templates, and
+// minimized findings (extras) become templates too.
+func TestTemplateMiningDeterministic(t *testing.T) {
+	pool := corpus.DefaultPool(5, 3)
+	extras := []string{corpus.MotivatingSeed}
+	a, err := NewTemplateGenerator(pool, extras, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTemplateGenerator(pool, extras, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Templates() != b.Templates() {
+		t.Fatalf("template counts differ: %d vs %d", a.Templates(), b.Templates())
+	}
+	if a.Templates() != len(pool)+1 {
+		t.Fatalf("mined %d templates from %d sources + 1 extra", a.Templates(), len(pool))
+	}
+	ha, hb := a.Holes(), b.Holes()
+	for name, n := range ha {
+		if hb[name] != n {
+			t.Fatalf("hole count for %s differs: %d vs %d", name, n, hb[name])
+		}
+		if n == 0 {
+			t.Fatalf("template %s has no holes", name)
+		}
+	}
+	// Unparseable extras are skipped, empty mining is an error.
+	if g, err := NewTemplateGenerator(pool, []string{"garbage }{"}, nil); err != nil || g.Templates() != len(pool) {
+		t.Fatalf("unparseable extra not skipped: %v", err)
+	}
+	if _, err := NewTemplateGenerator(nil, []string{"garbage }{"}, nil); err == nil {
+		t.Fatal("empty template set accepted")
+	}
+}
+
+// TestTemplateFillersRun: a statement filler wired by the caller (the
+// campaign passes the mutator stack) is actually invoked and its edits
+// survive when they type-check.
+func TestTemplateFillersRun(t *testing.T) {
+	called := 0
+	g, err := NewTemplateGenerator(corpus.DefaultPool(4, 9), nil, []StmtFiller{
+		func(p *lang.Program, loc *lang.Location, rng *rand.Rand) bool {
+			called++
+			return false // decline: built-in fallback must still produce valid programs
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := g.Generate(1, 0, 10)
+	if called == 0 {
+		t.Fatal("statement filler never invoked across 10 emissions")
+	}
+	for _, s := range seeds {
+		if _, err := s.TryParse(); err != nil {
+			t.Fatalf("emission with declining filler invalid: %v", err)
+		}
+	}
+}
+
+// TestStyleTargetsObserved is the style smoke: executing each style's
+// programs on the clean reference VM must light up every targeted OBV
+// behavior — proof the style reaches the passes it names.
+func TestStyleTargetsObserved(t *testing.T) {
+	for _, sp := range styles.All() {
+		g := &StyleGenerator{Spec: sp}
+		var got profile.OBV
+		for _, s := range g.Generate(5, 0, 6) {
+			p := s.Parse()
+			er, err := exec.InProcess{}.Execute(context.Background(), p, jvm.Reference(), jvm.Options{
+				Flags:         profile.DefaultFlags(),
+				ForceCompile:  true,
+				MaxSteps:      3_000_000,
+				StructuredOBV: true,
+				Bugs:          []*buginject.Bug{},
+			})
+			if err != nil {
+				t.Fatalf("style %s: %s failed: %v\n%s", sp.Name, s.Name, err, s.Source)
+			}
+			got = got.Add(er.OBV)
+		}
+		for _, b := range sp.Targets {
+			if got[b] == 0 {
+				t.Errorf("style %s: target behavior %s never observed (OBV %v)", sp.Name, b.String(), got)
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package generate
+
+// State is the generator subsystem's block in the campaign checkpoint
+// (version 4). Emission counts plus the current pool overlay are enough
+// for a resumed process — possibly on another fleet worker — to rebuild
+// the exact pool and continue emitting the same stream: generators are
+// pure functions of (campaign seed, emission index).
+type State struct {
+	// Emitted counts lifetime emissions per generator ID. The next
+	// emission from generator g draws index Emitted[g].
+	Emitted map[string]int `json:"emitted"`
+	// Slots is the current pool overlay: which corpus indices hold
+	// generated seeds and what they contain. Recorded verbatim so resume
+	// does not have to replay the refresh history.
+	Slots []Slot `json:"slots,omitempty"`
+	// LastRound is the highest round whose boundary refresh has run.
+	LastRound int `json:"last_round"`
+	// Extras pins the template-mining extras (reduced programs from the
+	// triage store) captured at campaign start. The store may grow while
+	// the campaign runs; resume and handoff must mine the same set.
+	Extras []string `json:"extras,omitempty"`
+}
+
+// Slot is one corpus index overwritten by a generated seed.
+type Slot struct {
+	Index  int    `json:"index"`
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Gen    string `json:"gen"`
+}
+
+// Clone deep-copies the state (checkpoint snapshots must not alias the
+// live maps).
+func (s *State) Clone() *State {
+	if s == nil {
+		return nil
+	}
+	c := &State{LastRound: s.LastRound}
+	if s.Emitted != nil {
+		c.Emitted = make(map[string]int, len(s.Emitted))
+		for k, v := range s.Emitted {
+			c.Emitted[k] = v
+		}
+	}
+	c.Slots = append([]Slot(nil), s.Slots...)
+	c.Extras = append([]string(nil), s.Extras...)
+	return c
+}

@@ -1,0 +1,34 @@
+package generate
+
+import (
+	"fmt"
+
+	"repro/internal/corpus"
+	"repro/internal/generate/styles"
+)
+
+// StyleGenerator emits programs in one composition style. Each selected
+// style is its own Generator (ID "style:<name>") so the power schedule
+// sees per-style arms and the recall experiment attributes detections
+// per style.
+type StyleGenerator struct {
+	Spec styles.Spec
+}
+
+// ID implements Generator.
+func (g *StyleGenerator) ID() string { return "style:" + g.Spec.Name }
+
+// Generate implements Generator.
+func (g *StyleGenerator) Generate(campaignSeed int64, seq, n int) []corpus.Seed {
+	id := g.ID()
+	out := make([]corpus.Seed, 0, n)
+	for k := 0; k < n; k++ {
+		rng := emissionRNG(id, campaignSeed, seq+k)
+		out = append(out, corpus.Seed{
+			Name:   fmt.Sprintf("%s%04d", g.Spec.Code, seq+k+1),
+			Source: g.Spec.Generate(rng),
+			Gen:    id,
+		})
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+// Package styles defines grammar-level composition styles (after Zhou
+// et al., "Targeted Testing of Compiler Optimizations via Grammar-Level
+// Composition Styles"): each style biases the production choices of a
+// small program grammar so that the constructs a chosen set of JIT
+// passes interact on are co-located in one compilation unit, instead of
+// hoping random generation stumbles on the combination.
+//
+// A style names its target optimization behaviors; the style smoke test
+// executes style-generated programs on the clean reference VM and
+// asserts the OBV observes every target — a style that stops reaching
+// its passes fails loudly.
+package styles
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/profile"
+)
+
+// Spec is one composition style.
+type Spec struct {
+	// Name is the stable style identifier used in -styles= and in the
+	// "style:<name>" generator ID.
+	Name string
+	// Code tags generated seed names (short, letters only).
+	Code string
+	// Desc is the one-line human description.
+	Desc string
+	// Targets lists the optimization behaviors the style co-locates.
+	// Generated programs must light every one of them up in the OBV of a
+	// profiled run (pinned by the style smoke test).
+	Targets []profile.Behavior
+	// weights biases the body-statement grammar: production name →
+	// relative weight. Productions with weight 0 never fire; the shared
+	// filler productions keep every program a plausible workload.
+	weights []weighted
+	// wrap post-processes the hot body: loop nesting, adjacent sync
+	// regions — the structural half of the style.
+	wrap func(g *gen, body string) string
+}
+
+type weighted struct {
+	prod   string
+	weight int
+}
+
+// All returns the style registry in canonical order.
+func All() []Spec { return registry }
+
+// Names returns the style names in canonical order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName looks a style up.
+func ByName(name string) (Spec, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+var registry = []Spec{
+	{
+		Name: "loopnest-sync-escape",
+		Code: "Lse",
+		Desc: "nested counted loops x synchronized regions on a non-escaping allocation (lock elimination x escape analysis x loop opts)",
+		Targets: []profile.Behavior{
+			profile.BUnroll, profile.BLockElim, profile.BEscapeNone, profile.BScalarReplace,
+		},
+		weights: []weighted{
+			{"sync_local", 4}, {"accumulate", 2}, {"field", 1}, {"local", 1},
+		},
+		wrap: wrapLoopNest,
+	},
+	{
+		Name: "inline-sync-exception",
+		Code: "Ise",
+		Desc: "deep call chain into a synchronized callee under a try/throw (inlining x monitor rewiring x exception paths)",
+		Targets: []profile.Behavior{
+			profile.BInline, profile.BInlineSync,
+		},
+		weights: []weighted{
+			{"chain_call", 4}, {"try_throw", 3}, {"accumulate", 2}, {"local", 1},
+		},
+		wrap: wrapLoop,
+	},
+	{
+		Name: "boxing-loop",
+		Code: "Box",
+		Desc: "autobox/unbox traffic inside counted loops (autobox elimination x loop opts)",
+		Targets: []profile.Behavior{
+			profile.BAutoboxElim, profile.BUnroll,
+		},
+		weights: []weighted{
+			{"box_unbox", 4}, {"accumulate", 2}, {"local", 1},
+		},
+		wrap: wrapLoop,
+	},
+	{
+		Name: "coarsen-store",
+		Code: "Cst",
+		Desc: "adjacent synchronized regions on one monitor with repeated stores (lock coarsening x redundant store elimination)",
+		Targets: []profile.Behavior{
+			profile.BLockCoarsen, profile.BRedundantStore,
+		},
+		weights: []weighted{
+			{"sync_pair", 4}, {"store_store", 3}, {"accumulate", 1},
+		},
+		wrap: wrapLoop,
+	},
+}
+
+// gen holds the per-program generation state.
+type gen struct {
+	rng  *rand.Rand
+	vars []string
+	n    int
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.n++
+	return fmt.Sprintf("%s%d", prefix, g.n)
+}
+
+func (g *gen) pickVar() string { return g.vars[g.rng.Intn(len(g.vars))] }
+
+func (g *gen) intExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return g.pickVar()
+		}
+		return fmt.Sprintf("%d", g.rng.Intn(63)+1)
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	return fmt.Sprintf("(%s %s %s)", g.intExpr(depth-1), ops[g.rng.Intn(len(ops))], g.intExpr(depth-1))
+}
+
+// production emits one body statement for the named production.
+func (g *gen) production(b *strings.Builder, prod, indent string) {
+	switch prod {
+	case "sync_local":
+		// Allocation that never escapes the iteration, locked and
+		// scalar-replaceable: the lock-elim x escape-analysis interaction.
+		fmt.Fprintf(b, "%sS o = new S();\n", indent)
+		fmt.Fprintf(b, "%ssynchronized (o) {\n", indent)
+		fmt.Fprintf(b, "%s  o.g = %s;\n", indent, g.intExpr(1))
+		fmt.Fprintf(b, "%s  %s = %s + o.g;\n", indent, g.pickVar(), g.pickVar())
+		fmt.Fprintf(b, "%s}\n", indent)
+	case "sync_pair":
+		// Back-to-back regions on the same monitor: the coarsening shape.
+		fmt.Fprintf(b, "%ssynchronized (this) {\n", indent)
+		fmt.Fprintf(b, "%s  this.g = %s;\n", indent, g.intExpr(1))
+		fmt.Fprintf(b, "%s}\n", indent)
+		fmt.Fprintf(b, "%ssynchronized (this) {\n", indent)
+		fmt.Fprintf(b, "%s  %s = %s + this.g;\n", indent, g.pickVar(), g.pickVar())
+		fmt.Fprintf(b, "%s}\n", indent)
+	case "store_store":
+		// Same target stored twice with no intervening read: RSE bait.
+		v := g.pickVar()
+		fmt.Fprintf(b, "%sthis.g = %s;\n", indent, g.intExpr(1))
+		fmt.Fprintf(b, "%sthis.g = %s + 1;\n", indent, v)
+	case "chain_call":
+		// The sync inliner only rewires monitors when the call IS the
+		// statement expression and the callee is a one-return synchronized
+		// method — emit that exact shape, plus a chain call for depth.
+		v := g.fresh("v")
+		fmt.Fprintf(b, "%sint %s = this.locked(%s);\n", indent, v, g.intExpr(1))
+		fmt.Fprintf(b, "%s%s = %s + this.c1(%s);\n", indent, g.pickVar(), g.pickVar(), v)
+		g.vars = append(g.vars, v)
+	case "try_throw":
+		v := g.pickVar()
+		fmt.Fprintf(b, "%stry {\n", indent)
+		fmt.Fprintf(b, "%s  if (%s > %d) {\n", indent, v, g.rng.Intn(40)+20)
+		fmt.Fprintf(b, "%s    throw %s;\n", indent, v)
+		fmt.Fprintf(b, "%s  }\n", indent)
+		fmt.Fprintf(b, "%s  %s = %s + 1;\n", indent, v, v)
+		fmt.Fprintf(b, "%s} catch (e) {\n", indent)
+		fmt.Fprintf(b, "%s  %s = e & 255;\n", indent, v)
+		fmt.Fprintf(b, "%s}\n", indent)
+	case "box_unbox":
+		bx := g.fresh("b")
+		fmt.Fprintf(b, "%sInteger %s = Integer.valueOf(%s);\n", indent, bx, g.intExpr(1))
+		fmt.Fprintf(b, "%s%s = %s + %s.intValue();\n", indent, g.pickVar(), g.pickVar(), bx)
+	case "field":
+		fmt.Fprintf(b, "%sthis.g = %s;\n", indent, g.intExpr(1))
+	case "local":
+		v := g.fresh("v")
+		fmt.Fprintf(b, "%sint %s = %s;\n", indent, v, g.intExpr(2))
+		g.vars = append(g.vars, v)
+	case "accumulate":
+		fmt.Fprintf(b, "%s%s = %s %s %s;\n", indent, g.pickVar(), g.pickVar(),
+			[]string{"+", "-", "^"}[g.rng.Intn(3)], g.intExpr(1))
+	default:
+		panic("styles: unknown production " + prod)
+	}
+}
+
+// wrapLoop puts the body inside one counted loop with a literal trip
+// count (the shape the loop passes recognize).
+func wrapLoop(g *gen, body string) string {
+	trips := []int{8, 16, 32}[g.rng.Intn(3)]
+	lv := g.fresh("k")
+	var b strings.Builder
+	fmt.Fprintf(&b, "    for (int %s = 0; %s < %d; %s += 1) {\n", lv, lv, trips, lv)
+	b.WriteString(body)
+	b.WriteString("    }\n")
+	return b.String()
+}
+
+// wrapLoopNest nests two counted loops around the body.
+func wrapLoopNest(g *gen, body string) string {
+	outer, inner := []int{4, 6, 8}[g.rng.Intn(3)], []int{8, 16}[g.rng.Intn(2)]
+	ov, iv := g.fresh("k"), g.fresh("k")
+	var b strings.Builder
+	fmt.Fprintf(&b, "    for (int %s = 0; %s < %d; %s += 1) {\n", ov, ov, outer, ov)
+	fmt.Fprintf(&b, "      for (int %s = 0; %s < %d; %s += 1) {\n", iv, iv, inner, iv)
+	b.WriteString(body)
+	b.WriteString("      }\n")
+	b.WriteString("    }\n")
+	return b.String()
+}
+
+// Generate emits one program in this style. The output is a valid
+// mini-Java program whose hot method co-locates the style's constructs;
+// determinism comes from the caller-provided RNG.
+func (s Spec) Generate(rng *rand.Rand) string {
+	g := &gen{rng: rng, vars: []string{"i", "acc"}}
+
+	total := 0
+	for _, w := range s.weights {
+		total += w.weight
+	}
+	var body strings.Builder
+	indent := "        "
+	if s.wrap == nil {
+		indent = "    "
+	}
+	nStmts := 3 + rng.Intn(3)
+	for i := 0; i < nStmts; i++ {
+		x := rng.Intn(total)
+		for _, w := range s.weights {
+			x -= w.weight
+			if x < 0 {
+				g.production(&body, w.prod, indent)
+				break
+			}
+		}
+	}
+	hot := body.String()
+	if s.wrap != nil {
+		hot = s.wrap(g, hot)
+	}
+
+	trips := 1000 + rng.Intn(4)*250
+	var b strings.Builder
+	b.WriteString("class S {\n")
+	b.WriteString("  int g;\n")
+	b.WriteString("  static int sg;\n")
+	b.WriteString("  static void main() {\n")
+	b.WriteString("    S s = new S();\n")
+	fmt.Fprintf(&b, "    s.g = %d;\n", rng.Intn(50)+1)
+	b.WriteString("    long total = 0;\n")
+	fmt.Fprintf(&b, "    for (int i = 0; i < %d; i += 1) {\n", trips)
+	b.WriteString("      total = total + s.work(i);\n")
+	b.WriteString("    }\n")
+	b.WriteString("    print(total);\n")
+	b.WriteString("    print(s.g);\n")
+	b.WriteString("  }\n")
+	b.WriteString("  int work(int i) {\n")
+	b.WriteString("    int acc = i;\n")
+	b.WriteString(hot)
+	b.WriteString("    S.sg = S.sg + 1;\n")
+	b.WriteString("    return acc;\n")
+	b.WriteString("  }\n")
+	b.WriteString("  synchronized int locked(int x) { return this.g + x; }\n")
+	b.WriteString("  int c1(int x) { return this.c2(x) + 1; }\n")
+	b.WriteString("  int c2(int x) { return this.locked(x & 15); }\n")
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -19,6 +19,13 @@ const checkpointVersion = 2
 // pre-schedule builds, and decoding accepts both.
 const CheckpointVersionScheduled = 3
 
+// CheckpointVersionGenerate (v4) marks snapshots whose campaign state
+// carries generator-subsystem state (emission counts, pool-slot
+// overlay, pinned template extras). Same envelope; campaigns stamp v4
+// only when a generate block is present, so generator-free checkpoints
+// stay byte-identical to older builds.
+const CheckpointVersionGenerate = 4
+
 // Checkpoint is a campaign snapshot. The harness owns the envelope
 // (task cursor, execution count, quarantine index); the campaign owns
 // State, an opaque JSON blob with its findings, deltas, per-seed
@@ -37,7 +44,7 @@ type Checkpoint struct {
 // Save writes the checkpoint atomically (temp file + rename), so an
 // interruption mid-flush leaves the previous snapshot intact.
 func (c *Checkpoint) Save(path string) error {
-	if c.Version != CheckpointVersionScheduled {
+	if c.Version != CheckpointVersionScheduled && c.Version != CheckpointVersionGenerate {
 		c.Version = checkpointVersion
 	}
 	data, err := json.MarshalIndent(c, "", "  ")
@@ -67,9 +74,9 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	if err := json.Unmarshal(data, &c); err != nil {
 		return nil, fmt.Errorf("harness: checkpoint decode: %w", err)
 	}
-	if c.Version != checkpointVersion && c.Version != CheckpointVersionScheduled {
-		return nil, fmt.Errorf("harness: checkpoint version %d, want %d or %d",
-			c.Version, checkpointVersion, CheckpointVersionScheduled)
+	if c.Version != checkpointVersion && c.Version != CheckpointVersionScheduled && c.Version != CheckpointVersionGenerate {
+		return nil, fmt.Errorf("harness: checkpoint version %d, want %d, %d, or %d",
+			c.Version, checkpointVersion, CheckpointVersionScheduled, CheckpointVersionGenerate)
 	}
 	if c.TaskCursor < 0 || c.Executions < 0 {
 		return nil, fmt.Errorf("harness: checkpoint has negative cursor/executions")

@@ -1,0 +1,157 @@
+package lang
+
+import (
+	"testing"
+)
+
+// allPositionsSrc covers every statement-nesting shape a Location can
+// point into: plain blocks, if/else arms, for and while bodies,
+// synchronized bodies, try/catch arms, and a nested bare block.
+const allPositionsSrc = `
+class R {
+  int f;
+  static void main() {
+    R r = new R();
+    int acc = 0;
+    if (acc < 1) {
+      acc = acc + 1;
+    } else {
+      acc = acc + 2;
+    }
+    for (int i = 0; i < 10; i += 1) {
+      while (acc < 5) {
+        acc = acc + r.bump(i);
+      }
+    }
+    synchronized (r) {
+      {
+        acc = acc + 1;
+      }
+    }
+    try {
+      acc = acc / acc;
+    } catch (e) {
+      acc = 0;
+    }
+    print(acc);
+  }
+  int bump(int i) {
+    return i + this.f;
+  }
+}
+`
+
+// TestReplaceAtEveryStatementPosition replaces the statement at every
+// location in the program — including ones nested inside if arms, loop
+// bodies, synchronized blocks, and catch arms — with a fresh statement,
+// and requires each mutated program to survive ReassignIDs and a full
+// print/parse/check round-trip. This is the exact operation template
+// hole instantiation performs (internal/generate), pinned at the lang
+// layer.
+func TestReplaceAtEveryStatementPosition(t *testing.T) {
+	base := mustChecked(t, allPositionsSrc)
+	n := len(Statements(base))
+	if n < 16 {
+		t.Fatalf("expected a rich position set, got %d", n)
+	}
+	for pos := 0; pos < n; pos++ {
+		clone := CloneProgram(base)
+		locs := Statements(clone)
+		loc := locs[pos]
+		if _, isBlock := loc.Stmt.(*Block); isBlock {
+			continue // bare blocks are containers, not replacement targets
+		}
+		// Replacing a declaration orphans later uses of its variable, and
+		// replacing a return can leave a value-returning method without
+		// one, so those positions only get the structural guarantees.
+		checkable := true
+		switch loc.Stmt.(type) {
+		case *VarDecl, *Return:
+			checkable = false
+		}
+		repl := &Print{E: &IntLit{V: 42}}
+		ReassignIDs(clone, repl)
+		loc.Replace(repl)
+		if loc.Parent.Stmts[loc.Index] != Stmt(repl) {
+			t.Fatalf("pos %d: Replace did not install the new statement", pos)
+		}
+		// The replacement is findable by its new ID at the same spot.
+		found := Find(clone, repl.ID())
+		if found == nil {
+			t.Fatalf("pos %d: replacement not findable by ID", pos)
+		}
+		if found.Parent != loc.Parent || found.Index != loc.Index {
+			t.Fatalf("pos %d: replacement found at wrong location", pos)
+		}
+		out := Format(clone)
+		rt, err := Parse(out)
+		if err != nil {
+			t.Fatalf("pos %d: reparse after replace: %v\n%s", pos, err, out)
+		}
+		if checkable {
+			if err := Check(rt); err != nil {
+				t.Fatalf("pos %d: recheck after replace: %v\n%s", pos, err, out)
+			}
+		}
+		if Format(rt) != out {
+			t.Fatalf("pos %d: print/parse round-trip not stable", pos)
+		}
+	}
+}
+
+// TestReplaceKeepsSiblingStatements pins that Replace touches only its
+// slot: siblings before and after keep their identity and order, at
+// every depth of the enclosing chain.
+func TestReplaceKeepsSiblingStatements(t *testing.T) {
+	base := mustChecked(t, allPositionsSrc)
+	for pos, ref := range Statements(base) {
+		if _, isBlock := ref.Stmt.(*Block); isBlock {
+			continue
+		}
+		clone := CloneProgram(base)
+		loc := Statements(clone)[pos]
+		before := append([]Stmt(nil), loc.Parent.Stmts...)
+		repl := &Print{E: &IntLit{V: 1}}
+		ReassignIDs(clone, repl)
+		loc.Replace(repl)
+		after := loc.Parent.Stmts
+		if len(after) != len(before) {
+			t.Fatalf("pos %d: sibling count changed: %d -> %d", pos, len(before), len(after))
+		}
+		for i := range after {
+			if i == loc.Index {
+				continue
+			}
+			if after[i] != before[i] {
+				t.Fatalf("pos %d: sibling %d replaced along with the target", pos, i)
+			}
+		}
+	}
+}
+
+// TestStatementsEnclosingChains pins the Enclosing invariants template
+// extraction relies on when typing a hole: the chain starts at the
+// method body, ends at the direct parent block, and the Parent/Index
+// pair always addresses Stmt.
+func TestStatementsEnclosingChains(t *testing.T) {
+	p := mustChecked(t, allPositionsSrc)
+	for i, loc := range Statements(p) {
+		if len(loc.Enclosing) == 0 {
+			t.Fatalf("loc %d: empty enclosing chain", i)
+		}
+		if loc.Enclosing[0] != Stmt(loc.Method.Body) {
+			t.Errorf("loc %d: chain does not start at the method body", i)
+		}
+		if loc.Enclosing[len(loc.Enclosing)-1] != Stmt(loc.Parent) {
+			t.Errorf("loc %d: chain does not end at the parent block", i)
+		}
+		if loc.Parent.Stmts[loc.Index] != loc.Stmt {
+			t.Errorf("loc %d: Parent/Index does not address Stmt", i)
+		}
+		// Find on the statement's ID reconstructs the same address.
+		found := Find(p, loc.Stmt.ID())
+		if found == nil || found.Parent != loc.Parent || found.Index != loc.Index {
+			t.Errorf("loc %d: Find disagrees with Statements", i)
+		}
+	}
+}

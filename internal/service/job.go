@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/exec"
+	"repro/internal/generate"
 	"repro/internal/jit"
 	"repro/internal/jvm"
 	"repro/internal/triage"
@@ -91,6 +92,15 @@ type JobSpec struct {
 	// Distill shrinks the seed pool to its maximally-diverse subset
 	// (one profiling dry-run per seed) before fuzzing starts.
 	Distill bool `json:"distill,omitempty"`
+	// Generators selects the corpus generators that refresh the seed
+	// pool between rounds, mirroring mopfuzzer -generators: "randprog"
+	// (baseline; alone it is byte-identical to a generator-free job),
+	// "template", "style". Empty keeps the subsystem off.
+	Generators []string `json:"generators,omitempty"`
+	// Styles restricts the style generator to the named composition
+	// styles, mirroring mopfuzzer -styles; naming one implies the style
+	// generator.
+	Styles []string `json:"styles,omitempty"`
 }
 
 // Validate normalizes a submission in place (applying CLI defaults) and
@@ -139,6 +149,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if _, err := corpus.ParseScheduleMode(s.Schedule); err != nil {
 		return fmt.Errorf("schedule: %v", err)
+	}
+	if _, err := generate.Normalize(s.Generators, s.Styles); err != nil {
+		return fmt.Errorf("generators: %v", err)
 	}
 	for i := range s.Seeds {
 		if s.Seeds[i].Name == "" {
@@ -202,7 +215,35 @@ func (s *JobSpec) Campaign(executor exec.Executor) core.CampaignConfig {
 		Executor:     executor,
 		SeedSchedule: schedule,
 		DistillSeeds: s.Distill,
+		Generators:   append([]string(nil), s.Generators...),
+		Styles:       append([]string(nil), s.Styles...),
 	}
+}
+
+// GeneratorsOn reports whether the (validated) spec enables the
+// generator subsystem — i.e. whether its generator set normalizes to
+// anything beyond the baseline.
+func (s *JobSpec) GeneratorsOn() bool {
+	gens, err := generate.Normalize(s.Generators, s.Styles)
+	return err == nil && gens != nil
+}
+
+// TemplateExtras gathers the triage store's minimized reproducers for
+// template mining — the found-bugs-breed-scenarios feed. Nil when the
+// spec's generators are off. Both execution sites (the local runner and
+// the fleet worker) call this against the job's own store; on resume
+// the checkpoint's pinned extras take precedence in core, so handoffs
+// stay byte-identical regardless of what either store holds now.
+func (s *JobSpec) TemplateExtras(store *triage.Store) []string {
+	if !s.GeneratorsOn() {
+		return nil
+	}
+	var out []string
+	store.MinimizedPrograms(func(_, program string) bool {
+		out = append(out, program)
+		return true
+	})
+	return out
 }
 
 // specs parses the validated target names.
@@ -233,6 +274,7 @@ type FindingSummary struct {
 	Round       int    `json:"round"`
 	ChainLen    int    `json:"chain_len"`
 	PlanID      string `json:"plan_id,omitempty"`
+	GeneratorID string `json:"generator_id,omitempty"`
 }
 
 // ResultSummary is the deterministic digest of a finished campaign: it
@@ -286,6 +328,7 @@ func summarizeFinding(f *core.Finding) FindingSummary {
 		Round:       f.Round,
 		ChainLen:    f.ChainLen,
 		PlanID:      f.PlanID,
+		GeneratorID: f.GeneratorID,
 	}
 	if f.Bug != nil {
 		fs.BugID, fs.Component, fs.Kind = f.Bug.ID, f.Bug.Component, f.Bug.Kind.String()
@@ -358,6 +401,9 @@ type ProgressView struct {
 	// state (0 and omitted for cursor-order jobs).
 	ScheduleArms   int     `json:"schedule_arms,omitempty"`
 	ScheduleEnergy float64 `json:"schedule_energy,omitempty"`
+	// GeneratedSeeds counts generator emissions into the pool so far (0
+	// and omitted for generator-free jobs).
+	GeneratedSeeds int `json:"generated_seeds,omitempty"`
 }
 
 // JobView is the API rendering of a job: the persisted record plus, for
@@ -447,6 +493,7 @@ func (j *Job) View() JobView {
 			SkippedQuarantined: j.progress.SkippedQuarantined,
 			ScheduleArms:       j.progress.ScheduleArms,
 			ScheduleEnergy:     j.progress.ScheduleEnergy,
+			GeneratedSeeds:     j.progress.GeneratedSeeds,
 		}
 	}
 	return v
@@ -456,6 +503,8 @@ func copySpec(s JobSpec) JobSpec {
 	cp := s
 	cp.Targets = append([]string(nil), s.Targets...)
 	cp.Seeds = append([]SeedSpec(nil), s.Seeds...)
+	cp.Generators = append([]string(nil), s.Generators...)
+	cp.Styles = append([]string(nil), s.Styles...)
 	return cp
 }
 

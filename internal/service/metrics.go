@@ -50,6 +50,9 @@ type Metrics struct {
 	jobsQuarantined int64
 	planJobs        int64
 	planFindings    int64
+	genJobs         int64
+	genSeeds        int64
+	genFindings     int64
 
 	distillRequests  int64
 	distillSubmitted int64
@@ -132,6 +135,32 @@ func (m *Metrics) AddPlanJob() {
 func (m *Metrics) AddPlanFinding() {
 	m.mu.Lock()
 	m.planFindings++
+	m.mu.Unlock()
+}
+
+// AddGenerateJob accounts one accepted job with the generator
+// subsystem enabled (generators beyond the randprog baseline).
+func (m *Metrics) AddGenerateJob() {
+	m.mu.Lock()
+	m.genJobs++
+	m.mu.Unlock()
+}
+
+// AddGeneratedSeeds accounts n generator emissions into job pools.
+func (m *Metrics) AddGeneratedSeeds(n int) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.genSeeds += int64(n)
+	m.mu.Unlock()
+}
+
+// AddGenerateFinding accounts one finding occurrence whose seed came
+// from a generator (pre-dedup).
+func (m *Metrics) AddGenerateFinding() {
+	m.mu.Lock()
+	m.genFindings++
 	m.mu.Unlock()
 }
 
@@ -224,6 +253,18 @@ func (m *Metrics) Render(w io.Writer, jobs map[JobState]int, tr TriageStats) {
 	fmt.Fprintln(w, "# HELP mopfuzzd_planfuzz_findings_total Finding occurrences from the plan-vs-plan differential oracle (pre-dedup).")
 	fmt.Fprintln(w, "# TYPE mopfuzzd_planfuzz_findings_total counter")
 	fmt.Fprintf(w, "mopfuzzd_planfuzz_findings_total %d\n", m.planFindings)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_generate_jobs_total Accepted jobs with corpus generators enabled.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_generate_jobs_total counter")
+	fmt.Fprintf(w, "mopfuzzd_generate_jobs_total %d\n", m.genJobs)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_generate_seeds_total Generator emissions refreshed into job pools.")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_generate_seeds_total counter")
+	fmt.Fprintf(w, "mopfuzzd_generate_seeds_total %d\n", m.genSeeds)
+
+	fmt.Fprintln(w, "# HELP mopfuzzd_generate_findings_total Finding occurrences on generator-emitted seeds (pre-dedup).")
+	fmt.Fprintln(w, "# TYPE mopfuzzd_generate_findings_total counter")
+	fmt.Fprintf(w, "mopfuzzd_generate_findings_total %d\n", m.genFindings)
 
 	fmt.Fprintln(w, "# HELP mopfuzzd_faults_total Harness faults by class.")
 	fmt.Fprintln(w, "# TYPE mopfuzzd_faults_total counter")

@@ -40,6 +40,11 @@ func TestMetricsRender(t *testing.T) {
 	m.AddFault("crash")
 	m.AddFault("timeout")
 	m.AddJobAccepted()
+	m.AddGenerateJob()
+	m.AddGeneratedSeeds(4)
+	m.AddGeneratedSeeds(0)  // ignored
+	m.AddGeneratedSeeds(-1) // ignored
+	m.AddGenerateFinding()
 	for _, d := range []float64{0, 1, 3, 100, 1e6} {
 		m.ObserveDelta(d)
 	}
@@ -55,6 +60,9 @@ func TestMetricsRender(t *testing.T) {
 	wantLine(t, out, `mopfuzzd_executions_total 50`)
 	wantLine(t, out, `mopfuzzd_executions_per_second 5`)
 	wantLine(t, out, `mopfuzzd_findings_total 2`)
+	wantLine(t, out, `mopfuzzd_generate_jobs_total 1`)
+	wantLine(t, out, `mopfuzzd_generate_seeds_total 4`)
+	wantLine(t, out, `mopfuzzd_generate_findings_total 1`)
 	wantLine(t, out, `mopfuzzd_faults_total{class="crash"} 2`)
 	wantLine(t, out, `mopfuzzd_faults_total{class="timeout"} 1`)
 	// Every known class appears even at zero, so dashboards can rely on
@@ -118,4 +126,6 @@ func TestMetricsZeroSafe(t *testing.T) {
 	wantLine(t, out, `mopfuzzd_executions_per_second 0`)
 	wantLine(t, out, `mopfuzzd_triage_dedup_hit_ratio 0`)
 	wantLine(t, out, `mopfuzzd_obv_delta_bucket{le="+Inf"} 0`)
+	wantLine(t, out, `mopfuzzd_generate_jobs_total 0`)
+	wantLine(t, out, `mopfuzzd_generate_seeds_total 0`)
 }

@@ -331,6 +331,9 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if spec.PlanFuzz != "" && spec.PlanFuzz != "off" {
 		s.metrics.AddPlanJob()
 	}
+	if spec.GeneratorsOn() {
+		s.metrics.AddGenerateJob()
+	}
 	s.cond.Signal()
 	return j, nil
 }
@@ -779,6 +782,11 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 	// fleet-handed-off power campaign reloads its seed feature vectors
 	// instead of re-profiling the pool.
 	ccfg.ScoreCachePath = s.store.ScoreCachePath(id)
+	// Minimized triage reproducers from this job's store feed template
+	// extraction. On resume the checkpoint's pinned extras win inside
+	// core, so handoff stays byte-identical even though the local store
+	// may have accumulated more reductions since.
+	ccfg.TemplateExtras = spec.TemplateExtras(tstore)
 
 	ckpt := s.store.CheckpointPath(id)
 	hcfg := harness.Config{
@@ -802,9 +810,19 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 	}
 	// Both hooks run on the campaign goroutine in cursor order, so the
 	// metric stream and the SSE stream are deterministic per job.
+	// Generated-seed counts restored from a checkpoint are prior work;
+	// baseline on the first callback (-1 sentinel) so only fresh
+	// emissions move the gauge.
+	lastGen := -1
 	ccfg.OnProgress = func(p core.Progress) {
 		s.metrics.AddExecutions(p.Executions - lastExec)
 		lastExec = p.Executions
+		if lastGen < 0 {
+			lastGen = p.GeneratedSeeds
+		} else if p.GeneratedSeeds > lastGen {
+			s.metrics.AddGeneratedSeeds(p.GeneratedSeeds - lastGen)
+			lastGen = p.GeneratedSeeds
+		}
 		if p.HasDelta {
 			s.metrics.ObserveDelta(p.Delta)
 		}
@@ -819,6 +837,9 @@ func (s *Scheduler) runJob(ctx context.Context, j *Job) {
 		s.metrics.AddFinding()
 		if f.Oracle == "plan-differential" {
 			s.metrics.AddPlanFinding()
+		}
+		if f.GeneratorID != "" {
+			s.metrics.AddGenerateFinding()
 		}
 		tworker.Submit(f)
 		fs := summarizeFinding(&f)

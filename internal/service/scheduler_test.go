@@ -234,3 +234,41 @@ func TestSchedulerRunnersBound(t *testing.T) {
 		t.Errorf("second job started at %d before first finished at %d with 1 runner", vb.Started, va.Finished)
 	}
 }
+
+func TestSchedulerGeneratorJob(t *testing.T) {
+	s := newTestScheduler(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	spec := smallSpec()
+	spec.Generators = []string{"randprog", "template"}
+	spec.Styles = []string{"boxing-loop"}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitTerminal(t, s, j.ID(), 3*time.Minute)
+	if v.State != StateDone {
+		t.Fatalf("state = %s (error %q), want done", v.State, v.Error)
+	}
+	var sb strings.Builder
+	s.RenderMetrics(&sb)
+	out := sb.String()
+	wantLine(t, out, "mopfuzzd_generate_jobs_total 1")
+	if strings.Contains(out, "mopfuzzd_generate_seeds_total 0\n") {
+		t.Errorf("generated-seed metric stayed at zero\n---\n%s", out)
+	}
+
+	// A baseline-only job leaves the generate counters untouched.
+	j2, err := s.Submit(JobSpec{SeedCount: 2, Budget: 20, Seed: 5, Generators: []string{"randprog"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waitTerminal(t, s, j2.ID(), 3*time.Minute).State != StateDone {
+		t.Fatal("baseline-only generator job did not finish")
+	}
+	sb.Reset()
+	s.RenderMetrics(&sb)
+	wantLine(t, sb.String(), "mopfuzzd_generate_jobs_total 1")
+}

@@ -193,6 +193,8 @@ func TestJobSpecValidateRejections(t *testing.T) {
 		{"unknown backend", JobSpec{Backend: "quantum"}, "backend"},
 		{"empty seed", JobSpec{Seeds: []SeedSpec{{Name: "S"}}}, "empty source"},
 		{"malformed seed", JobSpec{Seeds: []SeedSpec{{Name: "S", Source: "class {"}}}, "seed"},
+		{"unknown generator", JobSpec{Generators: []string{"quantum"}}, "generators"},
+		{"unknown style", JobSpec{Generators: []string{"style"}, Styles: []string{"no-such-style"}}, "generators"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

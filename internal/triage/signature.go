@@ -54,11 +54,16 @@ type Signature struct {
 	// real site. Empty for spec differentials and crash findings,
 	// keeping pre-plan signatures and keys byte-identical.
 	PlanPair string `json:"plan_pair,omitempty"`
+	// GeneratorID names the generator that emitted the seed the finding
+	// surfaced on. Provenance only — Key ignores it, so the same root
+	// cause reached via different generators still deduplicates; recall
+	// analysis reads it to credit generators with first sightings.
+	GeneratorID string `json:"generator_id,omitempty"`
 }
 
 // Compute derives the signature of a campaign finding.
 func Compute(f *core.Finding) Signature {
-	sig := Signature{Domain: f.Oracle}
+	sig := Signature{Domain: f.Oracle, GeneratorID: f.GeneratorID}
 	if sig.Domain == "" {
 		sig.Domain = "crash"
 	}

@@ -28,6 +28,10 @@ type Occurrence struct {
 	Round       int    `json:"round"`
 	Cursor      int    `json:"cursor"`
 	AtExecution int    `json:"at_execution"`
+	// GeneratorID names the generator that emitted the seed ("template",
+	// "style:<name>", ...). Empty for baseline-pool seeds, keeping
+	// pre-generator records byte-identical.
+	GeneratorID string `json:"generator_id,omitempty"`
 	ChainLen    int    `json:"chain_len"`
 	// Time is a Unix timestamp for human-facing first/last-seen; the
 	// worker's clock seam keeps it deterministic under test.
@@ -329,6 +333,27 @@ func (s *Store) Entries() []*Entry {
 		out = append(out, &cp)
 	}
 	return out
+}
+
+// MinimizedPrograms yields the reduced reproducer of every successfully
+// minimized finding, in first-seen order, invoking fn with the entry
+// key and the minimized source. Quarantined and not-yet-reduced entries
+// are skipped. This is the template-mining feed: callers get the
+// store's minimized corpus without re-reading the JSONL log by hand,
+// and the deterministic order keeps template sets reproducible.
+// Iteration stops early when fn returns false.
+func (s *Store) MinimizedPrograms(fn func(key, program string) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range s.order {
+		e := s.entries[k]
+		if e.Min == "" || e.Quarantine != "" {
+			continue
+		}
+		if !fn(k, e.Min) {
+			return
+		}
+	}
 }
 
 // Compact rewrites the log to one consolidated entry record per

@@ -281,3 +281,46 @@ func mustRead(t *testing.T, path string) []byte {
 	}
 	return data
 }
+
+// TestMinimizedPrograms: the template-mining iterator yields reduced
+// reproducers only — skipping unreduced and quarantined entries — in
+// first-seen order, and honors early stop.
+func TestMinimizedPrograms(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	defer s.Close()
+	for i, id := range []string{"JDK-1", "JDK-2", "JDK-3", "JDK-4"} {
+		if _, err := s.Observe(sigFor(id), occAt("s1", 10+i), "class Raw {}", 5, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Reduced(sigFor("JDK-3").Key(), "class Min3 {}", 2, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reduced(sigFor("JDK-1").Key(), "class Min1 {}", 2, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reduced(sigFor("JDK-4").Key(), "class Min4 {}", 2, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine(sigFor("JDK-4").Key(), "harness-fault: boom"); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	s.MinimizedPrograms(func(key, program string) bool {
+		got = append(got, program)
+		return true
+	})
+	if len(got) != 2 || got[0] != "class Min1 {}" || got[1] != "class Min3 {}" {
+		t.Fatalf("MinimizedPrograms = %v, want [Min1 Min3] in first-seen order", got)
+	}
+
+	n := 0
+	s.MinimizedPrograms(func(key, program string) bool {
+		n++
+		return false // early stop
+	})
+	if n != 1 {
+		t.Fatalf("early stop visited %d entries, want 1", n)
+	}
+}

@@ -158,6 +158,7 @@ func (w *Worker) process(ctx context.Context, f *core.Finding) {
 		Round:       f.Round,
 		Cursor:      f.Cursor,
 		AtExecution: f.AtExecution,
+		GeneratorID: f.GeneratorID,
 		ChainLen:    f.ChainLen,
 		Time:        w.cfg.Now(),
 	}
